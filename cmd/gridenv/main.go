@@ -1,0 +1,102 @@
+// Command gridenv starts a complete grid environment — synthetic grid, core
+// services, planning, coordination — and serves the User Interface HTTP API
+// (package httpapi) on the given address.
+//
+// Usage:
+//
+//	gridenv [-addr :8080] [-clusters 6] [-smps 3] [-supers 1] [-seed 1]
+//	        [-store state.json]
+//
+// With -store, the persistent storage service loads its state from the file
+// at startup (if present) and saves it on SIGINT/SIGTERM, so checkpoints and
+// archived plans survive restarts.
+//
+// Try it:
+//
+//	curl localhost:8080/api/nodes
+//	curl localhost:8080/api/services
+//	curl -X POST localhost:8080/api/tasks -d '{"id":"T1","goal":["G.Classification = \"Resolution File\""],"initialData":[...]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/httpapi"
+	"repro/internal/planner"
+	"repro/internal/virolab"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		clusters = flag.Int("clusters", 6, "PC clusters in the synthetic grid")
+		smps     = flag.Int("smps", 3, "SMP nodes")
+		supers   = flag.Int("supers", 1, "supercomputers")
+		seed     = flag.Int64("seed", 1, "grid and planner seed")
+		store    = flag.String("store", "", "persistent storage file (loaded at start, saved on shutdown)")
+	)
+	flag.Parse()
+	if err := run(*addr, *clusters, *smps, *supers, *seed, *store); err != nil {
+		fmt.Fprintln(os.Stderr, "gridenv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, clusters, smps, supers int, seed int64, store string) error {
+	gridCfg := grid.DefaultSyntheticConfig()
+	gridCfg.Clusters = clusters
+	gridCfg.SMPs = smps
+	gridCfg.Supercomputers = supers
+	gridCfg.Seed = seed
+	params := planner.DefaultParams()
+	params.Seed = seed
+
+	env, err := core.NewEnvironment(core.Options{
+		GridConfig:  &gridCfg,
+		Catalog:     virolab.Catalog(),
+		Planner:     params,
+		PostProcess: virolab.ResolutionHook(nil),
+		Checkpoint:  true,
+	})
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+
+	if store != "" {
+		if err := env.Services.Storage.Load(store); err == nil {
+			fmt.Printf("loaded persistent storage from %s\n", store)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+
+	server := &http.Server{Addr: addr, Handler: httpapi.New(env).Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	fmt.Printf("grid environment up: %d nodes, %d containers; serving on %s\n",
+		len(env.Grid.Nodes()), len(env.Grid.Containers()), addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+	}
+	_ = server.Close()
+	if store != "" {
+		if err := env.Services.Storage.Save(store); err != nil {
+			return fmt.Errorf("saving storage: %w", err)
+		}
+		fmt.Printf("persistent storage saved to %s\n", store)
+	}
+	return nil
+}

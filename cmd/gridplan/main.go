@@ -1,0 +1,136 @@
+// Command gridplan reproduces the paper's Section 5 experiment: the
+// GP-based planning service solving the virus-reconstruction planning
+// problem. It runs the planner the requested number of times and prints the
+// Table 1 parameter block and the Table 2 result aggregate, optionally
+// comparing against the forward-search and random-search baselines.
+//
+// Usage:
+//
+//	gridplan [-runs 10] [-pop 200] [-gens 20] [-cx 0.7] [-mut 0.001]
+//	         [-smax 40] [-wv 0.2] [-wg 0.5] [-seed 1] [-selection tournament]
+//	         [-baselines] [-print-params] [-history] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/planner"
+	"repro/internal/virolab"
+)
+
+func main() {
+	var (
+		runs        = flag.Int("runs", 10, "independent GP runs (the paper uses 10)")
+		pop         = flag.Int("pop", 200, "population size")
+		gens        = flag.Int("gens", 20, "number of generations")
+		cx          = flag.Float64("cx", 0.7, "crossover rate")
+		mut         = flag.Float64("mut", 0.001, "per-node mutation rate")
+		smax        = flag.Int("smax", 40, "plan tree size limit Smax")
+		wv          = flag.Float64("wv", 0.2, "validity fitness weight")
+		wg          = flag.Float64("wg", 0.5, "goal fitness weight")
+		seed        = flag.Int64("seed", 1, "base random seed")
+		selection   = flag.String("selection", "tournament", "selection scheme: tournament or roulette")
+		baselines   = flag.Bool("baselines", false, "also run forward-search and random-search baselines")
+		printParams = flag.Bool("print-params", false, "print the Table 1 parameter block and exit")
+		history     = flag.Bool("history", false, "print per-generation best fitness of the first run")
+		verbose     = flag.Bool("v", false, "print each run's best plan")
+	)
+	flag.Parse()
+
+	params := planner.DefaultParams()
+	params.PopulationSize = *pop
+	params.Generations = *gens
+	params.CrossoverRate = *cx
+	params.MutationRate = *mut
+	params.Smax = *smax
+	params.WV = *wv
+	params.WG = *wg
+	params.WR = math.Round((1-*wv-*wg)*1e9) / 1e9
+	params.Seed = *seed
+	switch *selection {
+	case "tournament":
+		params.Selection = planner.SelectTournament
+	case "roulette":
+		params.Selection = planner.SelectRoulette
+	default:
+		fmt.Fprintf(os.Stderr, "gridplan: unknown selection scheme %q\n", *selection)
+		os.Exit(2)
+	}
+	if err := params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "gridplan:", err)
+		os.Exit(2)
+	}
+
+	printTable1(params)
+	if *printParams {
+		return
+	}
+
+	problem := virolab.Problem()
+	results, err := planner.RunMany(problem, params, *runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridplan:", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		for i, r := range results {
+			fmt.Printf("run %2d: f=%.3f fv=%.2f fg=%.2f size=%d  %s\n",
+				i+1, r.Best.Eval.Fitness, r.Best.Eval.FV, r.Best.Eval.FG,
+				r.Best.Eval.Size, r.Best.Tree)
+		}
+	}
+	if *history && len(results) > 0 {
+		fmt.Println("\nGeneration history (run 1):")
+		fmt.Println("  gen   best f   mean f   best size")
+		for _, g := range results[0].History {
+			fmt.Printf("  %3d   %.4f   %.4f   %d\n", g.Generation, g.BestFitness, g.MeanFitness, g.BestSize)
+		}
+	}
+	printTable2(planner.Summarize(results))
+
+	if *baselines {
+		fmt.Println("\nBaselines:")
+		if plan, err := planner.ForwardSearch(problem, 12); err == nil {
+			ev, everr := planner.NewEvaluator(problem, params)
+			if everr == nil {
+				e := ev.Evaluate(plan)
+				fmt.Printf("  forward search:  f=%.3f fv=%.2f fg=%.2f size=%d  %s\n",
+					e.Fitness, e.FV, e.FG, e.Size, plan)
+			}
+		} else {
+			fmt.Printf("  forward search:  %v\n", err)
+		}
+		budget := params.PopulationSize * (params.Generations + 1)
+		if r, err := planner.RandomSearch(problem, params, budget); err == nil {
+			e := r.Best.Eval
+			fmt.Printf("  random search:   f=%.3f fv=%.2f fg=%.2f size=%d (budget %d)\n",
+				e.Fitness, e.FV, e.FG, e.Size, budget)
+		}
+	}
+}
+
+func printTable1(p planner.Params) {
+	fmt.Println("Table 1. Parameter settings in the experiments.")
+	fmt.Printf("  Population Size        %d\n", p.PopulationSize)
+	fmt.Printf("  Number of Generation   %d\n", p.Generations)
+	fmt.Printf("  Crossover Rate         %g\n", p.CrossoverRate)
+	fmt.Printf("  Mutation Rate          %g\n", p.MutationRate)
+	fmt.Printf("  Smax                   %d\n", p.Smax)
+	fmt.Printf("  wv                     %g\n", p.WV)
+	fmt.Printf("  wg                     %g\n", p.WG)
+	fmt.Printf("  (wr)                   %g\n", p.WR)
+}
+
+func printTable2(s planner.Summary) {
+	fmt.Printf("\nTable 2. Experiment results collected from the best solutions of %d runs.\n", s.Runs)
+	fmt.Printf("  Average Fitness             %.3f\n", s.AvgFitness)
+	fmt.Printf("  Average Validity Fitness    %.3f\n", s.AvgValidity)
+	fmt.Printf("  Average Goal Fitness        %.3f\n", s.AvgGoalFitness)
+	fmt.Printf("  Average Size of solutions   %.1f\n", s.AvgSize)
+	fmt.Printf("  (fitness range              %.3f .. %.3f)\n", s.MinFitness, s.MaxFitness)
+	fmt.Printf("  (runs at fv=1: %d/%d, fg=1: %d/%d)\n",
+		s.PerfectValidity, s.Runs, s.PerfectGoal, s.Runs)
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSweep(t *testing.T) {
+	if err := run(8, 10, 1, 1, "2,4", true, "max-min"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run(4, 10, 1, 1, "2,x", false, "min-min"); err == nil {
+		t.Error("bad sweep accepted")
+	}
+	if err := run(4, 10, 1, 1, "0", false, "min-min"); err == nil {
+		t.Error("zero cluster count accepted")
+	}
+	if err := run(4, 10, 1, 1, "2", false, "bogus"); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Command pdlc is the process-description language compiler: it parses PDL
+// text (the Section 2 grammar), validates the resulting process description,
+// and converts between representations.
+//
+// Usage:
+//
+//	pdlc [-tree] [-dot] [-format] [-stats] [file]
+//
+// With no file the source is read from standard input. With no output flag
+// the tool validates and prints a summary. -tree prints the plan-tree
+// s-expression (Figure 11 form), -dot emits Graphviz, -format pretty-prints
+// canonical PDL, -stats prints activity counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/pdl"
+	"repro/internal/plantree"
+	"repro/internal/workflow"
+)
+
+func main() {
+	var (
+		showTree = flag.Bool("tree", false, "print the plan tree s-expression")
+		showDot  = flag.Bool("dot", false, "print the process description as Graphviz dot")
+		reformat = flag.Bool("format", false, "pretty-print canonical PDL")
+		stats    = flag.Bool("stats", false, "print activity statistics")
+		name     = flag.String("name", "process", "process name")
+	)
+	flag.Parse()
+	if err := run(*name, *showTree, *showDot, *reformat, *stats, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "pdlc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, showTree, showDot, reformat, stats bool, args []string) error {
+	var src []byte
+	var err error
+	switch len(args) {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(args[0])
+	default:
+		return fmt.Errorf("at most one input file, got %d", len(args))
+	}
+	if err != nil {
+		return err
+	}
+
+	tree, err := pdl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	p, err := plantree.ToProcess(name, tree)
+	if err != nil {
+		return err
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+
+	printed := false
+	if showTree {
+		fmt.Println(tree)
+		printed = true
+	}
+	if showDot {
+		fmt.Print(p.DOT())
+		printed = true
+	}
+	if reformat {
+		text, err := pdl.Format(tree)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		printed = true
+	}
+	if stats || !printed {
+		fmt.Printf("process %s: valid\n", name)
+		fmt.Printf("  plan tree size:          %d (depth %d)\n", tree.Size(), tree.Depth())
+		fmt.Printf("  end-user activities:     %d\n", p.CountKind(workflow.KindEndUser))
+		flow := len(p.Activities) - p.CountKind(workflow.KindEndUser)
+		fmt.Printf("  flow-control activities: %d\n", flow)
+		fmt.Printf("  transitions:             %d\n", len(p.Transitions))
+	}
+	return nil
+}

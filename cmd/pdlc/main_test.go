@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "flow.pdl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodPDL = `BEGIN, A; {FORK {B} {C} JOIN}; D, END`
+
+func TestRunValidates(t *testing.T) {
+	path := writeTemp(t, goodPDL)
+	if err := run("p", false, false, false, true, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	// All output modes exercise without error.
+	if err := run("p", true, true, true, true, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	bad := writeTemp(t, "BEGIN, {FORK {A} JOIN}, END")
+	if err := run("p", false, false, false, false, []string{bad}); err == nil {
+		t.Error("single-branch FORK accepted")
+	}
+	if err := run("p", false, false, false, false, []string{"does-not-exist.pdl"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run("p", false, false, false, false, []string{"a", "b"}); err == nil {
+		t.Error("two files accepted")
+	}
+}

@@ -1,0 +1,140 @@
+// Command wfrun enacts the case-study workflow (or a PDL file) on a
+// simulated grid environment, exercising the full Figure 1 stack:
+// coordination, matchmaking, application containers, checkpointing, and —
+// with -fail — the Figure 3 re-planning flow.
+//
+// Usage:
+//
+//	wfrun [-pdl file] [-need-planning] [-fail node] [-trace] [-checkpoint]
+//	      [-clusters 6] [-smps 3] [-supers 1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/coordination"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/pdl"
+	"repro/internal/planner"
+	"repro/internal/virolab"
+)
+
+func main() {
+	var (
+		pdlFile      = flag.String("pdl", "", "enact this PDL file instead of the built-in Figure 10 workflow")
+		needPlanning = flag.Bool("need-planning", false, "submit the case without a process description (Figure 2 flow)")
+		failNode     = flag.String("fail", "", "fail this node before enactment (exercises Figure 3 re-planning)")
+		trace        = flag.Bool("trace", false, "print the enactment trace")
+		checkpoint   = flag.Bool("checkpoint", true, "checkpoint after each dispatch batch")
+		resumeFrom   = flag.Int("resume", 0, "after the run, resume from this checkpoint version to demonstrate recovery (0 = off)")
+		clusters     = flag.Int("clusters", 6, "PC clusters in the synthetic grid")
+		smps         = flag.Int("smps", 3, "SMP nodes in the synthetic grid")
+		supers       = flag.Int("supers", 1, "supercomputers in the synthetic grid")
+		seed         = flag.Int64("seed", 1, "grid and planner seed")
+	)
+	flag.Parse()
+	if err := run(*pdlFile, *needPlanning, *failNode, *trace, *checkpoint, *resumeFrom, *clusters, *smps, *supers, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "wfrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pdlFile string, needPlanning bool, failNode string, trace, checkpoint bool, resumeFrom, clusters, smps, supers int, seed int64) error {
+	gridCfg := grid.DefaultSyntheticConfig()
+	gridCfg.Clusters = clusters
+	gridCfg.SMPs = smps
+	gridCfg.Supercomputers = supers
+	gridCfg.Seed = seed
+
+	params := planner.DefaultParams()
+	params.Seed = seed
+
+	env, err := core.NewEnvironment(core.Options{
+		GridConfig:  &gridCfg,
+		Catalog:     virolab.Catalog(),
+		Planner:     params,
+		PostProcess: virolab.ResolutionHook(nil),
+		Checkpoint:  checkpoint,
+	})
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+
+	fmt.Printf("grid: %d nodes, %d containers\n", len(env.Grid.Nodes()), len(env.Grid.Containers()))
+	for _, class := range env.Grid.EquivalenceClasses() {
+		fmt.Printf("  class %-24s %d nodes\n", class.Key, len(class.Nodes))
+	}
+
+	task := virolab.Task()
+	switch {
+	case needPlanning:
+		task.Process = nil
+		task.NeedPlanning = true
+		fmt.Println("task: submitted without a process description (planning requested)")
+	case pdlFile != "":
+		src, err := os.ReadFile(pdlFile)
+		if err != nil {
+			return err
+		}
+		p, err := pdl.ParseProcess("custom", string(src))
+		if err != nil {
+			return err
+		}
+		task.Process = p
+		fmt.Printf("task: enacting %s\n", pdlFile)
+	default:
+		fmt.Println("task: enacting the Figure 10 process description PD-3DSD")
+	}
+
+	if failNode != "" {
+		if err := env.Grid.SetNodeUp(failNode, false); err != nil {
+			return err
+		}
+		fmt.Printf("failure injected: node %s is down\n", failNode)
+	}
+
+	report, err := env.Submit(task)
+	if err != nil {
+		return err
+	}
+	printReport(report, trace)
+
+	if resumeFrom > 0 {
+		snap, err := coordination.LoadCheckpointVersion(env.Services.Storage, task.ID, resumeFrom)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nresuming from checkpoint v%d (%d executions done)...\n", resumeFrom, snap.Executed)
+		resumed, err := env.Coordinator.Resume(snap)
+		if err != nil {
+			return err
+		}
+		printReport(resumed, trace)
+	}
+	return nil
+}
+
+func printReport(r *coordination.Report, trace bool) {
+	fmt.Printf("\nenactment report for task %s\n", r.TaskID)
+	fmt.Printf("  completed:       %v (goal fitness %.2f)\n", r.Completed, r.GoalFitness)
+	fmt.Printf("  activities fired:%5d\n", r.Fired)
+	fmt.Printf("  executions:      %5d (failures %d, re-plans %d)\n", r.Executed, r.Failures, r.Replans)
+	fmt.Printf("  simulated time:  %8.1f s\n", r.SimulatedTime)
+	fmt.Printf("  total cost:      %8.2f\n", r.TotalCost)
+	if r.FinalState != nil {
+		fmt.Println("  final data state:")
+		for _, item := range r.FinalState.Items() {
+			fmt.Printf("    %s\n", item)
+		}
+	}
+	if trace {
+		fmt.Println("  trace:")
+		for _, e := range r.Trace {
+			fmt.Printf("    %-10s %-10s %s\n", e.Kind, e.Activity, e.Detail)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFig10WithResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full enactment in -short mode")
+	}
+	if err := run("", false, "", false, true, 3, 2, 1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomPDL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flow.pdl")
+	src := `BEGIN, POD(D1, D7 -> D8), END`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false, "", true, false, 0, 2, 1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejections(t *testing.T) {
+	if err := run("missing.pdl", false, "", false, false, 0, 2, 1, 0, 1); err == nil {
+		t.Error("missing PDL file accepted")
+	}
+	if err := run("", false, "no-such-node", false, false, 0, 2, 1, 0, 1); err == nil {
+		t.Error("unknown fail node accepted")
+	}
+}

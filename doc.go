@@ -1,0 +1,11 @@
+// Package repro reproduces Yu, Bai, Wang, Ji, and Marinescu,
+// "Metainformation and Workflow Management for Solving Complex Problems in
+// Grid Environments" (IPDPS 2004): an intelligent, agent-based grid
+// environment with a process-description language, an ATN-driven
+// coordination service, a GP-based planning service, a Protégé-style
+// ontology store, and the virus-reconstruction case study.
+//
+// The root package holds the experiment benchmark harness (bench_test.go),
+// one benchmark per table and figure of the paper; the implementation lives
+// under internal/ (see DESIGN.md for the module map).
+package repro

@@ -1,0 +1,88 @@
+// Ontology: the metainformation side of the paper. Builds the Figure 12
+// grid ontology shell, populates it with the Figure 13 instances for the
+// 3DSD task, runs queries over the knowledge base, and round-trips the whole
+// ontology through the ontology service the way agents exchange it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/ontology"
+	"repro/internal/services"
+	"repro/internal/virolab"
+)
+
+func main() {
+	// --- Figure 12: the ontology shell ----------------------------------
+	shell := ontology.GridShell()
+	fmt.Println("Figure 12 ontology shell:")
+	for _, c := range shell.Classes() {
+		fmt.Printf("  %-20s %2d slots  %s\n", c.Name, len(c.Slots), c.Doc)
+	}
+
+	// --- Figure 13: the populated instances ------------------------------
+	kbase, err := virolab.Ontology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	classes, instances := kbase.Stats()
+	fmt.Printf("\nFigure 13 instances: %d (in %d classes)\n", instances, classes)
+
+	task := kbase.Instance("T1")
+	fmt.Printf("  task %s (%s), owner %s\n", task.Text("ID"), task.Text("Name"), task.Text("Owner"))
+	fmt.Printf("  process description: %s, case description: %s\n",
+		task.Text("ProcessDescription"), task.Text("CaseDescription"))
+
+	// Queries, the way the coordination service navigates metadata.
+	fmt.Println("\n3D models known to the system:")
+	for _, in := range kbase.Query(ontology.ClassData, func(in *ontology.Instance) bool {
+		return in.Text("Classification") == "3D Model"
+	}) {
+		fmt.Printf("  %-4s created by %s\n", in.ID, in.Text("Creator"))
+	}
+	fmt.Println("activities of service P3DR:")
+	for _, in := range kbase.Query(ontology.ClassActivity, func(in *ontology.Instance) bool {
+		return in.Text("ServiceName") == "P3DR"
+	}) {
+		fmt.Printf("  %-4s %-6s inputs %s -> outputs %s\n",
+			in.ID, in.Text("Name"), in.Text("InputDataSet"), in.Text("OutputDataSet"))
+	}
+
+	// --- Distribution through the ontology service ----------------------
+	platform := agent.NewPlatform()
+	defer platform.Shutdown()
+	ontsvc := services.NewOntologyService()
+	if _, err := platform.Register(services.OntologyName, ontsvc); err != nil {
+		log.Fatal(err)
+	}
+	client := platform.MustRegister("client", agent.HandlerFunc(func(*agent.Context, agent.Message) {}))
+
+	data, err := kbase.MarshalJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.Call(services.OntologyName, services.OntOntology,
+		services.PublishKB{Name: "3dsd", JSON: data}, time.Second); err != nil {
+		log.Fatal(err)
+	}
+	reply, err := client.Call(services.OntologyName, services.OntOntology,
+		services.KBRequest{Name: "3dsd"}, time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fetched, err := ontology.Decode(reply.Content.(services.KBReply).JSON)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, n := fetched.Stats()
+	fmt.Printf("\npublished and fetched back through the ontology service: %d instances, %d bytes JSON\n",
+		n, len(data))
+	if errs := fetched.ValidateRefs(); len(errs) == 0 {
+		fmt.Println("all instance references validate")
+	} else {
+		fmt.Println("reference problems:", errs)
+	}
+}

@@ -1,0 +1,99 @@
+// Virolab: the complete Section 4 case study. Builds the Figure 10 process
+// description for 3D virus reconstruction, shows its Figure 11 plan tree and
+// PDL text, enacts it on a heterogeneous simulated grid with the iterative
+// resolution-refinement loop, and finally reruns the Section 5 planning
+// experiment at reduced scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/pdl"
+	"repro/internal/planner"
+	"repro/internal/plantree"
+	"repro/internal/virolab"
+	"repro/internal/workflow"
+)
+
+func main() {
+	// --- Figure 10: the process description -----------------------------
+	process := virolab.Process()
+	fmt.Println("Figure 10 process description:")
+	fmt.Printf("  %d end-user + %d flow-control activities, %d transitions\n",
+		process.CountKind(workflow.KindEndUser),
+		len(process.Activities)-process.CountKind(workflow.KindEndUser),
+		len(process.Transitions))
+
+	// --- Figure 11: the corresponding plan tree -------------------------
+	tree, err := plantree.FromProcess(process)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFigure 11 plan tree:")
+	fmt.Println("  " + tree.String())
+
+	text, err := pdl.Format(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPDL text:")
+	fmt.Println(indent(text, "  "))
+
+	// --- Enactment on the simulated grid ---------------------------------
+	env, err := core.NewEnvironment(core.Options{
+		Catalog:     virolab.Catalog(),
+		PostProcess: virolab.ResolutionHook(nil),
+		Checkpoint:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+
+	report, err := env.Submit(virolab.Task())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("enactment:")
+	fmt.Printf("  completed=%v, %d executions over %d firings\n",
+		report.Completed, report.Executed, report.Fired)
+	fmt.Printf("  simulated compute time %.0f s, cost %.2f\n",
+		report.SimulatedTime, report.TotalCost)
+	d12 := report.FinalState.Get("D12")
+	if v, ok := d12.Prop(workflow.PropValue); ok {
+		fmt.Printf("  final electron-density-map resolution: %s Angstrom\n", v.Str())
+	}
+
+	// --- Section 5 planning experiment (reduced scale) -------------------
+	params := planner.DefaultParams()
+	params.PopulationSize = 120
+	params.Generations = 15
+	results, err := planner.RunMany(virolab.Problem(), params, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := planner.Summarize(results)
+	fmt.Println("\nplanning experiment (3 runs at reduced scale; see cmd/gridplan for Table 2):")
+	fmt.Printf("  avg fitness %.3f, avg validity %.2f, avg goal %.2f, avg size %.1f\n",
+		s.AvgFitness, s.AvgValidity, s.AvgGoalFitness, s.AvgSize)
+	fmt.Printf("  best plan of run 1: %s\n", results[0].Best.Tree)
+}
+
+func indent(s, prefix string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if start < i {
+				out += prefix + s[start:i]
+			}
+			if i < len(s) {
+				out += "\n"
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

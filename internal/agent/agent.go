@@ -1,0 +1,345 @@
+// Package agent is an in-process multi-agent platform standing in for the
+// Jade framework the paper builds on. Agents are named mailboxes served by
+// one goroutine each; they exchange ACL-style messages (performative +
+// content) asynchronously, with a synchronous request/reply convenience for
+// the service interactions of Figures 2 and 3.
+//
+// The platform is deliberately small: a registry (white pages), reliable
+// in-order point-to-point delivery, and conversation tracking. Yellow-page
+// service discovery is itself an agent (the information service in package
+// services), matching the paper's architecture where all end-user services
+// and core services register their offerings with the information service.
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Performative classifies a message, following the FIPA ACL set the paper's
+// Jade agents use.
+type Performative int
+
+// The performatives used by the core services.
+const (
+	Request Performative = iota
+	Inform
+	Agree
+	Refuse
+	Failure
+	QueryRef
+	Subscribe
+	Cancel
+)
+
+func (p Performative) String() string {
+	switch p {
+	case Request:
+		return "request"
+	case Inform:
+		return "inform"
+	case Agree:
+		return "agree"
+	case Refuse:
+		return "refuse"
+	case Failure:
+		return "failure"
+	case QueryRef:
+		return "query-ref"
+	case Subscribe:
+		return "subscribe"
+	case Cancel:
+		return "cancel"
+	}
+	return fmt.Sprintf("Performative(%d)", int(p))
+}
+
+// Message is one ACL message.
+type Message struct {
+	ID             uint64
+	ConversationID uint64
+	Performative   Performative
+	Sender         string
+	Receiver       string
+	// Ontology names the vocabulary of Content (e.g. "grid-planning").
+	Ontology string
+	// Content is the payload; services define typed structs.
+	Content any
+
+	replyCh chan Message // set for synchronous calls
+}
+
+// Errors returned by platform operations.
+var (
+	ErrUnknownAgent = errors.New("agent: unknown agent")
+	ErrStopped      = errors.New("agent: platform stopped")
+	ErrTimeout      = errors.New("agent: call timed out")
+	ErrNoReply      = errors.New("agent: agent terminated without replying")
+)
+
+// Handler is the behaviour of an agent: it receives each incoming message
+// with a Context for sending and replying. A handler runs on the agent's
+// single goroutine; blocking in it delays only that agent's mailbox.
+type Handler interface {
+	HandleMessage(ctx *Context, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx *Context, msg Message)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(ctx *Context, msg Message) { f(ctx, msg) }
+
+// Platform hosts agents and routes messages between them.
+type Platform struct {
+	mu      sync.RWMutex
+	agents  map[string]*runtime
+	stopped bool
+
+	nextID     atomic.Uint64
+	nextConv   atomic.Uint64
+	trace      func(Message)
+	mailboxCap int
+
+	wg sync.WaitGroup
+}
+
+type runtime struct {
+	name    string
+	mailbox chan Message
+	ctx     *Context
+	done    chan struct{}
+}
+
+// NewPlatform returns an empty platform. Mailboxes are buffered (capacity
+// 256) so bursts between services do not deadlock.
+func NewPlatform() *Platform {
+	return &Platform{agents: make(map[string]*runtime), mailboxCap: 256}
+}
+
+// SetTrace installs a callback invoked for every delivered message, used by
+// the figure-flow tests to assert the message sequences of Figures 2 and 3.
+func (p *Platform) SetTrace(fn func(Message)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.trace = fn
+}
+
+// Register starts an agent with the given unique name and behaviour.
+func (p *Platform) Register(name string, h Handler) (*Context, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return nil, ErrStopped
+	}
+	if name == "" {
+		return nil, fmt.Errorf("agent: empty agent name")
+	}
+	if _, dup := p.agents[name]; dup {
+		return nil, fmt.Errorf("agent: agent %q already registered", name)
+	}
+	rt := &runtime{
+		name:    name,
+		mailbox: make(chan Message, p.mailboxCap),
+		done:    make(chan struct{}),
+	}
+	rt.ctx = &Context{platform: p, self: name}
+	p.agents[name] = rt
+	p.wg.Add(1)
+	go p.serve(rt, h)
+	return rt.ctx, nil
+}
+
+// MustRegister is Register that panics on error, for wiring fixed service
+// topologies.
+func (p *Platform) MustRegister(name string, h Handler) *Context {
+	ctx, err := p.Register(name, h)
+	if err != nil {
+		panic(err)
+	}
+	return ctx
+}
+
+func (p *Platform) serve(rt *runtime, h Handler) {
+	defer p.wg.Done()
+	defer close(rt.done)
+	for msg := range rt.mailbox {
+		h.HandleMessage(rt.ctx, msg)
+		if msg.replyCh != nil {
+			// If the handler never replied, release the caller.
+			select {
+			case msg.replyCh <- Message{Performative: Failure, Sender: rt.name, Content: ErrNoReply}:
+			default:
+			}
+		}
+	}
+}
+
+// Deregister stops the named agent, draining its mailbox first.
+func (p *Platform) Deregister(name string) error {
+	p.mu.Lock()
+	rt, ok := p.agents[name]
+	if ok {
+		delete(p.agents, name)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return ErrUnknownAgent
+	}
+	close(rt.mailbox)
+	<-rt.done
+	return nil
+}
+
+// Agents returns the registered agent names, sorted.
+func (p *Platform) Agents() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	names := make([]string, 0, len(p.agents))
+	for n := range p.agents {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Has reports whether the named agent is registered.
+func (p *Platform) Has(name string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.agents[name]
+	return ok
+}
+
+// Shutdown stops every agent and waits for their goroutines to finish.
+func (p *Platform) Shutdown() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	agents := p.agents
+	p.agents = make(map[string]*runtime)
+	p.mu.Unlock()
+	for _, rt := range agents {
+		close(rt.mailbox)
+	}
+	p.wg.Wait()
+}
+
+// deliver routes a message to its receiver's mailbox.
+func (p *Platform) deliver(msg Message) error {
+	p.mu.RLock()
+	rt, ok := p.agents[msg.Receiver]
+	trace := p.trace
+	stopped := p.stopped
+	p.mu.RUnlock()
+	if stopped {
+		return ErrStopped
+	}
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAgent, msg.Receiver)
+	}
+	if trace != nil {
+		trace(msg)
+	}
+	rt.mailbox <- msg
+	return nil
+}
+
+// Context is an agent's handle on the platform.
+type Context struct {
+	platform *Platform
+	self     string
+}
+
+// Name returns the agent's own name.
+func (c *Context) Name() string { return c.self }
+
+// Platform returns the hosting platform.
+func (c *Context) Platform() *Platform { return c.platform }
+
+// Send delivers an asynchronous message to the named agent.
+func (c *Context) Send(receiver string, perf Performative, ontology string, content any) error {
+	msg := Message{
+		ID:             c.platform.nextID.Add(1),
+		ConversationID: c.platform.nextConv.Add(1),
+		Performative:   perf,
+		Sender:         c.self,
+		Receiver:       receiver,
+		Ontology:       ontology,
+		Content:        content,
+	}
+	return c.platform.deliver(msg)
+}
+
+// Call sends a Request and blocks for the reply, up to timeout (zero means
+// 10 seconds). The reply is whatever message the receiver passes to Reply.
+func (c *Context) Call(receiver, ontology string, content any, timeout time.Duration) (Message, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	replyCh := make(chan Message, 1)
+	msg := Message{
+		ID:             c.platform.nextID.Add(1),
+		ConversationID: c.platform.nextConv.Add(1),
+		Performative:   Request,
+		Sender:         c.self,
+		Receiver:       receiver,
+		Ontology:       ontology,
+		Content:        content,
+		replyCh:        replyCh,
+	}
+	if err := c.platform.deliver(msg); err != nil {
+		return Message{}, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case reply := <-replyCh:
+		if reply.Performative == Failure {
+			if err, ok := reply.Content.(error); ok {
+				return reply, err
+			}
+		}
+		return reply, nil
+	case <-timer.C:
+		return Message{}, fmt.Errorf("%w: %s -> %s (%s)", ErrTimeout, c.self, receiver, ontology)
+	}
+}
+
+// Reply answers a message received by this agent. For synchronous calls the
+// reply goes straight to the waiting caller; otherwise it is delivered as a
+// normal message.
+func (c *Context) Reply(to Message, perf Performative, content any) error {
+	reply := Message{
+		ID:             c.platform.nextID.Add(1),
+		ConversationID: to.ConversationID,
+		Performative:   perf,
+		Sender:         c.self,
+		Receiver:       to.Sender,
+		Ontology:       to.Ontology,
+		Content:        content,
+	}
+	if to.replyCh != nil {
+		p := c.platform
+		p.mu.RLock()
+		trace := p.trace
+		p.mu.RUnlock()
+		if trace != nil {
+			trace(reply)
+		}
+		select {
+		case to.replyCh <- reply:
+			return nil
+		default:
+			return fmt.Errorf("agent: duplicate reply to conversation %d", to.ConversationID)
+		}
+	}
+	return c.platform.deliver(reply)
+}

@@ -1,0 +1,310 @@
+package agent
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoHandler replies to every request with its own content.
+func echoHandler() Handler {
+	return HandlerFunc(func(ctx *Context, msg Message) {
+		if msg.Performative == Request {
+			_ = ctx.Reply(msg, Inform, msg.Content)
+		}
+	})
+}
+
+func TestRegisterAndCall(t *testing.T) {
+	p := NewPlatform()
+	defer p.Shutdown()
+	p.MustRegister("echo", echoHandler())
+	caller := p.MustRegister("caller", HandlerFunc(func(*Context, Message) {}))
+
+	reply, err := caller.Call("echo", "test", "hello", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != Inform || reply.Content != "hello" {
+		t.Errorf("reply = %+v", reply)
+	}
+	if reply.Sender != "echo" || reply.Receiver != "caller" {
+		t.Errorf("routing = %s -> %s", reply.Sender, reply.Receiver)
+	}
+}
+
+func TestAsyncSend(t *testing.T) {
+	p := NewPlatform()
+	defer p.Shutdown()
+	got := make(chan Message, 1)
+	p.MustRegister("sink", HandlerFunc(func(_ *Context, msg Message) { got <- msg }))
+	sender := p.MustRegister("sender", HandlerFunc(func(*Context, Message) {}))
+
+	if err := sender.Send("sink", Inform, "news", 42); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-got:
+		if msg.Content != 42 || msg.Performative != Inform || msg.Ontology != "news" {
+			t.Errorf("msg = %+v", msg)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestUnknownAgent(t *testing.T) {
+	p := NewPlatform()
+	defer p.Shutdown()
+	c := p.MustRegister("a", HandlerFunc(func(*Context, Message) {}))
+	if err := c.Send("ghost", Inform, "", nil); !errors.Is(err, ErrUnknownAgent) {
+		t.Errorf("Send to ghost = %v", err)
+	}
+	if _, err := c.Call("ghost", "", nil, time.Second); !errors.Is(err, ErrUnknownAgent) {
+		t.Errorf("Call to ghost = %v", err)
+	}
+}
+
+func TestDuplicateAndEmptyNames(t *testing.T) {
+	p := NewPlatform()
+	defer p.Shutdown()
+	p.MustRegister("a", echoHandler())
+	if _, err := p.Register("a", echoHandler()); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := p.Register("", echoHandler()); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	p := NewPlatform()
+	defer p.Shutdown()
+	block := make(chan struct{})
+	p.MustRegister("slow", HandlerFunc(func(ctx *Context, msg Message) {
+		<-block
+		_ = ctx.Reply(msg, Inform, "late")
+	}))
+	c := p.MustRegister("c", HandlerFunc(func(*Context, Message) {}))
+	_, err := c.Call("slow", "", nil, 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want timeout", err)
+	}
+	close(block)
+}
+
+func TestNoReplyYieldsFailure(t *testing.T) {
+	p := NewPlatform()
+	defer p.Shutdown()
+	p.MustRegister("mute", HandlerFunc(func(*Context, Message) {}))
+	c := p.MustRegister("c", HandlerFunc(func(*Context, Message) {}))
+	reply, err := c.Call("mute", "", nil, time.Second)
+	if !errors.Is(err, ErrNoReply) {
+		t.Errorf("err = %v, want ErrNoReply", err)
+	}
+	if reply.Performative != Failure {
+		t.Errorf("performative = %v, want Failure", reply.Performative)
+	}
+}
+
+func TestRefuseAndFailureReplies(t *testing.T) {
+	p := NewPlatform()
+	defer p.Shutdown()
+	p.MustRegister("picky", HandlerFunc(func(ctx *Context, msg Message) {
+		_ = ctx.Reply(msg, Refuse, "not today")
+	}))
+	c := p.MustRegister("c", HandlerFunc(func(*Context, Message) {}))
+	reply, err := c.Call("picky", "", nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != Refuse || reply.Content != "not today" {
+		t.Errorf("reply = %+v", reply)
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	p := NewPlatform()
+	defer p.Shutdown()
+	const n = 500
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	p.MustRegister("sink", HandlerFunc(func(_ *Context, msg Message) {
+		mu.Lock()
+		got = append(got, msg.Content.(int))
+		if len(got) == n {
+			close(done)
+		}
+		mu.Unlock()
+	}))
+	s := p.MustRegister("s", HandlerFunc(func(*Context, Message) {}))
+	for i := 0; i < n; i++ {
+		if err := s.Send("sink", Inform, "", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestChainedCalls(t *testing.T) {
+	// coordination -> planning -> information, mirroring Figure 2/3 nesting.
+	p := NewPlatform()
+	defer p.Shutdown()
+	p.MustRegister("information", HandlerFunc(func(ctx *Context, msg Message) {
+		_ = ctx.Reply(msg, Inform, "brokerage-1")
+	}))
+	p.MustRegister("planning", HandlerFunc(func(ctx *Context, msg Message) {
+		r, err := ctx.Call("information", "lookup", "brokerage?", time.Second)
+		if err != nil {
+			_ = ctx.Reply(msg, Failure, err)
+			return
+		}
+		_ = ctx.Reply(msg, Inform, "plan-via-"+r.Content.(string))
+	}))
+	c := p.MustRegister("coordination", HandlerFunc(func(*Context, Message) {}))
+	reply, err := c.Call("planning", "plan", "task", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Content != "plan-via-brokerage-1" {
+		t.Errorf("content = %v", reply.Content)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	p := NewPlatform()
+	defer p.Shutdown()
+	var handled atomic.Int32
+	p.MustRegister("x", HandlerFunc(func(*Context, Message) { handled.Add(1) }))
+	c := p.MustRegister("c", HandlerFunc(func(*Context, Message) {}))
+	_ = c.Send("x", Inform, "", nil)
+	if err := p.Deregister("x"); err != nil {
+		t.Fatal(err)
+	}
+	if handled.Load() != 1 {
+		t.Errorf("mailbox not drained before stop: handled=%d", handled.Load())
+	}
+	if err := p.Deregister("x"); !errors.Is(err, ErrUnknownAgent) {
+		t.Errorf("second deregister = %v", err)
+	}
+	if p.Has("x") {
+		t.Error("Has(x) after deregister")
+	}
+}
+
+func TestAgentsListingAndShutdown(t *testing.T) {
+	p := NewPlatform()
+	p.MustRegister("b", echoHandler())
+	p.MustRegister("a", echoHandler())
+	names := p.Agents()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Agents = %v", names)
+	}
+	p.Shutdown()
+	p.Shutdown() // idempotent
+	if len(p.Agents()) != 0 {
+		t.Error("agents survive shutdown")
+	}
+	if _, err := p.Register("late", echoHandler()); !errors.Is(err, ErrStopped) {
+		t.Errorf("register after shutdown = %v", err)
+	}
+	c := &Context{platform: p, self: "ghost"}
+	if err := c.Send("a", Inform, "", nil); !errors.Is(err, ErrStopped) {
+		t.Errorf("send after shutdown = %v", err)
+	}
+}
+
+func TestTraceSeesRequestAndReply(t *testing.T) {
+	p := NewPlatform()
+	defer p.Shutdown()
+	var mu sync.Mutex
+	var seen []string
+	p.SetTrace(func(m Message) {
+		mu.Lock()
+		seen = append(seen, m.Sender+"->"+m.Receiver+":"+m.Performative.String())
+		mu.Unlock()
+	})
+	p.MustRegister("echo", echoHandler())
+	c := p.MustRegister("c", HandlerFunc(func(*Context, Message) {}))
+	if _, err := c.Call("echo", "t", "x", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	joined := strings.Join(seen, " ")
+	if !strings.Contains(joined, "c->echo:request") || !strings.Contains(joined, "echo->c:inform") {
+		t.Errorf("trace = %v", seen)
+	}
+}
+
+func TestContextAccessors(t *testing.T) {
+	p := NewPlatform()
+	defer p.Shutdown()
+	c := p.MustRegister("me", echoHandler())
+	if c.Name() != "me" || c.Platform() != p {
+		t.Error("accessors broken")
+	}
+}
+
+func TestPerformativeStrings(t *testing.T) {
+	for _, perf := range []Performative{Request, Inform, Agree, Refuse, Failure, QueryRef, Subscribe, Cancel, Performative(99)} {
+		if perf.String() == "" {
+			t.Errorf("Performative(%d).String() empty", perf)
+		}
+	}
+}
+
+func TestConcurrentCallers(t *testing.T) {
+	p := NewPlatform()
+	defer p.Shutdown()
+	p.MustRegister("echo", echoHandler())
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		name := "caller" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		c := p.MustRegister(name, HandlerFunc(func(*Context, Message) {}))
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				reply, err := c.Call("echo", "t", i*1000+j, time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if reply.Content != i*1000+j {
+					errs <- errors.New("cross-talk between conversations")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCallRoundTrip(b *testing.B) {
+	p := NewPlatform()
+	defer p.Shutdown()
+	p.MustRegister("echo", echoHandler())
+	c := p.MustRegister("c", HandlerFunc(func(*Context, Message) {}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call("echo", "bench", i, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

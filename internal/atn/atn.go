@@ -1,0 +1,310 @@
+// Package atn implements the Augmented Transition Network formalism the
+// paper uses for process descriptions ("we use a formalism similar to the
+// one provided by Augmented Transition Networks"; "the coordination service
+// implements an abstract ATN machine").
+//
+// An ATN here is a set of named states connected by arcs; each arc carries
+// an optional Test (a predicate over the machine's registers) and an
+// optional Action (a register update). Registers hold the case data state.
+// The machine supports multiple simultaneously active states, which models
+// the Fork/Join concurrency of process descriptions, with join states that
+// wait for all inbound tokens.
+//
+// Compile translates a workflow.ProcessDescription into an ATN whose
+// end-user activities invoke a caller-supplied executor, giving a dry-run
+// (or fully simulated) interpretation of a plan independent of the agent
+// fabric.
+package atn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/workflow"
+)
+
+// Registers is the machine's mutable store: the case data state plus
+// scratch counters.
+type Registers struct {
+	State  *workflow.State
+	Visits map[string]int
+}
+
+// NewRegisters builds registers over a data state.
+func NewRegisters(st *workflow.State) *Registers {
+	if st == nil {
+		st = workflow.NewState()
+	}
+	return &Registers{State: st, Visits: make(map[string]int)}
+}
+
+// Arc connects two states.
+type Arc struct {
+	From, To string
+	// Test guards the arc; nil means always enabled.
+	Test func(r *Registers) (bool, error)
+	// Act runs when the arc is taken; nil means no action.
+	Act func(r *Registers) error
+	// Label is diagnostic (e.g. the transition ID or condition source).
+	Label string
+}
+
+// StateKind classifies states for token semantics.
+type StateKind int
+
+// State kinds: Plain states forward a token along the first enabled arc;
+// AllOut states forward along every arc (Fork); WaitAll states require a
+// token from each inbound arc before firing (Join); Final states absorb.
+const (
+	Plain StateKind = iota
+	AllOut
+	WaitAll
+	Final
+)
+
+// State is one ATN state.
+type State struct {
+	Name string
+	Kind StateKind
+	// Enter runs when a token arrives and the state fires; nil is a no-op.
+	// For end-user activities this is the execution hook.
+	Enter func(r *Registers) error
+	// Subnet names the subnetwork a Push state invokes.
+	Subnet string
+}
+
+// ATN is the network.
+type ATN struct {
+	Start   string
+	states  map[string]*State
+	out     map[string][]*Arc
+	in      map[string]int // inbound arc counts (for WaitAll)
+	subnets map[string]*ATN
+}
+
+// New returns an empty network with the given start state name.
+func New(start string) *ATN {
+	return &ATN{Start: start, states: map[string]*State{}, out: map[string][]*Arc{}, in: map[string]int{}}
+}
+
+// AddState registers a state.
+func (a *ATN) AddState(s *State) error {
+	if s.Name == "" {
+		return fmt.Errorf("atn: state with empty name")
+	}
+	if _, dup := a.states[s.Name]; dup {
+		return fmt.Errorf("atn: state %q already defined", s.Name)
+	}
+	a.states[s.Name] = s
+	return nil
+}
+
+// AddArc registers an arc; both endpoints must exist.
+func (a *ATN) AddArc(arc *Arc) error {
+	if a.states[arc.From] == nil {
+		return fmt.Errorf("atn: arc from unknown state %q", arc.From)
+	}
+	if a.states[arc.To] == nil {
+		return fmt.Errorf("atn: arc to unknown state %q", arc.To)
+	}
+	a.out[arc.From] = append(a.out[arc.From], arc)
+	a.in[arc.To]++
+	return nil
+}
+
+// States returns the state names sorted.
+func (a *ATN) States() []string {
+	names := make([]string, 0, len(a.states))
+	for n := range a.states {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Trace records fired states in order.
+type Trace struct {
+	Fired []string
+}
+
+// Run executes the token game from Start until every token is absorbed in
+// Final states (returning nil) or no progress is possible. maxSteps bounds
+// total firings.
+func (a *ATN) Run(r *Registers, maxSteps int, trace *Trace) error {
+	return a.run(r, maxSteps, trace, 0)
+}
+
+func (a *ATN) run(r *Registers, maxSteps int, trace *Trace, depth int) error {
+	if maxSteps <= 0 {
+		maxSteps = 10000
+	}
+	start := a.states[a.Start]
+	if start == nil {
+		return fmt.Errorf("atn: unknown start state %q", a.Start)
+	}
+	tokens := []string{a.Start}
+	waiting := map[string]int{}
+	steps := 0
+	finals := 0
+	for len(tokens) > 0 {
+		if steps++; steps > maxSteps {
+			return fmt.Errorf("atn: exceeded %d steps", maxSteps)
+		}
+		name := tokens[0]
+		tokens = tokens[1:]
+		st := a.states[name]
+		if st == nil {
+			return fmt.Errorf("atn: token at unknown state %q", name)
+		}
+		if st.Kind == WaitAll {
+			waiting[name]++
+			if waiting[name] < a.in[name] {
+				continue
+			}
+			waiting[name] = 0
+		}
+		r.Visits[name]++
+		if trace != nil {
+			trace.Fired = append(trace.Fired, name)
+		}
+		if st.Enter != nil {
+			if err := st.Enter(r); err != nil {
+				return fmt.Errorf("atn: state %s: %w", name, err)
+			}
+		}
+		if st.Kind == Push {
+			if err := a.runPush(st, r, maxSteps, trace, depth); err != nil {
+				return err
+			}
+		}
+		if st.Kind == Final {
+			finals++
+			continue
+		}
+		arcs := a.out[name]
+		if len(arcs) == 0 {
+			return fmt.Errorf("atn: token stuck at non-final state %q", name)
+		}
+		if st.Kind == AllOut {
+			for _, arc := range arcs {
+				if err := a.take(arc, r, &tokens); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		taken := false
+		var fallback *Arc
+		for _, arc := range arcs {
+			if arc.Test == nil {
+				if fallback == nil {
+					fallback = arc
+				}
+				continue
+			}
+			ok, err := arc.Test(r)
+			if err != nil {
+				return fmt.Errorf("atn: arc %s->%s: %w", arc.From, arc.To, err)
+			}
+			if ok {
+				if err := a.take(arc, r, &tokens); err != nil {
+					return err
+				}
+				taken = true
+				break
+			}
+		}
+		if !taken {
+			if fallback == nil {
+				fallback = arcs[len(arcs)-1]
+			}
+			if err := a.take(fallback, r, &tokens); err != nil {
+				return err
+			}
+		}
+	}
+	if finals == 0 {
+		return fmt.Errorf("atn: run ended without reaching a final state")
+	}
+	return nil
+}
+
+func (a *ATN) take(arc *Arc, r *Registers, tokens *[]string) error {
+	if arc.Act != nil {
+		if err := arc.Act(r); err != nil {
+			return fmt.Errorf("atn: arc %s->%s action: %w", arc.From, arc.To, err)
+		}
+	}
+	*tokens = append(*tokens, arc.To)
+	return nil
+}
+
+// Executor runs one end-user activity during an ATN interpretation: it
+// receives the activity and the registers, and updates the data state.
+type Executor func(act *workflow.Activity, r *Registers) error
+
+// MetadataExecutor returns an Executor that applies the activity's service
+// pre/postconditions from the catalog to the data state — a pure dry run of
+// the plan, equivalent to one flow of the planner's fitness simulation.
+func MetadataExecutor(catalog *workflow.Catalog) Executor {
+	seq := 0
+	return func(act *workflow.Activity, r *Registers) error {
+		svc := catalog.Get(act.Service)
+		if svc == nil {
+			return fmt.Errorf("unknown service %q", act.Service)
+		}
+		seq++
+		next, ok := svc.Apply(r.State, act.Outputs, seq)
+		if !ok {
+			return fmt.Errorf("preconditions of %s unmet", act.Service)
+		}
+		*r.State = *next
+		return nil
+	}
+}
+
+// Compile translates a process description into an ATN: activities become
+// states (Fork is AllOut, Join is WaitAll, End is Final), transitions become
+// arcs whose Tests evaluate the transition conditions against the data
+// state, and end-user states invoke exec on entry.
+func Compile(p *workflow.ProcessDescription, exec Executor) (*ATN, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	begin := p.Begin()
+	a := New(begin.ID)
+	for _, act := range p.Activities {
+		act := act
+		st := &State{Name: act.ID}
+		switch act.Kind {
+		case workflow.KindFork:
+			st.Kind = AllOut
+		case workflow.KindJoin:
+			st.Kind = WaitAll
+		case workflow.KindEnd:
+			st.Kind = Final
+		case workflow.KindEndUser:
+			if exec != nil {
+				st.Enter = func(r *Registers) error { return exec(act, r) }
+			}
+		}
+		if err := a.AddState(st); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range p.Transitions {
+		arc := &Arc{From: t.Source, To: t.Dest, Label: t.ID}
+		if t.Condition != "" {
+			node, err := expr.Parse(t.Condition)
+			if err != nil {
+				return nil, fmt.Errorf("atn: transition %s: %w", t.ID, err)
+			}
+			arc.Test = func(r *Registers) (bool, error) { return node.Eval(r.State), nil }
+		}
+		if err := a.AddArc(arc); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,245 @@
+package atn
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/virolab"
+	"repro/internal/workflow"
+)
+
+func TestHandBuiltNetwork(t *testing.T) {
+	a := New("s0")
+	for _, s := range []*State{
+		{Name: "s0"},
+		{Name: "s1"},
+		{Name: "end", Kind: Final},
+	} {
+		if err := a.AddState(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	if err := a.AddArc(&Arc{From: "s0", To: "s1", Act: func(*Registers) error { count++; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddArc(&Arc{From: "s1", To: "end"}); err != nil {
+		t.Fatal(err)
+	}
+	var tr Trace
+	r := NewRegisters(nil)
+	if err := a.Run(r, 100, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("arc action ran %d times", count)
+	}
+	if got := strings.Join(tr.Fired, ","); got != "s0,s1,end" {
+		t.Errorf("trace = %s", got)
+	}
+	if r.Visits["s1"] != 1 {
+		t.Errorf("visits = %v", r.Visits)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	a := New("s0")
+	if err := a.AddState(&State{Name: ""}); err == nil {
+		t.Error("empty state name accepted")
+	}
+	_ = a.AddState(&State{Name: "s0"})
+	if err := a.AddState(&State{Name: "s0"}); err == nil {
+		t.Error("duplicate state accepted")
+	}
+	if err := a.AddArc(&Arc{From: "s0", To: "ghost"}); err == nil {
+		t.Error("arc to ghost accepted")
+	}
+	if err := a.AddArc(&Arc{From: "ghost", To: "s0"}); err == nil {
+		t.Error("arc from ghost accepted")
+	}
+	if got := a.States(); len(got) != 1 || got[0] != "s0" {
+		t.Errorf("States = %v", got)
+	}
+	// Run with missing start or stuck token.
+	bad := New("nowhere")
+	if err := bad.Run(NewRegisters(nil), 10, nil); err == nil {
+		t.Error("missing start accepted")
+	}
+	stuck := New("s0")
+	_ = stuck.AddState(&State{Name: "s0"}) // non-final, no out arcs
+	if err := stuck.Run(NewRegisters(nil), 10, nil); err == nil {
+		t.Error("stuck token not reported")
+	}
+}
+
+func TestConditionalArcsAndFallback(t *testing.T) {
+	a := New("s0")
+	_ = a.AddState(&State{Name: "s0"})
+	_ = a.AddState(&State{Name: "yes", Kind: Final})
+	_ = a.AddState(&State{Name: "no", Kind: Final})
+	cond := expr.MustParse(`x.v > 5`)
+	_ = a.AddArc(&Arc{From: "s0", To: "yes", Test: func(r *Registers) (bool, error) {
+		return cond.Eval(r.State), nil
+	}})
+	_ = a.AddArc(&Arc{From: "s0", To: "no"})
+
+	run := func(v float64) string {
+		st := workflow.NewState(workflow.NewDataItem("x", "t").With("v", expr.Number(v)))
+		var tr Trace
+		if err := a.Run(NewRegisters(st), 10, &tr); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Fired[len(tr.Fired)-1]
+	}
+	if got := run(9); got != "yes" {
+		t.Errorf("v=9 ended at %s", got)
+	}
+	if got := run(1); got != "no" {
+		t.Errorf("v=1 ended at %s", got)
+	}
+}
+
+func TestCompileFig10DryRun(t *testing.T) {
+	pd := virolab.Process()
+	catalog := virolab.Catalog()
+	// Wrap the metadata executor with the resolution-refinement model: each
+	// PSF pass writes the next value from the schedule so Cons1 eventually
+	// releases the loop (the same steering hook the coordinator uses).
+	inner := MetadataExecutor(catalog)
+	schedule := virolab.DefaultResolutionSchedule
+	exec := func(act *workflow.Activity, r *Registers) error {
+		if err := inner(act, r); err != nil {
+			return err
+		}
+		if act.Service == "PSF" {
+			idx := r.Visits[act.ID] - 1
+			if idx >= len(schedule) {
+				idx = len(schedule) - 1
+			}
+			r.State.Get("D12").With(workflow.PropValue, expr.Number(schedule[idx]))
+		}
+		return nil
+	}
+	a, err := Compile(pd, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.States()) != 13 {
+		t.Errorf("states = %d, want 13", len(a.States()))
+	}
+	st := workflow.NewState(virolab.InitialData()...)
+	r := NewRegisters(st)
+	var tr Trace
+	if err := a.Run(r, 1000, &tr); err != nil {
+		t.Fatalf("dry run failed: %v (fired %v)", err, tr.Fired)
+	}
+	// Three refinement passes (12 -> 9.5 -> 7.8), then the loop exits.
+	if r.Visits["A11"] != 3 {
+		t.Errorf("PSF fired %d times, want 3: %v", r.Visits["A11"], r.Visits)
+	}
+	if tr.Fired[len(tr.Fired)-1] != "A13" {
+		t.Errorf("did not end at END: %v", tr.Fired)
+	}
+	d12 := r.State.Get("D12")
+	if d12 == nil {
+		t.Fatal("D12 not produced")
+	}
+	if v, _ := d12.Prop(workflow.PropValue); v.Str() != "7.8" {
+		t.Errorf("final resolution = %v, want 7.8", v)
+	}
+}
+
+func TestCompileRejectsInvalid(t *testing.T) {
+	if _, err := Compile(workflow.NewProcess("empty"), nil); err == nil {
+		t.Error("invalid process compiled")
+	}
+	pd := virolab.Process()
+	pd.Transitions[3].Condition = "((("
+	if _, err := Compile(pd, nil); err == nil {
+		t.Error("bad condition compiled")
+	}
+}
+
+func TestMetadataExecutorErrors(t *testing.T) {
+	catalog := virolab.Catalog()
+	exec := MetadataExecutor(catalog)
+	r := NewRegisters(workflow.NewState()) // empty state: preconditions unmet
+	act := &workflow.Activity{ID: "a", Name: "POD", Kind: workflow.KindEndUser, Service: "POD"}
+	if err := exec(act, r); err == nil {
+		t.Error("unmet preconditions accepted")
+	}
+	ghost := &workflow.Activity{ID: "g", Name: "G", Kind: workflow.KindEndUser, Service: "GHOST"}
+	if err := exec(ghost, r); err == nil {
+		t.Error("unknown service accepted")
+	}
+}
+
+func TestMaxSteps(t *testing.T) {
+	// A two-state cycle with no final state must hit the step bound.
+	a := New("s0")
+	_ = a.AddState(&State{Name: "s0"})
+	_ = a.AddState(&State{Name: "s1"})
+	_ = a.AddArc(&Arc{From: "s0", To: "s1"})
+	_ = a.AddArc(&Arc{From: "s1", To: "s0"})
+	if err := a.Run(NewRegisters(nil), 50, nil); err == nil {
+		t.Error("infinite cycle not bounded")
+	}
+}
+
+func TestForkJoinTokens(t *testing.T) {
+	a := New("begin")
+	_ = a.AddState(&State{Name: "begin"})
+	_ = a.AddState(&State{Name: "fork", Kind: AllOut})
+	_ = a.AddState(&State{Name: "x"})
+	_ = a.AddState(&State{Name: "y"})
+	_ = a.AddState(&State{Name: "join", Kind: WaitAll})
+	_ = a.AddState(&State{Name: "end", Kind: Final})
+	_ = a.AddArc(&Arc{From: "begin", To: "fork"})
+	_ = a.AddArc(&Arc{From: "fork", To: "x"})
+	_ = a.AddArc(&Arc{From: "fork", To: "y"})
+	_ = a.AddArc(&Arc{From: "x", To: "join"})
+	_ = a.AddArc(&Arc{From: "y", To: "join"})
+	_ = a.AddArc(&Arc{From: "join", To: "end"})
+	r := NewRegisters(nil)
+	var tr Trace
+	if err := a.Run(r, 100, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if r.Visits["join"] != 1 {
+		t.Errorf("join fired %d times, want 1 (waits for both tokens)", r.Visits["join"])
+	}
+	if r.Visits["x"] != 1 || r.Visits["y"] != 1 {
+		t.Errorf("branch visits = %v", r.Visits)
+	}
+}
+
+func BenchmarkCompileAndRunFig10(b *testing.B) {
+	pd := virolab.Process()
+	catalog := virolab.Catalog()
+	schedule := virolab.DefaultResolutionSchedule
+	for i := 0; i < b.N; i++ {
+		inner := MetadataExecutor(catalog)
+		exec := func(act *workflow.Activity, r *Registers) error {
+			if err := inner(act, r); err != nil {
+				return err
+			}
+			if act.Service == "PSF" {
+				idx := r.Visits[act.ID] - 1
+				if idx >= len(schedule) {
+					idx = len(schedule) - 1
+				}
+				r.State.Get("D12").With(workflow.PropValue, expr.Number(schedule[idx]))
+			}
+			return nil
+		}
+		a, err := Compile(pd, exec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := workflow.NewState(virolab.InitialData()...)
+		if err := a.Run(NewRegisters(st), 1000, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

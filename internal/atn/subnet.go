@@ -1,0 +1,52 @@
+package atn
+
+import "fmt"
+
+// Push is the state kind that gives ATNs their power beyond finite-state
+// machines: entering a Push state suspends the current network, runs a named
+// subnetwork to completion on the same registers (the push-down stack), and
+// then resumes along the state's outgoing arcs. Hierarchical workflows —
+// composite activities whose body is itself a process description — compile
+// to Push states.
+const Push StateKind = 100
+
+// Subnet names the subnetwork a Push state invokes (set on the State).
+// It is resolved against the networks registered with AddSubnet.
+
+// AddSubnet registers a named subnetwork.
+func (a *ATN) AddSubnet(name string, sub *ATN) error {
+	if name == "" {
+		return fmt.Errorf("atn: subnetwork with empty name")
+	}
+	if a.subnets == nil {
+		a.subnets = make(map[string]*ATN)
+	}
+	if _, dup := a.subnets[name]; dup {
+		return fmt.Errorf("atn: subnetwork %q already registered", name)
+	}
+	a.subnets[name] = sub
+	return nil
+}
+
+// Subnet returns the named subnetwork, or nil.
+func (a *ATN) Subnet(name string) *ATN { return a.subnets[name] }
+
+// maxPushDepth bounds subnetwork recursion (a subnetwork may push into
+// further subnetworks, but self-recursive workflows must bottom out).
+const maxPushDepth = 64
+
+// runPush executes the subnetwork for a Push state on shared registers.
+func (a *ATN) runPush(st *State, r *Registers, maxSteps int, trace *Trace, depth int) error {
+	if depth >= maxPushDepth {
+		return fmt.Errorf("atn: push depth exceeded at state %q", st.Name)
+	}
+	sub := a.subnets[st.Subnet]
+	if sub == nil {
+		return fmt.Errorf("atn: state %q pushes into unknown subnetwork %q", st.Name, st.Subnet)
+	}
+	// Subnetworks inherit the parent's registry so nested pushes resolve.
+	if sub.subnets == nil {
+		sub.subnets = a.subnets
+	}
+	return sub.run(r, maxSteps, trace, depth+1)
+}

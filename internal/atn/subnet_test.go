@@ -1,0 +1,187 @@
+package atn
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/workflow"
+)
+
+// linearNet builds start -> mids... -> final, tagging each fired state.
+func linearNet(t *testing.T, prefix string, n int) *ATN {
+	t.Helper()
+	a := New(prefix + "0")
+	for i := 0; i <= n; i++ {
+		kind := Plain
+		if i == n {
+			kind = Final
+		}
+		name := prefix + string(rune('0'+i))
+		if err := a.AddState(&State{Name: name, Kind: kind}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := a.AddArc(&Arc{
+			From: prefix + string(rune('0'+i)),
+			To:   prefix + string(rune('0'+i+1)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+func TestPushRunsSubnetwork(t *testing.T) {
+	main := New("begin")
+	_ = main.AddState(&State{Name: "begin"})
+	_ = main.AddState(&State{Name: "call", Kind: Push, Subnet: "inner"})
+	_ = main.AddState(&State{Name: "end", Kind: Final})
+	_ = main.AddArc(&Arc{From: "begin", To: "call"})
+	_ = main.AddArc(&Arc{From: "call", To: "end"})
+	if err := main.AddSubnet("inner", linearNet(t, "s", 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRegisters(nil)
+	var tr Trace
+	if err := main.Run(r, 100, &tr); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(tr.Fired, ",")
+	want := "begin,call,s0,s1,s2,end"
+	if got != want {
+		t.Errorf("trace = %s, want %s", got, want)
+	}
+	// Subnetwork states share the registers.
+	if r.Visits["s1"] != 1 || r.Visits["end"] != 1 {
+		t.Errorf("visits = %v", r.Visits)
+	}
+}
+
+func TestNestedPush(t *testing.T) {
+	// main pushes into mid, which pushes into leaf.
+	leaf := linearNet(t, "l", 1)
+	mid := New("m0")
+	_ = mid.AddState(&State{Name: "m0", Kind: Push, Subnet: "leaf"})
+	_ = mid.AddState(&State{Name: "m1", Kind: Final})
+	_ = mid.AddArc(&Arc{From: "m0", To: "m1"})
+
+	main := New("a")
+	_ = main.AddState(&State{Name: "a", Kind: Push, Subnet: "mid"})
+	_ = main.AddState(&State{Name: "z", Kind: Final})
+	_ = main.AddArc(&Arc{From: "a", To: "z"})
+	_ = main.AddSubnet("mid", mid)
+	_ = main.AddSubnet("leaf", leaf)
+
+	r := NewRegisters(nil)
+	var tr Trace
+	if err := main.Run(r, 100, &tr); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,m0,l0,l1,m1,z"
+	if got := strings.Join(tr.Fired, ","); got != want {
+		t.Errorf("trace = %s, want %s", got, want)
+	}
+}
+
+func TestPushUnknownSubnet(t *testing.T) {
+	main := New("a")
+	_ = main.AddState(&State{Name: "a", Kind: Push, Subnet: "ghost"})
+	_ = main.AddState(&State{Name: "z", Kind: Final})
+	_ = main.AddArc(&Arc{From: "a", To: "z"})
+	if err := main.Run(NewRegisters(nil), 100, nil); err == nil {
+		t.Error("unknown subnetwork accepted")
+	}
+}
+
+func TestPushDepthBounded(t *testing.T) {
+	// A self-recursive subnetwork must be cut off at maxPushDepth.
+	rec := New("r0")
+	_ = rec.AddState(&State{Name: "r0", Kind: Push, Subnet: "rec"})
+	_ = rec.AddState(&State{Name: "r1", Kind: Final})
+	_ = rec.AddArc(&Arc{From: "r0", To: "r1"})
+	_ = rec.AddSubnet("rec", rec)
+	err := rec.Run(NewRegisters(nil), 1<<20, nil)
+	if err == nil || !strings.Contains(err.Error(), "push depth") {
+		t.Errorf("err = %v, want push-depth error", err)
+	}
+}
+
+func TestSubnetRegistration(t *testing.T) {
+	a := New("s")
+	sub := linearNet(t, "x", 1)
+	if err := a.AddSubnet("", sub); err == nil {
+		t.Error("empty subnet name accepted")
+	}
+	if err := a.AddSubnet("s1", sub); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddSubnet("s1", sub); err == nil {
+		t.Error("duplicate subnet accepted")
+	}
+	if a.Subnet("s1") != sub || a.Subnet("nope") != nil {
+		t.Error("Subnet lookup broken")
+	}
+}
+
+// TestCompositeWorkflow runs a hierarchical workflow: a parent process whose
+// "reconstruct" step is a whole child process description, compiled to an
+// ATN with a Push state.
+func TestCompositeWorkflow(t *testing.T) {
+	catalog := workflow.NewCatalog(
+		&workflow.Service{
+			Name:   "prep",
+			Inputs: []workflow.ParamSpec{{Name: "A", Condition: `A.Classification = "raw"`}},
+			Outputs: []workflow.OutputSpec{{Name: "B",
+				Props: map[string]expr.Value{workflow.PropClassification: expr.String("ready")}}},
+		},
+		&workflow.Service{
+			Name:   "work",
+			Inputs: []workflow.ParamSpec{{Name: "A", Condition: `A.Classification = "ready"`}},
+			Outputs: []workflow.OutputSpec{{Name: "B",
+				Props: map[string]expr.Value{workflow.PropClassification: expr.String("done")}}},
+		},
+	)
+
+	// Child: BEGIN -> work -> END, compiled as a subnetwork.
+	child := workflow.NewProcess("child")
+	child.Add(&workflow.Activity{ID: "cb", Kind: workflow.KindBegin, Name: "BEGIN"})
+	child.Add(&workflow.Activity{ID: "cw", Kind: workflow.KindEndUser, Name: "work", Service: "work"})
+	child.Add(&workflow.Activity{ID: "ce", Kind: workflow.KindEnd, Name: "END"})
+	child.Connect("cb", "cw")
+	child.Connect("cw", "ce")
+	exec := MetadataExecutor(catalog)
+	childNet, err := Compile(child, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Parent: begin -> prep -> [push child] -> end, hand-assembled.
+	parent := New("begin")
+	_ = parent.AddState(&State{Name: "begin"})
+	prep := &workflow.Activity{ID: "p", Kind: workflow.KindEndUser, Name: "prep", Service: "prep"}
+	_ = parent.AddState(&State{Name: "prep", Enter: func(r *Registers) error { return exec(prep, r) }})
+	_ = parent.AddState(&State{Name: "sub", Kind: Push, Subnet: "child"})
+	_ = parent.AddState(&State{Name: "end", Kind: Final})
+	_ = parent.AddArc(&Arc{From: "begin", To: "prep"})
+	_ = parent.AddArc(&Arc{From: "prep", To: "sub"})
+	_ = parent.AddArc(&Arc{From: "sub", To: "end"})
+	_ = parent.AddSubnet("child", childNet)
+
+	st := workflow.NewState(workflow.NewDataItem("in", "raw"))
+	r := NewRegisters(st)
+	if err := parent.Run(r, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, item := range r.State.Items() {
+		if item.Classification() == "done" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("composite workflow did not produce 'done': %v", r.State)
+	}
+}

@@ -1,0 +1,237 @@
+// Package coordination implements the coordination service: the proxy that
+// receives a case description and controls the enactment of the workflow
+// (Section 2). The enactor is an abstract ATN machine over the process
+// description graph: tokens move along transitions, flow-control activities
+// gate them (Fork/Join, Choice/Merge), and end-user activities are
+// dispatched to application containers located through the matchmaking
+// service. Failures trigger the re-planning interaction of Figure 3;
+// progress is checkpointed to the persistent storage service.
+package coordination
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/pdl"
+	"repro/internal/planning"
+	"repro/internal/services"
+	"repro/internal/workflow"
+)
+
+// Config wires a coordinator.
+type Config struct {
+	Platform *agent.Platform
+	// Catalog supplies the service specifications (pre/postconditions,
+	// nominal times) for the end-user activities.
+	Catalog *workflow.Catalog
+
+	// MaxRetries bounds execution attempts per activity across candidate
+	// containers before the activity is declared non-executable.
+	MaxRetries int
+
+	// UseContractNet acquires resources by bidding: the coordinator sends a
+	// call for proposals to the brokerage's candidate containers and awards
+	// execution by earliest predicted completion (ties by cost), instead of
+	// asking the matchmaking service for a metadata ranking.
+	UseContractNet bool
+	// MaxReplans bounds re-planning rounds per task.
+	MaxReplans int
+	// MaxFires bounds total activity firings per enactment (loop safety).
+	MaxFires int
+	// CallTimeout bounds each service interaction.
+	CallTimeout time.Duration
+
+	// PostProcess, when set, is invoked after each successful end-user
+	// activity with the produced data items and the per-activity visit
+	// count; the virus-reconstruction scenario uses it to model resolution
+	// refinement (computation steering happens here).
+	PostProcess func(act *workflow.Activity, produced []*workflow.DataItem, visit int)
+
+	// Checkpoint enables checkpointing to the storage service after every
+	// completed activity.
+	Checkpoint bool
+}
+
+// TraceEvent records one step of an enactment for inspection.
+type TraceEvent struct {
+	Kind     string // "fire", "dispatch", "complete", "fail", "replan", "choice", "checkpoint"
+	Activity string
+	Detail   string
+}
+
+// Report summarizes a finished enactment.
+type Report struct {
+	TaskID        string
+	Completed     bool
+	GoalFitness   float64
+	Fired         int
+	Executed      int // end-user activity executions
+	Failures      int
+	Replans       int
+	SimulatedTime float64 // accumulated compute seconds across all executions
+	WallClockTime float64 // simulated elapsed time; concurrent branches overlap
+	// DeadlineMissed is set when the case carries a soft deadline and the
+	// wall clock overran it (the enactment still runs to completion).
+	DeadlineMissed bool
+	TotalCost      float64
+	FinalState     *workflow.State
+	Trace          []TraceEvent
+}
+
+// Coordinator enacts tasks. Register its agent with Register, or call
+// RunTask directly from scenario code.
+type Coordinator struct {
+	cfg Config
+	ctx *agent.Context
+}
+
+// New builds a coordinator and registers its agent (services.CoordinationName).
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Platform == nil || cfg.Catalog == nil {
+		return nil, fmt.Errorf("coordination: platform and catalog are required")
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.MaxReplans <= 0 {
+		cfg.MaxReplans = 3
+	}
+	if cfg.MaxFires <= 0 {
+		cfg.MaxFires = 1000
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = services.CallTimeout
+	}
+	c := &Coordinator{cfg: cfg}
+	ctx, err := cfg.Platform.Register(services.CoordinationName, agent.HandlerFunc(c.handle))
+	if err != nil {
+		return nil, err
+	}
+	c.ctx = ctx
+	return c, nil
+}
+
+// TaskRequest asks the coordination service to enact a task.
+type TaskRequest struct{ Task *workflow.Task }
+
+// handle serves task requests sent as messages.
+func (c *Coordinator) handle(ctx *agent.Context, msg agent.Message) {
+	req, ok := msg.Content.(TaskRequest)
+	if !ok {
+		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("coordination: unsupported content %T", msg.Content))
+		return
+	}
+	report, err := c.RunTask(req.Task)
+	if err != nil {
+		_ = ctx.Reply(msg, agent.Failure, err)
+		return
+	}
+	_ = ctx.Reply(msg, agent.Inform, report)
+}
+
+// RunTask enacts the task: if it needs planning, the planning service is
+// asked for a process description first (Figure 2); then the case is
+// enacted, re-planning on failures (Figure 3), until the goal is met or the
+// budgets are exhausted.
+func (c *Coordinator) RunTask(task *workflow.Task) (*Report, error) {
+	if err := task.Validate(); err != nil {
+		return nil, err
+	}
+	report := &Report{TaskID: task.ID}
+	state := task.Case.InitialState()
+	goal := task.Case.Goal
+
+	pd := task.Process
+	if pd == nil {
+		newPD, err := c.requestPlan(report, state, goal, nil, false)
+		if err != nil {
+			return nil, err
+		}
+		pd = newPD
+	}
+
+	// failedServices accumulates every service declared non-executable so
+	// later re-planning rounds exclude all of them, not just the latest.
+	failedServices := map[string]bool{}
+	for {
+		err := c.enact(report, task, pd, state, goal, newEnactState(pd))
+		if err == nil {
+			break
+		}
+		ne, isReplan := err.(*nonExecutableError)
+		if !isReplan {
+			return report, err
+		}
+		if report.Replans >= c.cfg.MaxReplans {
+			return report, fmt.Errorf("coordination: task %s: re-planning budget exhausted after %q failed", task.ID, ne.service)
+		}
+		report.Replans++
+		failedServices[ne.service] = true
+		report.trace("replan", ne.service, fmt.Sprintf("activity %s not executable", ne.activity))
+		var exclude []string
+		for name := range failedServices {
+			exclude = append(exclude, name)
+		}
+		sort.Strings(exclude)
+		// When providers existed but every execution attempt failed, an
+		// availability probe would still report the service as executable;
+		// the coordination service passes its first-hand knowledge directly
+		// (the paper's "first method"). When no provider was found at all,
+		// the planning service verifies through brokerage and containers
+		// (Figure 3, the "second method").
+		newPD, perr := c.requestPlan(report, state, goal, exclude, ne.hadCandidates)
+		if perr != nil {
+			return report, perr
+		}
+		pd = newPD
+	}
+
+	report.GoalFitness = goal.Fitness(state)
+	report.Completed = report.GoalFitness >= 1
+	report.FinalState = state
+	return report, nil
+}
+
+// requestPlan performs the Figure 2 interaction with the planning service.
+func (c *Coordinator) requestPlan(report *Report, state *workflow.State, goal workflow.Goal, nonExecutable []string, trustCaller bool) (*workflow.ProcessDescription, error) {
+	report.trace("plan-request", "", fmt.Sprintf("non-executable: %v", nonExecutable))
+	reply, err := c.ctx.Call(services.PlanningName, services.OntPlanning, planning.PlanRequest{
+		Initial:       state.Items(),
+		Goal:          goal.Conditions,
+		NonExecutable: nonExecutable,
+		TrustCaller:   trustCaller,
+	}, c.cfg.CallTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("coordination: planning request failed: %w", err)
+	}
+	pr, ok := reply.Content.(planning.PlanReply)
+	if !ok {
+		return nil, fmt.Errorf("coordination: unexpected planning reply %T", reply.Content)
+	}
+	pd, err := pdl.ParseProcess("planned", pr.PDL)
+	if err != nil {
+		return nil, fmt.Errorf("coordination: planned PDL invalid: %w", err)
+	}
+	report.trace("plan-received", "", pr.Tree)
+	return pd, nil
+}
+
+func (r *Report) trace(kind, activity, detail string) {
+	r.Trace = append(r.Trace, TraceEvent{Kind: kind, Activity: activity, Detail: detail})
+}
+
+// nonExecutableError signals that an activity could not be executed anywhere
+// and re-planning is required.
+type nonExecutableError struct {
+	activity string
+	service  string
+	// hadCandidates is true when matchmaking found providers but every
+	// execution attempt failed (as opposed to no provider existing).
+	hadCandidates bool
+}
+
+func (e *nonExecutableError) Error() string {
+	return fmt.Sprintf("coordination: activity %s (service %s) not executable", e.activity, e.service)
+}

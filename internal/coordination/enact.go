@@ -1,0 +1,420 @@
+package coordination
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/agent"
+	"repro/internal/expr"
+	"repro/internal/services"
+	"repro/internal/workflow"
+)
+
+// enactState is the resumable token state of an enactment: the worklist of
+// activities holding a token, the per-Join arrival counts, and the
+// per-activity visit counts. It is what the checkpoints persist.
+type enactState struct {
+	Ready   []string       `json:"ready"`
+	Arrived map[string]int `json:"arrived"`
+	Visits  map[string]int `json:"visits"`
+}
+
+// newEnactState places the initial token on Begin.
+func newEnactState(pd *workflow.ProcessDescription) *enactState {
+	return &enactState{
+		Ready:   []string{pd.Begin().ID},
+		Arrived: map[string]int{},
+		Visits:  map[string]int{},
+	}
+}
+
+// enact runs the ATN token game over the process description from the given
+// token state, mutating state, es, and report in place. Flow-control tokens
+// fire immediately; end-user tokens that are ready at the same time — the
+// branches of a Fork — are dispatched concurrently as one batch, advancing
+// the wall clock by the slowest member only. It returns nil on reaching
+// End, a *nonExecutableError when re-planning is needed, or another error on
+// a malformed enactment.
+func (c *Coordinator) enact(report *Report, task *workflow.Task, pd *workflow.ProcessDescription, state *workflow.State, goal workflow.Goal, es *enactState) error {
+	if err := pd.Validate(); err != nil {
+		return err
+	}
+	for len(es.Ready) > 0 {
+		var batch []pendingExec
+		// Drain the current worklist: flow control fires in place (and may
+		// enqueue more tokens); end-user activities accumulate into the
+		// concurrent batch.
+		for len(es.Ready) > 0 {
+			if report.Fired >= c.cfg.MaxFires {
+				return fmt.Errorf("coordination: task %s exceeded %d activity firings (livelock?)", task.ID, c.cfg.MaxFires)
+			}
+			id := es.Ready[0]
+			es.Ready = es.Ready[1:]
+			act := pd.Activity(id)
+			if act == nil {
+				return fmt.Errorf("coordination: token at unknown activity %q", id)
+			}
+			report.Fired++
+			es.Visits[id]++
+			report.trace("fire", act.Name, act.Kind.String())
+
+			switch act.Kind {
+			case workflow.KindBegin, workflow.KindMerge, workflow.KindFork:
+				for _, t := range pd.Out(id) {
+					es.Ready = append(es.Ready, t.Dest)
+				}
+
+			case workflow.KindEnd:
+				return nil
+
+			case workflow.KindJoin:
+				es.Arrived[id]++
+				if es.Arrived[id] < len(pd.In(id)) {
+					continue // wait for the remaining predecessors
+				}
+				es.Arrived[id] = 0
+				es.Ready = append(es.Ready, pd.Out(id)[0].Dest)
+
+			case workflow.KindChoice:
+				dest, err := c.decide(report, pd, act, state, es.Visits)
+				if err != nil {
+					return err
+				}
+				es.Ready = append(es.Ready, dest)
+
+			case workflow.KindEndUser:
+				batch = append(batch, pendingExec{act: act, visit: es.Visits[id], token: id})
+			}
+		}
+
+		if len(batch) == 0 {
+			break
+		}
+		if err := c.runBatch(report, batch, state); err != nil {
+			return err
+		}
+		if dl := task.Case.Deadline; dl > 0 && report.WallClockTime > dl && !report.DeadlineMissed {
+			report.DeadlineMissed = true
+			report.trace("deadline", "", fmt.Sprintf("soft deadline %.0fs overrun at %.0fs", dl, report.WallClockTime))
+		}
+		for _, b := range batch {
+			es.Ready = append(es.Ready, pd.Out(b.token)[0].Dest)
+		}
+		if c.cfg.Checkpoint {
+			c.checkpoint(report, task, pd, state, goal, es)
+		}
+	}
+	return fmt.Errorf("coordination: task %s: tokens drained before reaching End", task.ID)
+}
+
+// decide picks the successor of a Choice activity: conditional transitions
+// are evaluated against the case data state in declaration order and the
+// first true one wins; otherwise the first unconditional transition is the
+// default. The activity's own constraint (e.g. Cons1) is consulted when no
+// transition carries a condition: if it evaluates true the first successor
+// is taken, otherwise the last.
+func (c *Coordinator) decide(report *Report, pd *workflow.ProcessDescription, act *workflow.Activity, state *workflow.State, visits map[string]int) (string, error) {
+	outs := pd.Out(act.ID)
+	if len(outs) == 0 {
+		return "", fmt.Errorf("coordination: choice %s has no successors", act.ID)
+	}
+	anyConditional := false
+	for _, t := range outs {
+		if t.Condition == "" {
+			continue
+		}
+		anyConditional = true
+		ok, err := expr.Eval(t.Condition, state)
+		if err != nil {
+			return "", fmt.Errorf("coordination: choice %s condition: %w", act.ID, err)
+		}
+		if ok {
+			report.trace("choice", act.Name, fmt.Sprintf("took %s [%s]", t.ID, t.Condition))
+			return t.Dest, nil
+		}
+	}
+	if anyConditional {
+		for _, t := range outs {
+			if t.Condition == "" {
+				report.trace("choice", act.Name, "took default "+t.ID)
+				return t.Dest, nil
+			}
+		}
+		// All conditional and none true: the last transition is the
+		// fallback (the loop-exit convention of Figure 10).
+		t := outs[len(outs)-1]
+		report.trace("choice", act.Name, "fell through to "+t.ID)
+		return t.Dest, nil
+	}
+	if act.Constraint != "" {
+		ok, err := expr.Eval(act.Constraint, state)
+		if err != nil {
+			return "", fmt.Errorf("coordination: choice %s constraint: %w", act.ID, err)
+		}
+		if ok {
+			report.trace("choice", act.Name, "constraint true: took "+outs[0].ID)
+			return outs[0].Dest, nil
+		}
+		report.trace("choice", act.Name, "constraint false: took "+outs[len(outs)-1].ID)
+		return outs[len(outs)-1].Dest, nil
+	}
+	// No conditions anywhere: prefer a successor not yet visited, which
+	// exits condition-less loops after a single pass instead of spinning
+	// on the back transition forever.
+	for _, t := range outs {
+		if visits[t.Dest] == 0 {
+			report.trace("choice", act.Name, "unconditioned: took "+t.ID)
+			return t.Dest, nil
+		}
+	}
+	report.trace("choice", act.Name, "unconditioned: took "+outs[0].ID)
+	return outs[0].Dest, nil
+}
+
+// execResult is the outcome of one dispatched activity, gathered before its
+// effects are applied to the shared case state (dispatches in a concurrent
+// batch must not mutate state until every member finished).
+type execResult struct {
+	act      *workflow.Activity
+	visit    int
+	duration float64
+	cost     float64
+	failures int
+	events   []TraceEvent
+	err      error
+}
+
+// dispatch runs one end-user activity remotely: it verifies the service's
+// preconditions against the (read-only) state, matchmakes candidate
+// containers, and tries them best-first, bounded by MaxRetries. It does NOT
+// mutate the state; apply() does that afterwards. Safe to call from
+// multiple goroutines over the same state.
+func (c *Coordinator) dispatch(act *workflow.Activity, state *workflow.State, visit int) execResult {
+	res := execResult{act: act, visit: visit}
+	svc := c.cfg.Catalog.Get(act.Service)
+	if svc == nil {
+		res.err = fmt.Errorf("coordination: activity %s references unknown service %q", act.ID, act.Service)
+		return res
+	}
+	if _, ok := svc.Bind(state); !ok {
+		res.err = fmt.Errorf("coordination: activity %s preconditions unmet in current state %v", act.Name, state.Names())
+		return res
+	}
+
+	// Input volume drives the communication term of the execution model.
+	dataMB := 0.0
+	for _, name := range act.Inputs {
+		if item := state.Get(name); item != nil {
+			if size, ok := item.Prop(workflow.PropSize); ok {
+				if n, isNum := size.Num(); isNum {
+					dataMB += n / 1e6
+				}
+			}
+		}
+	}
+
+	var ranked []services.Candidate
+	if c.cfg.UseContractNet {
+		cands, err := c.contractNet(&res, act, svc, dataMB)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		ranked = cands
+	} else {
+		reply, err := c.ctx.Call(services.MatchmakingName, services.OntMatchmaking,
+			services.MatchRequest{Service: act.Service}, c.cfg.CallTimeout)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		mr, ok := reply.Content.(services.MatchReply)
+		if !ok {
+			res.err = fmt.Errorf("coordination: unexpected matchmaking reply %T", reply.Content)
+			return res
+		}
+		ranked = mr.Candidates
+	}
+	if len(ranked) == 0 {
+		res.err = &nonExecutableError{activity: act.Name, service: act.Service}
+		return res
+	}
+	candidates := c.reorderByHistory(act.Service, ranked)
+
+	attempts := 0
+	for _, cand := range candidates {
+		if attempts >= c.cfg.MaxRetries {
+			break
+		}
+		attempts++
+		res.events = append(res.events, TraceEvent{Kind: "dispatch", Activity: act.Name, Detail: cand.Container})
+		execReply, err := c.ctx.Call(cand.Container, services.OntExecution, services.ExecuteRequest{
+			Service:  act.Service,
+			BaseTime: svc.BaseTime,
+			DataMB:   dataMB,
+		}, c.cfg.CallTimeout)
+		if err != nil || execReply.Performative == agent.Failure {
+			res.failures++
+			res.events = append(res.events, TraceEvent{Kind: "fail", Activity: act.Name,
+				Detail: fmt.Sprintf("on %s: %v", cand.Container, err)})
+			continue
+		}
+		er, ok := execReply.Content.(services.ExecuteReply)
+		if !ok {
+			res.failures++
+			continue
+		}
+		res.duration = er.Exec.Duration
+		res.cost = er.Exec.Cost
+		res.events = append(res.events, TraceEvent{Kind: "complete", Activity: act.Name,
+			Detail: fmt.Sprintf("on %s in %.1fs", cand.Container, er.Exec.Duration)})
+		return res
+	}
+	res.err = &nonExecutableError{activity: act.Name, service: act.Service, hadCandidates: true}
+	return res
+}
+
+// contractNet acquires candidates by bidding (the Section 1 spot-market
+// negotiation): candidate containers come from the brokerage's possibly
+// stale snapshot; each is sent a CallForProposal; the bids are ranked by
+// earliest predicted completion, ties broken by predicted cost then ID.
+// Containers that refuse (down node, service not offered) drop out here —
+// exactly how staleness is reconciled in a negotiation.
+func (c *Coordinator) contractNet(res *execResult, act *workflow.Activity, svc *workflow.Service, dataMB float64) ([]services.Candidate, error) {
+	reply, err := c.ctx.Call(services.BrokerageName, services.OntBrokerage,
+		services.ContainersRequest{Service: act.Service}, c.cfg.CallTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cr, ok := reply.Content.(services.ContainersReply)
+	if !ok {
+		return nil, fmt.Errorf("coordination: unexpected brokerage reply %T", reply.Content)
+	}
+	cfp := services.CallForProposal{Service: act.Service, BaseTime: svc.BaseTime, DataMB: dataMB}
+	var bids []services.Proposal
+	for _, containerID := range cr.Containers {
+		bidReply, err := c.ctx.Call(containerID, services.OntExecution, cfp, c.cfg.CallTimeout)
+		if err != nil || bidReply.Performative != agent.Inform {
+			continue // refused or unreachable: not a bidder
+		}
+		if prop, ok := bidReply.Content.(services.Proposal); ok {
+			bids = append(bids, prop)
+			res.events = append(res.events, TraceEvent{Kind: "bid", Activity: act.Name,
+				Detail: fmt.Sprintf("%s offers %.0fs at %.2f", prop.Container, prop.PredictedTime, prop.PredictedCost)})
+		}
+	}
+	sort.Slice(bids, func(i, j int) bool {
+		if bids[i].PredictedTime != bids[j].PredictedTime {
+			return bids[i].PredictedTime < bids[j].PredictedTime
+		}
+		if bids[i].PredictedCost != bids[j].PredictedCost {
+			return bids[i].PredictedCost < bids[j].PredictedCost
+		}
+		return bids[i].Container < bids[j].Container
+	})
+	out := make([]services.Candidate, len(bids))
+	for i, b := range bids {
+		out[i] = services.Candidate{Container: b.Container, Node: b.Node, Cost: b.CostPerSec}
+	}
+	return out, nil
+}
+
+// reorderByHistory consults the brokerage's past-performance data base and
+// demotes candidates whose node has a poor execution record for this service
+// (success rate below 0.5 over at least three runs). This is the paper's
+// "ability to access history information about the past execution of the
+// task": resources with a proven record are preferred. Relative order
+// within the kept and demoted groups is preserved.
+func (c *Coordinator) reorderByHistory(service string, cands []services.Candidate) []services.Candidate {
+	if len(cands) < 2 {
+		return cands
+	}
+	var kept, demoted []services.Candidate
+	for _, cand := range cands {
+		reply, err := c.ctx.Call(services.BrokerageName, services.OntBrokerage,
+			services.PerfRequest{Service: service, Node: cand.Node}, c.cfg.CallTimeout)
+		if err != nil {
+			kept = append(kept, cand)
+			continue
+		}
+		if pr, ok := reply.Content.(services.PerfReply); ok &&
+			pr.Stats.Runs >= 3 && pr.Stats.SuccessRate < 0.5 {
+			demoted = append(demoted, cand)
+			continue
+		}
+		kept = append(kept, cand)
+	}
+	return append(kept, demoted...)
+}
+
+// apply merges a successful dispatch into the report and case state:
+// accounting, trace, postconditions (with the steering hook), data items.
+func (c *Coordinator) apply(report *Report, res execResult, state *workflow.State) {
+	report.Trace = append(report.Trace, res.events...)
+	report.Failures += res.failures
+	if res.err != nil {
+		return
+	}
+	report.Executed++
+	report.SimulatedTime += res.duration
+	report.TotalCost += res.cost
+	svc := c.cfg.Catalog.Get(res.act.Service)
+	produced := svc.Produce(res.act.Outputs, report.Executed)
+	if c.cfg.PostProcess != nil {
+		c.cfg.PostProcess(res.act, produced, res.visit)
+	}
+	for _, item := range produced {
+		state.Put(item)
+	}
+}
+
+// runBatch dispatches a set of simultaneously ready end-user activities
+// concurrently — the Fork semantics of the paper — and applies the results
+// in activity order. Wall-clock time advances by the longest member
+// (compute time still accumulates every execution). Returns the first
+// error, preferring hard errors over re-planning signals.
+func (c *Coordinator) runBatch(report *Report, batch []pendingExec, state *workflow.State) error {
+	results := make([]execResult, len(batch))
+	if len(batch) == 1 {
+		results[0] = c.dispatch(batch[0].act, state, batch[0].visit)
+	} else {
+		var wg sync.WaitGroup
+		for i := range batch {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = c.dispatch(batch[i].act, state, batch[i].visit)
+			}(i)
+		}
+		wg.Wait()
+	}
+	longest := 0.0
+	for i := range results {
+		c.apply(report, results[i], state)
+		if results[i].duration > longest {
+			longest = results[i].duration
+		}
+	}
+	report.WallClockTime += longest
+	var replanErr error
+	for i := range results {
+		if err := results[i].err; err != nil {
+			if _, isReplan := err.(*nonExecutableError); isReplan {
+				if replanErr == nil {
+					replanErr = err
+				}
+				continue
+			}
+			return err
+		}
+	}
+	return replanErr
+}
+
+// pendingExec is one batch member.
+type pendingExec struct {
+	act   *workflow.Activity
+	visit int
+	token string
+}

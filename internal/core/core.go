@@ -1,0 +1,155 @@
+// Package core assembles the intelligent grid environment of Figure 1: the
+// agent platform, the simulated grid with its application containers, the
+// core services (information, brokerage, matchmaking, monitoring,
+// scheduling, storage, authentication, simulation, ontology), the planning
+// service, and the coordination service — behind one Environment value with
+// a small API: Plan a problem, Submit a task, Archive plans.
+//
+// This is the facade example applications and command-line tools build on;
+// everything underneath is reachable for scenarios that need to inject
+// failures or inspect service state.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/coordination"
+	"repro/internal/grid"
+	"repro/internal/kb"
+	"repro/internal/pdl"
+	"repro/internal/planner"
+	"repro/internal/planning"
+	"repro/internal/services"
+	"repro/internal/workflow"
+)
+
+// Options configures an Environment. The zero value is completed with
+// defaults: a synthetic heterogeneous grid and Table 1 planner settings; the
+// service catalog is required.
+type Options struct {
+	// Grid to run on; nil builds grid.Synthetic(GridConfig).
+	Grid *grid.Grid
+	// GridConfig is used only when Grid is nil.
+	GridConfig *grid.SyntheticConfig
+
+	// Catalog of end-user services; required.
+	Catalog *workflow.Catalog
+
+	// Planner holds the GP settings; the zero value means
+	// planner.DefaultParams (the paper's Table 1).
+	Planner planner.Params
+
+	// PostProcess is the coordination steering hook (see coordination.Config).
+	PostProcess func(act *workflow.Activity, produced []*workflow.DataItem, visit int)
+
+	// Checkpoint enables per-activity checkpoints to the storage service.
+	Checkpoint bool
+
+	// UseContractNet acquires resources by container bidding instead of
+	// matchmaking rankings (see coordination.Config).
+	UseContractNet bool
+
+	// CallTimeout bounds service interactions; zero uses the default.
+	CallTimeout time.Duration
+}
+
+// Environment is a fully wired grid environment.
+type Environment struct {
+	Platform    *agent.Platform
+	Grid        *grid.Grid
+	Services    *services.Core
+	Planning    *planning.Service
+	Coordinator *coordination.Coordinator
+	Archive     *kb.Archive
+	Catalog     *workflow.Catalog
+}
+
+// NewEnvironment builds and starts an environment.
+func NewEnvironment(opts Options) (*Environment, error) {
+	if opts.Catalog == nil || opts.Catalog.Len() == 0 {
+		return nil, fmt.Errorf("core: a service catalog is required")
+	}
+	g := opts.Grid
+	if g == nil {
+		cfg := grid.DefaultSyntheticConfig()
+		if opts.GridConfig != nil {
+			cfg = *opts.GridConfig
+		}
+		cfg.Services = opts.Catalog.Names()
+		g = grid.Synthetic(cfg)
+	}
+	params := opts.Planner
+	if params.PopulationSize == 0 {
+		params = planner.DefaultParams()
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+
+	platform := agent.NewPlatform()
+	coreSvcs, err := services.Bootstrap(platform, g)
+	if err != nil {
+		platform.Shutdown()
+		return nil, err
+	}
+	plansvc := planning.New(opts.Catalog, params)
+	if _, err := platform.Register(services.PlanningName, plansvc); err != nil {
+		platform.Shutdown()
+		return nil, err
+	}
+	coord, err := coordination.New(coordination.Config{
+		Platform:       platform,
+		Catalog:        opts.Catalog,
+		PostProcess:    opts.PostProcess,
+		Checkpoint:     opts.Checkpoint,
+		CallTimeout:    opts.CallTimeout,
+		UseContractNet: opts.UseContractNet,
+	})
+	if err != nil {
+		platform.Shutdown()
+		return nil, err
+	}
+	return &Environment{
+		Platform:    platform,
+		Grid:        g,
+		Services:    coreSvcs,
+		Planning:    plansvc,
+		Coordinator: coord,
+		Archive:     kb.NewArchive(),
+		Catalog:     opts.Catalog,
+	}, nil
+}
+
+// Close shuts the agent platform down.
+func (e *Environment) Close() { e.Platform.Shutdown() }
+
+// Submit enacts a task through the coordination service.
+func (e *Environment) Submit(task *workflow.Task) (*coordination.Report, error) {
+	return e.Coordinator.RunTask(task)
+}
+
+// Plan asks the planning service for a process description solving the
+// problem, archives it, and returns it together with the planner's own
+// evaluation of the plan.
+func (e *Environment) Plan(name string, problem *workflow.Problem) (*workflow.ProcessDescription, planning.PlanReply, error) {
+	if err := problem.Validate(); err != nil {
+		return nil, planning.PlanReply{}, err
+	}
+	reply, err := e.Planning.Plan(nil, planning.PlanRequest{
+		Initial: problem.Initial.Items(),
+		Goal:    problem.Goal.Conditions,
+	})
+	if err != nil {
+		return nil, planning.PlanReply{}, err
+	}
+	p, err := pdl.ParseProcess(name, reply.PDL)
+	if err != nil {
+		return nil, planning.PlanReply{}, err
+	}
+	if _, err := e.Archive.Put(name, "planning-service", reply.Tree, p); err != nil {
+		return nil, planning.PlanReply{}, err
+	}
+	return p, reply, nil
+}

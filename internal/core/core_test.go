@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/planner"
+	"repro/internal/virolab"
+	"repro/internal/workflow"
+)
+
+func testEnv(t *testing.T) *Environment {
+	t.Helper()
+	params := planner.DefaultParams()
+	params.PopulationSize = 120
+	params.Generations = 15
+	params.Seed = 9
+	env, err := NewEnvironment(Options{
+		Catalog:     virolab.Catalog(),
+		Planner:     params,
+		PostProcess: virolab.ResolutionHook(nil),
+		Checkpoint:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+	return env
+}
+
+func TestNewEnvironmentDefaults(t *testing.T) {
+	env := testEnv(t)
+	if env.Grid == nil || len(env.Grid.Nodes()) == 0 {
+		t.Fatal("no synthetic grid")
+	}
+	// Core services and container agents registered.
+	if !env.Platform.Has("coordination") || !env.Platform.Has("planning") || !env.Platform.Has("matchmaking") {
+		t.Errorf("agents = %v", env.Platform.Agents())
+	}
+	for _, s := range env.Catalog.Names() {
+		if len(env.Grid.ContainersFor(s)) == 0 {
+			t.Errorf("service %s has no containers", s)
+		}
+	}
+}
+
+func TestNewEnvironmentValidation(t *testing.T) {
+	if _, err := NewEnvironment(Options{}); err == nil {
+		t.Error("missing catalog accepted")
+	}
+	bad := planner.DefaultParams()
+	bad.WV = 0.9
+	if _, err := NewEnvironment(Options{Catalog: virolab.Catalog(), Planner: bad}); err == nil {
+		t.Error("bad planner params accepted")
+	}
+}
+
+func TestSubmitFig10Task(t *testing.T) {
+	env := testEnv(t)
+	report, err := env.Submit(virolab.Task())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Completed {
+		t.Fatalf("report = %+v", report)
+	}
+	if report.Executed < 7 {
+		t.Errorf("executed = %d, want >= 7", report.Executed)
+	}
+	d12 := report.FinalState.Get("D12")
+	if d12 == nil || d12.Classification() != "Resolution File" {
+		t.Errorf("final D12 = %v", d12)
+	}
+}
+
+func TestPlanArchivesAndReturns(t *testing.T) {
+	env := testEnv(t)
+	pd, reply, err := env.Plan("auto-3dsd", virolab.Problem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Eval.FG < 1 {
+		t.Errorf("plan goal fitness = %g", reply.Eval.FG)
+	}
+	if err := pd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Archive.Versions("auto-3dsd") != 1 {
+		t.Error("plan not archived")
+	}
+	// And the planned PD is enactable end to end.
+	task := &workflow.Task{ID: "TP", Name: "planned", Process: pd, Case: virolab.Case()}
+	report, err := env.Submit(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Completed {
+		t.Errorf("planned task not completed: %+v", report.Trace)
+	}
+	// Invalid problems are rejected.
+	if _, _, err := env.Plan("bad", &workflow.Problem{}); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}

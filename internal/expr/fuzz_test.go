@@ -1,0 +1,49 @@
+package expr
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// prints to a form it accepts again, evaluating identically. Run the seed
+// corpus in normal tests; explore with `go test -fuzz=FuzzParse ./internal/expr`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		``,
+		`true`,
+		`D10.value > 8`,
+		`A.Classification = "POD-Parameter" and B.Classification = "2D Image"`,
+		`not (x.y = 1) or z.w <= -3.5`,
+		`a.b <> c.d`,
+		`((a.b = 1))`,
+		`"quoted" = a.b`,
+		`ident-with-dash.prop = other`,
+		`a.b = 1 and`,
+		`()`,
+		`D10.`,
+		`🙂.x = 1`,
+		"a.b = \"unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	env := MapEnv{"D10": {"value": Number(9)}, "a": {"b": Number(1)}}
+	f.Fuzz(func(t *testing.T, src string) {
+		if !utf8.ValidString(src) {
+			return
+		}
+		node, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := node.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q, printed %q, re-parse failed: %v", src, printed, err)
+		}
+		if node.Eval(env) != again.Eval(env) {
+			t.Fatalf("evaluation changed across print/parse: %q -> %q", src, printed)
+		}
+	})
+}

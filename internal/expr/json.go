@@ -1,0 +1,50 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonValue is the interchange form of a Value.
+type jsonValue struct {
+	K string  `json:"k"`
+	S string  `json:"s,omitempty"`
+	N float64 `json:"n,omitempty"`
+	B bool    `json:"b,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler, so data-item properties can be
+// checkpointed by the coordination service.
+func (v Value) MarshalJSON() ([]byte, error) {
+	jv := jsonValue{}
+	switch v.kind {
+	case KindString:
+		jv.K, jv.S = "s", v.s
+	case KindNumber:
+		jv.K, jv.N = "n", v.n
+	case KindBool:
+		jv.K, jv.B = "b", v.b
+	default:
+		return nil, fmt.Errorf("expr: cannot marshal value of kind %v", v.kind)
+	}
+	return json.Marshal(jv)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var jv jsonValue
+	if err := json.Unmarshal(data, &jv); err != nil {
+		return err
+	}
+	switch jv.K {
+	case "s":
+		*v = String(jv.S)
+	case "n":
+		*v = Number(jv.N)
+	case "b":
+		*v = Bool(jv.B)
+	default:
+		return fmt.Errorf("expr: unknown value kind %q", jv.K)
+	}
+	return nil
+}

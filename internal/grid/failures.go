@@ -1,0 +1,98 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// FailurePlan schedules stochastic node failures and repairs on a
+// discrete-event engine: each node alternates exponentially distributed
+// up-times (mean MTBF) and down-times (mean MTTR), the classic availability
+// model. Events toggle the node's status in the grid, so monitoring,
+// matchmaking, and the simulation service all observe the churn.
+type FailurePlan struct {
+	MTBF    float64 // mean time between failures, simulated seconds
+	MTTR    float64 // mean time to repair
+	Horizon float64 // stop scheduling past this time (0 = engine horizon)
+
+	// Transitions records the injected events for inspection.
+	Transitions []Transition
+}
+
+// Transition is one injected status change.
+type Transition struct {
+	Time float64
+	Node string
+	Up   bool
+}
+
+// Inject schedules the failure/repair processes for every current node of g
+// onto eng. Returns the plan for inspection after the run.
+func (g *Grid) Inject(eng *sim.Engine, mtbf, mttr, horizon float64) (*FailurePlan, error) {
+	if mtbf <= 0 || mttr <= 0 {
+		return nil, fmt.Errorf("grid: MTBF and MTTR must be positive (got %g, %g)", mtbf, mttr)
+	}
+	plan := &FailurePlan{MTBF: mtbf, MTTR: mttr, Horizon: horizon}
+	rng := eng.Rand()
+	for _, n := range g.Nodes() {
+		g.scheduleFailure(eng, rng, plan, n.ID)
+	}
+	return plan, nil
+}
+
+func (g *Grid) scheduleFailure(eng *sim.Engine, rng *rand.Rand, plan *FailurePlan, node string) {
+	delay := rng.ExpFloat64() * plan.MTBF
+	if plan.Horizon > 0 && eng.Now()+delay > plan.Horizon {
+		return
+	}
+	eng.Schedule(delay, "fail:"+node, func() {
+		_ = g.SetNodeUp(node, false)
+		plan.Transitions = append(plan.Transitions, Transition{Time: eng.Now(), Node: node, Up: false})
+		g.scheduleRepair(eng, rng, plan, node)
+	})
+}
+
+func (g *Grid) scheduleRepair(eng *sim.Engine, rng *rand.Rand, plan *FailurePlan, node string) {
+	delay := rng.ExpFloat64() * plan.MTTR
+	if plan.Horizon > 0 && eng.Now()+delay > plan.Horizon {
+		return
+	}
+	eng.Schedule(delay, "repair:"+node, func() {
+		_ = g.SetNodeUp(node, true)
+		plan.Transitions = append(plan.Transitions, Transition{Time: eng.Now(), Node: node, Up: true})
+		g.scheduleFailure(eng, rng, plan, node)
+	})
+}
+
+// Availability returns the fraction of the horizon each node was up under
+// the recorded transitions (assuming all nodes start up at time 0).
+func (p *FailurePlan) Availability(horizon float64) map[string]float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	up := map[string]float64{}
+	lastChange := map[string]float64{}
+	state := map[string]bool{}
+	for _, tr := range p.Transitions {
+		prevUp, seen := state[tr.Node]
+		if !seen {
+			prevUp = true
+		}
+		if prevUp {
+			up[tr.Node] += tr.Time - lastChange[tr.Node]
+		}
+		state[tr.Node] = tr.Up
+		lastChange[tr.Node] = tr.Time
+	}
+	out := map[string]float64{}
+	for node, last := range lastChange {
+		total := up[node]
+		if state[node] {
+			total += horizon - last
+		}
+		out[node] = total / horizon
+	}
+	return out
+}

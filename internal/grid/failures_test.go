@@ -1,0 +1,81 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestInjectFailuresTogglesNodes(t *testing.T) {
+	g := New(1)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := g.AddNode(&Node{ID: id, Hardware: Hardware{Speed: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := sim.NewEngine(42)
+	const horizon = 100000.0
+	plan, err := g.Inject(eng, 1000, 100, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(horizon)
+
+	if len(plan.Transitions) == 0 {
+		t.Fatal("no failures injected over a long horizon")
+	}
+	// Transitions alternate per node: fail, repair, fail, ...
+	lastUp := map[string]bool{}
+	for _, tr := range plan.Transitions {
+		prev, seen := lastUp[tr.Node]
+		if !seen {
+			prev = true
+		}
+		if tr.Up == prev {
+			t.Fatalf("non-alternating transition for %s at %g", tr.Node, tr.Time)
+		}
+		lastUp[tr.Node] = tr.Up
+	}
+	// Availability near MTBF/(MTBF+MTTR) = 1000/1100 ~ 0.909.
+	avail := plan.Availability(horizon)
+	for node, a := range avail {
+		if a < 0.8 || a > 0.98 {
+			t.Errorf("node %s availability %.3f, want ~0.91", node, a)
+		}
+	}
+	if len(avail) != 3 {
+		t.Errorf("availability for %d nodes, want 3", len(avail))
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	g := New(1)
+	eng := sim.NewEngine(1)
+	if _, err := g.Inject(eng, 0, 10, 100); err == nil {
+		t.Error("zero MTBF accepted")
+	}
+	if _, err := g.Inject(eng, 10, -1, 100); err == nil {
+		t.Error("negative MTTR accepted")
+	}
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	run := func() int {
+		g := New(1)
+		_ = g.AddNode(&Node{ID: "n", Hardware: Hardware{Speed: 1}})
+		eng := sim.NewEngine(7)
+		plan, _ := g.Inject(eng, 500, 50, 50000)
+		eng.Run(50000)
+		return len(plan.Transitions)
+	}
+	if a, b := run(), run(); a != b || a == 0 {
+		t.Errorf("runs differ: %d vs %d", a, b)
+	}
+}
+
+func TestAvailabilityEmptyHorizon(t *testing.T) {
+	p := &FailurePlan{}
+	if p.Availability(0) != nil {
+		t.Error("zero horizon should yield nil")
+	}
+}

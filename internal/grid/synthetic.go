@@ -1,0 +1,112 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SyntheticConfig parameterizes the synthetic grid generator.
+type SyntheticConfig struct {
+	Clusters       int      // PC clusters (high latency, low bandwidth switches)
+	SMPs           int      // shared-memory machines
+	Supercomputers int      // fast, reliable, expensive nodes
+	Services       []string // end-user services spread across containers
+	FailureRate    float64  // baseline per-execution failure probability
+	Seed           int64
+}
+
+// DefaultSyntheticConfig is a medium-sized heterogeneous grid hosting the
+// case-study services.
+func DefaultSyntheticConfig() SyntheticConfig {
+	return SyntheticConfig{
+		Clusters:       6,
+		SMPs:           3,
+		Supercomputers: 1,
+		Services:       []string{"POD", "P3DR", "POR", "PSF"},
+		FailureRate:    0.02,
+		Seed:           1,
+	}
+}
+
+// Synthetic builds a heterogeneous grid in the spirit of Section 1: PC
+// clusters with slow interconnects, SMPs, and a supercomputer, spread over
+// administrative domains, each with an application container offering a
+// subset of the services. Every service is guaranteed to be offered by at
+// least one container.
+func Synthetic(cfg SyntheticConfig) *Grid {
+	g := New(cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	domains := []string{"ucf.edu", "purdue.edu", "anl.gov", "ncsa.edu"}
+	idx := 0
+	add := func(kind string, hw Hardware, cost float64, failMul float64) *Node {
+		idx++
+		n := &Node{
+			ID:          fmt.Sprintf("%s-%02d", kind, idx),
+			Domain:      domains[idx%len(domains)],
+			Hardware:    hw,
+			CostPerSec:  cost,
+			FailureRate: cfg.FailureRate * failMul,
+		}
+		for _, s := range cfg.Services {
+			n.Software = append(n.Software, Software{Name: s, Type: "application", Version: "1.0"})
+		}
+		if err := g.AddNode(n); err != nil {
+			panic(err)
+		}
+		return n
+	}
+
+	var nodes []*Node
+	for i := 0; i < cfg.Clusters; i++ {
+		nodes = append(nodes, add("cluster", Hardware{
+			Type:          "PC-cluster",
+			Speed:         1.0 + rng.Float64(), // 1.0 - 2.0
+			Cores:         16 + 16*rng.Intn(4),
+			MemoryMB:      4096,
+			BandwidthMbps: 100, // slow switch
+			LatencyUs:     100, // high latency
+		}, 0.01, 1.5))
+	}
+	for i := 0; i < cfg.SMPs; i++ {
+		nodes = append(nodes, add("smp", Hardware{
+			Type:          "SMP",
+			Speed:         2.0 + rng.Float64(), // 2.0 - 3.0
+			Cores:         8,
+			MemoryMB:      16384,
+			BandwidthMbps: 1000,
+			LatencyUs:     10,
+		}, 0.05, 1.0))
+	}
+	for i := 0; i < cfg.Supercomputers; i++ {
+		nodes = append(nodes, add("super", Hardware{
+			Type:          "supercomputer",
+			Speed:         4.0,
+			Cores:         512,
+			MemoryMB:      262144,
+			BandwidthMbps: 10000,
+			LatencyUs:     1,
+		}, 0.25, 0.2))
+	}
+
+	// One container per node, each offering a rotating subset of services;
+	// ensure global coverage by giving the first container everything.
+	for i, n := range nodes {
+		svcs := cfg.Services
+		if i > 0 && len(cfg.Services) > 1 {
+			k := 1 + rng.Intn(len(cfg.Services))
+			perm := rng.Perm(len(cfg.Services))[:k]
+			svcs = make([]string, 0, k)
+			for _, j := range perm {
+				svcs = append(svcs, cfg.Services[j])
+			}
+		}
+		if err := g.AddContainer(&Container{
+			ID:       fmt.Sprintf("ac-%02d", i+1),
+			NodeID:   n.ID,
+			Services: svcs,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}

@@ -1,0 +1,368 @@
+// Package httpapi is the User Interface of Figure 1: an HTTP/JSON facade
+// over a core.Environment through which end users submit tasks, watch their
+// progress, browse the grid and the service offerings, fetch ontologies,
+// and run what-if simulations.
+//
+// Endpoints:
+//
+//	GET  /api/nodes                     grid nodes with live status
+//	GET  /api/containers                application containers
+//	GET  /api/services                  the end-user service catalog
+//	GET  /api/classes                   resource equivalence classes
+//	POST /api/tasks                     submit a task (async); returns its ID
+//	GET  /api/tasks                     list submitted tasks
+//	GET  /api/tasks/{id}                task status / final report
+//	GET  /api/plans                     archived plan names
+//	GET  /api/plans/{name}              latest archived revision (PDL text)
+//	GET  /api/ontology/{name}           knowledge base JSON
+//	POST /api/simulate                  run the simulation service
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/agent"
+	"repro/internal/coordination"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/pdl"
+	"repro/internal/services"
+	"repro/internal/workflow"
+)
+
+// Server wraps an environment. Create with New, mount via Handler.
+type Server struct {
+	env *core.Environment
+
+	mu     sync.Mutex
+	tasks  map[string]*taskRecord
+	client *agent.Context // the UI's own agent, registered lazily
+}
+
+type taskRecord struct {
+	ID     string
+	Status string // "running", "completed", "failed"
+	Error  string
+	Report *coordination.Report
+}
+
+// New builds a server over the environment.
+func New(env *core.Environment) *Server {
+	return &Server{env: env, tasks: make(map[string]*taskRecord)}
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/nodes", s.handleNodes)
+	mux.HandleFunc("GET /api/containers", s.handleContainers)
+	mux.HandleFunc("GET /api/services", s.handleServices)
+	mux.HandleFunc("GET /api/classes", s.handleClasses)
+	mux.HandleFunc("POST /api/tasks", s.handleSubmit)
+	mux.HandleFunc("GET /api/tasks", s.handleTaskList)
+	mux.HandleFunc("GET /api/tasks/{id}", s.handleTaskGet)
+	mux.HandleFunc("GET /api/plans", s.handlePlans)
+	mux.HandleFunc("GET /api/plans/{name}", s.handlePlanGet)
+	mux.HandleFunc("GET /api/ontology/{name}", s.handleOntology)
+	mux.HandleFunc("POST /api/simulate", s.handleSimulate)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// --- read-only grid views --------------------------------------------------
+
+type nodeView struct {
+	ID       string   `json:"id"`
+	Domain   string   `json:"domain"`
+	Type     string   `json:"type"`
+	Speed    float64  `json:"speed"`
+	Cost     float64  `json:"costPerSec"`
+	Up       bool     `json:"up"`
+	Software []string `json:"software,omitempty"`
+}
+
+func (s *Server) handleNodes(w http.ResponseWriter, _ *http.Request) {
+	var out []nodeView
+	for _, n := range s.env.Grid.Nodes() {
+		var sw []string
+		for _, pkg := range n.Software {
+			sw = append(sw, pkg.Name)
+		}
+		out = append(out, nodeView{
+			ID: n.ID, Domain: n.Domain, Type: n.Hardware.Type,
+			Speed: n.Hardware.Speed, Cost: n.CostPerSec, Up: n.Up(), Software: sw,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type containerView struct {
+	ID       string   `json:"id"`
+	Node     string   `json:"node"`
+	Services []string `json:"services"`
+}
+
+func (s *Server) handleContainers(w http.ResponseWriter, _ *http.Request) {
+	var out []containerView
+	for _, c := range s.env.Grid.Containers() {
+		out = append(out, containerView{ID: c.ID, Node: c.NodeID, Services: c.Services})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type serviceView struct {
+	Name     string   `json:"name"`
+	Inputs   []string `json:"inputs"`
+	Outputs  []string `json:"outputs"`
+	BaseTime float64  `json:"baseTime"`
+	Cost     float64  `json:"cost"`
+}
+
+func (s *Server) handleServices(w http.ResponseWriter, _ *http.Request) {
+	var out []serviceView
+	for _, svc := range s.env.Catalog.Services() {
+		v := serviceView{Name: svc.Name, BaseTime: svc.BaseTime, Cost: svc.Cost}
+		for _, in := range svc.Inputs {
+			v.Inputs = append(v.Inputs, in.Condition)
+		}
+		for _, o := range svc.Outputs {
+			v.Outputs = append(v.Outputs, o.Name)
+		}
+		out = append(out, v)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleClasses(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.env.Grid.EquivalenceClasses())
+}
+
+// --- task submission ---------------------------------------------------------
+
+// TaskSubmission is the POST /api/tasks body.
+type TaskSubmission struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// PDL is the process description text; empty means NeedPlanning.
+	PDL string `json:"pdl,omitempty"`
+	// InitialData seeds the case (property map values are strings or
+	// numbers).
+	InitialData []DataItemJSON `json:"initialData"`
+	// Goal lists the case's goal conditions.
+	Goal []string `json:"goal"`
+	// Deadline is a soft wall-clock deadline in simulated seconds (0 = none).
+	Deadline float64 `json:"deadline,omitempty"`
+}
+
+// DataItemJSON is one initial data item.
+type DataItemJSON struct {
+	Name           string             `json:"name"`
+	Classification string             `json:"classification"`
+	Props          map[string]float64 `json:"props,omitempty"`
+	TextProps      map[string]string  `json:"textProps,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sub TaskSubmission
+	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad submission: %v", err)
+		return
+	}
+	if sub.ID == "" || len(sub.Goal) == 0 {
+		writeErr(w, http.StatusBadRequest, "id and goal are required")
+		return
+	}
+	caseDesc := workflow.NewCase(sub.ID, sub.Name)
+	for _, d := range sub.InitialData {
+		item := workflow.NewDataItem(d.Name, d.Classification)
+		for k, v := range d.Props {
+			item.With(k, expr.Number(v))
+		}
+		for k, v := range d.TextProps {
+			item.With(k, expr.String(v))
+		}
+		caseDesc.AddData(item)
+	}
+	caseDesc.Goal = workflow.NewGoal(sub.Goal...)
+	caseDesc.Deadline = sub.Deadline
+	task := &workflow.Task{ID: sub.ID, Name: sub.Name, Case: caseDesc}
+	if sub.PDL == "" {
+		task.NeedPlanning = true
+	} else {
+		p, err := pdl.ParseProcess(sub.ID, sub.PDL)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad PDL: %v", err)
+			return
+		}
+		task.Process = p
+	}
+	if err := task.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid task: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if _, dup := s.tasks[sub.ID]; dup {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, "task %q already submitted", sub.ID)
+		return
+	}
+	rec := &taskRecord{ID: sub.ID, Status: "running"}
+	s.tasks[sub.ID] = rec
+	s.mu.Unlock()
+
+	go func() {
+		report, err := s.env.Submit(task)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil {
+			rec.Status = "failed"
+			rec.Error = err.Error()
+			rec.Report = report
+			return
+		}
+		rec.Status = "completed"
+		rec.Report = report
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": sub.ID, "status": "running"})
+}
+
+// TaskView is the GET /api/tasks/{id} response.
+type TaskView struct {
+	ID          string   `json:"id"`
+	Status      string   `json:"status"`
+	Error       string   `json:"error,omitempty"`
+	Completed   bool     `json:"completed,omitempty"`
+	GoalFitness float64  `json:"goalFitness,omitempty"`
+	Executed    int      `json:"executed,omitempty"`
+	Failures    int      `json:"failures,omitempty"`
+	Replans     int      `json:"replans,omitempty"`
+	Deadline    bool     `json:"deadlineMissed,omitempty"`
+	Wall        float64  `json:"wallClockTime,omitempty"`
+	Time        float64  `json:"simulatedTime,omitempty"`
+	Cost        float64  `json:"totalCost,omitempty"`
+	FinalData   []string `json:"finalData,omitempty"`
+}
+
+func (s *Server) view(rec *taskRecord) TaskView {
+	v := TaskView{ID: rec.ID, Status: rec.Status, Error: rec.Error}
+	if r := rec.Report; r != nil {
+		v.Completed = r.Completed
+		v.GoalFitness = r.GoalFitness
+		v.Executed = r.Executed
+		v.Failures = r.Failures
+		v.Replans = r.Replans
+		v.Deadline = r.DeadlineMissed
+		v.Wall = r.WallClockTime
+		v.Time = r.SimulatedTime
+		v.Cost = r.TotalCost
+		if r.FinalState != nil {
+			for _, item := range r.FinalState.Items() {
+				v.FinalData = append(v.FinalData, item.String())
+			}
+		}
+	}
+	return v
+}
+
+func (s *Server) handleTaskList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TaskView, 0, len(s.tasks))
+	for _, rec := range s.tasks {
+		out = append(out, s.view(rec))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTaskGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	rec := s.tasks[id]
+	s.mu.Unlock()
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, "no task %q", id)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.view(rec))
+}
+
+// --- plans and ontology ------------------------------------------------------
+
+func (s *Server) handlePlans(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.env.Archive.Names(""))
+}
+
+func (s *Server) handlePlanGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	_, entry, err := s.env.Archive.Get(name, 0)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name": entry.Name, "version": entry.Version,
+		"creator": entry.Creator, "pdl": entry.PDL,
+	})
+}
+
+func (s *Server) handleOntology(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// Fetch through the ontology service agent for faithfulness.
+	client, err := s.clientContext()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	reply, err := client.Call(services.OntologyName, services.OntOntology,
+		services.KBRequest{Name: name}, services.CallTimeout)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	kr, ok := reply.Content.(services.KBReply)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no ontology %q", name)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(kr.JSON)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req services.SimulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.env.Services.Simulation.Simulate(req))
+}
+
+// clientContext lazily registers the UI's own agent on the platform.
+func (s *Server) clientContext() (*agent.Context, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.client == nil {
+		c, err := s.env.Platform.Register("user-interface",
+			agent.HandlerFunc(func(*agent.Context, agent.Message) {}))
+		if err != nil {
+			return nil, err
+		}
+		s.client = c
+	}
+	return s.client, nil
+}

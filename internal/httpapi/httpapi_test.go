@@ -1,0 +1,263 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/planner"
+	"repro/internal/services"
+	"repro/internal/virolab"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	params := planner.DefaultParams()
+	params.PopulationSize = 120
+	params.Generations = 15
+	env, err := core.NewEnvironment(core.Options{
+		Catalog:     virolab.Catalog(),
+		Planner:     params,
+		PostProcess: virolab.ResolutionHook(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+	s := New(env)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestGridViews(t *testing.T) {
+	_, ts := testServer(t)
+	var nodes []nodeView
+	if code := getJSON(t, ts.URL+"/api/nodes", &nodes); code != 200 {
+		t.Fatalf("nodes status %d", code)
+	}
+	if len(nodes) == 0 {
+		t.Fatal("no nodes")
+	}
+	if !nodes[0].Up || nodes[0].Speed <= 0 {
+		t.Errorf("node view = %+v", nodes[0])
+	}
+	var containers []containerView
+	if code := getJSON(t, ts.URL+"/api/containers", &containers); code != 200 || len(containers) == 0 {
+		t.Fatalf("containers status %d len %d", code, len(containers))
+	}
+	var svcs []serviceView
+	if code := getJSON(t, ts.URL+"/api/services", &svcs); code != 200 || len(svcs) != 4 {
+		t.Fatalf("services status %d len %d", code, len(svcs))
+	}
+	var classes []any
+	if code := getJSON(t, ts.URL+"/api/classes", &classes); code != 200 || len(classes) == 0 {
+		t.Fatalf("classes status %d len %d", code, len(classes))
+	}
+}
+
+func TestSubmitAndPollTask(t *testing.T) {
+	_, ts := testServer(t)
+	sub := TaskSubmission{
+		ID:   "T-http",
+		Name: "virolab over http",
+		PDL: `BEGIN,
+  POD(D1, D7 -> D8);
+  P3DR1 = P3DR(D2, D7, D8 -> D9);
+  {ITERATIVE {COND D12.value > 8}
+    {POR(D5, D7, D8, D9 -> D8);
+     {FORK
+       {P3DR2 = P3DR(D3, D7, D8 -> D10)}
+       {P3DR3 = P3DR(D4, D7, D8 -> D11)}
+       {P3DR4 = P3DR(D2, D7, D8 -> D9)}
+     JOIN};
+     PSF(D10, D11 -> D12)}
+  },
+END`,
+		Goal: []string{virolab.GoalCondition},
+	}
+	for _, d := range virolab.InitialData() {
+		item := DataItemJSON{Name: d.Name, Classification: d.Classification()}
+		sub.InitialData = append(sub.InitialData, item)
+	}
+	var accepted map[string]string
+	if code := postJSON(t, ts.URL+"/api/tasks", sub, &accepted); code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %v", code, accepted)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var view TaskView
+	for {
+		if code := getJSON(t, ts.URL+"/api/tasks/T-http", &view); code != 200 {
+			t.Fatalf("poll status %d", code)
+		}
+		if view.Status != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("task did not finish in time")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if view.Status != "completed" || !view.Completed {
+		t.Fatalf("task view = %+v", view)
+	}
+	if view.Executed != 17 {
+		t.Errorf("executed = %d, want 17", view.Executed)
+	}
+	found := false
+	for _, line := range view.FinalData {
+		if strings.HasPrefix(line, "D12{") && strings.Contains(line, "value=7.8") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("final data missing refined D12: %v", view.FinalData)
+	}
+
+	// The list view includes it.
+	var list []TaskView
+	getJSON(t, ts.URL+"/api/tasks", &list)
+	if len(list) != 1 || list[0].ID != "T-http" {
+		t.Errorf("list = %+v", list)
+	}
+	// Duplicate submission conflicts.
+	if code := postJSON(t, ts.URL+"/api/tasks", sub, nil); code != http.StatusConflict {
+		t.Errorf("duplicate submit status %d", code)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"no id", TaskSubmission{Goal: []string{"true"}}, http.StatusBadRequest},
+		{"no goal", TaskSubmission{ID: "x"}, http.StatusBadRequest},
+		{"bad pdl", TaskSubmission{ID: "x", Goal: []string{"true"}, PDL: "NOT PDL"}, http.StatusBadRequest},
+		{"bad json", "}{", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		var code int
+		if s, ok := c.body.(string); ok {
+			resp, err := http.Post(ts.URL+"/api/tasks", "application/json", strings.NewReader(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			code = resp.StatusCode
+			resp.Body.Close()
+		} else {
+			code = postJSON(t, ts.URL+"/api/tasks", c.body, nil)
+		}
+		if code != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, code, c.want)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/api/tasks/ghost", nil); code != http.StatusNotFound {
+		t.Errorf("ghost task status %d", code)
+	}
+}
+
+func TestPlansEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+	// Plan through the environment, then fetch over HTTP.
+	if _, _, err := s.env.Plan("http-plan", virolab.Problem()); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	if code := getJSON(t, ts.URL+"/api/plans", &names); code != 200 || len(names) != 1 {
+		t.Fatalf("plans status %d names %v", code, names)
+	}
+	var plan map[string]any
+	if code := getJSON(t, ts.URL+"/api/plans/http-plan", &plan); code != 200 {
+		t.Fatalf("plan status %d", code)
+	}
+	if !strings.Contains(plan["pdl"].(string), "BEGIN") {
+		t.Errorf("plan body = %v", plan)
+	}
+	if code := getJSON(t, ts.URL+"/api/plans/ghost", nil); code != http.StatusNotFound {
+		t.Errorf("ghost plan status %d", code)
+	}
+}
+
+func TestOntologyEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var kb map[string]any
+	if code := getJSON(t, ts.URL+"/api/ontology/grid", &kb); code != 200 {
+		t.Fatalf("ontology status %d", code)
+	}
+	classes, ok := kb["classes"].([]any)
+	if !ok || len(classes) != 10 {
+		t.Errorf("ontology classes = %d", len(classes))
+	}
+	if code := getJSON(t, ts.URL+"/api/ontology/ghost", nil); code == 200 {
+		t.Error("ghost ontology served")
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	req := services.SimulateRequest{
+		Tasks: []services.TaskSpec{
+			{ID: "a", Service: "P3DR", BaseTime: 1800, DataMB: 100},
+			{ID: "b", Service: "P3DR", BaseTime: 1800, DataMB: 100},
+		},
+		InterArrival: 5, Retries: 1, Seed: 1,
+	}
+	var reply services.SimulateReply
+	if code := postJSON(t, ts.URL+"/api/simulate", req, &reply); code != 200 {
+		t.Fatalf("simulate status %d", code)
+	}
+	if reply.Completed+reply.Failed != 2 || reply.Makespan <= 0 {
+		t.Errorf("reply = %+v", reply)
+	}
+	resp, err := http.Post(ts.URL+"/api/simulate", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad simulate body status %d", resp.StatusCode)
+	}
+}

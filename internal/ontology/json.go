@@ -1,0 +1,136 @@
+package ontology
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// jsonKB is the interchange form.
+type jsonKB struct {
+	Classes   []jsonClass    `json:"classes"`
+	Instances []jsonInstance `json:"instances,omitempty"`
+}
+
+type jsonClass struct {
+	Name   string     `json:"name"`
+	Parent string     `json:"parent,omitempty"`
+	Doc    string     `json:"doc,omitempty"`
+	Slots  []jsonSlot `json:"slots"`
+}
+
+type jsonSlot struct {
+	Name     string   `json:"name"`
+	Kind     string   `json:"kind"`
+	Required bool     `json:"required,omitempty"`
+	Allowed  []string `json:"allowed,omitempty"`
+	RefClass string   `json:"refClass,omitempty"`
+}
+
+type jsonInstance struct {
+	ID     string               `json:"id"`
+	Class  string               `json:"class"`
+	Values map[string]jsonValue `json:"values"`
+}
+
+type jsonValue struct {
+	Kind string   `json:"kind"`
+	S    string   `json:"s,omitempty"`
+	N    float64  `json:"n,omitempty"`
+	B    bool     `json:"b,omitempty"`
+	L    []string `json:"l,omitempty"`
+}
+
+func kindName(k ValueKind) string { return k.String() }
+
+func parseKind(s string) (ValueKind, error) {
+	for _, k := range []ValueKind{KindString, KindNumber, KindBool, KindRef, KindList} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("ontology: unknown value kind %q", s)
+}
+
+// MarshalJSON serializes the knowledge base (classes in definition order,
+// instances sorted by ID).
+func (kb *KB) MarshalJSON() ([]byte, error) {
+	out := jsonKB{}
+	for _, c := range kb.Classes() {
+		jc := jsonClass{Name: c.Name, Parent: c.Parent, Doc: c.Doc}
+		for _, s := range c.Slots {
+			jc.Slots = append(jc.Slots, jsonSlot{
+				Name: s.Name, Kind: kindName(s.Kind), Required: s.Required,
+				Allowed: s.Allowed, RefClass: s.RefClass,
+			})
+		}
+		out.Classes = append(out.Classes, jc)
+	}
+	for _, in := range kb.Instances() {
+		ji := jsonInstance{ID: in.ID, Class: in.Class, Values: map[string]jsonValue{}}
+		names := make([]string, 0, len(in.Values))
+		for n := range in.Values {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			v := in.Values[n]
+			ji.Values[n] = jsonValue{Kind: kindName(v.Kind), S: v.S, N: v.N, B: v.B, L: v.L}
+		}
+		out.Instances = append(out.Instances, ji)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalJSON loads classes and instances, validating as it goes.
+func (kb *KB) UnmarshalJSON(data []byte) error {
+	var in jsonKB
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if kb.classes == nil {
+		kb.classes = make(map[string]*Class)
+	}
+	if kb.instances == nil {
+		kb.instances = make(map[string]*Instance)
+	}
+	for _, jc := range in.Classes {
+		c := &Class{Name: jc.Name, Parent: jc.Parent, Doc: jc.Doc}
+		for _, js := range jc.Slots {
+			k, err := parseKind(js.Kind)
+			if err != nil {
+				return err
+			}
+			c.Slots = append(c.Slots, Slot{
+				Name: js.Name, Kind: k, Required: js.Required,
+				Allowed: js.Allowed, RefClass: js.RefClass,
+			})
+		}
+		if err := kb.AddClass(c); err != nil {
+			return err
+		}
+	}
+	for _, ji := range in.Instances {
+		inst := NewInstance(ji.ID, ji.Class)
+		for n, jv := range ji.Values {
+			k, err := parseKind(jv.Kind)
+			if err != nil {
+				return err
+			}
+			inst.Values[n] = Value{Kind: k, S: jv.S, N: jv.N, B: jv.B, L: jv.L}
+		}
+		if err := kb.AddInstance(inst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode builds a KB from JSON produced by MarshalJSON.
+func Decode(data []byte) (*KB, error) {
+	kb := NewKB()
+	if err := kb.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return kb, nil
+}

@@ -1,0 +1,149 @@
+package pdl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/plantree"
+	"repro/internal/workflow"
+)
+
+// Format renders a plan tree as PDL source text that Parse accepts and that
+// parses back to an equivalent (normalized) tree.
+func Format(root *plantree.Node) (string, error) {
+	if err := root.Validate(0); err != nil {
+		return "", err
+	}
+	root = root.Clone().Normalize()
+	var sb strings.Builder
+	sb.WriteString("BEGIN,\n")
+	f := &formatter{sb: &sb}
+	if root.Kind == plantree.KindSequential && root.Condition == "" {
+		f.writeBody(root.Children, 1)
+	} else {
+		f.writeBody([]*plantree.Node{root}, 1)
+	}
+	sb.WriteString(",\nEND\n")
+	return sb.String(), nil
+}
+
+type formatter struct {
+	sb *strings.Builder
+}
+
+func (f *formatter) indent(depth int) {
+	for i := 0; i < depth; i++ {
+		f.sb.WriteString("  ")
+	}
+}
+
+func (f *formatter) writeBody(nodes []*plantree.Node, depth int) {
+	for i, n := range nodes {
+		if i > 0 {
+			f.sb.WriteString(";\n")
+		}
+		f.indent(depth)
+		f.writeNode(n, depth)
+	}
+}
+
+func (f *formatter) writeNode(n *plantree.Node, depth int) {
+	switch n.Kind {
+	case plantree.KindActivity:
+		if n.Name != "" && n.Name != n.Service {
+			fmt.Fprintf(f.sb, "%s = %s", n.Name, n.Service)
+		} else {
+			f.sb.WriteString(n.Service)
+		}
+		if len(n.Inputs) > 0 || len(n.Outputs) > 0 {
+			f.sb.WriteString("(")
+			f.sb.WriteString(strings.Join(n.Inputs, ", "))
+			if len(n.Outputs) > 0 {
+				f.sb.WriteString(" -> ")
+				f.sb.WriteString(strings.Join(n.Outputs, ", "))
+			}
+			f.sb.WriteString(")")
+		}
+
+	case plantree.KindSequential:
+		// A sequential in element position writes its children inline,
+		// separated by ';' (the body syntax).
+		for i, c := range n.Children {
+			if i > 0 {
+				f.sb.WriteString(";\n")
+				f.indent(depth)
+			}
+			f.writeNode(c, depth)
+		}
+
+	case plantree.KindConcurrent:
+		f.sb.WriteString("{FORK\n")
+		for _, c := range n.Children {
+			f.writeBranch(c, depth+1)
+		}
+		f.indent(depth)
+		f.sb.WriteString("JOIN}")
+
+	case plantree.KindSelective:
+		f.sb.WriteString("{CHOICE\n")
+		for _, c := range n.Children {
+			if c.Condition != "" {
+				f.indent(depth + 1)
+				fmt.Fprintf(f.sb, "{COND %s}\n", c.Condition)
+			}
+			f.writeBranch(c, depth+1)
+		}
+		f.indent(depth)
+		f.sb.WriteString("MERGE}")
+
+	case plantree.KindIterative:
+		fmt.Fprintf(f.sb, "{ITERATIVE {COND %s}\n", n.Condition)
+		f.writeSeqBranch(n.Children, depth+1)
+		f.indent(depth)
+		f.sb.WriteString("}")
+	}
+}
+
+// writeBranch writes one child as a braced branch.
+func (f *formatter) writeBranch(n *plantree.Node, depth int) {
+	if n.Kind == plantree.KindSequential {
+		f.writeSeqBranch(n.Children, depth)
+		return
+	}
+	f.indent(depth)
+	f.sb.WriteString("{")
+	f.writeNode(stripCondition(n), depth)
+	f.sb.WriteString("}\n")
+}
+
+// writeSeqBranch writes a braced branch holding a sequence of nodes.
+func (f *formatter) writeSeqBranch(nodes []*plantree.Node, depth int) {
+	f.indent(depth)
+	f.sb.WriteString("{\n")
+	f.writeBody(nodes, depth+1)
+	f.sb.WriteString("\n")
+	f.indent(depth)
+	f.sb.WriteString("}\n")
+}
+
+// stripCondition returns n without its guard condition (the guard is printed
+// separately as {COND ...}); the original node is not modified.
+func stripCondition(n *plantree.Node) *plantree.Node {
+	if n.Condition == "" || n.Kind == plantree.KindIterative {
+		return n
+	}
+	c := *n
+	c.Condition = ""
+	return &c
+}
+
+// FormatProcess renders a graph-form process description as PDL text by
+// first recovering its plan tree; it fails if the process is not
+// well-structured.
+func FormatProcess(p *workflow.ProcessDescription) (string, error) {
+	tree, err := plantree.FromProcess(p)
+	if err != nil {
+		return "", err
+	}
+	return Format(tree)
+}

@@ -1,0 +1,50 @@
+package pdl
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse checks the PDL parser never panics, and that accepted inputs
+// survive the Format/Parse round trip structurally. Explore with
+// `go test -fuzz=FuzzParse ./internal/pdl`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`BEGIN, A, END`,
+		`BEGIN, A; B; C, END`,
+		`BEGIN, {FORK {A} {B} JOIN}, END`,
+		`BEGIN, {CHOICE {COND x.v > 0} {A} {B} MERGE}, END`,
+		`BEGIN, {ITERATIVE {COND x.v > 0} {A; B}}, END`,
+		`BEGIN, PSF(D10, D11 -> D12), END`,
+		`BEGIN, P3DR1 = P3DR(D2 -> D9), END`,
+		fig10Source,
+		fig10Bound,
+		`BEGIN`,
+		`BEGIN, {FORK`,
+		`BEGIN, A(->, END`,
+		`BEGIN, , END`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if !utf8.ValidString(src) || len(src) > 1<<12 {
+			return
+		}
+		tree, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text, err := Format(tree)
+		if err != nil {
+			t.Fatalf("accepted %q but Format failed: %v", src, err)
+		}
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse:\n%s\nerr: %v", text, err)
+		}
+		if !back.Equal(tree.Normalize()) {
+			t.Fatalf("round trip changed the tree:\n src %q\n got %s", src, back)
+		}
+	})
+}

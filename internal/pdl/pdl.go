@@ -1,0 +1,533 @@
+// Package pdl implements the textual process description language of the
+// paper's Section 2 BNF. A process description is a BEGIN..END block whose
+// body composes activities with the three structured constructs:
+//
+//	process     := "BEGIN" "," body "," "END"
+//	body        := element { ";" element }
+//	element     := activity | concurrent | selective | iterative
+//	activity    := Ident [ "=" Ident ] [ "(" names [ "->" names ] ")" ]
+//	names       := Ident { "," Ident } | ""      // input / output data sets
+//	concurrent  := "{" "FORK"   branch branch+ "JOIN" "}"
+//	selective   := "{" "CHOICE" guarded guarded+ "MERGE" "}"
+//	iterative   := "{" "ITERATIVE" "{" "COND" condition "}" branch "}"
+//	branch      := "{" body "}"
+//	guarded     := [ "{" "COND" condition "}" ] branch
+//	condition   := condition-expression (see package expr)
+//
+// An example corresponding to Figure 10:
+//
+//	BEGIN,
+//	  POD;
+//	  P3DR1 = P3DR;
+//	  {ITERATIVE {COND D10.value > 8}
+//	    {POR;
+//	     {FORK {P3DR2 = P3DR} {P3DR3 = P3DR} {P3DR4 = P3DR} JOIN};
+//	     PSF}
+//	  },
+//	END
+//
+// Parsing produces a plan tree (package plantree), which converts losslessly
+// to the graph-form process description (package workflow) via
+// plantree.ToProcess; Format inverts Parse.
+package pdl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/expr"
+	"repro/internal/plantree"
+	"repro/internal/workflow"
+)
+
+// Error describes a PDL parse failure with line/column position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("pdl: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type tkind int
+
+const (
+	tEOF tkind = iota
+	tIdent
+	tLBrace
+	tRBrace
+	tSemi
+	tComma
+	tEquals
+	tLParen
+	tRParen
+	tArrow
+	tCondText // raw condition text captured after COND
+)
+
+type tok struct {
+	kind      tkind
+	text      string
+	line, col int
+}
+
+type scanner struct {
+	src       string
+	pos       int
+	line, col int
+}
+
+func newScanner(src string) *scanner { return &scanner{src: src, line: 1, col: 1} }
+
+func (s *scanner) errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *scanner) advance(r rune, size int) {
+	s.pos += size
+	if r == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+}
+
+func (s *scanner) skipSpaceAndComments() {
+	for s.pos < len(s.src) {
+		r, size := utf8.DecodeRuneInString(s.src[s.pos:])
+		if unicode.IsSpace(r) {
+			s.advance(r, size)
+			continue
+		}
+		// Line comments: #... or //...
+		if r == '#' || (r == '/' && strings.HasPrefix(s.src[s.pos:], "//")) {
+			for s.pos < len(s.src) {
+				r, size = utf8.DecodeRuneInString(s.src[s.pos:])
+				s.advance(r, size)
+				if r == '\n' {
+					break
+				}
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (s *scanner) next() (tok, error) {
+	s.skipSpaceAndComments()
+	line, col := s.line, s.col
+	if s.pos >= len(s.src) {
+		return tok{kind: tEOF, line: line, col: col}, nil
+	}
+	r, size := utf8.DecodeRuneInString(s.src[s.pos:])
+	switch r {
+	case '{':
+		s.advance(r, size)
+		return tok{kind: tLBrace, text: "{", line: line, col: col}, nil
+	case '}':
+		s.advance(r, size)
+		return tok{kind: tRBrace, text: "}", line: line, col: col}, nil
+	case ';':
+		s.advance(r, size)
+		return tok{kind: tSemi, text: ";", line: line, col: col}, nil
+	case ',':
+		s.advance(r, size)
+		return tok{kind: tComma, text: ",", line: line, col: col}, nil
+	case '=':
+		s.advance(r, size)
+		return tok{kind: tEquals, text: "=", line: line, col: col}, nil
+	case '(':
+		s.advance(r, size)
+		return tok{kind: tLParen, text: "(", line: line, col: col}, nil
+	case ')':
+		s.advance(r, size)
+		return tok{kind: tRParen, text: ")", line: line, col: col}, nil
+	case '-':
+		s.advance(r, size)
+		if s.pos < len(s.src) && s.src[s.pos] == '>' {
+			s.advance('>', 1)
+			return tok{kind: tArrow, text: "->", line: line, col: col}, nil
+		}
+		return tok{}, s.errf(line, col, "expected '->' after '-'")
+	}
+	if unicode.IsLetter(r) || r == '_' {
+		start := s.pos
+		for s.pos < len(s.src) {
+			r, size = utf8.DecodeRuneInString(s.src[s.pos:])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' && r != '-' {
+				break
+			}
+			s.advance(r, size)
+		}
+		return tok{kind: tIdent, text: s.src[start:s.pos], line: line, col: col}, nil
+	}
+	return tok{}, s.errf(line, col, "unexpected character %q", r)
+}
+
+// condText captures raw text until the next unmatched '}' (conditions never
+// contain braces), leaving the '}' unconsumed.
+func (s *scanner) condText() (string, error) {
+	start := s.pos
+	for s.pos < len(s.src) {
+		r, size := utf8.DecodeRuneInString(s.src[s.pos:])
+		if r == '}' {
+			return strings.TrimSpace(s.src[start:s.pos]), nil
+		}
+		if r == '{' {
+			return "", s.errf(s.line, s.col, "'{' not allowed inside a condition")
+		}
+		s.advance(r, size)
+	}
+	return "", s.errf(s.line, s.col, "unterminated condition")
+}
+
+type parser struct {
+	s   *scanner
+	tok tok
+}
+
+func (p *parser) advance() error {
+	t, err := p.s.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return p.s.errf(p.tok.line, p.tok.col, format, args...)
+}
+
+func (p *parser) expect(kind tkind, what string) error {
+	if p.tok.kind != kind {
+		return p.errf("expected %s, found %q", what, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tIdent || !strings.EqualFold(p.tok.text, kw) {
+		return p.errf("expected %s, found %q", kw, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+// Parse parses PDL source into a plan tree.
+func Parse(src string) (*plantree.Node, error) {
+	p := &parser{s: newScanner(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BEGIN"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tComma, "','"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBody(func() bool { return p.tok.kind == tComma })
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tComma, "','"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tEOF {
+		return nil, p.errf("unexpected %q after END", p.tok.text)
+	}
+	root := plantree.Seq(body...).Normalize()
+	if err := root.Validate(0); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// parseBody parses element {";" element} until stop() reports the body is
+// done (at a ',' before END or at a closing '}').
+func (p *parser) parseBody(stop func() bool) ([]*plantree.Node, error) {
+	var nodes []*plantree.Node
+	for {
+		n, err := p.parseElement()
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+		if p.tok.kind == tSemi {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if stop() || p.tok.kind == tRBrace {
+			return nodes, nil
+		}
+		return nil, p.errf("expected ';', found %q", p.tok.text)
+	}
+}
+
+func (p *parser) parseElement() (*plantree.Node, error) {
+	if p.tok.kind == tLBrace {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.atKeyword("FORK"):
+			return p.parseFork()
+		case p.atKeyword("CHOICE"):
+			return p.parseChoice()
+		case p.atKeyword("ITERATIVE"):
+			return p.parseIterative()
+		default:
+			return nil, p.errf("expected FORK, CHOICE, or ITERATIVE, found %q", p.tok.text)
+		}
+	}
+	if p.tok.kind != tIdent {
+		return nil, p.errf("expected activity name, found %q", p.tok.text)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	service := name
+	if p.tok.kind == tEquals {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tIdent {
+			return nil, p.errf("expected service name after '=', found %q", p.tok.text)
+		}
+		service = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	a := plantree.Activity(service)
+	if name != service {
+		a.Name = name
+	}
+	if p.tok.kind == tLParen {
+		inputs, outputs, err := p.parseBindings()
+		if err != nil {
+			return nil, err
+		}
+		a.Inputs = inputs
+		a.Outputs = outputs
+	}
+	return a, nil
+}
+
+// parseBindings parses "(" names ["->" names] ")".
+func (p *parser) parseBindings() (inputs, outputs []string, err error) {
+	if err := p.advance(); err != nil { // consume '('
+		return nil, nil, err
+	}
+	readNames := func() ([]string, error) {
+		var names []string
+		for p.tok.kind == tIdent {
+			names = append(names, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		return names, nil
+	}
+	inputs, err = readNames()
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.tok.kind == tArrow {
+		if err := p.advance(); err != nil {
+			return nil, nil, err
+		}
+		outputs, err = readNames()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if p.tok.kind != tRParen {
+		return nil, nil, p.errf("expected ')' after data bindings, found %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, nil, err
+	}
+	return inputs, outputs, nil
+}
+
+// parseBranch parses "{" body "}" and returns a single node (wrapping
+// multi-element bodies in a sequential).
+func (p *parser) parseBranch() (*plantree.Node, error) {
+	if err := p.expect(tLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBody(func() bool { return false })
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tRBrace, "'}'"); err != nil {
+		return nil, err
+	}
+	if len(body) == 1 {
+		return body[0], nil
+	}
+	return plantree.Seq(body...), nil
+}
+
+// parseCond parses "{" "COND" text "}" and returns the validated condition.
+// The condition text is captured raw from the scanner (it is a different
+// language, handled by package expr), so it may contain characters the PDL
+// tokenizer does not know.
+func (p *parser) parseCond() (string, error) {
+	if err := p.expect(tLBrace, "'{'"); err != nil {
+		return "", err
+	}
+	if !p.atKeyword("COND") {
+		return "", p.errf("expected COND, found %q", p.tok.text)
+	}
+	// Capture everything between COND and the closing brace without
+	// tokenizing it.
+	cond, err := p.s.condText()
+	if err != nil {
+		return "", err
+	}
+	if _, err := expr.Parse(cond); err != nil {
+		return "", p.errf("bad condition %q: %v", cond, err)
+	}
+	// Re-prime the token stream: the next token is the closing brace.
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	if err := p.expect(tRBrace, "'}' after condition"); err != nil {
+		return "", err
+	}
+	return cond, nil
+}
+
+func (p *parser) parseFork() (*plantree.Node, error) {
+	if err := p.advance(); err != nil { // consume FORK
+		return nil, err
+	}
+	node := plantree.Conc()
+	for p.tok.kind == tLBrace {
+		br, err := p.parseBranch()
+		if err != nil {
+			return nil, err
+		}
+		node.Children = append(node.Children, br)
+	}
+	if err := p.expectKeyword("JOIN"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tRBrace, "'}'"); err != nil {
+		return nil, err
+	}
+	if len(node.Children) < 2 {
+		return nil, p.errf("FORK needs at least two branches, has %d", len(node.Children))
+	}
+	return node, nil
+}
+
+func (p *parser) parseChoice() (*plantree.Node, error) {
+	if err := p.advance(); err != nil { // consume CHOICE
+		return nil, err
+	}
+	node := plantree.Sel()
+	for p.tok.kind == tLBrace {
+		// Peek: a brace group starting with COND is a guard for the next
+		// branch; otherwise it is an unguarded branch.
+		cond := ""
+		save := *p.s
+		saveTok := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.atKeyword("COND") {
+			*p.s = save
+			p.tok = saveTok
+			c, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			cond = c
+			if p.tok.kind != tLBrace {
+				return nil, p.errf("expected branch after condition, found %q", p.tok.text)
+			}
+		} else {
+			*p.s = save
+			p.tok = saveTok
+		}
+		br, err := p.parseBranch()
+		if err != nil {
+			return nil, err
+		}
+		if cond != "" {
+			// An iterative alternative keeps its loop condition; its guard
+			// goes on a sequential wrapper (same convention as plantree).
+			if br.Kind == plantree.KindIterative || br.Condition != "" {
+				br = plantree.Seq(br)
+			}
+			br.Condition = cond
+		}
+		node.Children = append(node.Children, br)
+	}
+	if err := p.expectKeyword("MERGE"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tRBrace, "'}'"); err != nil {
+		return nil, err
+	}
+	if len(node.Children) < 2 {
+		return nil, p.errf("CHOICE needs at least two alternatives, has %d", len(node.Children))
+	}
+	return node, nil
+}
+
+func (p *parser) parseIterative() (*plantree.Node, error) {
+	if err := p.advance(); err != nil { // consume ITERATIVE
+		return nil, err
+	}
+	cond, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBranch()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tRBrace, "'}'"); err != nil {
+		return nil, err
+	}
+	node := plantree.Iter(body)
+	if body.Kind == plantree.KindSequential && body.Condition == "" {
+		node.Children = body.Children
+	}
+	node.Condition = cond
+	return node, nil
+}
+
+// ParseProcess parses PDL source and converts it to a graph-form process
+// description with the given name.
+func ParseProcess(name, src string) (*workflow.ProcessDescription, error) {
+	tree, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return plantree.ToProcess(name, tree)
+}

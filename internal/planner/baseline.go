@@ -1,0 +1,114 @@
+package planner
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/plantree"
+	"repro/internal/workflow"
+)
+
+// ForwardSearch is the deterministic baseline planner: breadth-first search
+// through the metadata state space, applying one service per step, until the
+// goal conditions hold. It returns a purely sequential plan (the kind a
+// hand-written coordination script encodes), or an error when no plan exists
+// within maxDepth steps.
+//
+// This is the comparison point for the paper's argument that scripts handle
+// well-defined tasks but GP planning copes with a wider solution space: the
+// forward search cannot produce concurrent or iterative structure.
+func ForwardSearch(problem *workflow.Problem, maxDepth int) (*plantree.Node, error) {
+	if err := problem.Validate(); err != nil {
+		return nil, err
+	}
+	if maxDepth < 1 {
+		maxDepth = 16
+	}
+	type entry struct {
+		state *workflow.State
+		plan  []string
+	}
+	start := problem.Initial.Clone()
+	if problem.Goal.Fitness(start) >= 1 {
+		return nil, fmt.Errorf("planner: goal already satisfied by the initial state")
+	}
+	queue := []entry{{state: start}}
+	visited := map[string]bool{stateKey(start): true}
+	services := problem.Catalog.Services()
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if len(cur.plan) >= maxDepth {
+			continue
+		}
+		for _, svc := range services {
+			next, ok := svc.Apply(cur.state, nil, len(cur.plan))
+			if !ok {
+				continue
+			}
+			key := stateKey(next)
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			plan := append(append([]string(nil), cur.plan...), svc.Name)
+			if problem.Goal.Fitness(next) >= 1 {
+				nodes := make([]*plantree.Node, len(plan))
+				for i, s := range plan {
+					nodes[i] = plantree.Activity(s)
+				}
+				if len(nodes) == 1 {
+					return nodes[0], nil
+				}
+				return plantree.Seq(nodes...), nil
+			}
+			queue = append(queue, entry{state: next, plan: plan})
+		}
+	}
+	return nil, fmt.Errorf("planner: forward search found no plan within depth %d", maxDepth)
+}
+
+// stateKey canonicalizes a state as the sorted multiset of item
+// classifications — the property-level signature the services' conditions
+// actually read.
+func stateKey(st *workflow.State) string {
+	var parts []string
+	for _, it := range st.Items() {
+		parts = append(parts, it.Classification())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// RandomSearch evaluates n random trees and returns the best, giving the
+// no-evolution baseline with the same evaluation budget as a GP run.
+func RandomSearch(problem *workflow.Problem, params Params, n int) (*Result, error) {
+	ev, err := NewEvaluator(problem, params)
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		n = params.PopulationSize * (params.Generations + 1)
+	}
+	rng := rand.New(rand.NewSource(params.Seed))
+	services := problem.Catalog.Names()
+	res := &Result{}
+	for i := 0; i < n; i++ {
+		tree := plantree.Random(rng, services, params.Smax)
+		e := ev.Evaluate(tree)
+		if res.Best.Tree == nil || e.Fitness > res.Best.Eval.Fitness {
+			res.Best = Individual{Tree: tree, Eval: e}
+		}
+	}
+	res.Evaluations = ev.Evaluations
+	res.History = []GenStats{{
+		Generation:  0,
+		BestFitness: res.Best.Eval.Fitness,
+		BestFV:      res.Best.Eval.FV,
+		BestFG:      res.Best.Eval.FG,
+		BestSize:    res.Best.Eval.Size,
+	}}
+	return res, nil
+}

@@ -1,0 +1,240 @@
+package planner
+
+import (
+	"repro/internal/expr"
+	"repro/internal/plantree"
+	"repro/internal/workflow"
+)
+
+// Evaluation is the fitness breakdown of one plan (Section 3.4.4).
+type Evaluation struct {
+	Fitness float64 // f  = wv*fv + wg*fg + wr*fr     (Equation 4)
+	FV      float64 // fv = valid / executed          (Equation 1)
+	FG      float64 // fg = goals met / goals, flow-averaged (Equation 2)
+	FR      float64 // fr = 1 - size/Smax             (Equation 3)
+	Size    int
+	Flows   int // number of execution flows enumerated
+}
+
+// Evaluator scores plan trees against a planning problem. It caches
+// per-tree results (selection duplicates individuals heavily) and
+// pre-compiles the goal conditions.
+type Evaluator struct {
+	problem *workflow.Problem
+	params  Params
+	goals   []expr.Node
+	cache   map[string]Evaluation
+
+	// Evaluations counts cache-missing evaluations performed.
+	Evaluations int
+}
+
+// NewEvaluator builds an evaluator for the problem.
+func NewEvaluator(problem *workflow.Problem, params Params) (*Evaluator, error) {
+	if err := problem.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	ev := &Evaluator{
+		problem: problem,
+		params:  params,
+		cache:   make(map[string]Evaluation),
+	}
+	for _, c := range problem.Goal.Conditions {
+		n, err := expr.Parse(c)
+		if err != nil {
+			return nil, err
+		}
+		ev.goals = append(ev.goals, n)
+	}
+	return ev, nil
+}
+
+// decisionPoint is one selective or iterative node, whose flow choice is
+// enumerated.
+type decisionPoint struct {
+	node   *plantree.Node
+	domain int // selective: child count; iterative: MaxLoopUnroll
+}
+
+// Evaluate scores the tree.
+func (ev *Evaluator) Evaluate(tree *plantree.Node) Evaluation {
+	key := tree.String()
+	if e, ok := ev.cache[key]; ok {
+		return e
+	}
+	if len(ev.cache) > 1<<17 {
+		ev.cache = make(map[string]Evaluation) // bound memory across long sweeps
+	}
+	e := ev.evaluateOnly(tree)
+	ev.Evaluations++
+	ev.cache[key] = e
+	return e
+}
+
+// evaluateOnly computes the fitness without touching the cache or the
+// evaluation counter; it is safe to call from multiple goroutines
+// concurrently (the problem and params are read-only).
+func (ev *Evaluator) evaluateOnly(tree *plantree.Node) Evaluation {
+	size := tree.Size()
+	fr := 1 - float64(size)/float64(ev.params.Smax)
+	if fr < 0 {
+		fr = 0
+	}
+
+	// Collect decision points in pre-order.
+	var points []decisionPoint
+	for _, loc := range tree.Nodes() {
+		switch loc.Node.Kind {
+		case plantree.KindSelective:
+			if len(loc.Node.Children) > 1 {
+				points = append(points, decisionPoint{loc.Node, len(loc.Node.Children)})
+			}
+		case plantree.KindIterative:
+			if ev.params.MaxLoopUnroll > 1 {
+				points = append(points, decisionPoint{loc.Node, ev.params.MaxLoopUnroll})
+			}
+		case plantree.KindConcurrent:
+			// Concurrent children may run in any order; enumerating the
+			// forward and reverse orders catches most order dependencies.
+			if ev.params.StrictConcurrency && len(loc.Node.Children) > 1 {
+				points = append(points, decisionPoint{loc.Node, 2})
+			}
+		}
+	}
+
+	decisions := make(map[*plantree.Node]int, len(points))
+	odometer := make([]int, len(points))
+	totalValid, totalExecuted := 0, 0
+	goalSum := 0.0
+	flows := 0
+	initial := workflow.ItemList(ev.problem.Initial.Items())
+	for {
+		for i, p := range points {
+			decisions[p.node] = odometer[i]
+		}
+		sim := flowSim{ev: ev, decisions: decisions}
+		items := sim.run(tree, initial)
+		totalValid += sim.valid
+		totalExecuted += sim.executed
+		goalSum += ev.goalFitness(items)
+		flows++
+		if flows >= ev.params.MaxFlows || !advance(odometer, points) {
+			break
+		}
+	}
+
+	fv := 1.0
+	if totalExecuted > 0 {
+		fv = float64(totalValid) / float64(totalExecuted)
+	}
+	fg := goalSum / float64(flows)
+	f := ev.params.WV*fv + ev.params.WG*fg + ev.params.WR*fr
+	return Evaluation{Fitness: f, FV: fv, FG: fg, FR: fr, Size: size, Flows: flows}
+}
+
+// advance increments the odometer; it reports false on wrap-around.
+func advance(odometer []int, points []decisionPoint) bool {
+	for i := len(odometer) - 1; i >= 0; i-- {
+		odometer[i]++
+		if odometer[i] < points[i].domain {
+			return true
+		}
+		odometer[i] = 0
+	}
+	return false
+}
+
+// goalFitness evaluates Equation 2 with the pre-compiled goal conditions: a
+// condition is met if some data item, bound to the formal object G,
+// satisfies it.
+func (ev *Evaluator) goalFitness(items workflow.ItemList) float64 {
+	if len(ev.goals) == 0 {
+		return 1
+	}
+	met := 0
+	formals := map[string]*workflow.DataItem{}
+	b := workflow.Binding{Formals: formals, Base: items}
+	for _, g := range ev.goals {
+		for _, it := range items {
+			formals["G"] = it
+			if g.Eval(b) {
+				met++
+				break
+			}
+		}
+	}
+	return float64(met) / float64(len(ev.goals))
+}
+
+// flowSim simulates one execution flow of a plan (the validity simulation of
+// Section 3.4.4): activities apply their service's pre- and postconditions
+// to the metadata state; invalid activities count against fv and leave the
+// state unchanged. The state is an append-only item list, so flows are
+// cheap: no cloning, only appends.
+type flowSim struct {
+	ev        *Evaluator
+	decisions map[*plantree.Node]int
+	valid     int
+	executed  int
+	seq       int
+}
+
+func (fs *flowSim) run(n *plantree.Node, items workflow.ItemList) workflow.ItemList {
+	switch n.Kind {
+	case plantree.KindActivity:
+		fs.executed++
+		svc := fs.ev.problem.Catalog.Get(n.Service)
+		if svc == nil {
+			return items // unknown service: invalid activity
+		}
+		if _, ok := svc.BindItems(items); !ok {
+			return items
+		}
+		fs.valid++
+		fs.seq++
+		return append(items, svc.Produce(nil, fs.seq)...)
+
+	case plantree.KindSequential:
+		for _, c := range n.Children {
+			items = fs.run(c, items)
+		}
+		return items
+
+	case plantree.KindConcurrent:
+		// Decision 0 runs the children left to right, decision 1 right to
+		// left (StrictConcurrency); without strict mode only order 0 exists.
+		if fs.decisions[n] == 1 {
+			for i := len(n.Children) - 1; i >= 0; i-- {
+				items = fs.run(n.Children[i], items)
+			}
+			return items
+		}
+		for _, c := range n.Children {
+			items = fs.run(c, items)
+		}
+		return items
+
+	case plantree.KindSelective:
+		if len(n.Children) == 0 {
+			return items
+		}
+		pick := fs.decisions[n]
+		if pick >= len(n.Children) {
+			pick = 0
+		}
+		return fs.run(n.Children[pick], items)
+
+	case plantree.KindIterative:
+		iters := fs.decisions[n] + 1 // decision d means d+1 iterations
+		for i := 0; i < iters; i++ {
+			for _, c := range n.Children {
+				items = fs.run(c, items)
+			}
+		}
+		return items
+	}
+	return items
+}

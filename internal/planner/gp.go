@@ -1,0 +1,398 @@
+package planner
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/plantree"
+	"repro/internal/workflow"
+)
+
+// Individual is one member of the GP population.
+type Individual struct {
+	Tree *plantree.Node
+	Eval Evaluation
+}
+
+// GenStats summarizes one generation for the experiment harness.
+type GenStats struct {
+	Generation  int
+	BestFitness float64
+	MeanFitness float64
+	BestFV      float64
+	BestFG      float64
+	BestSize    int
+}
+
+// Result is the outcome of one GP run.
+type Result struct {
+	Best        Individual
+	History     []GenStats
+	Evaluations int // fitness evaluations actually computed (cache misses)
+}
+
+// GP is the genetic planner. Create with New, run with Run.
+type GP struct {
+	problem  *workflow.Problem
+	params   Params
+	rng      *rand.Rand
+	eval     *Evaluator
+	services []string
+	seeds    []*plantree.Node
+}
+
+// Seed injects existing plan trees into the initial population (plan reuse:
+// re-planning "adapts an existing process description to new conditions").
+// Seeds larger than Smax or structurally invalid are ignored. Call before
+// Run.
+func (gp *GP) Seed(trees ...*plantree.Node) {
+	for _, t := range trees {
+		if t == nil || t.Validate(gp.params.Smax) != nil {
+			continue
+		}
+		gp.seeds = append(gp.seeds, t.Clone())
+	}
+}
+
+// New builds a GP planner for the problem.
+func New(problem *workflow.Problem, params Params) (*GP, error) {
+	ev, err := NewEvaluator(problem, params)
+	if err != nil {
+		return nil, err
+	}
+	return &GP{
+		problem:  problem,
+		params:   params,
+		rng:      rand.New(rand.NewSource(params.Seed)),
+		eval:     ev,
+		services: problem.Catalog.Names(),
+	}, nil
+}
+
+// Run executes the procedure of Section 3.4.6: initialize, then for each
+// generation evaluate, select, cross over, and mutate; finally return the
+// highest-fitness plan seen in the final population.
+func (gp *GP) Run() (*Result, error) {
+	pop := make([]Individual, gp.params.PopulationSize)
+	for i := range pop {
+		if i < len(gp.seeds) {
+			pop[i].Tree = gp.seeds[i].Clone()
+			continue
+		}
+		pop[i].Tree = plantree.Random(gp.rng, gp.services, gp.params.Smax)
+	}
+
+	res := &Result{}
+	for gen := 0; gen <= gp.params.Generations; gen++ {
+		gp.evaluateAll(pop)
+		res.History = append(res.History, summarize(gen, pop))
+		if gen == gp.params.Generations {
+			break
+		}
+		elites := gp.takeElites(pop)
+		pop = gp.selectPop(pop)
+		gp.crossoverPop(pop)
+		gp.mutatePop(pop)
+		// Elites overwrite the tail slots, untouched by the operators.
+		for i, e := range elites {
+			pop[len(pop)-1-i] = e
+		}
+	}
+
+	best := pop[0]
+	for _, ind := range pop[1:] {
+		if ind.Eval.Fitness > best.Eval.Fitness {
+			best = ind
+		}
+	}
+	best.Tree = best.Tree.Clone()
+	res.Best = best
+	res.Evaluations = gp.eval.Evaluations
+	return res, nil
+}
+
+// evaluateAll scores the population, computing each distinct tree once and
+// fanning the cache misses out over the available cores. Results are
+// independent of evaluation order, so parallelism does not affect
+// determinism.
+// takeElites clones the top-k individuals of the evaluated population.
+func (gp *GP) takeElites(pop []Individual) []Individual {
+	k := gp.params.Elites
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, len(pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return pop[idx[a]].Eval.Fitness > pop[idx[b]].Eval.Fitness
+	})
+	elites := make([]Individual, 0, k)
+	for _, i := range idx[:k] {
+		elites = append(elites, Individual{Tree: pop[i].Tree.Clone(), Eval: pop[i].Eval})
+	}
+	return elites
+}
+
+func (gp *GP) evaluateAll(pop []Individual) {
+	keys := make([]string, len(pop))
+	misses := make(map[string]*plantree.Node)
+	var missKeys []string
+	for i := range pop {
+		k := pop[i].Tree.String()
+		keys[i] = k
+		if _, ok := gp.eval.cache[k]; ok {
+			continue
+		}
+		if _, ok := misses[k]; !ok {
+			misses[k] = pop[i].Tree
+			missKeys = append(missKeys, k)
+		}
+	}
+
+	results := make([]Evaluation, len(missKeys))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(missKeys) {
+		workers = len(missKeys)
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(missKeys) {
+						return
+					}
+					results[i] = gp.eval.evaluateOnly(misses[missKeys[i]])
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, k := range missKeys {
+			results[i] = gp.eval.evaluateOnly(misses[k])
+		}
+	}
+	gp.eval.Evaluations += len(missKeys)
+	if len(gp.eval.cache) > 1<<17 {
+		gp.eval.cache = make(map[string]Evaluation) // bound memory
+	}
+	for i, k := range missKeys {
+		gp.eval.cache[k] = results[i]
+	}
+	for i := range pop {
+		e, ok := gp.eval.cache[keys[i]]
+		if !ok {
+			// Only possible right after a cache trim evicted a prior hit.
+			e = gp.eval.Evaluate(pop[i].Tree)
+		}
+		pop[i].Eval = e
+	}
+}
+
+func summarize(gen int, pop []Individual) GenStats {
+	best := pop[0]
+	sum := 0.0
+	for _, ind := range pop {
+		sum += ind.Eval.Fitness
+		if ind.Eval.Fitness > best.Eval.Fitness {
+			best = ind
+		}
+	}
+	return GenStats{
+		Generation:  gen,
+		BestFitness: best.Eval.Fitness,
+		MeanFitness: sum / float64(len(pop)),
+		BestFV:      best.Eval.FV,
+		BestFG:      best.Eval.FG,
+		BestSize:    best.Eval.Size,
+	}
+}
+
+// selectPop forms the next generation (Section 3.4.5).
+func (gp *GP) selectPop(pop []Individual) []Individual {
+	next := make([]Individual, len(pop))
+	switch gp.params.Selection {
+	case SelectRoulette:
+		total := 0.0
+		for _, ind := range pop {
+			total += ind.Eval.Fitness
+		}
+		for i := range next {
+			pick := pop[len(pop)-1]
+			if total > 0 {
+				r := gp.rng.Float64() * total
+				acc := 0.0
+				for _, ind := range pop {
+					acc += ind.Eval.Fitness
+					if acc >= r {
+						pick = ind
+						break
+					}
+				}
+			} else {
+				pick = pop[gp.rng.Intn(len(pop))]
+			}
+			next[i] = Individual{Tree: pick.Tree.Clone(), Eval: pick.Eval}
+		}
+	default: // tournament
+		k := gp.params.TournamentSize
+		for i := range next {
+			winner := pop[gp.rng.Intn(len(pop))]
+			for j := 1; j < k; j++ {
+				challenger := pop[gp.rng.Intn(len(pop))]
+				if challenger.Eval.Fitness > winner.Eval.Fitness {
+					winner = challenger
+				}
+			}
+			next[i] = Individual{Tree: winner.Tree.Clone(), Eval: winner.Eval}
+		}
+	}
+	return next
+}
+
+func (gp *GP) crossoverPop(pop []Individual) {
+	for i := 0; i+1 < len(pop); i += 2 {
+		if gp.rng.Float64() >= gp.params.CrossoverRate {
+			continue
+		}
+		Crossover(gp.rng, pop[i].Tree, pop[i+1].Tree, gp.params.Smax)
+	}
+}
+
+func (gp *GP) mutatePop(pop []Individual) {
+	for i := range pop {
+		Mutate(gp.rng, pop[i].Tree, gp.services, gp.params.MutationRate, gp.params.Smax)
+	}
+}
+
+// Crossover performs the subtree exchange of Figure 8 on two trees in
+// place: a random node is chosen in each parent and the subtrees rooted
+// there are swapped. If either offspring would exceed smax the crossover
+// fails and both parents are left unchanged. It reports whether the swap
+// happened.
+//
+// If a chosen node is a root, the root's content is swapped in place (the
+// caller keeps stable tree pointers).
+func Crossover(rng *rand.Rand, a, b *plantree.Node, smax int) bool {
+	locA := a.At(rng.Intn(a.Size()))
+	locB := b.At(rng.Intn(b.Size()))
+	sizeA, sizeB := locA.Node.Size(), locB.Node.Size()
+	newASize := a.Size() - sizeA + sizeB
+	newBSize := b.Size() - sizeB + sizeA
+	if newASize > smax || newBSize > smax {
+		return false
+	}
+	swapContent(locA.Node, locB.Node)
+	return true
+}
+
+// swapContent exchanges the payload of two nodes (kind, service, children,
+// condition), which swaps the subtrees while keeping the two node addresses
+// stable — this uniformly handles root selection.
+func swapContent(x, y *plantree.Node) {
+	*x, *y = *y, *x
+}
+
+// Mutate performs the mutation of Figure 9 in place: every node is selected
+// with probability rate; a selected node's subtree is replaced by a freshly
+// generated random tree. A replacement that would push the tree past smax
+// is skipped. It returns the number of mutations applied.
+func Mutate(rng *rand.Rand, tree *plantree.Node, services []string, rate float64, smax int) int {
+	if rate <= 0 {
+		return 0
+	}
+	applied := 0
+	// Collect nodes first; mutating while walking would visit fresh nodes.
+	for _, loc := range tree.Nodes() {
+		if rng.Float64() >= rate {
+			continue
+		}
+		budget := smax - (tree.Size() - loc.Node.Size())
+		if budget < 1 {
+			continue
+		}
+		repl := plantree.Random(rng, services, budget)
+		*loc.Node = *repl
+		applied++
+	}
+	return applied
+}
+
+// RunMany performs n independent GP runs with seeds seed, seed+1, ... and
+// returns the per-run results, reproducing the paper's 10-run protocol.
+func RunMany(problem *workflow.Problem, params Params, n int) ([]*Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("planner: RunMany with n=%d", n)
+	}
+	results := make([]*Result, n)
+	for i := 0; i < n; i++ {
+		p := params
+		p.Seed = params.Seed + int64(i)
+		gp, err := New(problem, p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := gp.Run()
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	return results, nil
+}
+
+// Summary aggregates the best solutions of multiple runs: the averages
+// reported in Table 2.
+type Summary struct {
+	Runs            int
+	AvgFitness      float64
+	AvgValidity     float64 // fv
+	AvgGoalFitness  float64 // fg
+	AvgSize         float64
+	MinFitness      float64
+	MaxFitness      float64
+	PerfectValidity int // runs reaching fv = 1
+	PerfectGoal     int // runs reaching fg = 1
+}
+
+// Summarize computes the Table 2 aggregate over run results.
+func Summarize(results []*Result) Summary {
+	s := Summary{Runs: len(results)}
+	if len(results) == 0 {
+		return s
+	}
+	fits := make([]float64, len(results))
+	for i, r := range results {
+		e := r.Best.Eval
+		fits[i] = e.Fitness
+		s.AvgFitness += e.Fitness
+		s.AvgValidity += e.FV
+		s.AvgGoalFitness += e.FG
+		s.AvgSize += float64(e.Size)
+		if e.FV >= 1 {
+			s.PerfectValidity++
+		}
+		if e.FG >= 1 {
+			s.PerfectGoal++
+		}
+	}
+	n := float64(len(results))
+	s.AvgFitness /= n
+	s.AvgValidity /= n
+	s.AvgGoalFitness /= n
+	s.AvgSize /= n
+	sort.Float64s(fits)
+	s.MinFitness = fits[0]
+	s.MaxFitness = fits[len(fits)-1]
+	return s
+}

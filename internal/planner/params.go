@@ -1,0 +1,124 @@
+// Package planner implements the paper's planning service: the GP-based
+// planner of Section 3.4 (tree-encoded plans, subtree crossover and
+// mutation, tournament selection, and the three-part fitness of Equations
+// 1-4), plus the deterministic baselines used for comparison benches
+// (forward state-space search and random search).
+package planner
+
+import "fmt"
+
+// SelectionScheme picks how the next generation is formed.
+type SelectionScheme int
+
+// Selection schemes. The paper uses binary tournament; roulette is kept for
+// the ablation benches.
+const (
+	SelectTournament SelectionScheme = iota
+	SelectRoulette
+)
+
+func (s SelectionScheme) String() string {
+	switch s {
+	case SelectTournament:
+		return "tournament"
+	case SelectRoulette:
+		return "roulette"
+	}
+	return fmt.Sprintf("SelectionScheme(%d)", int(s))
+}
+
+// Params are the GP settings. DefaultParams returns the paper's Table 1.
+type Params struct {
+	PopulationSize int
+	Generations    int
+	CrossoverRate  float64
+	MutationRate   float64 // per-node probability
+	Smax           int     // plan-tree size limit
+	WV, WG, WR     float64 // fitness weights (wv + wg + wr = 1)
+
+	// TournamentSize is the number of individuals compared per selection
+	// (the paper uses 2).
+	TournamentSize int
+	Selection      SelectionScheme
+
+	// Elites preserves the top-k individuals unchanged into the next
+	// generation (0 reproduces the paper exactly: selection only, so even
+	// the best plan can be destroyed by crossover or mutation). The
+	// planning service benefits from 1 when reusing seeded plans.
+	Elites int
+
+	// MaxLoopUnroll bounds how many iterations of an iterative node the
+	// fitness simulation enumerates (the paper enumerates "each possible
+	// flow"; loops make that unbounded, so we consider 1..MaxLoopUnroll
+	// iterations).
+	MaxLoopUnroll int
+	// MaxFlows caps the number of enumerated execution flows per plan; the
+	// enumeration is truncated in lexicographic decision order beyond it.
+	MaxFlows int
+
+	// StrictConcurrency makes the simulation enumerate both the forward and
+	// the reverse child order of every concurrent node, so a plan whose
+	// "concurrent" activities only work in one order is penalized (the
+	// paper's concurrent blocks may execute in any order). Disabling it
+	// simulates only the canonical left-to-right order.
+	StrictConcurrency bool
+
+	Seed int64
+}
+
+// DefaultParams returns the settings of Table 1: population 200, 20
+// generations, crossover 0.7, mutation 0.001, Smax 40, wv 0.2, wg 0.5 (and
+// therefore wr 0.3).
+func DefaultParams() Params {
+	return Params{
+		PopulationSize:    200,
+		Generations:       20,
+		CrossoverRate:     0.7,
+		MutationRate:      0.001,
+		Smax:              40,
+		WV:                0.2,
+		WG:                0.5,
+		WR:                0.3,
+		TournamentSize:    2,
+		Selection:         SelectTournament,
+		MaxLoopUnroll:     2,
+		MaxFlows:          32,
+		StrictConcurrency: true,
+		Seed:              1,
+	}
+}
+
+// Validate checks the parameters are usable.
+func (p Params) Validate() error {
+	if p.PopulationSize < 2 {
+		return fmt.Errorf("planner: population size %d < 2", p.PopulationSize)
+	}
+	if p.Generations < 1 {
+		return fmt.Errorf("planner: generations %d < 1", p.Generations)
+	}
+	if p.CrossoverRate < 0 || p.CrossoverRate > 1 {
+		return fmt.Errorf("planner: crossover rate %g out of [0,1]", p.CrossoverRate)
+	}
+	if p.MutationRate < 0 || p.MutationRate > 1 {
+		return fmt.Errorf("planner: mutation rate %g out of [0,1]", p.MutationRate)
+	}
+	if p.Smax < 1 {
+		return fmt.Errorf("planner: Smax %d < 1", p.Smax)
+	}
+	if w := p.WV + p.WG + p.WR; w < 0.999 || w > 1.001 {
+		return fmt.Errorf("planner: fitness weights sum to %g, want 1", w)
+	}
+	if p.TournamentSize < 1 {
+		return fmt.Errorf("planner: tournament size %d < 1", p.TournamentSize)
+	}
+	if p.Elites < 0 || p.Elites >= p.PopulationSize {
+		return fmt.Errorf("planner: elites %d out of [0, population)", p.Elites)
+	}
+	if p.MaxLoopUnroll < 1 {
+		return fmt.Errorf("planner: loop unroll %d < 1", p.MaxLoopUnroll)
+	}
+	if p.MaxFlows < 1 {
+		return fmt.Errorf("planner: max flows %d < 1", p.MaxFlows)
+	}
+	return nil
+}

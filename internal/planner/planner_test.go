@@ -1,0 +1,649 @@
+package planner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/plantree"
+	"repro/internal/workflow"
+)
+
+// testProblem builds the case-study planning problem: initial parameters
+// plus a 2D image; the goal is a resolution file. The minimal plan is
+// POD; P3DR; P3DR; PSF (PSF correlates two distinct 3D models).
+func testProblem() *workflow.Problem {
+	pod := &workflow.Service{
+		Name: "POD",
+		Inputs: []workflow.ParamSpec{
+			{Name: "A", Condition: `A.Classification = "POD-Parameter"`},
+			{Name: "B", Condition: `B.Classification = "2D Image"`},
+		},
+		Outputs: []workflow.OutputSpec{
+			{Name: "C", Props: map[string]expr.Value{workflow.PropClassification: expr.String("Orientation File")}},
+		},
+	}
+	p3dr := &workflow.Service{
+		Name: "P3DR",
+		Inputs: []workflow.ParamSpec{
+			{Name: "A", Condition: `A.Classification = "P3DR-Parameter"`},
+			{Name: "B", Condition: `B.Classification = "2D Image"`},
+			{Name: "C", Condition: `C.Classification = "Orientation File"`},
+		},
+		Outputs: []workflow.OutputSpec{
+			{Name: "D", Props: map[string]expr.Value{workflow.PropClassification: expr.String("3D Model")}},
+		},
+	}
+	por := &workflow.Service{
+		Name: "POR",
+		Inputs: []workflow.ParamSpec{
+			{Name: "A", Condition: `A.Classification = "POR-Parameter"`},
+			{Name: "B", Condition: `B.Classification = "2D Image"`},
+			{Name: "C", Condition: `C.Classification = "Orientation File"`},
+			{Name: "D", Condition: `D.Classification = "3D Model"`},
+		},
+		Outputs: []workflow.OutputSpec{
+			{Name: "E", Props: map[string]expr.Value{workflow.PropClassification: expr.String("Orientation File")}},
+		},
+	}
+	psf := &workflow.Service{
+		Name: "PSF",
+		Inputs: []workflow.ParamSpec{
+			{Name: "A", Condition: `A.Classification = "PSF-Parameter"`},
+			{Name: "B", Condition: `B.Classification = "3D Model"`},
+			{Name: "C", Condition: `C.Classification = "3D Model"`},
+		},
+		Outputs: []workflow.OutputSpec{
+			{Name: "D", Props: map[string]expr.Value{workflow.PropClassification: expr.String("Resolution File")}},
+		},
+	}
+	return &workflow.Problem{
+		Name: "3DSD",
+		Initial: workflow.NewState(
+			workflow.NewDataItem("D1", "POD-Parameter"),
+			workflow.NewDataItem("D2", "P3DR-Parameter"),
+			workflow.NewDataItem("D5", "POR-Parameter"),
+			workflow.NewDataItem("D6", "PSF-Parameter"),
+			workflow.NewDataItem("D7", "2D Image"),
+		),
+		Goal:    workflow.NewGoal(`G.Classification = "Resolution File"`),
+		Catalog: workflow.NewCatalog(pod, p3dr, por, psf),
+	}
+}
+
+func perfectPlan() *plantree.Node {
+	return plantree.Seq(
+		plantree.Activity("POD"),
+		plantree.Activity("P3DR"),
+		plantree.Activity("P3DR"),
+		plantree.Activity("PSF"),
+	)
+}
+
+func mustEvaluator(t *testing.T, p Params) *Evaluator {
+	t.Helper()
+	ev, err := NewEvaluator(testProblem(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDefaultParamsMatchTable1(t *testing.T) {
+	p := DefaultParams()
+	if p.PopulationSize != 200 || p.Generations != 20 || p.CrossoverRate != 0.7 ||
+		p.MutationRate != 0.001 || p.Smax != 40 || p.WV != 0.2 || p.WG != 0.5 || p.WR != 0.3 {
+		t.Errorf("DefaultParams = %+v, want Table 1 settings", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.PopulationSize = 1 },
+		func(p *Params) { p.Generations = 0 },
+		func(p *Params) { p.CrossoverRate = 1.5 },
+		func(p *Params) { p.MutationRate = -1 },
+		func(p *Params) { p.Smax = 0 },
+		func(p *Params) { p.WV = 0.9 },
+		func(p *Params) { p.TournamentSize = 0 },
+		func(p *Params) { p.MaxLoopUnroll = 0 },
+		func(p *Params) { p.MaxFlows = 0 },
+	}
+	for i, m := range mutations {
+		p := DefaultParams()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestEvaluatePerfectPlan(t *testing.T) {
+	ev := mustEvaluator(t, DefaultParams())
+	e := ev.Evaluate(perfectPlan())
+	if e.FV != 1 || e.FG != 1 {
+		t.Fatalf("perfect plan: fv=%g fg=%g, want 1,1", e.FV, e.FG)
+	}
+	if e.Size != 5 {
+		t.Fatalf("size = %d, want 5", e.Size)
+	}
+	wantFR := 1 - 5.0/40
+	if !almost(e.FR, wantFR) {
+		t.Errorf("fr = %g, want %g", e.FR, wantFR)
+	}
+	want := 0.2*1 + 0.5*1 + 0.3*wantFR
+	if !almost(e.Fitness, want) {
+		t.Errorf("fitness = %g, want %g", e.Fitness, want)
+	}
+	if e.Flows != 1 {
+		t.Errorf("flows = %d, want 1 (no decision points)", e.Flows)
+	}
+}
+
+func TestEvaluateInvalidPlan(t *testing.T) {
+	ev := mustEvaluator(t, DefaultParams())
+	// PSF alone: preconditions unmet, goal unmet.
+	e := ev.Evaluate(plantree.Activity("PSF"))
+	if e.FV != 0 || e.FG != 0 {
+		t.Errorf("fv=%g fg=%g, want 0,0", e.FV, e.FG)
+	}
+	// POD;P3DR: half-way plan, all valid but goal unmet.
+	e2 := ev.Evaluate(plantree.Seq(plantree.Activity("POD"), plantree.Activity("P3DR")))
+	if e2.FV != 1 || e2.FG != 0 {
+		t.Errorf("fv=%g fg=%g, want 1,0", e2.FV, e2.FG)
+	}
+	// Unknown service counts as invalid.
+	e3 := ev.Evaluate(plantree.Activity("NOPE"))
+	if e3.FV != 0 {
+		t.Errorf("unknown service fv = %g, want 0", e3.FV)
+	}
+}
+
+func TestEvaluateOrderMatters(t *testing.T) {
+	ev := mustEvaluator(t, DefaultParams())
+	// P3DR before POD: P3DR invalid (no orientation file yet), then POD
+	// valid; 1 of 2 executions valid.
+	e := ev.Evaluate(plantree.Seq(plantree.Activity("P3DR"), plantree.Activity("POD")))
+	if !almost(e.FV, 0.5) {
+		t.Errorf("fv = %g, want 0.5", e.FV)
+	}
+}
+
+func TestEvaluateSelectiveEnumeratesFlows(t *testing.T) {
+	ev := mustEvaluator(t, DefaultParams())
+	// sel(POD, PSF): flow 1 runs POD (valid), flow 2 runs PSF (invalid).
+	tree := plantree.Sel(plantree.Activity("POD"), plantree.Activity("PSF"))
+	e := ev.Evaluate(tree)
+	if e.Flows != 2 {
+		t.Fatalf("flows = %d, want 2", e.Flows)
+	}
+	if !almost(e.FV, 0.5) {
+		t.Errorf("fv = %g, want 0.5 (1 valid of 2 executed)", e.FV)
+	}
+}
+
+func TestEvaluateIterativeUnroll(t *testing.T) {
+	p := DefaultParams()
+	p.MaxLoopUnroll = 3
+	ev := mustEvaluator(t, p)
+	// iter(POD): flows with 1, 2, 3 iterations. POD is valid every time
+	// (parameters are not consumed), so fv=1; executions 1+2+3=6.
+	tree := plantree.Iter(plantree.Activity("POD"))
+	e := ev.Evaluate(tree)
+	if e.Flows != 3 {
+		t.Fatalf("flows = %d, want 3", e.Flows)
+	}
+	if e.FV != 1 {
+		t.Errorf("fv = %g", e.FV)
+	}
+}
+
+func TestEvaluateFlowCap(t *testing.T) {
+	p := DefaultParams()
+	p.MaxFlows = 4
+	ev := mustEvaluator(t, p)
+	// Three selectives of 2 children each = 8 flows, capped at 4.
+	tree := plantree.Seq(
+		plantree.Sel(plantree.Activity("POD"), plantree.Activity("POD")),
+		plantree.Sel(plantree.Activity("POD"), plantree.Activity("POD")),
+		plantree.Sel(plantree.Activity("POD"), plantree.Activity("POD")),
+	)
+	e := ev.Evaluate(tree)
+	if e.Flows != 4 {
+		t.Errorf("flows = %d, want 4 (capped)", e.Flows)
+	}
+}
+
+func TestEvaluatorCache(t *testing.T) {
+	ev := mustEvaluator(t, DefaultParams())
+	tree := perfectPlan()
+	_ = ev.Evaluate(tree)
+	n := ev.Evaluations
+	_ = ev.Evaluate(tree.Clone())
+	if ev.Evaluations != n {
+		t.Errorf("cache miss on identical tree: %d -> %d", n, ev.Evaluations)
+	}
+}
+
+func TestEvaluateConcurrentSemantics(t *testing.T) {
+	ev := mustEvaluator(t, DefaultParams())
+	// conc(P3DR, P3DR) after POD: both valid (canonical order), two models
+	// produced, so PSF afterwards is valid and the goal is met.
+	tree := plantree.Seq(
+		plantree.Activity("POD"),
+		plantree.Conc(plantree.Activity("P3DR"), plantree.Activity("P3DR")),
+		plantree.Activity("PSF"),
+	)
+	e := ev.Evaluate(tree)
+	if e.FV != 1 || e.FG != 1 {
+		t.Errorf("fv=%g fg=%g, want 1,1", e.FV, e.FG)
+	}
+}
+
+// TestFig8Crossover verifies the subtree exchange of Figure 8.
+func TestFig8Crossover(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := plantree.Seq(plantree.Activity("A"), plantree.Activity("B"))
+	b := plantree.Seq(plantree.Activity("C"), plantree.Activity("D"))
+	leavesBefore := map[string]bool{}
+	for _, s := range append(a.Services(), b.Services()...) {
+		leavesBefore[s] = true
+	}
+	swapped := false
+	for i := 0; i < 50 && !swapped; i++ {
+		swapped = Crossover(rng, a, b, 40)
+	}
+	if !swapped {
+		t.Fatal("crossover never succeeded")
+	}
+	// The union of leaves is preserved.
+	leavesAfter := map[string]bool{}
+	for _, s := range append(a.Services(), b.Services()...) {
+		leavesAfter[s] = true
+	}
+	for s := range leavesBefore {
+		if !leavesAfter[s] {
+			t.Errorf("leaf %s lost in crossover", s)
+		}
+	}
+	if err := a.Validate(0); err != nil {
+		t.Errorf("offspring a invalid: %v", err)
+	}
+	if err := b.Validate(0); err != nil {
+		t.Errorf("offspring b invalid: %v", err)
+	}
+}
+
+func TestCrossoverRespectsSmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	big := plantree.Seq(
+		plantree.Activity("A"), plantree.Activity("B"), plantree.Activity("C"),
+		plantree.Activity("D"), plantree.Activity("E"),
+	)
+	small := plantree.Activity("X")
+	for i := 0; i < 200; i++ {
+		a, b := big.Clone(), small.Clone()
+		Crossover(rng, a, b, 6)
+		if a.Size() > 6 || b.Size() > 6 {
+			t.Fatalf("offspring exceeds Smax: %d / %d", a.Size(), b.Size())
+		}
+	}
+}
+
+// TestFig9Mutation verifies the subtree replacement of Figure 9.
+func TestFig9Mutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	services := []string{"POD", "P3DR"}
+	tree := perfectPlan()
+	total := 0
+	for i := 0; i < 100; i++ {
+		total += Mutate(rng, tree, services, 0.3, 40)
+		if err := tree.Validate(40); err != nil {
+			t.Fatalf("mutated tree invalid: %v", err)
+		}
+	}
+	if total == 0 {
+		t.Error("mutation never applied at rate 0.3")
+	}
+	if Mutate(rng, tree, services, 0, 40) != 0 {
+		t.Error("rate 0 mutated")
+	}
+}
+
+func TestGPFindsValidPlan(t *testing.T) {
+	p := DefaultParams()
+	p.PopulationSize = 120
+	p.Generations = 15
+	p.Seed = 7
+	gp, err := New(testProblem(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best.Eval
+	if best.FV < 1 || best.FG < 1 {
+		t.Errorf("best fv=%g fg=%g (tree %s), want 1,1", best.FV, best.FG, res.Best.Tree)
+	}
+	if len(res.History) != p.Generations+1 {
+		t.Errorf("history length = %d, want %d", len(res.History), p.Generations+1)
+	}
+	// Fitness trajectory: final best no worse than initial best.
+	if res.History[len(res.History)-1].BestFitness < res.History[0].BestFitness {
+		t.Error("evolution decreased best fitness")
+	}
+	if res.Evaluations == 0 {
+		t.Error("no evaluations recorded")
+	}
+}
+
+func TestGPDeterministicBySeed(t *testing.T) {
+	p := DefaultParams()
+	p.PopulationSize = 40
+	p.Generations = 5
+	p.Seed = 11
+	run := func() string {
+		gp, err := New(testProblem(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := gp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Best.Tree.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed, different best plans:\n%s\n%s", a, b)
+	}
+}
+
+func TestGPRouletteSelection(t *testing.T) {
+	p := DefaultParams()
+	p.PopulationSize = 60
+	p.Generations = 8
+	p.Selection = SelectRoulette
+	gp, err := New(testProblem(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Eval.Fitness <= 0 {
+		t.Error("roulette run produced zero fitness")
+	}
+	if SelectRoulette.String() != "roulette" || SelectTournament.String() != "tournament" ||
+		SelectionScheme(9).String() == "" {
+		t.Error("SelectionScheme strings")
+	}
+}
+
+func TestRunManyAndSummarize(t *testing.T) {
+	p := DefaultParams()
+	p.PopulationSize = 60
+	p.Generations = 10
+	results, err := RunMany(testProblem(), p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(results)
+	if s.Runs != 3 {
+		t.Errorf("Runs = %d", s.Runs)
+	}
+	if s.AvgFitness <= 0 || s.AvgSize <= 0 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.MinFitness > s.MaxFitness {
+		t.Error("min > max")
+	}
+	if _, err := RunMany(testProblem(), p, 0); err == nil {
+		t.Error("RunMany(0) accepted")
+	}
+	empty := Summarize(nil)
+	if empty.Runs != 0 {
+		t.Error("empty summary")
+	}
+}
+
+func TestForwardSearchBaseline(t *testing.T) {
+	plan, err := ForwardSearch(testProblem(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The minimal plan has 4 activities: POD, P3DR, P3DR, PSF.
+	leaves := plan.Services()
+	if len(leaves) != 4 {
+		t.Fatalf("plan = %s, want 4 activities", plan)
+	}
+	ev := mustEvaluator(t, DefaultParams())
+	e := ev.Evaluate(plan)
+	if e.FV != 1 || e.FG != 1 {
+		t.Errorf("forward-search plan fv=%g fg=%g", e.FV, e.FG)
+	}
+	// Depth too small: no plan.
+	if _, err := ForwardSearch(testProblem(), 2); err == nil {
+		t.Error("depth-2 search should fail")
+	}
+	// Trivial goal: error.
+	trivial := testProblem()
+	trivial.Goal = workflow.NewGoal(`G.Classification = "2D Image"`)
+	if _, err := ForwardSearch(trivial, 5); err == nil {
+		t.Error("already-satisfied goal should be reported")
+	}
+}
+
+func TestRandomSearchBaseline(t *testing.T) {
+	p := DefaultParams()
+	p.Seed = 5
+	res, err := RandomSearch(testProblem(), p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Tree == nil {
+		t.Fatal("no best tree")
+	}
+	if res.Best.Eval.Fitness <= 0 {
+		t.Error("zero fitness best")
+	}
+	if res.Evaluations == 0 || res.Evaluations > 500 {
+		t.Errorf("evaluations = %d", res.Evaluations)
+	}
+}
+
+// TestTable2Reproduction runs the full Table 2 protocol (10 runs at Table 1
+// settings) and checks the paper's headline results: every run reaches
+// perfect validity and goal fitness, and the average solution stays small.
+func TestTable2Reproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 2 protocol in -short mode")
+	}
+	results, err := RunMany(testProblem(), DefaultParams(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(results)
+	if s.PerfectValidity != 10 {
+		t.Errorf("runs with fv=1: %d/10 (paper: 10/10)", s.PerfectValidity)
+	}
+	if s.PerfectGoal != 10 {
+		t.Errorf("runs with fg=1: %d/10 (paper: 10/10)", s.PerfectGoal)
+	}
+	// Paper: average size 9.7, average fitness 0.928. Allow slack: the
+	// qualitative claim is small plans with near-maximal fitness.
+	if s.AvgSize < 4 || s.AvgSize > 15 {
+		t.Errorf("avg size = %g, want within [4,15] (paper 9.7)", s.AvgSize)
+	}
+	if s.AvgFitness < 0.9 {
+		t.Errorf("avg fitness = %g, want >= 0.9 (paper 0.928)", s.AvgFitness)
+	}
+}
+
+func BenchmarkEvaluatePerfectPlan(b *testing.B) {
+	ev, err := NewEvaluator(testProblem(), DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := perfectPlan()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.cache = map[string]Evaluation{} // force real evaluation
+		ev.Evaluate(tree)
+	}
+}
+
+func BenchmarkGPGeneration(b *testing.B) {
+	p := DefaultParams()
+	p.PopulationSize = 50
+	p.Generations = 1
+	for i := 0; i < b.N; i++ {
+		gp, err := New(testProblem(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gp.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestStrictConcurrencyPenalizesOrderDependence(t *testing.T) {
+	// conc(POD, P3DR) only works when POD runs first: strict mode must see
+	// the reverse order fail, lenient mode must not.
+	tree := plantree.Conc(plantree.Activity("POD"), plantree.Activity("P3DR"))
+
+	strict := DefaultParams()
+	strict.StrictConcurrency = true
+	evStrict := mustEvaluator(t, strict)
+	e := evStrict.Evaluate(tree)
+	if e.Flows != 2 {
+		t.Fatalf("strict flows = %d, want 2", e.Flows)
+	}
+	// Forward: POD ok, P3DR ok (2 valid). Reverse: P3DR fails, POD ok.
+	if !almost(e.FV, 3.0/4) {
+		t.Errorf("strict fv = %g, want 0.75", e.FV)
+	}
+
+	lenient := DefaultParams()
+	lenient.StrictConcurrency = false
+	evLenient := mustEvaluator(t, lenient)
+	e2 := evLenient.Evaluate(tree)
+	if e2.Flows != 1 || e2.FV != 1 {
+		t.Errorf("lenient flows=%d fv=%g, want 1, 1", e2.Flows, e2.FV)
+	}
+
+	// Genuinely order-independent concurrency is not penalized: after POD,
+	// two P3DR runs commute.
+	indep := plantree.Seq(
+		plantree.Activity("POD"),
+		plantree.Conc(plantree.Activity("P3DR"), plantree.Activity("P3DR")),
+		plantree.Activity("PSF"),
+	)
+	e3 := evStrict.Evaluate(indep)
+	if e3.FV != 1 || e3.FG != 1 {
+		t.Errorf("independent conc fv=%g fg=%g, want 1,1", e3.FV, e3.FG)
+	}
+}
+
+func TestGPSeeding(t *testing.T) {
+	p := DefaultParams()
+	p.PopulationSize = 20
+	p.Generations = 1
+	p.Seed = 13
+	gp, err := New(testProblem(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp.Seed(perfectPlan())
+	res, err := gp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seeded perfect plan dominates generation 0 immediately.
+	ev := mustEvaluator(t, p)
+	want := ev.Evaluate(perfectPlan()).Fitness
+	if res.History[0].BestFitness < want {
+		t.Errorf("gen-0 best = %g, want >= %g (seed should be present)",
+			res.History[0].BestFitness, want)
+	}
+	// Invalid or oversized seeds are ignored, not fatal.
+	gp2, _ := New(testProblem(), p)
+	big := plantree.Seq()
+	for i := 0; i < p.Smax+5; i++ {
+		big.Children = append(big.Children, plantree.Activity("POD"))
+	}
+	gp2.Seed(nil, plantree.Seq(), big)
+	if len(gp2.seeds) != 0 {
+		t.Errorf("bad seeds accepted: %d", len(gp2.seeds))
+	}
+}
+
+func TestGPSeedingAccelerates(t *testing.T) {
+	// With a near-perfect seed, even a tiny run finds the goal; without it,
+	// the same tiny budget usually does not (seed 17 chosen accordingly).
+	p := DefaultParams()
+	p.PopulationSize = 10
+	p.Generations = 2
+	p.Seed = 17
+	seeded, err := New(testProblem(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded.Seed(perfectPlan())
+	rs, err := seeded.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Best.Eval.FG < 1 {
+		t.Errorf("seeded tiny run missed the goal: fg=%g", rs.Best.Eval.FG)
+	}
+}
+
+func TestElitismPreservesBest(t *testing.T) {
+	p := DefaultParams()
+	p.PopulationSize = 20
+	p.Generations = 10
+	p.Elites = 1
+	p.MutationRate = 0.2 // aggressive: without elitism the best often degrades
+	p.Seed = 23
+	gp, err := New(testProblem(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp.Seed(perfectPlan())
+	res, err := gp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the perfect plan seeded and one elite slot, best fitness is
+	// monotone non-decreasing across generations.
+	prev := 0.0
+	for _, g := range res.History {
+		if g.BestFitness+1e-12 < prev {
+			t.Fatalf("best fitness dropped at gen %d: %g -> %g", g.Generation, prev, g.BestFitness)
+		}
+		prev = g.BestFitness
+	}
+	if res.Best.Eval.FG < 1 {
+		t.Errorf("elite seeded run lost the goal: %g", res.Best.Eval.FG)
+	}
+	// Parameter validation.
+	bad := DefaultParams()
+	bad.Elites = -1
+	if bad.Validate() == nil {
+		t.Error("negative elites accepted")
+	}
+	bad.Elites = bad.PopulationSize
+	if bad.Validate() == nil {
+		t.Error("elites >= population accepted")
+	}
+}

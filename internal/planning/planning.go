@@ -1,0 +1,246 @@
+// Package planning implements the planning service agent of Sections 3.3:
+// it accepts planning requests from the coordination service, generates
+// process descriptions with the GP planner (package planner), and handles
+// re-planning by first checking, through the information service, the
+// brokerage service, and the application containers, which activities are
+// still executable (the eight-step flow of Figure 3).
+package planning
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/pdl"
+	"repro/internal/planner"
+	"repro/internal/plantree"
+	"repro/internal/services"
+	"repro/internal/workflow"
+)
+
+// formatPDL renders a process description as PDL text.
+func formatPDL(p *workflow.ProcessDescription) (string, error) {
+	return pdl.FormatProcess(p)
+}
+
+// PlanRequest asks the planning service for a process description
+// (Figure 2: "planning task specification").
+type PlanRequest struct {
+	// Initial is the set of initial data available to the end user.
+	Initial []*workflow.DataItem
+	// Goal is the goal of planning, expressed as conditions on the results.
+	Goal []string
+	// NonExecutable lists activities (service names) reported by the
+	// coordination service as not executable; set on re-planning. The
+	// planning service independently verifies executability through the
+	// brokerage unless TrustCaller is set (the paper's "first method" of
+	// acquiring the knowledge directly from the coordination service).
+	NonExecutable []string
+	TrustCaller   bool
+}
+
+// PlanReply returns the new plan.
+type PlanReply struct {
+	PDL      string // process description, PDL text
+	Tree     string // plan tree rendering (diagnostic)
+	Eval     planner.Evaluation
+	Excluded []string // services excluded as non-executable
+}
+
+// Service is the planning service agent.
+type Service struct {
+	Catalog *workflow.Catalog
+	Params  planner.Params
+
+	// Trace, when set, receives a line per step of the re-planning flow, so
+	// tests can assert the Figure 3 sequence.
+	Trace func(step string)
+
+	// DisableReuse turns plan reuse off (every request starts from a fresh
+	// random population). By default the service seeds each run with its
+	// most recent successful plans, adapted to the current exclusions.
+	DisableReuse bool
+
+	mu      sync.Mutex
+	history []*plantree.Node // most recent first, bounded
+}
+
+// historyCap bounds how many past plans seed future populations.
+const historyCap = 8
+
+// remember stores a successful plan for reuse.
+func (s *Service) remember(tree *plantree.Node) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.history = append([]*plantree.Node{tree.Clone()}, s.history...)
+	if len(s.history) > historyCap {
+		s.history = s.history[:historyCap]
+	}
+}
+
+// seeds returns the remembered plans adapted to the current exclusions:
+// leaves naming an excluded service are rewritten to a usable one, which is
+// exactly the "adapt an existing process description to new conditions"
+// behaviour of Section 3.3.
+func (s *Service) seeds(excluded map[string]bool, usable []string, seed int64) []*plantree.Node {
+	if s.DisableReuse || len(usable) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	history := append([]*plantree.Node(nil), s.history...)
+	s.mu.Unlock()
+	if len(history) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*plantree.Node, 0, len(history))
+	for _, t := range history {
+		c := t.Clone()
+		for _, leaf := range c.Leaves() {
+			if excluded[leaf.Service] {
+				leaf.Service = usable[rng.Intn(len(usable))]
+				leaf.Name = ""
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// New builds a planning service over the full set T of end-user services.
+func New(catalog *workflow.Catalog, params planner.Params) *Service {
+	return &Service{Catalog: catalog, Params: params}
+}
+
+func (s *Service) trace(format string, args ...any) {
+	if s.Trace != nil {
+		s.Trace(fmt.Sprintf(format, args...))
+	}
+}
+
+// HandleMessage implements agent.Handler.
+func (s *Service) HandleMessage(ctx *agent.Context, msg agent.Message) {
+	req, ok := msg.Content.(PlanRequest)
+	if !ok {
+		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("planning: unsupported content %T", msg.Content))
+		return
+	}
+	reply, err := s.Plan(ctx, req)
+	if err != nil {
+		_ = ctx.Reply(msg, agent.Failure, err)
+		return
+	}
+	_ = ctx.Reply(msg, agent.Inform, reply)
+}
+
+// Plan produces a process description for the request. When the request
+// carries NonExecutable hints without TrustCaller, each hinted service is
+// verified through brokerage and containers before being excluded.
+func (s *Service) Plan(ctx *agent.Context, req PlanRequest) (PlanReply, error) {
+	excluded := map[string]bool{}
+	for _, name := range req.NonExecutable {
+		if req.TrustCaller || ctx == nil {
+			excluded[name] = true
+			continue
+		}
+		ok, err := s.verifyExecutable(ctx, name)
+		if err != nil {
+			return PlanReply{}, err
+		}
+		if !ok {
+			excluded[name] = true
+		}
+	}
+
+	catalog := workflow.NewCatalog()
+	for _, svc := range s.Catalog.Services() {
+		if !excluded[svc.Name] {
+			catalog.Add(svc)
+		}
+	}
+	if catalog.Len() == 0 {
+		return PlanReply{}, fmt.Errorf("planning: no executable services remain")
+	}
+
+	problem := &workflow.Problem{
+		Name:    "planning-request",
+		Initial: workflow.NewState(req.Initial...),
+		Goal:    workflow.NewGoal(req.Goal...),
+		Catalog: catalog,
+	}
+	params := s.Params
+	seeds := s.seeds(excluded, catalog.Names(), params.Seed)
+	if len(seeds) > 0 && params.Elites == 0 {
+		// A reused plan is only useful if evolution cannot destroy the last
+		// copy of it; reserve one elite slot when seeding.
+		params.Elites = 1
+	}
+	gp, err := planner.New(problem, params)
+	if err != nil {
+		return PlanReply{}, err
+	}
+	gp.Seed(seeds...)
+	res, err := gp.Run()
+	if err != nil {
+		return PlanReply{}, err
+	}
+	tree := res.Best.Tree.Normalize()
+	pd, err := plantree.ToProcess("planned", tree)
+	if err != nil {
+		return PlanReply{}, fmt.Errorf("planning: best tree does not convert: %w", err)
+	}
+	text, err := formatPDL(pd)
+	if err != nil {
+		return PlanReply{}, err
+	}
+	var exList []string
+	for name := range excluded {
+		exList = append(exList, name)
+	}
+	if res.Best.Eval.FV >= 1 && res.Best.Eval.FG >= 1 {
+		s.remember(tree)
+	}
+	return PlanReply{PDL: text, Tree: tree.String(), Eval: res.Best.Eval, Excluded: exList}, nil
+}
+
+// verifyExecutable performs the Figure 3 interaction: find a brokerage via
+// the information service (steps 2-3), get candidate containers (steps 4-5),
+// and probe each for availability (steps 6-7).
+func (s *Service) verifyExecutable(ctx *agent.Context, service string) (bool, error) {
+	s.trace("information: brokerage service?")
+	offers, err := services.Lookup(ctx, "brokerage")
+	if err != nil || len(offers) == 0 {
+		return false, fmt.Errorf("planning: no brokerage service found: %v", err)
+	}
+	broker := offers[0].Name
+	s.trace("information: brokerage service found (%s)", broker)
+
+	s.trace("brokerage: application containers for %s?", service)
+	reply, err := ctx.Call(broker, services.OntBrokerage,
+		services.ContainersRequest{Service: service}, 10*time.Second)
+	if err != nil {
+		return false, err
+	}
+	cr, ok := reply.Content.(services.ContainersReply)
+	if !ok {
+		return false, fmt.Errorf("planning: unexpected brokerage reply %T", reply.Content)
+	}
+	s.trace("brokerage: %d containers found", len(cr.Containers))
+
+	for _, containerID := range cr.Containers {
+		s.trace("%s: activity %s executable?", containerID, service)
+		probe, err := ctx.Call(containerID, services.OntExecution,
+			services.AvailabilityRequest{Service: service}, 10*time.Second)
+		if err != nil {
+			continue // container agent gone: treat as not executable there
+		}
+		if ar, ok := probe.Content.(services.AvailabilityReply); ok && ar.Executable {
+			s.trace("%s: executable", containerID)
+			return true, nil
+		}
+		s.trace("%s: not executable", containerID)
+	}
+	return false, nil
+}

@@ -1,0 +1,508 @@
+package plantree
+
+import (
+	"fmt"
+
+	"repro/internal/workflow"
+)
+
+// builder tracks ID allocation while emitting a process description.
+type builder struct {
+	p    *workflow.ProcessDescription
+	next int
+}
+
+func (b *builder) fresh(name string, kind workflow.Kind, service string) *workflow.Activity {
+	b.next++
+	a := &workflow.Activity{
+		ID:      fmt.Sprintf("A%d", b.next),
+		Name:    name,
+		Kind:    kind,
+		Service: service,
+	}
+	b.p.Add(a)
+	return a
+}
+
+// ToProcess converts a plan tree to the equivalent process description,
+// applying the correspondences of Figures 4-7:
+//
+//   - a sequential node becomes a chain of its children;
+//   - a concurrent node becomes a Fork/Join pair around its children;
+//   - a selective node becomes a Choice/Merge pair around its children;
+//   - an iterative node becomes a loop: a Merge heading the body and a
+//     Choice at the end with a back transition to the Merge.
+//
+// Single-child concurrent and selective nodes are inlined (a Fork with one
+// branch is not a legal process description). The resulting process always
+// validates.
+func ToProcess(name string, root *Node) (*workflow.ProcessDescription, error) {
+	if err := root.Validate(0); err != nil {
+		return nil, err
+	}
+	b := &builder{p: workflow.NewProcess(name)}
+	begin := b.fresh("BEGIN", workflow.KindBegin, "")
+	end := b.fresh("END", workflow.KindEnd, "")
+	entry, exit, err := b.emit(root)
+	if err != nil {
+		return nil, err
+	}
+	b.p.Connect(begin.ID, entry)
+	b.p.Connect(exit, end.ID)
+	if err := b.p.Validate(); err != nil {
+		return nil, fmt.Errorf("plantree: generated process invalid: %w", err)
+	}
+	return b.p, nil
+}
+
+// emit writes the subgraph for node n and returns its entry and exit
+// activity IDs.
+func (b *builder) emit(n *Node) (entry, exit string, err error) {
+	switch n.Kind {
+	case KindActivity:
+		name := n.Name
+		if name == "" {
+			name = n.Service
+		}
+		a := b.fresh(name, workflow.KindEndUser, n.Service)
+		a.Inputs = append([]string(nil), n.Inputs...)
+		a.Outputs = append([]string(nil), n.Outputs...)
+		return a.ID, a.ID, nil
+
+	case KindSequential:
+		var first, last string
+		for _, c := range n.Children {
+			e, x, err := b.emit(c)
+			if err != nil {
+				return "", "", err
+			}
+			if first == "" {
+				first = e
+			} else {
+				b.p.Connect(last, e)
+			}
+			last = x
+		}
+		return first, last, nil
+
+	case KindConcurrent:
+		if len(n.Children) == 1 {
+			return b.emit(n.Children[0])
+		}
+		fork := b.fresh("FORK", workflow.KindFork, "")
+		join := b.fresh("JOIN", workflow.KindJoin, "")
+		for _, c := range n.Children {
+			e, x, err := b.emit(c)
+			if err != nil {
+				return "", "", err
+			}
+			b.p.Connect(fork.ID, e)
+			b.p.Connect(x, join.ID)
+		}
+		return fork.ID, join.ID, nil
+
+	case KindSelective:
+		if len(n.Children) == 1 {
+			return b.emit(n.Children[0])
+		}
+		choice := b.fresh("CHOICE", workflow.KindChoice, "")
+		merge := b.fresh("MERGE", workflow.KindMerge, "")
+		for _, c := range n.Children {
+			e, x, err := b.emit(c)
+			if err != nil {
+				return "", "", err
+			}
+			// On an iterative child, Condition is its loop condition, not a
+			// guard; such an alternative is unguarded unless wrapped in a
+			// sequential carrying the guard.
+			guard := c.Condition
+			if c.Kind == KindIterative {
+				guard = ""
+			}
+			b.p.ConnectCond(choice.ID, e, guard)
+			b.p.Connect(x, merge.ID)
+		}
+		return choice.ID, merge.ID, nil
+
+	case KindIterative:
+		merge := b.fresh("MERGE", workflow.KindMerge, "")
+		choice := b.fresh("CHOICE", workflow.KindChoice, "")
+		var bodyEntry, last string
+		for _, c := range n.Children {
+			e, x, err := b.emit(c)
+			if err != nil {
+				return "", "", err
+			}
+			if bodyEntry == "" {
+				bodyEntry = e
+			} else {
+				b.p.Connect(last, e)
+			}
+			last = x
+		}
+		b.p.Connect(merge.ID, bodyEntry)
+		b.p.Connect(last, choice.ID)
+		// The back transition repeats the loop while the continue condition
+		// holds; the forward transition exits. A condition-less iterative
+		// node gets the literal "false" so enactment runs the body exactly
+		// once instead of looping forever.
+		cond := n.Condition
+		if cond == "" {
+			cond = "false"
+		}
+		b.p.ConnectCond(choice.ID, merge.ID, cond)
+		return merge.ID, choice.ID, nil
+	}
+	return "", "", fmt.Errorf("plantree: unknown node kind %v", n.Kind)
+}
+
+// FromProcess converts a well-structured process description back into a
+// plan tree, inverting ToProcess. The process must be structured in the
+// paper's sense: Fork paired with Join, Choice with Merge, loops formed by a
+// Merge header and a Choice with a back transition. Non-structured graphs
+// return an error.
+func FromProcess(p *workflow.ProcessDescription) (*Node, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	begin := p.Begin()
+	end := p.End()
+	pr := &parser{p: p}
+	nodes, stop, err := pr.parseSeq(onlySucc(p, begin.ID), end.ID)
+	if err != nil {
+		return nil, err
+	}
+	if stop != end.ID {
+		return nil, fmt.Errorf("plantree: parse stopped at %s, not END", stop)
+	}
+	tree := Seq(nodes...)
+	return tree.Normalize(), nil
+}
+
+type parser struct {
+	p     *workflow.ProcessDescription
+	steps int
+	dom   map[string]map[string]bool
+}
+
+const maxParseSteps = 1 << 16
+
+func onlySucc(p *workflow.ProcessDescription, id string) string {
+	out := p.Out(id)
+	if len(out) == 1 {
+		return out[0].Dest
+	}
+	return ""
+}
+
+// parseSeq consumes activities from cur until reaching stop (exclusive) and
+// returns the parsed nodes plus the ID where parsing stopped.
+func (pr *parser) parseSeq(cur, stop string) ([]*Node, string, error) {
+	var nodes []*Node
+	for cur != stop && cur != "" {
+		pr.steps++
+		if pr.steps > maxParseSteps {
+			return nil, "", fmt.Errorf("plantree: process not structured (parse did not terminate)")
+		}
+		a := pr.p.Activity(cur)
+		if a == nil {
+			return nil, "", fmt.Errorf("plantree: dangling activity reference %q", cur)
+		}
+		switch a.Kind {
+		case workflow.KindEndUser:
+			node := Activity(a.Service)
+			if a.Name != "" && a.Name != a.Service {
+				node.Name = a.Name
+			}
+			node.Inputs = append([]string(nil), a.Inputs...)
+			node.Outputs = append([]string(nil), a.Outputs...)
+			nodes = append(nodes, node)
+			cur = onlySucc(pr.p, cur)
+
+		case workflow.KindFork:
+			node, next, err := pr.parseFork(a)
+			if err != nil {
+				return nil, "", err
+			}
+			nodes = append(nodes, node)
+			cur = next
+
+		case workflow.KindChoice:
+			node, next, err := pr.parseChoice(a)
+			if err != nil {
+				return nil, "", err
+			}
+			nodes = append(nodes, node)
+			cur = next
+
+		case workflow.KindMerge:
+			node, next, err := pr.parseLoop(a)
+			if err != nil {
+				return nil, "", err
+			}
+			nodes = append(nodes, node)
+			cur = next
+
+		case workflow.KindJoin:
+			// A Join reached outside parseFork means the graph is not
+			// structured (or we've hit the branch stop without knowing it).
+			return nil, "", fmt.Errorf("plantree: unmatched Join %s", a.ID)
+
+		default:
+			return nil, "", fmt.Errorf("plantree: unexpected %s activity %s", a.Kind, a.ID)
+		}
+	}
+	if cur == "" {
+		return nil, "", fmt.Errorf("plantree: flow ended before reaching stop activity")
+	}
+	return nodes, cur, nil
+}
+
+// parseFork parses FORK branches up to the matching JOIN and returns the
+// concurrent node and the JOIN's successor.
+func (pr *parser) parseFork(fork *workflow.Activity) (*Node, string, error) {
+	join, err := pr.findMatching(fork.ID, workflow.KindFork, workflow.KindJoin)
+	if err != nil {
+		return nil, "", err
+	}
+	node := &Node{Kind: KindConcurrent}
+	for _, t := range pr.p.Out(fork.ID) {
+		branch, stopped, err := pr.parseSeq(t.Dest, join)
+		if err != nil {
+			return nil, "", err
+		}
+		if stopped != join {
+			return nil, "", fmt.Errorf("plantree: fork %s branch does not reach join %s", fork.ID, join)
+		}
+		node.Children = append(node.Children, seqOrSingle(branch))
+	}
+	return node, onlySucc(pr.p, join), nil
+}
+
+// parseChoice parses a selective block: CHOICE branches converging at the
+// matching MERGE.
+func (pr *parser) parseChoice(choice *workflow.Activity) (*Node, string, error) {
+	merge, err := pr.findMatching(choice.ID, workflow.KindChoice, workflow.KindMerge)
+	if err != nil {
+		return nil, "", err
+	}
+	node := &Node{Kind: KindSelective}
+	for _, t := range pr.p.Out(choice.ID) {
+		if t.Dest == merge {
+			// Empty alternative: Choice connected directly to Merge.
+			child := Seq()
+			child.Condition = t.Condition
+			// Represent the empty branch as a zero-activity sequential; it
+			// is normalized away only if the whole selective collapses, so
+			// keep a placeholder terminal-free node. Simplest faithful
+			// representation: skip empty branches entirely.
+			continue
+		}
+		branch, stopped, err := pr.parseSeq(t.Dest, merge)
+		if err != nil {
+			return nil, "", err
+		}
+		if stopped != merge {
+			return nil, "", fmt.Errorf("plantree: choice %s branch does not reach merge %s", choice.ID, merge)
+		}
+		child := seqOrSingle(branch)
+		// Guards live on the alternative node; if the alternative is an
+		// iterative node its Condition slot is taken by the loop condition,
+		// so wrap it.
+		if t.Condition != "" {
+			if child.Kind == KindIterative || child.Condition != "" {
+				child = Seq(child)
+			}
+			child.Condition = t.Condition
+		}
+		node.Children = append(node.Children, child)
+	}
+	if len(node.Children) == 0 {
+		return nil, "", fmt.Errorf("plantree: choice %s has no non-empty branches", choice.ID)
+	}
+	return node, onlySucc(pr.p, merge), nil
+}
+
+// loopChoice returns the Choice activity that closes the loop headed by
+// merge, or nil if merge is not a loop header. A transition Choice -> Merge
+// is a loop back edge precisely when the Merge dominates the Choice (every
+// path from Begin to the Choice passes through the Merge); this cleanly
+// separates loop headers from the Merges that close selective blocks, even
+// when selectives and loops nest inside each other.
+func (pr *parser) loopChoice(mergeID string) *workflow.Activity {
+	dom := pr.dominators()
+	for _, t := range pr.p.In(mergeID) {
+		src := pr.p.Activity(t.Source)
+		if src == nil || src.Kind != workflow.KindChoice {
+			continue
+		}
+		if dom[src.ID][mergeID] {
+			return src
+		}
+	}
+	return nil
+}
+
+// dominators computes, for every activity, the set of activities that
+// dominate it (standard iterative dataflow from Begin). Cached per parse.
+func (pr *parser) dominators() map[string]map[string]bool {
+	if pr.dom != nil {
+		return pr.dom
+	}
+	begin := pr.p.Begin()
+	all := make(map[string]bool, len(pr.p.Activities))
+	for _, a := range pr.p.Activities {
+		all[a.ID] = true
+	}
+	dom := make(map[string]map[string]bool, len(all))
+	for id := range all {
+		if id == begin.ID {
+			dom[id] = map[string]bool{id: true}
+			continue
+		}
+		full := make(map[string]bool, len(all))
+		for other := range all {
+			full[other] = true
+		}
+		dom[id] = full
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, a := range pr.p.Activities {
+			if a.ID == begin.ID {
+				continue
+			}
+			preds := pr.p.In(a.ID)
+			var inter map[string]bool
+			for _, t := range preds {
+				pd := dom[t.Source]
+				if inter == nil {
+					inter = make(map[string]bool, len(pd))
+					for k := range pd {
+						inter[k] = true
+					}
+					continue
+				}
+				for k := range inter {
+					if !pd[k] {
+						delete(inter, k)
+					}
+				}
+			}
+			if inter == nil {
+				inter = make(map[string]bool)
+			}
+			inter[a.ID] = true
+			if len(inter) != len(dom[a.ID]) {
+				dom[a.ID] = inter
+				changed = true
+			}
+		}
+	}
+	pr.dom = dom
+	return dom
+}
+
+// parseLoop parses an iterative block headed by a MERGE: the body runs until
+// a CHOICE with a back transition to the MERGE; the other transition exits.
+func (pr *parser) parseLoop(merge *workflow.Activity) (*Node, string, error) {
+	backChoice := pr.loopChoice(merge.ID)
+	if backChoice == nil {
+		return nil, "", fmt.Errorf("plantree: merge %s is not a loop header and not inside a choice", merge.ID)
+	}
+	body, stopped, err := pr.parseSeq(onlySucc(pr.p, merge.ID), backChoice.ID)
+	if err != nil {
+		return nil, "", err
+	}
+	if stopped != backChoice.ID {
+		return nil, "", fmt.Errorf("plantree: loop body of %s does not reach its choice", merge.ID)
+	}
+	if len(body) == 0 {
+		return nil, "", fmt.Errorf("plantree: loop at %s has an empty body", merge.ID)
+	}
+	node := &Node{Kind: KindIterative, Children: []*Node{seqOrSingle(body)}}
+	if n := node.Children[0]; n.Kind == KindSequential {
+		node.Children = n.Children
+	}
+	// Exit is the choice successor that is not the back edge; record the
+	// back-edge condition as the loop condition.
+	exit := ""
+	for _, t := range pr.p.Out(backChoice.ID) {
+		if t.Dest == merge.ID {
+			if t.Condition != "false" { // inverse of the ToProcess sentinel
+				node.Condition = t.Condition
+			}
+			continue
+		}
+		if exit != "" {
+			return nil, "", fmt.Errorf("plantree: loop choice %s has multiple exits", backChoice.ID)
+		}
+		exit = t.Dest
+	}
+	if exit == "" {
+		return nil, "", fmt.Errorf("plantree: loop choice %s has no exit", backChoice.ID)
+	}
+	// Pick up the constraint attached to the choice (e.g. Cons1).
+	if backChoice.Constraint != "" && node.Condition == "" {
+		node.Condition = backChoice.Constraint
+	}
+	return node, exit, nil
+}
+
+// findMatching walks forward from open's successors to find the matching
+// close activity, tracking nesting of open/close kinds along one path.
+func (pr *parser) findMatching(openID string, openKind, closeKind workflow.Kind) (string, error) {
+	depth := 0
+	cur := pr.p.Out(openID)[0].Dest
+	for steps := 0; steps < maxParseSteps; steps++ {
+		a := pr.p.Activity(cur)
+		if a == nil {
+			return "", fmt.Errorf("plantree: dangling reference %q while matching %s", cur, openID)
+		}
+		// A Merge that heads a loop is transparent for matching: jump to
+		// the loop's exit so the loop-internal Choice and back edge cannot
+		// confuse either Choice/Merge or Fork/Join pairing.
+		if a.Kind == workflow.KindMerge {
+			if bc := pr.loopChoice(a.ID); bc != nil {
+				exit := ""
+				for _, t := range pr.p.Out(bc.ID) {
+					if t.Dest != a.ID {
+						exit = t.Dest
+						break
+					}
+				}
+				if exit == "" {
+					return "", fmt.Errorf("plantree: loop at %s has no exit", a.ID)
+				}
+				cur = exit
+				continue
+			}
+		}
+		switch a.Kind {
+		case openKind:
+			depth++
+		case closeKind:
+			if depth == 0 {
+				return a.ID, nil
+			}
+			depth--
+		case workflow.KindEnd:
+			return "", fmt.Errorf("plantree: no matching %v for %s", closeKind, openID)
+		}
+		next := pr.p.Out(cur)
+		if len(next) == 0 {
+			return "", fmt.Errorf("plantree: no matching %v for %s", closeKind, openID)
+		}
+		cur = next[0].Dest
+	}
+	return "", fmt.Errorf("plantree: matching for %s did not terminate", openID)
+}
+
+// seqOrSingle wraps nodes in a sequential controller unless there is exactly
+// one.
+func seqOrSingle(nodes []*Node) *Node {
+	if len(nodes) == 1 {
+		return nodes[0]
+	}
+	return Seq(nodes...)
+}

@@ -1,0 +1,341 @@
+// Package plantree implements the plan-tree representation of Section 3.4.1:
+// the nonlinear encoding the genetic planner evolves. A plan tree consists
+// of terminal nodes (end-user activities) and controller nodes (sequential,
+// concurrent, selective, iterative), and converts to and from the
+// process-description graph form (Figures 4-7, 10-11).
+package plantree
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Kind classifies plan-tree nodes.
+type Kind int
+
+// Node kinds. KindActivity is the terminal kind; the other four are the
+// controller kinds of the paper.
+const (
+	KindActivity Kind = iota
+	KindSequential
+	KindConcurrent
+	KindSelective
+	KindIterative
+)
+
+// String returns the lowercase spelling used in the figures.
+func (k Kind) String() string {
+	switch k {
+	case KindActivity:
+		return "activity"
+	case KindSequential:
+		return "seq"
+	case KindConcurrent:
+		return "conc"
+	case KindSelective:
+		return "sel"
+	case KindIterative:
+		return "iter"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsController reports whether k is one of the four controller kinds.
+func (k Kind) IsController() bool { return k != KindActivity }
+
+// Node is one node of a plan tree.
+type Node struct {
+	Kind Kind
+
+	// Service names the end-user service for terminal nodes.
+	Service string
+
+	// Name optionally labels the activity distinctly from its service (the
+	// P3DR1..P3DR4 of Figure 10 all run service P3DR). Empty means the
+	// activity is labelled by its service name.
+	Name string
+
+	// Inputs and Outputs optionally bind case-level data names to the
+	// activity (the Input/Output Data Sets of Figure 13); conditions that
+	// reference data by name (Cons1's D12) rely on output bindings.
+	Inputs  []string
+	Outputs []string
+
+	// Children are the ordered child nodes of a controller node; terminal
+	// nodes have none. For a sequential node the order is the execution
+	// order (leftmost first).
+	Children []*Node
+
+	// Condition optionally carries a condition-expression source: on an
+	// iterative node it is the loop-continue condition; on a child of a
+	// selective node it guards that alternative.
+	Condition string
+}
+
+// Activity returns a terminal node for the named service.
+func Activity(service string) *Node { return &Node{Kind: KindActivity, Service: service} }
+
+// Seq returns a sequential controller over the children.
+func Seq(children ...*Node) *Node { return &Node{Kind: KindSequential, Children: children} }
+
+// Conc returns a concurrent controller over the children.
+func Conc(children ...*Node) *Node { return &Node{Kind: KindConcurrent, Children: children} }
+
+// Sel returns a selective controller over the children.
+func Sel(children ...*Node) *Node { return &Node{Kind: KindSelective, Children: children} }
+
+// Iter returns an iterative controller over the children.
+func Iter(children ...*Node) *Node { return &Node{Kind: KindIterative, Children: children} }
+
+// Size returns the number of nodes in the tree (Section 3.4.1's tree size,
+// bounded by Smax during evolution).
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	size := 1
+	for _, c := range n.Children {
+		size += c.Size()
+	}
+	return size
+}
+
+// Depth returns the height of the tree (a single node has depth 1).
+func (n *Node) Depth() int {
+	if n == nil {
+		return 0
+	}
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Leaves returns the terminal (activity) nodes in left-to-right order.
+func (n *Node) Leaves() []*Node {
+	var out []*Node
+	n.walk(func(node, _ *Node, _ int) {
+		if node.Kind == KindActivity {
+			out = append(out, node)
+		}
+	})
+	return out
+}
+
+// Services returns the service names of the leaves, left to right.
+func (n *Node) Services() []string {
+	leaves := n.Leaves()
+	out := make([]string, len(leaves))
+	for i, l := range leaves {
+		out[i] = l.Service
+	}
+	return out
+}
+
+// Clone returns a deep copy of the tree.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Kind: n.Kind, Service: n.Service, Name: n.Name, Condition: n.Condition}
+	c.Inputs = append([]string(nil), n.Inputs...)
+	c.Outputs = append([]string(nil), n.Outputs...)
+	if len(n.Children) > 0 {
+		c.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return c
+}
+
+// Equal reports structural equality.
+func (n *Node) Equal(m *Node) bool {
+	if n == nil || m == nil {
+		return n == m
+	}
+	if n.Kind != m.Kind || n.Service != m.Service || n.Name != m.Name || n.Condition != m.Condition ||
+		len(n.Children) != len(m.Children) ||
+		!equalStrings(n.Inputs, m.Inputs) || !equalStrings(n.Outputs, m.Outputs) {
+		return false
+	}
+	for i := range n.Children {
+		if !n.Children[i].Equal(m.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// walk visits every node in pre-order with its parent and child index
+// (parent nil, idx -1 for the root).
+func (n *Node) walk(fn func(node, parent *Node, idx int)) {
+	var rec func(node, parent *Node, idx int)
+	rec = func(node, parent *Node, idx int) {
+		fn(node, parent, idx)
+		for i, c := range node.Children {
+			rec(c, node, i)
+		}
+	}
+	rec(n, nil, -1)
+}
+
+// Located identifies a node within a tree together with its parent link, as
+// needed by the genetic operators to splice subtrees.
+type Located struct {
+	Node   *Node
+	Parent *Node
+	Index  int // child index within Parent; -1 for the root
+}
+
+// Nodes returns every node in pre-order with parent links.
+func (n *Node) Nodes() []Located {
+	out := make([]Located, 0, n.Size())
+	n.walk(func(node, parent *Node, idx int) {
+		out = append(out, Located{Node: node, Parent: parent, Index: idx})
+	})
+	return out
+}
+
+// At returns the i-th node in pre-order.
+func (n *Node) At(i int) Located {
+	nodes := n.Nodes()
+	return nodes[i]
+}
+
+// Validate checks the structural invariants of plan trees: controller nodes
+// have at least one child, terminal nodes have a service and no children,
+// and the total size does not exceed smax (pass smax <= 0 to skip the size
+// check).
+func (n *Node) Validate(smax int) error {
+	if n == nil {
+		return fmt.Errorf("plantree: nil tree")
+	}
+	if smax > 0 && n.Size() > smax {
+		return fmt.Errorf("plantree: size %d exceeds Smax %d", n.Size(), smax)
+	}
+	var err error
+	n.walk(func(node, _ *Node, _ int) {
+		if err != nil {
+			return
+		}
+		switch {
+		case node.Kind == KindActivity && len(node.Children) > 0:
+			err = fmt.Errorf("plantree: activity node %q has children", node.Service)
+		case node.Kind == KindActivity && node.Service == "":
+			err = fmt.Errorf("plantree: activity node with empty service")
+		case node.Kind.IsController() && len(node.Children) == 0:
+			err = fmt.Errorf("plantree: %s controller with no children", node.Kind)
+		}
+	})
+	return err
+}
+
+// String renders the tree as an s-expression, e.g.
+// (seq POD P3DR (iter POR (conc P3DR P3DR P3DR) PSF)).
+func (n *Node) String() string {
+	if n == nil {
+		return "()"
+	}
+	if n.Kind == KindActivity {
+		return n.Service
+	}
+	parts := make([]string, 0, len(n.Children)+1)
+	parts = append(parts, n.Kind.String())
+	for _, c := range n.Children {
+		parts = append(parts, c.String())
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// Normalize simplifies the tree without changing its semantics: nested
+// sequential nodes are flattened into their sequential parents, and
+// single-child sequential/concurrent/selective controllers are replaced by
+// their child. It returns the (possibly new) root. Iterative nodes are kept
+// even with one child, because iteration changes semantics.
+func (n *Node) Normalize() *Node {
+	if n == nil || n.Kind == KindActivity {
+		return n
+	}
+	kids := make([]*Node, 0, len(n.Children))
+	for _, c := range n.Children {
+		c = c.Normalize()
+		// An iterative node already executes its children in sequence, so a
+		// sequential child under a sequential or iterative parent is
+		// redundant structure.
+		flattenable := n.Kind == KindSequential || n.Kind == KindIterative
+		if flattenable && c.Kind == KindSequential && c.Condition == "" {
+			kids = append(kids, c.Children...)
+			continue
+		}
+		kids = append(kids, c)
+	}
+	n.Children = kids
+	if len(kids) == 1 && n.Kind != KindIterative && n.Condition == "" {
+		return kids[0]
+	}
+	return n
+}
+
+// controllerKinds are the kinds random generation draws internal nodes from
+// (Section 3.4.2: "randomly selected from four controller nodes").
+var controllerKinds = []Kind{KindSequential, KindConcurrent, KindSelective, KindIterative}
+
+// Random generates a random plan tree with size at most maxSize, whose
+// terminals are drawn uniformly from services. It follows the paper's
+// two-step initialization: first an arbitrary tree structure of bounded
+// size, then instantiation of every node. maxSize must be >= 1 and services
+// non-empty.
+func Random(rng *rand.Rand, services []string, maxSize int) *Node {
+	if len(services) == 0 {
+		panic("plantree: Random with empty service set")
+	}
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	target := 1 + rng.Intn(maxSize)
+	return randomWithSize(rng, services, target)
+}
+
+// randomWithSize builds a tree of exactly size nodes when size >= 1.
+func randomWithSize(rng *rand.Rand, services []string, size int) *Node {
+	if size <= 1 {
+		return Activity(services[rng.Intn(len(services))])
+	}
+	kind := controllerKinds[rng.Intn(len(controllerKinds))]
+	budget := size - 1 // nodes available for children subtrees
+	maxKids := budget
+	if maxKids > 4 {
+		maxKids = 4
+	}
+	k := 1 + rng.Intn(maxKids)
+	// Split budget into k parts, each >= 1.
+	parts := make([]int, k)
+	for i := range parts {
+		parts[i] = 1
+	}
+	for extra := budget - k; extra > 0; extra-- {
+		parts[rng.Intn(k)]++
+	}
+	node := &Node{Kind: kind, Children: make([]*Node, k)}
+	for i, p := range parts {
+		node.Children[i] = randomWithSize(rng, services, p)
+	}
+	return node
+}

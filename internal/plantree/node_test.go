@@ -1,0 +1,240 @@
+package plantree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+var services = []string{"POD", "P3DR", "POR", "PSF"}
+
+// fig11 builds the plan tree of Figure 11: the tree corresponding to the 3D
+// reconstruction process description.
+func fig11() *Node {
+	return Seq(
+		Activity("POD"),
+		Activity("P3DR"),
+		Iter(
+			Activity("POR"),
+			Conc(Activity("P3DR"), Activity("P3DR"), Activity("P3DR")),
+			Activity("PSF"),
+		),
+	)
+}
+
+func TestSizeDepthLeaves(t *testing.T) {
+	tr := fig11()
+	if got := tr.Size(); got != 10 {
+		t.Errorf("Size = %d, want 10", got)
+	}
+	if got := tr.Depth(); got != 4 {
+		t.Errorf("Depth = %d, want 4", got)
+	}
+	leaves := tr.Services()
+	want := []string{"POD", "P3DR", "POR", "P3DR", "P3DR", "P3DR", "PSF"}
+	if len(leaves) != len(want) {
+		t.Fatalf("Services = %v, want %v", leaves, want)
+	}
+	for i := range want {
+		if leaves[i] != want[i] {
+			t.Fatalf("Services = %v, want %v", leaves, want)
+		}
+	}
+	var nilNode *Node
+	if nilNode.Size() != 0 || nilNode.Depth() != 0 {
+		t.Error("nil node size/depth should be 0")
+	}
+	if Activity("X").Depth() != 1 {
+		t.Error("single node depth should be 1")
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	tr := fig11()
+	cl := tr.Clone()
+	if !tr.Equal(cl) {
+		t.Fatal("clone not equal to original")
+	}
+	cl.Children[0].Service = "MUTATED"
+	if tr.Equal(cl) {
+		t.Fatal("Equal missed a mutation")
+	}
+	if tr.Children[0].Service == "MUTATED" {
+		t.Fatal("Clone is shallow")
+	}
+	if !(*Node)(nil).Equal(nil) {
+		t.Error("nil.Equal(nil) should be true")
+	}
+	if tr.Equal(nil) {
+		t.Error("tree.Equal(nil) should be false")
+	}
+	if Seq(Activity("A")).Equal(Conc(Activity("A"))) {
+		t.Error("different kinds should not be equal")
+	}
+	a := Activity("A")
+	b := Activity("A")
+	b.Condition = "x.y = 1"
+	if a.Equal(b) {
+		t.Error("different conditions should not be equal")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := fig11().Validate(40); err != nil {
+		t.Errorf("fig11: %v", err)
+	}
+	if err := fig11().Validate(5); err == nil {
+		t.Error("Smax=5 should reject the 9-node tree")
+	}
+	if err := (&Node{Kind: KindActivity, Service: "A", Children: []*Node{Activity("B")}}).Validate(0); err == nil {
+		t.Error("activity with children should be invalid")
+	}
+	if err := Activity("").Validate(0); err == nil {
+		t.Error("activity with empty service should be invalid")
+	}
+	if err := Seq().Validate(0); err == nil {
+		t.Error("empty controller should be invalid")
+	}
+	if err := (*Node)(nil).Validate(0); err == nil {
+		t.Error("nil tree should be invalid")
+	}
+}
+
+func TestString(t *testing.T) {
+	got := fig11().String()
+	want := "(seq POD P3DR (iter POR (conc P3DR P3DR P3DR) PSF))"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if (*Node)(nil).String() != "()" {
+		t.Error("nil String mismatch")
+	}
+	for _, k := range []Kind{KindActivity, KindSequential, KindConcurrent, KindSelective, KindIterative, Kind(9)} {
+		if k.String() == "" {
+			t.Errorf("Kind(%d).String() empty", k)
+		}
+	}
+	if KindActivity.IsController() || !KindIterative.IsController() {
+		t.Error("IsController mismatch")
+	}
+}
+
+func TestNodesAndAt(t *testing.T) {
+	tr := fig11()
+	nodes := tr.Nodes()
+	if len(nodes) != tr.Size() {
+		t.Fatalf("Nodes len = %d, want %d", len(nodes), tr.Size())
+	}
+	if nodes[0].Node != tr || nodes[0].Parent != nil || nodes[0].Index != -1 {
+		t.Error("root location wrong")
+	}
+	// Pre-order: root, POD, P3DR, iter, POR, conc, P3DR x3, PSF.
+	if nodes[1].Node.Service != "POD" || nodes[1].Parent != tr || nodes[1].Index != 0 {
+		t.Errorf("nodes[1] = %+v", nodes[1])
+	}
+	if at := tr.At(3); at.Node.Kind != KindIterative {
+		t.Errorf("At(3).Kind = %v, want iterative", at.Node.Kind)
+	}
+	// Every non-root node's parent link must be consistent.
+	for _, loc := range nodes[1:] {
+		if loc.Parent.Children[loc.Index] != loc.Node {
+			t.Fatalf("inconsistent parent link at %+v", loc)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	// seq(seq(A,B),C) flattens to seq(A,B,C).
+	tr := Seq(Seq(Activity("A"), Activity("B")), Activity("C"))
+	n := tr.Normalize()
+	if n.String() != "(seq A B C)" {
+		t.Errorf("Normalize = %s", n)
+	}
+	// Single-child controllers collapse (except iterative).
+	if got := Conc(Activity("A")).Normalize().String(); got != "A" {
+		t.Errorf("conc(A) normalized to %s", got)
+	}
+	if got := Sel(Activity("A")).Normalize().String(); got != "A" {
+		t.Errorf("sel(A) normalized to %s", got)
+	}
+	if got := Iter(Activity("A")).Normalize().String(); got != "(iter A)" {
+		t.Errorf("iter(A) normalized to %s", got)
+	}
+	// Conditioned children must not be flattened away.
+	cond := Seq(Activity("A"))
+	cond.Condition = "x.v = 1"
+	if got := Sel(cond, Activity("B")).Normalize(); len(got.Children) != 2 {
+		t.Errorf("conditioned child lost: %s", got)
+	}
+	// Activities are untouched.
+	if got := Activity("A").Normalize().String(); got != "A" {
+		t.Errorf("activity normalized to %s", got)
+	}
+}
+
+func TestRandomRespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		maxSize := 1 + rng.Intn(40)
+		tr := Random(rng, services, maxSize)
+		if err := tr.Validate(maxSize); err != nil {
+			t.Fatalf("random tree invalid (maxSize=%d): %v\n%s", maxSize, err, tr)
+		}
+		for _, leaf := range tr.Leaves() {
+			found := false
+			for _, s := range services {
+				if leaf.Service == s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("leaf service %q not in service set", leaf.Service)
+			}
+		}
+	}
+}
+
+func TestRandomCoversAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seen := map[Kind]bool{}
+	for i := 0; i < 200; i++ {
+		tr := Random(rng, services, 20)
+		tr.walk(func(n, _ *Node, _ int) { seen[n.Kind] = true })
+	}
+	for _, k := range []Kind{KindActivity, KindSequential, KindConcurrent, KindSelective, KindIterative} {
+		if !seen[k] {
+			t.Errorf("random generation never produced %v nodes", k)
+		}
+	}
+}
+
+func TestRandomPanicsOnEmptyServices(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Random(rand.New(rand.NewSource(1)), nil, 10)
+}
+
+func TestRandomMinSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := Random(rng, services, 0) // clamped to 1
+	if tr.Size() != 1 || tr.Kind != KindActivity {
+		t.Errorf("maxSize 0 tree = %s", tr)
+	}
+}
+
+func TestStringContainsAllLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		tr := Random(rng, services, 15)
+		s := tr.String()
+		for _, svc := range tr.Services() {
+			if !strings.Contains(s, svc) {
+				t.Fatalf("String %q missing leaf %q", s, svc)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package services
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/agent"
+)
+
+// Authentication is the authentication service agent: it registers
+// principals with shared secrets and issues HMAC tokens the other services
+// can verify without shared state.
+type Authentication struct {
+	mu         sync.Mutex
+	key        []byte
+	principals map[string]string // principal -> secret
+	nonce      uint64
+}
+
+// NewAuthentication returns an authentication service with the given signing
+// key.
+func NewAuthentication(key string) *Authentication {
+	return &Authentication{key: []byte(key), principals: make(map[string]string)}
+}
+
+// AddPrincipal registers a principal and its secret.
+func (s *Authentication) AddPrincipal(principal, secret string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.principals[principal] = secret
+}
+
+func (s *Authentication) sign(payload string) string {
+	mac := hmac.New(sha256.New, s.key)
+	mac.Write([]byte(payload))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+func (s *Authentication) issue(principal string) string {
+	s.mu.Lock()
+	s.nonce++
+	payload := fmt.Sprintf("%s:%d", principal, s.nonce)
+	s.mu.Unlock()
+	return payload + ":" + s.sign(payload)
+}
+
+func (s *Authentication) verify(token string) (string, bool) {
+	i := strings.LastIndexByte(token, ':')
+	if i < 0 {
+		return "", false
+	}
+	payload, sig := token[:i], token[i+1:]
+	if !hmac.Equal([]byte(s.sign(payload)), []byte(sig)) {
+		return "", false
+	}
+	principal, _, ok := strings.Cut(payload, ":")
+	if !ok {
+		return "", false
+	}
+	return principal, true
+}
+
+// HandleMessage implements agent.Handler.
+func (s *Authentication) HandleMessage(ctx *agent.Context, msg agent.Message) {
+	switch req := msg.Content.(type) {
+	case LoginRequest:
+		s.mu.Lock()
+		secret, known := s.principals[req.Principal]
+		s.mu.Unlock()
+		if !known || secret != req.Secret {
+			_ = ctx.Reply(msg, agent.Refuse, "authentication: bad principal or secret")
+			return
+		}
+		_ = ctx.Reply(msg, agent.Inform, LoginReply{Token: s.issue(req.Principal)})
+	case VerifyRequest:
+		principal, ok := s.verify(req.Token)
+		_ = ctx.Reply(msg, agent.Inform, VerifyReply{Valid: ok, Principal: principal})
+	default:
+		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("authentication: unsupported content %T", msg.Content))
+	}
+}

@@ -1,0 +1,149 @@
+package services
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/agent"
+	"repro/internal/grid"
+)
+
+// ContainersRequest asks the brokerage for the application containers that
+// can possibly provide a service (Figure 3, step 4).
+type ContainersRequest struct{ Service string }
+
+// ContainersReply lists candidate container IDs. The brokerage answers from
+// its snapshot, so the list "may be obsolete" in the paper's words: a
+// container whose node failed after the last refresh is still listed.
+type ContainersReply struct{ Containers []string }
+
+// PerfRequest asks for past performance statistics of a service, optionally
+// restricted to executions on one node (used by the coordinator's
+// history-aware dispatch).
+type PerfRequest struct {
+	Service string
+	Node    string // empty = all nodes
+}
+
+// PerfStats aggregates the execution history of a service.
+type PerfStats struct {
+	Runs         int
+	SuccessRate  float64
+	MeanDuration float64
+	MeanCost     float64
+}
+
+// PerfReply carries the stats.
+type PerfReply struct{ Stats PerfStats }
+
+// ClassesRequest asks for the current resource equivalence classes.
+type ClassesRequest struct{}
+
+// ClassesReply lists them.
+type ClassesReply struct{ Classes []grid.EquivalenceClass }
+
+// ExecutionReport informs the brokerage of a completed execution, feeding
+// the past-performance data base.
+type ExecutionReport struct{ Exec grid.Execution }
+
+// RefreshRequest forces the brokerage to resnapshot the grid.
+type RefreshRequest struct{}
+
+// Brokerage is the brokerage service agent. It keeps a best-effort snapshot
+// of container offerings plus the performance history.
+type Brokerage struct {
+	Grid *grid.Grid
+
+	mu       sync.Mutex
+	snapshot map[string][]string // service -> container IDs (possibly stale)
+	history  []grid.Execution
+}
+
+// NewBrokerage builds a brokerage with an immediate snapshot.
+func NewBrokerage(g *grid.Grid) *Brokerage {
+	b := &Brokerage{Grid: g}
+	b.Refresh()
+	return b
+}
+
+// Refresh re-snapshots the container offerings from the grid.
+func (b *Brokerage) Refresh() {
+	snap := make(map[string][]string)
+	for _, c := range b.Grid.Containers() {
+		n := b.Grid.Node(c.NodeID)
+		if n == nil || !n.Up() {
+			continue
+		}
+		for _, s := range c.Services {
+			snap[s] = append(snap[s], c.ID)
+		}
+	}
+	for s := range snap {
+		sort.Strings(snap[s])
+	}
+	b.mu.Lock()
+	b.snapshot = snap
+	b.mu.Unlock()
+}
+
+// Record adds an execution to the history (also reachable by message).
+func (b *Brokerage) Record(ex grid.Execution) {
+	b.mu.Lock()
+	b.history = append(b.history, ex)
+	b.mu.Unlock()
+}
+
+func (b *Brokerage) stats(service, node string) PerfStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var s PerfStats
+	okCount := 0
+	for _, ex := range b.history {
+		if ex.Service != service {
+			continue
+		}
+		if node != "" && ex.Node != node {
+			continue
+		}
+		s.Runs++
+		s.MeanDuration += ex.Duration
+		s.MeanCost += ex.Cost
+		if ex.OK {
+			okCount++
+		}
+	}
+	if s.Runs > 0 {
+		s.MeanDuration /= float64(s.Runs)
+		s.MeanCost /= float64(s.Runs)
+		s.SuccessRate = float64(okCount) / float64(s.Runs)
+	}
+	return s
+}
+
+// HandleMessage implements agent.Handler.
+func (b *Brokerage) HandleMessage(ctx *agent.Context, msg agent.Message) {
+	switch req := msg.Content.(type) {
+	case ContainersRequest:
+		b.mu.Lock()
+		list := append([]string(nil), b.snapshot[req.Service]...)
+		b.mu.Unlock()
+		_ = ctx.Reply(msg, agent.Inform, ContainersReply{Containers: list})
+	case PerfRequest:
+		_ = ctx.Reply(msg, agent.Inform, PerfReply{Stats: b.stats(req.Service, req.Node)})
+	case ClassesRequest:
+		_ = ctx.Reply(msg, agent.Inform, ClassesReply{Classes: b.Grid.EquivalenceClasses()})
+	case ExecutionReport:
+		b.Record(req.Exec)
+		if msg.Performative == agent.Request {
+			_ = ctx.Reply(msg, agent.Agree, nil)
+		}
+	case RefreshRequest:
+		b.Refresh()
+		if msg.Performative == agent.Request {
+			_ = ctx.Reply(msg, agent.Agree, nil)
+		}
+	default:
+		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("brokerage: unsupported content %T", msg.Content))
+	}
+}

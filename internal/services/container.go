@@ -1,0 +1,75 @@
+package services
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/grid"
+)
+
+// AvailabilityRequest asks a container whether it can currently execute a
+// service (Figure 3, steps 6-7: "Activities executable?").
+type AvailabilityRequest struct{ Service string }
+
+// AvailabilityReply answers it.
+type AvailabilityReply struct {
+	Container  string
+	Service    string
+	Executable bool
+}
+
+// ExecuteRequest asks a container to run a service.
+type ExecuteRequest struct {
+	Service  string
+	BaseTime float64
+	DataMB   float64
+}
+
+// ExecuteReply reports the execution record on success.
+type ExecuteReply struct{ Exec grid.Execution }
+
+// ContainerAgent exposes one grid application container as an agent. It
+// answers availability probes and execution requests; failures at the grid
+// level surface as Failure replies, which triggers the coordinator's
+// recovery path.
+type ContainerAgent struct {
+	Grid      *grid.Grid
+	Container string
+}
+
+// HandleMessage implements agent.Handler.
+func (a *ContainerAgent) HandleMessage(ctx *agent.Context, msg agent.Message) {
+	switch req := msg.Content.(type) {
+	case AvailabilityRequest:
+		ok := false
+		if c := a.Grid.Container(a.Container); c != nil && c.Provides(req.Service) {
+			if n := a.Grid.Node(c.NodeID); n != nil && n.Up() {
+				ok = true
+			}
+		}
+		_ = ctx.Reply(msg, agent.Inform, AvailabilityReply{
+			Container: a.Container, Service: req.Service, Executable: ok,
+		})
+	case CallForProposal:
+		if prop, ok := a.bid(req); ok {
+			_ = ctx.Reply(msg, agent.Inform, prop)
+		} else {
+			_ = ctx.Reply(msg, agent.Refuse, "container "+a.Container+" declines")
+		}
+	case ExecuteRequest:
+		ex, err := a.Grid.Execute(a.Container, req.Service, req.BaseTime, req.DataMB)
+		// Report to the brokerage's performance data base, best effort —
+		// failed executions included, so the "proven record of reliability"
+		// reflects reality, not just the successes.
+		if ex.Service != "" && ctx.Platform().Has(BrokerageName) {
+			_ = ctx.Send(BrokerageName, agent.Inform, OntBrokerage, ExecutionReport{Exec: ex})
+		}
+		if err != nil {
+			_ = ctx.Reply(msg, agent.Failure, fmt.Errorf("container %s: %w", a.Container, err))
+			return
+		}
+		_ = ctx.Reply(msg, agent.Inform, ExecuteReply{Exec: ex})
+	default:
+		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("container %s: unsupported content %T", a.Container, msg.Content))
+	}
+}

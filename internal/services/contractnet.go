@@ -1,0 +1,50 @@
+package services
+
+import (
+	"repro/internal/grid"
+)
+
+// The contract-net protocol for resource acquisition: instead of asking the
+// matchmaking service to rank resources from metadata, the buyer broadcasts
+// a call for proposals to candidate application containers, each bids its
+// predicted completion time and cost, and the buyer awards the execution to
+// the best bid. This is the "resource acquisition on the spot markets, based
+// upon some form of resource brokerage" negotiation of Section 1.
+
+// CallForProposal asks a container to bid on executing a service.
+type CallForProposal struct {
+	Service  string
+	BaseTime float64
+	DataMB   float64
+}
+
+// Proposal is a container's bid. PredictedTime excludes the execution-time
+// jitter (bids are estimates, reality differs — just as the paper warns
+// about obsolete information).
+type Proposal struct {
+	Container     string
+	Node          string
+	PredictedTime float64
+	CostPerSec    float64
+	PredictedCost float64
+}
+
+// bid evaluates a CFP against this container's node, or reports refusal.
+func (a *ContainerAgent) bid(req CallForProposal) (Proposal, bool) {
+	c := a.Grid.Container(a.Container)
+	if c == nil || !c.Provides(req.Service) {
+		return Proposal{}, false
+	}
+	n := a.Grid.Node(c.NodeID)
+	if n == nil || !n.Up() {
+		return Proposal{}, false
+	}
+	predicted := grid.ExecTime(req.BaseTime, req.DataMB, n)
+	return Proposal{
+		Container:     a.Container,
+		Node:          n.ID,
+		PredictedTime: predicted,
+		CostPerSec:    n.CostPerSec,
+		PredictedCost: predicted * n.CostPerSec,
+	}, true
+}

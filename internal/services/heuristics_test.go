@@ -1,0 +1,186 @@
+package services
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// heterogeneousGrid builds three machines with very different speeds, all
+// providing service S.
+func heterogeneousGrid(t *testing.T) *grid.Grid {
+	t.Helper()
+	g := grid.New(1)
+	for _, spec := range []struct {
+		id    string
+		speed float64
+	}{
+		{"fast", 4}, {"mid", 2}, {"slow", 1},
+	} {
+		if err := g.AddNode(&grid.Node{ID: spec.id, Hardware: grid.Hardware{Speed: spec.speed}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddContainer(&grid.Container{ID: "ac-" + spec.id, NodeID: spec.id, Services: []string{"S"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func mixedTasks() []TaskSpec {
+	// One long task and several short ones: the classic case separating
+	// min-min from max-min.
+	return []TaskSpec{
+		{ID: "long", Service: "S", BaseTime: 400},
+		{ID: "s1", Service: "S", BaseTime: 40},
+		{ID: "s2", Service: "S", BaseTime: 40},
+		{ID: "s3", Service: "S", BaseTime: 40},
+		{ID: "s4", Service: "S", BaseTime: 40},
+	}
+}
+
+func TestHeuristicsAllComplete(t *testing.T) {
+	s := &Scheduling{Grid: heterogeneousGrid(t)}
+	for _, h := range []Heuristic{HeuristicMinMin, HeuristicMaxMin, HeuristicSufferage, HeuristicFCFS} {
+		reply := s.ScheduleWith(mixedTasks(), h)
+		if len(reply.Assignments) != 5 {
+			t.Errorf("%s: %d assignments, want 5", h, len(reply.Assignments))
+		}
+		if reply.Makespan <= 0 {
+			t.Errorf("%s: zero makespan", h)
+		}
+		// No container runs two tasks at once.
+		type span struct{ start, finish float64 }
+		byContainer := map[string][]span{}
+		for _, a := range reply.Assignments {
+			for _, other := range byContainer[a.Container] {
+				if a.Start < other.finish && other.start < a.Finish {
+					t.Errorf("%s: overlap on %s", h, a.Container)
+				}
+			}
+			byContainer[a.Container] = append(byContainer[a.Container], span{a.Start, a.Finish})
+		}
+	}
+}
+
+func TestMaxMinStartsLongTaskFirst(t *testing.T) {
+	s := &Scheduling{Grid: heterogeneousGrid(t)}
+	reply := s.ScheduleWith(mixedTasks(), HeuristicMaxMin)
+	for _, a := range reply.Assignments {
+		if a.Task == "long" {
+			if a.Start != 0 {
+				t.Errorf("max-min scheduled the long task at %g, want 0", a.Start)
+			}
+			if a.Node != "fast" {
+				t.Errorf("max-min put the long task on %s, want fast", a.Node)
+			}
+			return
+		}
+	}
+	t.Fatal("long task unassigned")
+}
+
+func TestMinMinDefersLongTask(t *testing.T) {
+	s := &Scheduling{Grid: heterogeneousGrid(t)}
+	reply := s.ScheduleWith(mixedTasks(), HeuristicMinMin)
+	// Min-min places the short tasks first; the long task starts after at
+	// least one short task finished on the fast machine.
+	for _, a := range reply.Assignments {
+		if a.Task == "long" && a.Start == 0 && a.Node == "fast" {
+			t.Errorf("min-min put the long task on the fast machine at t=0: %+v", reply.Assignments)
+		}
+	}
+}
+
+func TestSufferagePrefersHighRegretTask(t *testing.T) {
+	// Two tasks, one container each plus one shared fast container: the
+	// task whose alternative is much worse must win the fast slot.
+	g := grid.New(1)
+	_ = g.AddNode(&grid.Node{ID: "fast", Hardware: grid.Hardware{Speed: 4}})
+	_ = g.AddNode(&grid.Node{ID: "slowA", Hardware: grid.Hardware{Speed: 1}})
+	_ = g.AddContainer(&grid.Container{ID: "ac-fast", NodeID: "fast", Services: []string{"A", "B"}})
+	_ = g.AddContainer(&grid.Container{ID: "ac-slowA", NodeID: "slowA", Services: []string{"A"}})
+	s := &Scheduling{Grid: g}
+	// Task a: fast 25 or slow 100 (sufferage 75). Task b: fast only
+	// (sufferage 0 — second best equals best when only one option).
+	reply := s.ScheduleWith([]TaskSpec{
+		{ID: "a", Service: "A", BaseTime: 100},
+		{ID: "b", Service: "B", BaseTime: 100},
+	}, HeuristicSufferage)
+	if len(reply.Assignments) != 2 {
+		t.Fatalf("assignments = %+v", reply.Assignments)
+	}
+	for _, a := range reply.Assignments {
+		if a.Task == "a" && a.Node != "fast" {
+			t.Errorf("high-regret task lost the fast slot: %+v", reply.Assignments)
+		}
+	}
+}
+
+func TestFCFSOrderPreserved(t *testing.T) {
+	s := &Scheduling{Grid: heterogeneousGrid(t)}
+	tasks := mixedTasks()
+	reply := s.ScheduleWith(tasks, HeuristicFCFS)
+	// FCFS assigns in input order: "long" gets the fast machine at t=0.
+	if reply.Assignments[0].Task != "long" || reply.Assignments[0].Node != "fast" {
+		t.Errorf("fcfs first assignment = %+v", reply.Assignments[0])
+	}
+}
+
+func TestHeuristicMakespanOrdering(t *testing.T) {
+	// On this workload, max-min should beat (or equal) FCFS and be no worse
+	// than min-min's makespan; all should schedule everything.
+	s := &Scheduling{Grid: heterogeneousGrid(t)}
+	mk := map[Heuristic]float64{}
+	for _, h := range []Heuristic{HeuristicMinMin, HeuristicMaxMin, HeuristicSufferage, HeuristicFCFS} {
+		mk[h] = s.ScheduleWith(mixedTasks(), h).Makespan
+	}
+	if mk[HeuristicMaxMin] > mk[HeuristicMinMin] {
+		t.Errorf("max-min makespan %g > min-min %g on long+short mix", mk[HeuristicMaxMin], mk[HeuristicMinMin])
+	}
+	for h, m := range mk {
+		if m <= 0 {
+			t.Errorf("%s makespan %g", h, m)
+		}
+	}
+}
+
+func TestHeuristicStrings(t *testing.T) {
+	for _, h := range []Heuristic{HeuristicMinMin, HeuristicMaxMin, HeuristicSufferage, HeuristicFCFS, Heuristic(9)} {
+		if h.String() == "" {
+			t.Errorf("Heuristic(%d).String() empty", h)
+		}
+	}
+}
+
+func TestScheduleWithNoProviders(t *testing.T) {
+	s := &Scheduling{Grid: grid.New(1)}
+	for _, h := range []Heuristic{HeuristicMinMin, HeuristicMaxMin, HeuristicSufferage, HeuristicFCFS} {
+		reply := s.ScheduleWith([]TaskSpec{{ID: "t", Service: "S", BaseTime: 1}}, h)
+		if len(reply.Assignments) != 0 {
+			t.Errorf("%s scheduled a task with no providers", h)
+		}
+	}
+}
+
+func BenchmarkHeuristics(b *testing.B) {
+	g := grid.Synthetic(grid.DefaultSyntheticConfig())
+	s := &Scheduling{Grid: g}
+	tasks := make([]TaskSpec, 64)
+	services := []string{"POD", "P3DR", "POR", "PSF"}
+	for i := range tasks {
+		tasks[i] = TaskSpec{
+			ID: string(rune('a'+i%26)) + string(rune('0'+i/26)), Service: services[i%4],
+			BaseTime: float64(100 * (1 + i%7)), DataMB: 100,
+		}
+	}
+	for _, h := range []Heuristic{HeuristicMinMin, HeuristicMaxMin, HeuristicSufferage, HeuristicFCFS} {
+		b.Run(h.String(), func(b *testing.B) {
+			var mk float64
+			for i := 0; i < b.N; i++ {
+				mk = s.ScheduleWith(tasks, h).Makespan
+			}
+			b.ReportMetric(mk, "makespan-s")
+		})
+	}
+}

@@ -1,0 +1,103 @@
+package services
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agent"
+	"repro/internal/grid"
+)
+
+// MatchRequest asks for resources matching a set of conditions, the
+// spot-market lookup of Section 2 ("locate resources in a spot market,
+// subject to a wide range of conditions").
+type MatchRequest struct {
+	Service         string
+	MinSpeed        float64  // 0 = any
+	MaxCostPerSec   float64  // 0 = any
+	MaxLatencyUs    float64  // 0 = any; fine-grain parallel tasks set this
+	RequireSoftware []string // package names that must be installed
+	Domain          string   // restrict to one administrative domain
+}
+
+// Candidate is one matched container with its ranking score (higher is
+// better: fast, reliable, cheap).
+type Candidate struct {
+	Container string
+	Node      string
+	Speed     float64
+	Cost      float64
+	Score     float64
+}
+
+// MatchReply lists candidates best-first.
+type MatchReply struct{ Candidates []Candidate }
+
+// Matchmaking is the matchmaking service agent. Unlike the brokerage's
+// best-effort snapshot, matchmaking reads the live grid, so its answers
+// reflect current node status.
+type Matchmaking struct{ Grid *grid.Grid }
+
+// Match evaluates a request against the live grid.
+func (s *Matchmaking) Match(req MatchRequest) []Candidate {
+	var out []Candidate
+	for _, c := range s.Grid.ContainersFor(req.Service) {
+		n := s.Grid.Node(c.NodeID)
+		if n == nil {
+			continue
+		}
+		hw := n.Hardware
+		if req.MinSpeed > 0 && hw.Speed < req.MinSpeed {
+			continue
+		}
+		if req.MaxCostPerSec > 0 && n.CostPerSec > req.MaxCostPerSec {
+			continue
+		}
+		if req.MaxLatencyUs > 0 && hw.LatencyUs > req.MaxLatencyUs {
+			continue
+		}
+		if req.Domain != "" && n.Domain != req.Domain {
+			continue
+		}
+		haveAll := true
+		for _, sw := range req.RequireSoftware {
+			if !n.HasSoftware(sw) {
+				haveAll = false
+				break
+			}
+		}
+		if !haveAll {
+			continue
+		}
+		// Score: speed, discounted by failure rate, per unit cost.
+		cost := n.CostPerSec
+		if cost <= 0 {
+			cost = 1e-6
+		}
+		score := hw.Speed * (1 - n.FailureRate) / cost
+		out = append(out, Candidate{
+			Container: c.ID,
+			Node:      n.ID,
+			Speed:     hw.Speed,
+			Cost:      n.CostPerSec,
+			Score:     score,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Container < out[j].Container
+	})
+	return out
+}
+
+// HandleMessage implements agent.Handler.
+func (s *Matchmaking) HandleMessage(ctx *agent.Context, msg agent.Message) {
+	req, ok := msg.Content.(MatchRequest)
+	if !ok {
+		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("matchmaking: unsupported content %T", msg.Content))
+		return
+	}
+	_ = ctx.Reply(msg, agent.Inform, MatchReply{Candidates: s.Match(req)})
+}

@@ -1,0 +1,88 @@
+package services
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// storageDump is the on-disk form of the persistent store.
+type storageDump struct {
+	Keys []storageKey `json:"keys"`
+}
+
+type storageKey struct {
+	Key      string   `json:"key"`
+	Versions [][]byte `json:"versions"`
+}
+
+// Save writes the whole store (all keys, all versions) to path atomically
+// (write to a temp file in the same directory, then rename). This is what
+// makes the storage service "persistent" across environment restarts.
+func (s *Storage) Save(path string) error {
+	s.mu.Lock()
+	dump := storageDump{}
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		versions := make([][]byte, len(s.data[k]))
+		for i, v := range s.data[k] {
+			versions[i] = append([]byte(nil), v...)
+		}
+		dump.Keys = append(dump.Keys, storageKey{Key: k, Versions: versions})
+	}
+	s.mu.Unlock()
+
+	data, err := json.Marshal(dump)
+	if err != nil {
+		return fmt.Errorf("services: storage marshal: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".storage-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+// Load replaces the store's contents with the dump at path.
+func (s *Storage) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var dump storageDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return fmt.Errorf("services: storage load: %w", err)
+	}
+	fresh := make(map[string][][]byte, len(dump.Keys))
+	for _, k := range dump.Keys {
+		if k.Key == "" {
+			return fmt.Errorf("services: storage load: empty key in dump")
+		}
+		versions := make([][]byte, len(k.Versions))
+		for i, v := range k.Versions {
+			versions[i] = append([]byte(nil), v...)
+		}
+		fresh[k.Key] = versions
+	}
+	s.mu.Lock()
+	s.data = fresh
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,143 @@
+package services
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/grid"
+)
+
+func TestStorageSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+
+	s := NewStorage()
+	s.Put("plans/a", []byte("v1"))
+	s.Put("plans/a", []byte("v2"))
+	s.Put("checkpoint/T1", []byte(`{"x":1}`))
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewStorage()
+	fresh.Put("garbage", []byte("to be replaced"))
+	if err := fresh.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if keys := fresh.Keys(""); len(keys) != 2 {
+		t.Fatalf("keys after load = %v", keys)
+	}
+	if v, ver, ok := fresh.Get("plans/a", 0); !ok || ver != 2 || string(v) != "v2" {
+		t.Errorf("latest = %q v%d ok=%v", v, ver, ok)
+	}
+	if v, _, ok := fresh.Get("plans/a", 1); !ok || string(v) != "v1" {
+		t.Errorf("v1 = %q", v)
+	}
+	if _, _, ok := fresh.Get("garbage", 0); ok {
+		t.Error("Load did not replace contents")
+	}
+	// Round trip again is stable.
+	path2 := filepath.Join(dir, "store2.json")
+	if err := fresh.Save(path2); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if string(b1) != string(b2) {
+		t.Error("save not deterministic")
+	}
+}
+
+func TestStorageLoadErrors(t *testing.T) {
+	s := NewStorage()
+	if err := s.Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	_ = os.WriteFile(bad, []byte("{"), 0o644)
+	if err := s.Load(bad); err == nil {
+		t.Error("corrupt file loaded")
+	}
+	empty := filepath.Join(t.TempDir(), "emptykey.json")
+	_ = os.WriteFile(empty, []byte(`{"keys":[{"key":"","versions":[]}]}`), 0o644)
+	if err := s.Load(empty); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestMonitoringSubscriptions(t *testing.T) {
+	g := grid.New(1)
+	_ = g.AddNode(&grid.Node{ID: "n1", Hardware: grid.Hardware{Speed: 1}})
+	_ = g.AddNode(&grid.Node{ID: "n2", Hardware: grid.Hardware{Speed: 1}})
+	p := agent.NewPlatform()
+	defer p.Shutdown()
+	p.MustRegister(MonitoringName, &Monitoring{Grid: g})
+
+	events := make(chan StatusEvent, 16)
+	sub := p.MustRegister("watcher", agent.HandlerFunc(func(_ *agent.Context, msg agent.Message) {
+		if ev, ok := msg.Content.(StatusEvent); ok {
+			events <- ev
+		}
+	}))
+	if _, err := sub.Call(MonitoringName, OntMonitoring, SubscribeStatus{}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// No change: poll produces nothing.
+	reply, err := sub.Call(MonitoringName, OntMonitoring, PollStatus{}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reply.Content.(int); n != 0 {
+		t.Errorf("initial poll events = %d, want 0", n)
+	}
+
+	// Fail a node: one event for n1.
+	_ = g.SetNodeUp("n1", false)
+	reply, _ = sub.Call(MonitoringName, OntMonitoring, PollStatus{}, time.Second)
+	if n := reply.Content.(int); n != 1 {
+		t.Fatalf("poll events = %d, want 1", n)
+	}
+	select {
+	case ev := <-events:
+		if ev.Node != "n1" || ev.Up {
+			t.Errorf("event = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no event delivered")
+	}
+
+	// Repair both state changes at once. Delivery is asynchronous, so
+	// collect with a deadline rather than assuming arrival before the poll
+	// reply.
+	_ = g.SetNodeUp("n1", true)
+	_ = g.SetNodeUp("n2", false)
+	reply, _ = sub.Call(MonitoringName, OntMonitoring, PollStatus{}, time.Second)
+	if n := reply.Content.(int); n != 2 {
+		t.Errorf("poll events = %d, want 2", n)
+	}
+	deadline := time.After(time.Second)
+	for drained := 0; drained < 2; {
+		select {
+		case <-events:
+			drained++
+		case <-deadline:
+			t.Fatalf("only %d of 2 events delivered", drained)
+		}
+	}
+
+	// Unsubscribe: further changes are not delivered.
+	if _, err := sub.Call(MonitoringName, OntMonitoring, UnsubscribeStatus{}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_ = g.SetNodeUp("n2", true)
+	_, _ = sub.Call(MonitoringName, OntMonitoring, PollStatus{}, time.Second)
+	select {
+	case ev := <-events:
+		t.Errorf("event after unsubscribe: %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

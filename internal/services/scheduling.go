@@ -1,0 +1,61 @@
+package services
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/grid"
+)
+
+// TaskSpec describes one independent task to schedule.
+type TaskSpec struct {
+	ID       string
+	Service  string
+	BaseTime float64
+	DataMB   float64
+}
+
+// Assignment places a task on a container with its predicted interval.
+type Assignment struct {
+	Task      string
+	Container string
+	Node      string
+	Start     float64
+	Finish    float64
+}
+
+// ScheduleRequest asks for a schedule of independent tasks over the
+// containers currently offering their services. Heuristic selects the
+// policy (zero value: min-min).
+type ScheduleRequest struct {
+	Tasks     []TaskSpec
+	Heuristic Heuristic
+}
+
+// ScheduleReply carries the schedule and its makespan.
+type ScheduleReply struct {
+	Assignments []Assignment
+	Makespan    float64
+}
+
+// Scheduling is the scheduling service agent. It implements the classic
+// min-min list-scheduling heuristic over predicted execution times: at each
+// step, the task whose best completion time is smallest is placed on the
+// container achieving it.
+type Scheduling struct{ Grid *grid.Grid }
+
+// Schedule computes the min-min schedule (the default policy); use
+// ScheduleWith for the other heuristics.
+func (s *Scheduling) Schedule(tasks []TaskSpec) ScheduleReply {
+	return s.ScheduleWith(tasks, HeuristicMinMin)
+}
+
+// HandleMessage implements agent.Handler.
+func (s *Scheduling) HandleMessage(ctx *agent.Context, msg agent.Message) {
+	req, ok := msg.Content.(ScheduleRequest)
+	if !ok {
+		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("scheduling: unsupported content %T", msg.Content))
+		return
+	}
+	_ = ctx.Reply(msg, agent.Inform, s.ScheduleWith(req.Tasks, req.Heuristic))
+}

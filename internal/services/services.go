@@ -1,0 +1,263 @@
+// Package services implements the core services of Figure 1 as agents on
+// the platform of package agent: information, brokerage, matchmaking,
+// monitoring, scheduling, persistent storage, authentication, and
+// simulation, plus the Application Container agents that host end-user
+// services. The planning and coordination services live in their own
+// packages (planner, coordination) and talk to these over the same message
+// ontologies.
+//
+// Core services are persistent and reliable; end-user services (the
+// containers) may fail with their nodes, which is what exercises the
+// re-planning flow of Figure 3.
+package services
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/grid"
+)
+
+// Well-known agent names for the core services.
+const (
+	InformationName    = "information"
+	BrokerageName      = "brokerage"
+	MatchmakingName    = "matchmaking"
+	MonitoringName     = "monitoring"
+	SchedulingName     = "scheduling"
+	StorageName        = "storage"
+	AuthenticationName = "authentication"
+	SimulationName     = "simulation"
+	PlanningName       = "planning"
+	CoordinationName   = "coordination"
+	OntologyName       = "ontology"
+)
+
+// Ontology names (the vocabulary tag on messages).
+const (
+	OntInformation = "grid-information"
+	OntBrokerage   = "grid-brokerage"
+	OntMatchmaking = "grid-matchmaking"
+	OntMonitoring  = "grid-monitoring"
+	OntScheduling  = "grid-scheduling"
+	OntStorage     = "grid-storage"
+	OntAuth        = "grid-authentication"
+	OntSimulation  = "grid-simulation"
+	OntExecution   = "grid-execution"
+	OntPlanning    = "grid-planning"
+	OntOntology    = "grid-ontology"
+)
+
+// CallTimeout is the default synchronous call budget between services.
+const CallTimeout = 30 * time.Second
+
+// ---------------------------------------------------------------------------
+// Information service: all services register their offerings here (white and
+// yellow pages).
+
+// Offer describes one registered service offering.
+type Offer struct {
+	Name     string // agent name providing the offer
+	Type     string // offering type, e.g. "brokerage", "end-user:P3DR"
+	Location string
+}
+
+// LookupRequest asks for the agents offering a type.
+type LookupRequest struct{ Type string }
+
+// LookupReply lists the matching offers sorted by agent name.
+type LookupReply struct{ Offers []Offer }
+
+// Information is the information service agent.
+type Information struct {
+	mu     sync.Mutex
+	offers map[string][]Offer // type -> offers
+}
+
+// NewInformation returns an empty information service.
+func NewInformation() *Information {
+	return &Information{offers: make(map[string][]Offer)}
+}
+
+// HandleMessage implements agent.Handler.
+func (s *Information) HandleMessage(ctx *agent.Context, msg agent.Message) {
+	switch content := msg.Content.(type) {
+	case Offer:
+		s.mu.Lock()
+		s.offers[content.Type] = append(s.offers[content.Type], content)
+		s.mu.Unlock()
+		if msg.Performative == agent.Request {
+			_ = ctx.Reply(msg, agent.Agree, content)
+		}
+	case LookupRequest:
+		s.mu.Lock()
+		offers := append([]Offer(nil), s.offers[content.Type]...)
+		s.mu.Unlock()
+		sort.Slice(offers, func(i, j int) bool { return offers[i].Name < offers[j].Name })
+		_ = ctx.Reply(msg, agent.Inform, LookupReply{Offers: offers})
+	default:
+		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("information: unsupported content %T", msg.Content))
+	}
+}
+
+// RegisterOffer registers an offering with the information service on
+// behalf of ctx's agent.
+func RegisterOffer(ctx *agent.Context, offerType, location string) error {
+	_, err := ctx.Call(InformationName, OntInformation,
+		Offer{Name: ctx.Name(), Type: offerType, Location: location}, CallTimeout)
+	return err
+}
+
+// Lookup queries the information service for offers of a type.
+func Lookup(ctx *agent.Context, offerType string) ([]Offer, error) {
+	reply, err := ctx.Call(InformationName, OntInformation, LookupRequest{Type: offerType}, CallTimeout)
+	if err != nil {
+		return nil, err
+	}
+	lr, ok := reply.Content.(LookupReply)
+	if !ok {
+		return nil, fmt.Errorf("services: unexpected lookup reply %T", reply.Content)
+	}
+	return lr.Offers, nil
+}
+
+// ---------------------------------------------------------------------------
+// Monitoring service: accurate, on-demand resource status (the brokerage's
+// view may be stale; monitoring's is authoritative).
+
+// NodeStatusRequest asks for the live status of a node.
+type NodeStatusRequest struct{ Node string }
+
+// NodeStatusReply reports it.
+type NodeStatusReply struct {
+	Node  string
+	Known bool
+	Up    bool
+}
+
+// SubscribeStatus subscribes the sender to node status-change events; the
+// monitoring service delivers a StatusEvent to every subscriber whenever a
+// PollStatus detects a node changed state.
+type SubscribeStatus struct{}
+
+// UnsubscribeStatus removes the sender's subscription.
+type UnsubscribeStatus struct{}
+
+// PollStatus makes the monitoring service re-scan the grid and notify
+// subscribers of changes (in a deployment a ticker would send this; tests
+// and scenarios drive it explicitly for determinism).
+type PollStatus struct{}
+
+// StatusEvent is pushed to subscribers when a node changes state.
+type StatusEvent struct {
+	Node string
+	Up   bool
+}
+
+// Monitoring is the monitoring service agent: authoritative on-demand node
+// status plus push subscriptions for status changes.
+type Monitoring struct {
+	Grid *grid.Grid
+
+	mu   sync.Mutex
+	subs map[string]bool
+	last map[string]bool
+}
+
+// HandleMessage implements agent.Handler.
+func (s *Monitoring) HandleMessage(ctx *agent.Context, msg agent.Message) {
+	switch req := msg.Content.(type) {
+	case NodeStatusRequest:
+		n := s.Grid.Node(req.Node)
+		reply := NodeStatusReply{Node: req.Node, Known: n != nil}
+		if n != nil {
+			reply.Up = n.Up()
+		}
+		_ = ctx.Reply(msg, agent.Inform, reply)
+	case SubscribeStatus:
+		s.mu.Lock()
+		if s.subs == nil {
+			s.subs = make(map[string]bool)
+		}
+		s.subs[msg.Sender] = true
+		if s.last == nil {
+			s.last = s.snapshot()
+		}
+		s.mu.Unlock()
+		_ = ctx.Reply(msg, agent.Agree, nil)
+	case UnsubscribeStatus:
+		s.mu.Lock()
+		delete(s.subs, msg.Sender)
+		s.mu.Unlock()
+		_ = ctx.Reply(msg, agent.Agree, nil)
+	case PollStatus:
+		events := s.poll()
+		for _, ev := range events {
+			s.mu.Lock()
+			subs := make([]string, 0, len(s.subs))
+			for name := range s.subs {
+				subs = append(subs, name)
+			}
+			s.mu.Unlock()
+			sort.Strings(subs)
+			for _, sub := range subs {
+				_ = ctx.Send(sub, agent.Inform, OntMonitoring, ev)
+			}
+		}
+		_ = ctx.Reply(msg, agent.Inform, len(events))
+	default:
+		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("monitoring: unsupported content %T", msg.Content))
+	}
+}
+
+// snapshot captures every node's up/down state; callers hold s.mu.
+func (s *Monitoring) snapshot() map[string]bool {
+	out := make(map[string]bool)
+	for _, n := range s.Grid.Nodes() {
+		out[n.ID] = n.Up()
+	}
+	return out
+}
+
+// poll diffs the grid against the last snapshot and returns the changes.
+func (s *Monitoring) poll() []StatusEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snapshot()
+	var events []StatusEvent
+	if s.last != nil {
+		names := make([]string, 0, len(cur))
+		for n := range cur {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if prev, seen := s.last[n]; !seen || prev != cur[n] {
+				events = append(events, StatusEvent{Node: n, Up: cur[n]})
+			}
+		}
+	}
+	s.last = cur
+	return events
+}
+
+// ---------------------------------------------------------------------------
+// Authentication service: token issue and verification (HMAC-based).
+
+// LoginRequest authenticates a principal.
+type LoginRequest struct{ Principal, Secret string }
+
+// LoginReply carries the session token.
+type LoginReply struct{ Token string }
+
+// VerifyRequest checks a token.
+type VerifyRequest struct{ Token string }
+
+// VerifyReply reports the principal a valid token belongs to.
+type VerifyReply struct {
+	Valid     bool
+	Principal string
+}

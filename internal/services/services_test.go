@@ -1,0 +1,426 @@
+package services
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/grid"
+	"repro/internal/ontology"
+)
+
+// fixture builds a platform with a small grid and all core services.
+type fixture struct {
+	platform *agent.Platform
+	grid     *grid.Grid
+	core     *Core
+	broker   *Brokerage
+	client   *agent.Context
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	g := grid.New(3)
+	mustNoErr := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustNoErr(g.AddNode(&grid.Node{
+		ID: "n1", Domain: "a.edu",
+		Hardware:   grid.Hardware{Type: "PC-cluster", Speed: 1, BandwidthMbps: 100, LatencyUs: 100},
+		CostPerSec: 0.01,
+		Software:   []grid.Software{{Name: "POD"}, {Name: "P3DR"}},
+	}))
+	mustNoErr(g.AddNode(&grid.Node{
+		ID: "n2", Domain: "b.gov",
+		Hardware:   grid.Hardware{Type: "SMP", Speed: 3, BandwidthMbps: 1000, LatencyUs: 10},
+		CostPerSec: 0.05,
+		Software:   []grid.Software{{Name: "P3DR"}, {Name: "PSF"}},
+	}))
+	mustNoErr(g.AddContainer(&grid.Container{ID: "ac-1", NodeID: "n1", Services: []string{"POD", "P3DR"}}))
+	mustNoErr(g.AddContainer(&grid.Container{ID: "ac-2", NodeID: "n2", Services: []string{"P3DR", "PSF"}}))
+
+	p := agent.NewPlatform()
+	core, err := Bootstrap(p, g)
+	mustNoErr(err)
+	client := p.MustRegister("client", agent.HandlerFunc(func(*agent.Context, agent.Message) {}))
+	t.Cleanup(p.Shutdown)
+	return &fixture{platform: p, grid: g, core: core, broker: core.Brokerage, client: client}
+}
+
+func TestBootstrapRegistersEverything(t *testing.T) {
+	f := newFixture(t)
+	for _, name := range []string{
+		InformationName, BrokerageName, MatchmakingName, MonitoringName,
+		SchedulingName, StorageName, AuthenticationName, SimulationName,
+		OntologyName, "ac-1", "ac-2",
+	} {
+		if !f.platform.Has(name) {
+			t.Errorf("agent %q not registered", name)
+		}
+	}
+}
+
+func TestInformationLookup(t *testing.T) {
+	f := newFixture(t)
+	offers, err := Lookup(f.client, "end-user:P3DR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 2 || offers[0].Name != "ac-1" || offers[1].Name != "ac-2" {
+		t.Errorf("offers = %+v", offers)
+	}
+	if offers, _ := Lookup(f.client, "brokerage"); len(offers) != 1 || offers[0].Name != BrokerageName {
+		t.Errorf("brokerage offer = %+v", offers)
+	}
+	if offers, _ := Lookup(f.client, "nothing"); len(offers) != 0 {
+		t.Errorf("phantom offers = %+v", offers)
+	}
+	// New registrations are visible.
+	if err := RegisterOffer(f.client, "end-user:NEW", "here"); err != nil {
+		t.Fatal(err)
+	}
+	offers, _ = Lookup(f.client, "end-user:NEW")
+	if len(offers) != 1 || offers[0].Name != "client" {
+		t.Errorf("registered offer = %+v", offers)
+	}
+}
+
+func TestBrokerageSnapshotAndStaleness(t *testing.T) {
+	f := newFixture(t)
+	reply, err := f.client.Call(BrokerageName, OntBrokerage, ContainersRequest{Service: "P3DR"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := reply.Content.(ContainersReply).Containers
+	if len(list) != 2 {
+		t.Fatalf("containers = %v", list)
+	}
+	// Fail a node: the brokerage snapshot is STALE until refreshed (the
+	// paper: "such information may be obsolete").
+	_ = f.grid.SetNodeUp("n2", false)
+	reply, _ = f.client.Call(BrokerageName, OntBrokerage, ContainersRequest{Service: "P3DR"}, time.Second)
+	if got := len(reply.Content.(ContainersReply).Containers); got != 2 {
+		t.Errorf("stale snapshot = %d containers, want 2 (staleness is intentional)", got)
+	}
+	if _, err := f.client.Call(BrokerageName, OntBrokerage, RefreshRequest{}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	reply, _ = f.client.Call(BrokerageName, OntBrokerage, ContainersRequest{Service: "P3DR"}, time.Second)
+	if got := reply.Content.(ContainersReply).Containers; len(got) != 1 || got[0] != "ac-1" {
+		t.Errorf("refreshed snapshot = %v", got)
+	}
+}
+
+func TestBrokeragePerformanceHistory(t *testing.T) {
+	f := newFixture(t)
+	f.broker.Record(grid.Execution{Service: "P3DR", Duration: 10, Cost: 1, OK: true})
+	f.broker.Record(grid.Execution{Service: "P3DR", Duration: 20, Cost: 3, OK: false})
+	f.broker.Record(grid.Execution{Service: "POD", Duration: 5, OK: true})
+	reply, err := f.client.Call(BrokerageName, OntBrokerage, PerfRequest{Service: "P3DR"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reply.Content.(PerfReply).Stats
+	if s.Runs != 2 || s.MeanDuration != 15 || s.SuccessRate != 0.5 || s.MeanCost != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	reply, _ = f.client.Call(BrokerageName, OntBrokerage, ClassesRequest{}, time.Second)
+	if classes := reply.Content.(ClassesReply).Classes; len(classes) != 2 {
+		t.Errorf("classes = %+v", classes)
+	}
+}
+
+func TestMatchmaking(t *testing.T) {
+	f := newFixture(t)
+	reply, err := f.client.Call(MatchmakingName, OntMatchmaking, MatchRequest{Service: "P3DR"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := reply.Content.(MatchReply).Candidates
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %+v", cands)
+	}
+	// n2 is 3x faster: better score despite higher cost? score = speed/cost:
+	// n1: 1/0.01=100, n2: 3/0.05=60 -> n1 first.
+	if cands[0].Node != "n1" {
+		t.Errorf("ranking = %+v", cands)
+	}
+	// Constraints filter: min speed 2 leaves only n2.
+	reply, _ = f.client.Call(MatchmakingName, OntMatchmaking, MatchRequest{Service: "P3DR", MinSpeed: 2}, time.Second)
+	if cands := reply.Content.(MatchReply).Candidates; len(cands) != 1 || cands[0].Node != "n2" {
+		t.Errorf("min-speed candidates = %+v", cands)
+	}
+	// Fine-grain task: low latency requirement excludes the PC cluster.
+	reply, _ = f.client.Call(MatchmakingName, OntMatchmaking, MatchRequest{Service: "P3DR", MaxLatencyUs: 50}, time.Second)
+	if cands := reply.Content.(MatchReply).Candidates; len(cands) != 1 || cands[0].Node != "n2" {
+		t.Errorf("latency candidates = %+v", cands)
+	}
+	// Software constraint.
+	reply, _ = f.client.Call(MatchmakingName, OntMatchmaking,
+		MatchRequest{Service: "P3DR", RequireSoftware: []string{"PSF"}}, time.Second)
+	if cands := reply.Content.(MatchReply).Candidates; len(cands) != 1 || cands[0].Node != "n2" {
+		t.Errorf("software candidates = %+v", cands)
+	}
+	// Domain constraint.
+	reply, _ = f.client.Call(MatchmakingName, OntMatchmaking,
+		MatchRequest{Service: "P3DR", Domain: "a.edu"}, time.Second)
+	if cands := reply.Content.(MatchReply).Candidates; len(cands) != 1 || cands[0].Node != "n1" {
+		t.Errorf("domain candidates = %+v", cands)
+	}
+	// Matchmaking sees live status (unlike the brokerage).
+	_ = f.grid.SetNodeUp("n2", false)
+	reply, _ = f.client.Call(MatchmakingName, OntMatchmaking, MatchRequest{Service: "P3DR"}, time.Second)
+	if cands := reply.Content.(MatchReply).Candidates; len(cands) != 1 {
+		t.Errorf("live candidates = %+v", cands)
+	}
+}
+
+func TestMonitoring(t *testing.T) {
+	f := newFixture(t)
+	reply, err := f.client.Call(MonitoringName, OntMonitoring, NodeStatusRequest{Node: "n1"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := reply.Content.(NodeStatusReply)
+	if !st.Known || !st.Up {
+		t.Errorf("status = %+v", st)
+	}
+	_ = f.grid.SetNodeUp("n1", false)
+	reply, _ = f.client.Call(MonitoringName, OntMonitoring, NodeStatusRequest{Node: "n1"}, time.Second)
+	if st := reply.Content.(NodeStatusReply); st.Up {
+		t.Error("monitoring reported a failed node as up")
+	}
+	reply, _ = f.client.Call(MonitoringName, OntMonitoring, NodeStatusRequest{Node: "ghost"}, time.Second)
+	if st := reply.Content.(NodeStatusReply); st.Known {
+		t.Error("monitoring knows a ghost node")
+	}
+}
+
+func TestScheduling(t *testing.T) {
+	f := newFixture(t)
+	tasks := []TaskSpec{
+		{ID: "t1", Service: "P3DR", BaseTime: 300},
+		{ID: "t2", Service: "P3DR", BaseTime: 300},
+		{ID: "t3", Service: "POD", BaseTime: 60},
+		{ID: "t4", Service: "NOPE", BaseTime: 10}, // no provider: dropped
+	}
+	reply, err := f.client.Call(SchedulingName, OntScheduling, ScheduleRequest{Tasks: tasks}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := reply.Content.(ScheduleReply)
+	if len(sched.Assignments) != 3 {
+		t.Fatalf("assignments = %+v", sched.Assignments)
+	}
+	if sched.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+	// Min-min stacks both P3DR tasks on the 3x-faster n2 (two runs at 100s
+	// beat one run at 300s on n1), so the makespan is ~200s, not 300s.
+	for _, a := range sched.Assignments {
+		if (a.Task == "t1" || a.Task == "t2") && a.Container != "ac-2" {
+			t.Errorf("task %s on %s, want ac-2: %+v", a.Task, a.Container, sched.Assignments)
+		}
+	}
+	if sched.Makespan < 150 || sched.Makespan > 250 {
+		t.Errorf("makespan = %g, want ~200", sched.Makespan)
+	}
+}
+
+func TestStorageService(t *testing.T) {
+	f := newFixture(t)
+	call := func(content any) agent.Message {
+		t.Helper()
+		reply, err := f.client.Call(StorageName, OntStorage, content, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reply
+	}
+	if v := call(PutRequest{Key: "plans/p1", Value: []byte("v1")}); v.Content.(PutReply).Version != 1 {
+		t.Error("first version != 1")
+	}
+	if v := call(PutRequest{Key: "plans/p1", Value: []byte("v2")}); v.Content.(PutReply).Version != 2 {
+		t.Error("second version != 2")
+	}
+	got := call(GetRequest{Key: "plans/p1"}).Content.(GetReply)
+	if !got.Found || string(got.Value) != "v2" || got.Version != 2 {
+		t.Errorf("latest = %+v", got)
+	}
+	got = call(GetRequest{Key: "plans/p1", Version: 1}).Content.(GetReply)
+	if !got.Found || string(got.Value) != "v1" {
+		t.Errorf("v1 = %+v", got)
+	}
+	if got := call(GetRequest{Key: "missing"}).Content.(GetReply); got.Found {
+		t.Error("found missing key")
+	}
+	call(PutRequest{Key: "plans/p2", Value: []byte("x")})
+	call(PutRequest{Key: "other/k", Value: []byte("y")})
+	keys := call(ListRequest{Prefix: "plans/"}).Content.(ListReply).Keys
+	if len(keys) != 2 || keys[0] != "plans/p1" {
+		t.Errorf("keys = %v", keys)
+	}
+	call(DeleteRequest{Key: "plans/p1"})
+	if got := call(GetRequest{Key: "plans/p1"}).Content.(GetReply); got.Found {
+		t.Error("deleted key still found")
+	}
+}
+
+func TestAuthentication(t *testing.T) {
+	f := newFixture(t)
+	auth := NewAuthentication("k")
+	auth.AddPrincipal("hyu", "secret")
+	_ = f.platform // fixture's auth agent has no principals; use a fresh one
+	p := agent.NewPlatform()
+	defer p.Shutdown()
+	p.MustRegister(AuthenticationName, auth)
+	c := p.MustRegister("c", agent.HandlerFunc(func(*agent.Context, agent.Message) {}))
+
+	reply, err := c.Call(AuthenticationName, OntAuth, LoginRequest{Principal: "hyu", Secret: "secret"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := reply.Content.(LoginReply).Token
+	if token == "" {
+		t.Fatal("empty token")
+	}
+	reply, _ = c.Call(AuthenticationName, OntAuth, VerifyRequest{Token: token}, time.Second)
+	v := reply.Content.(VerifyReply)
+	if !v.Valid || v.Principal != "hyu" {
+		t.Errorf("verify = %+v", v)
+	}
+	// Tampered token fails.
+	bad := strings.Replace(token, "hyu", "eve", 1)
+	reply, _ = c.Call(AuthenticationName, OntAuth, VerifyRequest{Token: bad}, time.Second)
+	if reply.Content.(VerifyReply).Valid {
+		t.Error("tampered token verified")
+	}
+	// Wrong secret refused.
+	reply, _ = c.Call(AuthenticationName, OntAuth, LoginRequest{Principal: "hyu", Secret: "nope"}, time.Second)
+	if reply.Performative != agent.Refuse {
+		t.Errorf("bad login performative = %v", reply.Performative)
+	}
+	// Garbage token invalid.
+	reply, _ = c.Call(AuthenticationName, OntAuth, VerifyRequest{Token: "garbage"}, time.Second)
+	if reply.Content.(VerifyReply).Valid {
+		t.Error("garbage token verified")
+	}
+}
+
+func TestContainerAgent(t *testing.T) {
+	f := newFixture(t)
+	reply, err := f.client.Call("ac-2", OntExecution, AvailabilityRequest{Service: "PSF"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Content.(AvailabilityReply).Executable {
+		t.Error("ac-2 should execute PSF")
+	}
+	reply, _ = f.client.Call("ac-2", OntExecution, AvailabilityRequest{Service: "POD"}, time.Second)
+	if reply.Content.(AvailabilityReply).Executable {
+		t.Error("ac-2 should not execute POD")
+	}
+	reply, err = f.client.Call("ac-2", OntExecution, ExecuteRequest{Service: "PSF", BaseTime: 120, DataMB: 10}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := reply.Content.(ExecuteReply).Exec
+	if ex.Node != "n2" || !ex.OK {
+		t.Errorf("execution = %+v", ex)
+	}
+	// Execution on a down node fails.
+	_ = f.grid.SetNodeUp("n2", false)
+	_, err = f.client.Call("ac-2", OntExecution, ExecuteRequest{Service: "PSF", BaseTime: 1}, time.Second)
+	if err == nil {
+		t.Error("execution on down node succeeded")
+	}
+	reply, _ = f.client.Call("ac-2", OntExecution, AvailabilityRequest{Service: "PSF"}, time.Second)
+	if reply.Content.(AvailabilityReply).Executable {
+		t.Error("down container reported executable")
+	}
+}
+
+func TestSimulationService(t *testing.T) {
+	f := newFixture(t)
+	tasks := make([]TaskSpec, 8)
+	for i := range tasks {
+		tasks[i] = TaskSpec{ID: string(rune('a' + i)), Service: "P3DR", BaseTime: 300, DataMB: 10}
+	}
+	reply, err := f.client.Call(SimulationName, OntSimulation,
+		SimulateRequest{Tasks: tasks, InterArrival: 5, Retries: 2, Seed: 1}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := reply.Content.(SimulateReply)
+	if res.Completed+res.Failed != len(tasks) {
+		t.Errorf("completed %d + failed %d != %d", res.Completed, res.Failed, len(tasks))
+	}
+	if res.Makespan <= 0 || res.BusySeconds <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization = %g", res.Utilization)
+	}
+	// Determinism.
+	reply2, _ := f.client.Call(SimulationName, OntSimulation,
+		SimulateRequest{Tasks: tasks, InterArrival: 5, Retries: 2, Seed: 1}, time.Second)
+	if reply2.Content.(SimulateReply) != res {
+		t.Error("simulation not deterministic for equal seeds")
+	}
+}
+
+func TestOntologyService(t *testing.T) {
+	f := newFixture(t)
+	reply, err := f.client.Call(OntologyName, OntOntology, ShellRequest{Name: "grid"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := ontology.Decode(reply.Content.(KBReply).JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes, instances := kb.Stats(); classes != 10 || instances != 0 {
+		t.Errorf("shell stats = %d/%d", classes, instances)
+	}
+	// Publish a populated KB and fetch it back.
+	pop := ontology.GridShell()
+	pop.MustAddInstance(ontology.NewInstance("hw1", ontology.ClassHardware).Set("Speed", ontology.Num(2)))
+	data, _ := pop.MarshalJSON()
+	if _, err := f.client.Call(OntologyName, OntOntology, PublishKB{Name: "mine", JSON: data}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	reply, _ = f.client.Call(OntologyName, OntOntology, KBRequest{Name: "mine"}, time.Second)
+	back, err := ontology.Decode(reply.Content.(KBReply).JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Instance("hw1") == nil {
+		t.Error("published instance lost")
+	}
+	// Unknown ontology refused.
+	reply, _ = f.client.Call(OntologyName, OntOntology, KBRequest{Name: "nope"}, time.Second)
+	if reply.Performative != agent.Refuse {
+		t.Errorf("unknown KB performative = %v", reply.Performative)
+	}
+}
+
+func TestUnsupportedContentRefused(t *testing.T) {
+	f := newFixture(t)
+	for _, svc := range []string{
+		InformationName, BrokerageName, MatchmakingName, MonitoringName,
+		SchedulingName, StorageName, AuthenticationName, SimulationName, OntologyName, "ac-1",
+	} {
+		reply, err := f.client.Call(svc, "junk", struct{ X int }{1}, time.Second)
+		if err != nil {
+			t.Errorf("%s: %v", svc, err)
+			continue
+		}
+		if reply.Performative != agent.Refuse {
+			t.Errorf("%s replied %v to junk, want refuse", svc, reply.Performative)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package services
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/agent"
+)
+
+// PutRequest stores a value under a key; each put creates a new version.
+type PutRequest struct {
+	Key   string
+	Value []byte
+}
+
+// PutReply reports the stored version (1-based).
+type PutReply struct{ Version int }
+
+// GetRequest retrieves a key; Version 0 means latest.
+type GetRequest struct {
+	Key     string
+	Version int
+}
+
+// GetReply carries the value.
+type GetReply struct {
+	Found   bool
+	Version int
+	Value   []byte
+}
+
+// ListRequest lists keys with a prefix.
+type ListRequest struct{ Prefix string }
+
+// ListReply lists matching keys sorted.
+type ListReply struct{ Keys []string }
+
+// DeleteRequest removes a key and all its versions.
+type DeleteRequest struct{ Key string }
+
+// Storage is the persistent storage service agent: a versioned key-value
+// store. It backs checkpointing of long-lasting tasks and the archive of
+// process descriptions (the system knowledge base).
+type Storage struct {
+	mu   sync.Mutex
+	data map[string][][]byte
+}
+
+// NewStorage returns an empty store.
+func NewStorage() *Storage {
+	return &Storage{data: make(map[string][][]byte)}
+}
+
+// Put stores a new version and returns its number.
+func (s *Storage) Put(key string, value []byte) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := append([]byte(nil), value...)
+	s.data[key] = append(s.data[key], cp)
+	return len(s.data[key])
+}
+
+// Get returns the given version (0 = latest).
+func (s *Storage) Get(key string, version int) (value []byte, ver int, found bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	versions := s.data[key]
+	if len(versions) == 0 {
+		return nil, 0, false
+	}
+	if version == 0 {
+		version = len(versions)
+	}
+	if version < 1 || version > len(versions) {
+		return nil, 0, false
+	}
+	return append([]byte(nil), versions[version-1]...), version, true
+}
+
+// Keys returns the keys with the prefix, sorted.
+func (s *Storage) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []string
+	for k := range s.data {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Delete removes a key.
+func (s *Storage) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+}
+
+// HandleMessage implements agent.Handler.
+func (s *Storage) HandleMessage(ctx *agent.Context, msg agent.Message) {
+	switch req := msg.Content.(type) {
+	case PutRequest:
+		_ = ctx.Reply(msg, agent.Inform, PutReply{Version: s.Put(req.Key, req.Value)})
+	case GetRequest:
+		value, ver, found := s.Get(req.Key, req.Version)
+		_ = ctx.Reply(msg, agent.Inform, GetReply{Found: found, Version: ver, Value: value})
+	case ListRequest:
+		_ = ctx.Reply(msg, agent.Inform, ListReply{Keys: s.Keys(req.Prefix)})
+	case DeleteRequest:
+		s.Delete(req.Key)
+		_ = ctx.Reply(msg, agent.Agree, nil)
+	default:
+		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("storage: unsupported content %T", msg.Content))
+	}
+}

@@ -1,0 +1,178 @@
+package virolab
+
+import (
+	"fmt"
+
+	"repro/internal/ontology"
+	"repro/internal/workflow"
+)
+
+// Ontology populates the grid ontology shell (Figure 12) with the instances
+// of Figure 13: task T1, process description PD-3DSD, case description
+// CD-3DSD, the thirteen activities, the fifteen transitions, the data items
+// D1-D12 (D8-D12 described with their creators even though they only exist
+// after execution), and the four services with conditions C1-C8.
+func Ontology() (*ontology.KB, error) {
+	kb := ontology.GridShell()
+
+	// Data instances.
+	dataSpecs := []struct {
+		id, classification, format, creator string
+		size                                float64
+	}{
+		{"D1", "POD-Parameter", "Text", "User", 3e3},
+		{"D2", "P3DR-Parameter", "Text", "User", 0},
+		{"D3", "P3DR-Parameter", "Text", "User", 0},
+		{"D4", "P3DR-Parameter", "Text", "User", 0},
+		{"D5", "POR-Parameter", "Text", "User", 0},
+		{"D6", "PSF-Parameter", "Text", "User", 0},
+		{"D7", "2D Image", "", "User", 1.5e9},
+		{"D8", "Orientation File", "", "POD, POR", 0},
+		{"D9", "3D Model", "", "P3DR1,P3DR4", 0},
+		{"D10", "3D Model", "", "P3DR2", 0},
+		{"D11", "3D Model", "", "P3DR3", 0},
+		{"D12", "Resolution File", "", "PSF", 0},
+	}
+	for _, d := range dataSpecs {
+		in := ontology.NewInstance(d.id, ontology.ClassData).
+			Set("Name", ontology.Str(d.id)).
+			Set("Classification", ontology.Str(d.classification)).
+			Set("Creator", ontology.Str(d.creator))
+		if d.format != "" {
+			in.Set("Format", ontology.Str(d.format))
+		}
+		if d.size > 0 {
+			in.Set("Size", ontology.Num(d.size))
+		}
+		if err := kb.AddInstance(in); err != nil {
+			return nil, err
+		}
+	}
+
+	// Service instances with the C1-C8 conditions.
+	svcSpecs := []struct {
+		name     string
+		inputs   []string
+		inCond   string
+		outputs  []string
+		outCond  string
+		baseCost float64
+	}{
+		{"POD", []string{"A", "B"}, C1, []string{"C"}, C2, 2},
+		{"P3DR", []string{"A", "B", "C"}, C3, []string{"D"}, C4, 10},
+		{"POR", []string{"A", "B", "C", "D"}, C5, []string{"E"}, C6, 6},
+		{"PSF", []string{"A", "B", "C"}, C7, []string{"D"}, C8, 1},
+	}
+	for _, s := range svcSpecs {
+		in := ontology.NewInstance("svc-"+s.name, ontology.ClassService).
+			Set("Name", ontology.Str(s.name)).
+			Set("Type", ontology.Str("end-user")).
+			Set("InputDataSet", ontology.List(s.inputs...)).
+			Set("InputCondition", ontology.List(s.inCond)).
+			Set("OutputDataSet", ontology.List(s.outputs...)).
+			Set("OutputCondition", ontology.List(s.outCond)).
+			Set("Cost", ontology.Num(s.baseCost))
+		if err := kb.AddInstance(in); err != nil {
+			return nil, err
+		}
+	}
+
+	// Activity and transition instances mirror the Process graph exactly.
+	pd := Process()
+	for _, a := range pd.Activities {
+		in := ontology.NewInstance(a.ID, ontology.ClassActivity).
+			Set("ID", ontology.Str(a.ID)).
+			Set("Name", ontology.Str(a.Name)).
+			Set("TaskID", ontology.Str("T1")).
+			Set("Type", ontology.Str(activityTypeName(a.Kind)))
+		if a.Service != "" {
+			in.Set("ServiceName", ontology.Str(a.Service))
+		}
+		if len(a.Inputs) > 0 {
+			in.Set("InputDataSet", ontology.List(a.Inputs...))
+		}
+		if len(a.Outputs) > 0 {
+			in.Set("OutputDataSet", ontology.List(a.Outputs...))
+		}
+		if a.Constraint != "" {
+			in.Set("Constraint", ontology.Str(a.Constraint))
+		}
+		var preds, succs []string
+		for _, p := range pd.Predecessors(a.ID) {
+			preds = append(preds, p.ID)
+		}
+		for _, s := range pd.Successors(a.ID) {
+			succs = append(succs, s.ID)
+		}
+		if len(preds) > 0 {
+			in.Set("DirectPredecessorSet", ontology.List(preds...))
+		}
+		if len(succs) > 0 {
+			in.Set("DirectSuccessorSet", ontology.List(succs...))
+		}
+		if err := kb.AddInstance(in); err != nil {
+			return nil, err
+		}
+	}
+	var activityIDs, transitionIDs []string
+	for _, a := range pd.Activities {
+		activityIDs = append(activityIDs, a.ID)
+	}
+	for _, t := range pd.Transitions {
+		transitionIDs = append(transitionIDs, t.ID)
+		in := ontology.NewInstance(t.ID, ontology.ClassTransition).
+			Set("ID", ontology.Str(t.ID)).
+			Set("SourceActivity", ontology.Str(t.Source)).
+			Set("DestinationActivity", ontology.Str(t.Dest))
+		if err := kb.AddInstance(in); err != nil {
+			return nil, err
+		}
+	}
+
+	pdInst := ontology.NewInstance("PD-3DSD", ontology.ClassProcessDescription).
+		Set("ID", ontology.Str("PD-3DSD")).
+		Set("Name", ontology.Str("PD-3DSD")).
+		Set("ActivitySet", ontology.List(activityIDs...)).
+		Set("TransitionSet", ontology.List(transitionIDs...)).
+		Set("Creator", ontology.Str("User"))
+	if err := kb.AddInstance(pdInst); err != nil {
+		return nil, err
+	}
+
+	cdInst := ontology.NewInstance("CD-3DSD", ontology.ClassCaseDescription).
+		Set("ID", ontology.Str("CD-3DSD")).
+		Set("Name", ontology.Str("CD-3DSD")).
+		Set("InitialDataSet", ontology.List("D1", "D2", "D3", "D4", "D5", "D6", "D7")).
+		Set("ResultSet", ontology.List("D12")).
+		Set("Constraint", ontology.Str(Cons1)).
+		Set("GoalCondition", ontology.Str(GoalCondition))
+	if err := kb.AddInstance(cdInst); err != nil {
+		return nil, err
+	}
+
+	taskInst := ontology.NewInstance("T1", ontology.ClassTask).
+		Set("ID", ontology.Str("T1")).
+		Set("Name", ontology.Str("3DSD")).
+		Set("Owner", ontology.Str("UCF")).
+		Set("Status", ontology.Str("Submitted")).
+		Set("DataSet", ontology.List("D1", "D2", "D3", "D4", "D5", "D6", "D7")).
+		Set("ResultSet", ontology.List("D12")).
+		Set("CaseDescription", ontology.Ref("CD-3DSD")).
+		Set("ProcessDescription", ontology.Ref("PD-3DSD")).
+		Set("NeedPlanning", ontology.Boolean(false))
+	if err := kb.AddInstance(taskInst); err != nil {
+		return nil, err
+	}
+
+	if errs := kb.ValidateRefs(); len(errs) > 0 {
+		return nil, fmt.Errorf("virolab: ontology references invalid: %v", errs[0])
+	}
+	return kb, nil
+}
+
+func activityTypeName(k workflow.Kind) string {
+	if k == workflow.KindEndUser {
+		return "End-user"
+	}
+	return k.String()
+}

@@ -1,0 +1,293 @@
+// Package virolab reproduces the paper's Section 4 case study: the virtual
+// laboratory for computational biology performing 3D reconstruction of virus
+// structures from electron microscopy data. It provides the four parallel
+// programs as end-user service specifications (POD, P3DR, POR, PSF) with the
+// paper's conditions C1-C8, the data items D1-D12, the Figure 10 process
+// description, the Figure 11 plan tree, and the Figure 13 ontology
+// instances.
+//
+// The paper's programs run on real micrographs (GBytes of 2D projections);
+// here they are simulated: the planner and coordinator only ever inspect
+// metadata (classification, size, resolution value), which this package
+// reproduces exactly, including the iterative resolution-refinement loop
+// controlled by the constraint Cons1.
+package virolab
+
+import (
+	"repro/internal/expr"
+	"repro/internal/plantree"
+	"repro/internal/workflow"
+)
+
+// The input/output conditions of Figure 13.
+const (
+	C1 = `A.Classification = "POD-Parameter" and B.Classification = "2D Image"`
+	C2 = `C.Type = "Orientation File"`
+	C3 = `A.Classification = "P3DR-Parameter" and B.Classification = "2D Image" and C.Classification = "Orientation File"`
+	C4 = `D.Classification = "3D Model"`
+	C5 = `A.Classification = "POR-Parameter" and B.Classification = "2D Image" and C.Classification = "Orientation File" and D.Classification = "3D Model"`
+	C6 = `E.Classification = "Orientation File"`
+	C7 = `A.Classification = "PSF-Parameter" and B.Classification = "3D Model" and C.Classification = "3D Model"`
+	C8 = `D.Classification = "Resolution File"`
+)
+
+// Cons1 is the loop constraint of Figure 13: iterate the refinement while
+// the achieved resolution is coarser than 8 Angstrom. (The paper's text
+// names D10 in Cons1 but its own data table has PSF writing the resolution
+// file to D12; we follow the data table.)
+const Cons1 = `D12.Classification = "Resolution File" and D12.value > 8`
+
+// GoalCondition is the case goal: a resolution file exists.
+const GoalCondition = `G.Classification = "Resolution File"`
+
+// DefaultResolutionSchedule is the simulated resolution (Angstrom) after
+// each pass of the iterative refinement: the loop body runs until the value
+// drops to 8 or below, giving the paper's "repeat at higher resolution"
+// behaviour with three iterations.
+var DefaultResolutionSchedule = []float64{12, 9.5, 7.8}
+
+// Catalog returns the set T of end-user services with the conditions C1-C8.
+// Base times are the simulated nominal durations on a speed-1 node.
+func Catalog() *workflow.Catalog {
+	pod := &workflow.Service{
+		Name: "POD",
+		Inputs: []workflow.ParamSpec{
+			{Name: "A", Condition: `A.Classification = "POD-Parameter"`},
+			{Name: "B", Condition: `B.Classification = "2D Image"`},
+		},
+		Outputs: []workflow.OutputSpec{{
+			Name: "C",
+			Props: map[string]expr.Value{
+				workflow.PropClassification: expr.String("Orientation File"),
+				workflow.PropType:           expr.String("Orientation File"),
+			},
+		}},
+		BaseTime: 600,
+		Cost:     2,
+	}
+	p3dr := &workflow.Service{
+		Name: "P3DR",
+		Inputs: []workflow.ParamSpec{
+			{Name: "A", Condition: `A.Classification = "P3DR-Parameter"`},
+			{Name: "B", Condition: `B.Classification = "2D Image"`},
+			{Name: "C", Condition: `C.Classification = "Orientation File"`},
+		},
+		Outputs: []workflow.OutputSpec{{
+			Name: "D",
+			Props: map[string]expr.Value{
+				workflow.PropClassification: expr.String("3D Model"),
+				workflow.PropFormat:         expr.String("Electron Density Map"),
+			},
+		}},
+		BaseTime: 1800,
+		Cost:     10,
+	}
+	por := &workflow.Service{
+		Name: "POR",
+		Inputs: []workflow.ParamSpec{
+			{Name: "A", Condition: `A.Classification = "POR-Parameter"`},
+			{Name: "B", Condition: `B.Classification = "2D Image"`},
+			{Name: "C", Condition: `C.Classification = "Orientation File"`},
+			{Name: "D", Condition: `D.Classification = "3D Model"`},
+		},
+		Outputs: []workflow.OutputSpec{{
+			Name: "E",
+			Props: map[string]expr.Value{
+				workflow.PropClassification: expr.String("Orientation File"),
+				workflow.PropType:           expr.String("Orientation File"),
+			},
+		}},
+		BaseTime: 1200,
+		Cost:     6,
+	}
+	psf := &workflow.Service{
+		Name: "PSF",
+		Inputs: []workflow.ParamSpec{
+			{Name: "A", Condition: `A.Classification = "PSF-Parameter"`},
+			{Name: "B", Condition: `B.Classification = "3D Model"`},
+			{Name: "C", Condition: `C.Classification = "3D Model"`},
+		},
+		Outputs: []workflow.OutputSpec{{
+			Name: "D",
+			Props: map[string]expr.Value{
+				workflow.PropClassification: expr.String("Resolution File"),
+				workflow.PropValue:          expr.Number(12),
+			},
+		}},
+		BaseTime: 300,
+		Cost:     1,
+	}
+	return workflow.NewCatalog(pod, p3dr, por, psf)
+}
+
+// InitialData returns the data items D1-D7 of Figure 13.
+func InitialData() []*workflow.DataItem {
+	return []*workflow.DataItem{
+		workflow.NewDataItem("D1", "POD-Parameter").
+			With(workflow.PropFormat, expr.String("Text")).
+			With(workflow.PropSize, expr.Number(3e3)).
+			With(workflow.PropCreator, expr.String("User")),
+		workflow.NewDataItem("D2", "P3DR-Parameter").
+			With(workflow.PropFormat, expr.String("Text")).
+			With(workflow.PropCreator, expr.String("User")),
+		workflow.NewDataItem("D3", "P3DR-Parameter").
+			With(workflow.PropFormat, expr.String("Text")).
+			With(workflow.PropCreator, expr.String("User")),
+		workflow.NewDataItem("D4", "P3DR-Parameter").
+			With(workflow.PropFormat, expr.String("Text")).
+			With(workflow.PropCreator, expr.String("User")),
+		workflow.NewDataItem("D5", "POR-Parameter").
+			With(workflow.PropFormat, expr.String("Text")).
+			With(workflow.PropCreator, expr.String("User")),
+		workflow.NewDataItem("D6", "PSF-Parameter").
+			With(workflow.PropFormat, expr.String("Text")).
+			With(workflow.PropCreator, expr.String("User")),
+		workflow.NewDataItem("D7", "2D Image").
+			With(workflow.PropSize, expr.Number(1.5e9)).
+			With(workflow.PropCreator, expr.String("User")),
+	}
+}
+
+// Case returns the case description CD-3DSD.
+func Case() *workflow.CaseDescription {
+	c := workflow.NewCase("CD-3DSD", "CD-3DSD").AddData(InitialData()...)
+	c.ResultSet = []string{"D12"}
+	c.SetConstraint("Cons1", Cons1)
+	c.Goal = workflow.NewGoal(GoalCondition)
+	return c
+}
+
+// Problem returns the planning problem of Section 5's experiment: initial
+// data D1-D7, the resolution-file goal, and the full catalog.
+func Problem() *workflow.Problem {
+	return &workflow.Problem{
+		Name:    "3DSD",
+		Initial: workflow.NewState(InitialData()...),
+		Goal:    workflow.NewGoal(GoalCondition),
+		Catalog: Catalog(),
+	}
+}
+
+// Process builds the Figure 10 process description: BEGIN, POD, P3DR1,
+// MERGE, POR, FORK, {P3DR2, P3DR3, P3DR4}, JOIN, PSF, CHOICE, END with
+// transitions TR1-TR15 and the per-activity data sets of Figure 13.
+func Process() *workflow.ProcessDescription {
+	p := workflow.NewProcess("PD-3DSD")
+	add := func(id, name string, kind workflow.Kind, service string, in, out []string) {
+		p.Add(&workflow.Activity{
+			ID: id, Name: name, Kind: kind, Service: service,
+			Inputs: in, Outputs: out,
+		})
+	}
+	add("A1", "BEGIN", workflow.KindBegin, "", nil, nil)
+	add("A2", "POD", workflow.KindEndUser, "POD", []string{"D1", "D7"}, []string{"D8"})
+	add("A3", "P3DR1", workflow.KindEndUser, "P3DR", []string{"D2", "D7", "D8"}, []string{"D9"})
+	add("A4", "MERGE", workflow.KindMerge, "", nil, nil)
+	add("A5", "POR", workflow.KindEndUser, "POR", []string{"D5", "D7", "D8", "D9"}, []string{"D8"})
+	add("A6", "FORK", workflow.KindFork, "", nil, nil)
+	add("A7", "P3DR2", workflow.KindEndUser, "P3DR", []string{"D3", "D7", "D8"}, []string{"D10"})
+	add("A8", "P3DR3", workflow.KindEndUser, "P3DR", []string{"D4", "D7", "D8"}, []string{"D11"})
+	add("A9", "P3DR4", workflow.KindEndUser, "P3DR", []string{"D2", "D7", "D8"}, []string{"D9"})
+	add("A10", "JOIN", workflow.KindJoin, "", nil, nil)
+	add("A11", "PSF", workflow.KindEndUser, "PSF", []string{"D10", "D11"}, []string{"D12"})
+	add("A12", "CHOICE", workflow.KindChoice, "", nil, nil)
+	add("A13", "END", workflow.KindEnd, "", nil, nil)
+	p.Activity("A12").Constraint = Cons1
+
+	connect := func(src, dst, cond string) {
+		p.ConnectCond(src, dst, cond)
+	}
+	connect("A1", "A2", "")     // TR1  BEGIN -> POD
+	connect("A2", "A3", "")     // TR2  POD -> P3DR1
+	connect("A3", "A4", "")     // TR3  P3DR1 -> MERGE
+	connect("A4", "A5", "")     // TR4  MERGE -> POR
+	connect("A5", "A6", "")     // TR5  POR -> FORK
+	connect("A6", "A7", "")     // TR6  FORK -> P3DR2
+	connect("A6", "A8", "")     // TR7  FORK -> P3DR3
+	connect("A6", "A9", "")     // TR8  FORK -> P3DR4
+	connect("A7", "A10", "")    // TR9  P3DR2 -> JOIN
+	connect("A8", "A10", "")    // TR10 P3DR3 -> JOIN
+	connect("A9", "A10", "")    // TR11 P3DR4 -> JOIN
+	connect("A10", "A11", "")   // TR12 JOIN -> PSF
+	connect("A11", "A12", "")   // TR13 PSF -> CHOICE
+	connect("A12", "A4", Cons1) // TR14 CHOICE -> MERGE (iterate)
+	connect("A12", "A13", "")   // TR15 CHOICE -> END
+	return p
+}
+
+// PlanTree builds the Figure 11 plan tree corresponding to Process.
+func PlanTree() *plantree.Node {
+	p3dr1 := plantree.Activity("P3DR")
+	p3dr1.Name = "P3DR1"
+	p3dr2 := plantree.Activity("P3DR")
+	p3dr2.Name = "P3DR2"
+	p3dr3 := plantree.Activity("P3DR")
+	p3dr3.Name = "P3DR3"
+	p3dr4 := plantree.Activity("P3DR")
+	p3dr4.Name = "P3DR4"
+	loop := plantree.Iter(
+		plantree.Activity("POR"),
+		plantree.Conc(p3dr2, p3dr3, p3dr4),
+		plantree.Activity("PSF"),
+	)
+	loop.Condition = Cons1
+	return plantree.Seq(plantree.Activity("POD"), p3dr1, loop)
+}
+
+// Task assembles the full Figure 13 task T1 ("3DSD").
+func Task() *workflow.Task {
+	return &workflow.Task{
+		ID:      "T1",
+		Name:    "3DSD",
+		Owner:   "UCF",
+		Process: Process(),
+		Case:    Case(),
+	}
+}
+
+// ResolutionHook returns a coordination PostProcess hook that models the
+// resolution refinement: each PSF pass writes the next value from the
+// schedule onto its resolution file, so the Cons1 loop terminates once the
+// resolution reaches 8 Angstrom or better.
+func ResolutionHook(schedule []float64) func(act *workflow.Activity, produced []*workflow.DataItem, visit int) {
+	if len(schedule) == 0 {
+		schedule = DefaultResolutionSchedule
+	}
+	return func(act *workflow.Activity, produced []*workflow.DataItem, visit int) {
+		if act.Service != "PSF" {
+			return
+		}
+		idx := visit - 1
+		if idx >= len(schedule) {
+			idx = len(schedule) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		for _, item := range produced {
+			if item.Classification() == "Resolution File" {
+				item.With(workflow.PropValue, expr.Number(schedule[idx]))
+			}
+		}
+	}
+}
+
+// PDLSource is the canonical PDL text of the Figure 10 process description,
+// with the Figure 13 data-set bindings. pdl.ParseProcess of this text yields
+// a process equivalent to Process().
+const PDLSource = `
+# Figure 10: 3D reconstruction of virus structures (PD-3DSD).
+BEGIN,
+  POD(D1, D7 -> D8);
+  P3DR1 = P3DR(D2, D7, D8 -> D9);
+  {ITERATIVE {COND D12.Classification = "Resolution File" and D12.value > 8}
+    {POR(D5, D7, D8, D9 -> D8);
+     {FORK
+       {P3DR2 = P3DR(D3, D7, D8 -> D10)}
+       {P3DR3 = P3DR(D4, D7, D8 -> D11)}
+       {P3DR4 = P3DR(D2, D7, D8 -> D9)}
+     JOIN};
+     PSF(D10, D11 -> D12)}
+  },
+END
+`

@@ -1,0 +1,271 @@
+package virolab
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/pdl"
+	"repro/internal/plantree"
+	"repro/internal/workflow"
+)
+
+// TestFig10ProcessDescription checks the structure of the Figure 10 graph:
+// 7 end-user activities, 6 flow-control activities, 15 transitions.
+func TestFig10ProcessDescription(t *testing.T) {
+	p := Process()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CountKind(workflow.KindEndUser); got != 7 {
+		t.Errorf("end-user activities = %d, want 7", got)
+	}
+	flow := len(p.Activities) - p.CountKind(workflow.KindEndUser)
+	if flow != 6 {
+		t.Errorf("flow-control activities = %d, want 6", flow)
+	}
+	if len(p.Transitions) != 15 {
+		t.Errorf("transitions = %d, want 15", len(p.Transitions))
+	}
+	// The back edge TR14 goes from the Choice to the Merge, guarded by Cons1.
+	var back *workflow.Transition
+	for _, tr := range p.Transitions {
+		if tr.Source == "A12" && tr.Dest == "A4" {
+			back = tr
+		}
+	}
+	if back == nil || back.Condition != Cons1 {
+		t.Errorf("back edge = %+v", back)
+	}
+	// Activity data sets follow Figure 13.
+	psf := p.ActivityByName("PSF")
+	if psf == nil || strings.Join(psf.Inputs, ",") != "D10,D11" || strings.Join(psf.Outputs, ",") != "D12" {
+		t.Errorf("PSF data sets = %+v", psf)
+	}
+	por := p.ActivityByName("POR")
+	if por == nil || strings.Join(por.Outputs, ",") != "D8" {
+		t.Errorf("POR outputs = %+v", por)
+	}
+}
+
+// TestFig11PlanTree checks the plan tree and its correspondence with the
+// Figure 10 process description.
+func TestFig11PlanTree(t *testing.T) {
+	tree := PlanTree()
+	if err := tree.Validate(40); err != nil {
+		t.Fatal(err)
+	}
+	want := "(seq POD P3DR (iter POR (conc P3DR P3DR P3DR) PSF))"
+	if tree.String() != want {
+		t.Errorf("tree = %s, want %s", tree, want)
+	}
+	if tree.Size() != 10 {
+		t.Errorf("size = %d, want 10", tree.Size())
+	}
+	// Round trip through the graph form preserves the structure.
+	pd, err := plantree.ToProcess("3DSD", tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := plantree.FromProcess(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(tree) {
+		t.Errorf("round trip:\n got %s\nwant %s", back, tree)
+	}
+	// The hand-built Figure 10 graph also parses back to the same shape.
+	fromFig10, err := plantree.FromProcess(Process())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFig10.String() != want {
+		t.Errorf("Figure 10 parses to %s, want %s", fromFig10, want)
+	}
+}
+
+func TestCatalogConditions(t *testing.T) {
+	cat := Catalog()
+	if cat.Len() != 4 {
+		t.Fatalf("catalog size = %d, want 4", cat.Len())
+	}
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := workflow.NewState(InitialData()...)
+	// Only POD is applicable initially.
+	if !cat.Get("POD").Applicable(st) {
+		t.Error("POD should be applicable initially")
+	}
+	for _, name := range []string{"P3DR", "POR", "PSF"} {
+		if cat.Get(name).Applicable(st) {
+			t.Errorf("%s should not be applicable initially", name)
+		}
+	}
+	// After POD -> orientation file, P3DR becomes applicable.
+	st2, ok := cat.Get("POD").Apply(st, []string{"D8"}, 0)
+	if !ok {
+		t.Fatal("POD failed")
+	}
+	if !cat.Get("P3DR").Applicable(st2) {
+		t.Error("P3DR should be applicable after POD")
+	}
+	// POR needs a 3D model as well.
+	if cat.Get("POR").Applicable(st2) {
+		t.Error("POR should not be applicable before P3DR")
+	}
+	st3, _ := cat.Get("P3DR").Apply(st2, []string{"D9"}, 1)
+	if !cat.Get("POR").Applicable(st3) {
+		t.Error("POR should be applicable after P3DR")
+	}
+	// PSF needs two distinct models.
+	if cat.Get("PSF").Applicable(st3) {
+		t.Error("PSF should not be applicable with one model")
+	}
+	st4, _ := cat.Get("P3DR").Apply(st3, []string{"D10"}, 2)
+	if !cat.Get("PSF").Applicable(st4) {
+		t.Error("PSF should be applicable with two models")
+	}
+}
+
+func TestCaseAndTask(t *testing.T) {
+	c := Case()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.InitialData) != 7 {
+		t.Errorf("initial data = %d, want 7 (D1-D7)", len(c.InitialData))
+	}
+	if c.Constraints["Cons1"] != Cons1 {
+		t.Error("Cons1 not registered")
+	}
+	task := Task()
+	if err := task.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if task.ID != "T1" || task.Owner != "UCF" {
+		t.Errorf("task = %+v", task)
+	}
+	p := Problem()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolutionHook(t *testing.T) {
+	hook := ResolutionHook(nil)
+	psf := Process().ActivityByName("PSF")
+	mk := func() []*workflow.DataItem {
+		return []*workflow.DataItem{workflow.NewDataItem("D12", "Resolution File")}
+	}
+	for visit, want := range map[int]float64{1: 12, 2: 9.5, 3: 7.8, 4: 7.8, 0: 12} {
+		items := mk()
+		hook(psf, items, visit)
+		v, ok := items[0].Prop(workflow.PropValue)
+		n, _ := v.Num()
+		if !ok || n != want {
+			t.Errorf("visit %d: value = %v, want %g", visit, v, want)
+		}
+	}
+	// Non-PSF activities untouched.
+	items := mk()
+	hook(Process().ActivityByName("POD"), items, 1)
+	if _, ok := items[0].Prop(workflow.PropValue); ok {
+		t.Error("hook touched non-PSF output")
+	}
+	// Custom schedule respected.
+	custom := ResolutionHook([]float64{5})
+	items = mk()
+	custom(psf, items, 1)
+	if v, _ := items[0].Prop(workflow.PropValue); v.Str() != "5" {
+		t.Errorf("custom schedule value = %v", v)
+	}
+}
+
+// TestFig13Instances validates the populated ontology.
+func TestFig13Instances(t *testing.T) {
+	kb, err := Ontology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, instances := kb.Stats()
+	if classes != 10 {
+		t.Errorf("classes = %d, want 10", classes)
+	}
+	// 12 data + 4 services + 13 activities + 15 transitions + PD + CD + task = 47.
+	if instances != 47 {
+		t.Errorf("instances = %d, want 47", instances)
+	}
+	if got := len(kb.InstancesOf(ontology.ClassData)); got != 12 {
+		t.Errorf("data instances = %d, want 12", got)
+	}
+	if got := len(kb.InstancesOf(ontology.ClassTransition)); got != 15 {
+		t.Errorf("transition instances = %d, want 15", got)
+	}
+	// Task links resolve.
+	task := kb.Instance("T1")
+	if task == nil {
+		t.Fatal("task instance missing")
+	}
+	if v, _ := task.Get("ProcessDescription"); v.S != "PD-3DSD" {
+		t.Errorf("task PD ref = %v", v)
+	}
+	// Query: all 3D models.
+	models := kb.Query(ontology.ClassData, func(in *ontology.Instance) bool {
+		return in.Text("Classification") == "3D Model"
+	})
+	if len(models) != 3 {
+		t.Errorf("3D models = %d, want 3 (D9, D10, D11)", len(models))
+	}
+	// The ontology round-trips through JSON.
+	data, err := kb.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ontology.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, n := back.Stats(); n != instances {
+		t.Errorf("instances after round trip = %d, want %d", n, instances)
+	}
+}
+
+func BenchmarkFig13InstanceLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Ontology(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPDLSourceMatchesProcess checks that the canonical PDL text and the
+// hand-built Figure 10 graph agree: same plan tree, same activity data
+// bindings, and identical enactment-relevant structure.
+func TestPDLSourceMatchesProcess(t *testing.T) {
+	fromText, err := pdl.ParseProcess("PD-3DSD", PDLSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fromText.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	treeText, err := plantree.FromProcess(fromText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeGraph, err := plantree.FromProcess(Process())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The graph form carries Cons1 on the back edge; the PDL text carries
+	// it as the ITERATIVE condition — identical after parsing.
+	if !treeText.Equal(treeGraph) {
+		t.Errorf("trees differ:\n text: %s\ngraph: %s", treeText, treeGraph)
+	}
+	// Binding spot checks survive the text form.
+	psf := fromText.ActivityByName("PSF")
+	if psf == nil || strings.Join(psf.Inputs, ",") != "D10,D11" || strings.Join(psf.Outputs, ",") != "D12" {
+		t.Errorf("PSF from text = %+v", psf)
+	}
+}

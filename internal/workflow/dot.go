@@ -1,0 +1,44 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the process description in Graphviz dot syntax, with the
+// figure-10 visual conventions: flow-control activities as diamonds
+// (Choice/Merge) or bars (Fork/Join), end-user activities as boxes.
+func (p *ProcessDescription) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", p.Name)
+	sb.WriteString("  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n")
+	for _, a := range p.Activities {
+		shape := "box"
+		switch a.Kind {
+		case KindBegin, KindEnd:
+			shape = "ellipse"
+		case KindChoice, KindMerge:
+			shape = "diamond"
+		case KindFork, KindJoin:
+			shape = "rectangle"
+		}
+		label := a.Name
+		if label == "" {
+			label = a.ID
+		}
+		extra := ""
+		if a.Kind == KindFork || a.Kind == KindJoin {
+			extra = ` style=filled fillcolor=gray80 height=0.2`
+		}
+		fmt.Fprintf(&sb, "  %q [label=%q shape=%s%s];\n", a.ID, label, shape, extra)
+	}
+	for _, t := range p.Transitions {
+		if t.Condition != "" {
+			fmt.Fprintf(&sb, "  %q -> %q [label=%q];\n", t.Source, t.Dest, t.Condition)
+		} else {
+			fmt.Fprintf(&sb, "  %q -> %q [label=%q];\n", t.Source, t.Dest, t.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

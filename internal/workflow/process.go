@@ -1,0 +1,394 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Activity is one node of a process description. End-user activities name a
+// computing Service; flow-control activities direct execution.
+type Activity struct {
+	ID      string // unique within the process description (e.g. "A3")
+	Name    string // display name (e.g. "P3DR1")
+	Kind    Kind
+	Service string // end-user service type name; empty for flow control
+
+	// Inputs and Outputs list case-level data names, in order (the paper's
+	// Input Data Set / Output Data Set with Input/Output Data Order).
+	Inputs  []string
+	Outputs []string
+
+	// Constraint is a condition-expression source attached to the activity
+	// (e.g. Cons1 on the Choice activity of Figure 10). For a Choice it
+	// selects among successors together with per-transition conditions.
+	Constraint string
+}
+
+// Clone returns a deep copy of a.
+func (a *Activity) Clone() *Activity {
+	b := *a
+	b.Inputs = append([]string(nil), a.Inputs...)
+	b.Outputs = append([]string(nil), a.Outputs...)
+	return &b
+}
+
+// Transition is a directed edge between two activities. The optional
+// Condition guards transitions out of a Choice activity.
+type Transition struct {
+	ID        string
+	Source    string // source activity ID
+	Dest      string // destination activity ID
+	Condition string // condition-expression source; empty means always
+}
+
+// Clone returns a copy of t.
+func (t *Transition) Clone() *Transition {
+	c := *t
+	return &c
+}
+
+// ProcessDescription is the formal description of a complex problem: a
+// directed graph of activities connected by transitions, starting at a
+// single Begin and ending at a single End activity.
+type ProcessDescription struct {
+	Name        string
+	Activities  []*Activity
+	Transitions []*Transition
+
+	byID    map[string]*Activity
+	out     map[string][]*Transition
+	in      map[string][]*Transition
+	indexed bool
+}
+
+// NewProcess returns an empty process description with the given name.
+func NewProcess(name string) *ProcessDescription {
+	return &ProcessDescription{Name: name}
+}
+
+// Add appends an activity and returns it, invalidating the index.
+func (p *ProcessDescription) Add(a *Activity) *Activity {
+	p.Activities = append(p.Activities, a)
+	p.indexed = false
+	return a
+}
+
+// Connect appends a transition from src to dst with an auto-generated ID and
+// returns it.
+func (p *ProcessDescription) Connect(src, dst string) *Transition {
+	return p.ConnectCond(src, dst, "")
+}
+
+// ConnectCond appends a conditional transition from src to dst.
+func (p *ProcessDescription) ConnectCond(src, dst, cond string) *Transition {
+	t := &Transition{
+		ID:        fmt.Sprintf("TR%d", len(p.Transitions)+1),
+		Source:    src,
+		Dest:      dst,
+		Condition: cond,
+	}
+	p.Transitions = append(p.Transitions, t)
+	p.indexed = false
+	return t
+}
+
+// index (re)builds the lookup maps.
+func (p *ProcessDescription) index() {
+	if p.indexed {
+		return
+	}
+	p.byID = make(map[string]*Activity, len(p.Activities))
+	for _, a := range p.Activities {
+		p.byID[a.ID] = a
+	}
+	p.out = make(map[string][]*Transition)
+	p.in = make(map[string][]*Transition)
+	for _, t := range p.Transitions {
+		p.out[t.Source] = append(p.out[t.Source], t)
+		p.in[t.Dest] = append(p.in[t.Dest], t)
+	}
+	p.indexed = true
+}
+
+// Activity returns the activity with the given ID, or nil.
+func (p *ProcessDescription) Activity(id string) *Activity {
+	p.index()
+	return p.byID[id]
+}
+
+// ActivityByName returns the first activity with the given display name, or
+// nil. Names are unique in the paper's figures but the model does not
+// enforce it.
+func (p *ProcessDescription) ActivityByName(name string) *Activity {
+	for _, a := range p.Activities {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Out returns the transitions leaving the activity with the given ID.
+func (p *ProcessDescription) Out(id string) []*Transition {
+	p.index()
+	return p.out[id]
+}
+
+// In returns the transitions entering the activity with the given ID.
+func (p *ProcessDescription) In(id string) []*Transition {
+	p.index()
+	return p.in[id]
+}
+
+// Successors returns the successor activity set of the activity id.
+func (p *ProcessDescription) Successors(id string) []*Activity {
+	p.index()
+	ts := p.out[id]
+	succ := make([]*Activity, 0, len(ts))
+	for _, t := range ts {
+		if a := p.byID[t.Dest]; a != nil {
+			succ = append(succ, a)
+		}
+	}
+	return succ
+}
+
+// Predecessors returns the predecessor activity set of the activity id.
+func (p *ProcessDescription) Predecessors(id string) []*Activity {
+	p.index()
+	ts := p.in[id]
+	pred := make([]*Activity, 0, len(ts))
+	for _, t := range ts {
+		if a := p.byID[t.Source]; a != nil {
+			pred = append(pred, a)
+		}
+	}
+	return pred
+}
+
+// Begin returns the Begin activity, or nil if absent or duplicated.
+func (p *ProcessDescription) Begin() *Activity { return p.uniqueKind(KindBegin) }
+
+// End returns the End activity, or nil if absent or duplicated.
+func (p *ProcessDescription) End() *Activity { return p.uniqueKind(KindEnd) }
+
+func (p *ProcessDescription) uniqueKind(k Kind) *Activity {
+	var found *Activity
+	for _, a := range p.Activities {
+		if a.Kind == k {
+			if found != nil {
+				return nil
+			}
+			found = a
+		}
+	}
+	return found
+}
+
+// EndUserActivities returns the end-user activities in declaration order.
+func (p *ProcessDescription) EndUserActivities() []*Activity {
+	var out []*Activity
+	for _, a := range p.Activities {
+		if a.Kind == KindEndUser {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// CountKind returns the number of activities of kind k.
+func (p *ProcessDescription) CountKind(k Kind) int {
+	n := 0
+	for _, a := range p.Activities {
+		if a.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of p.
+func (p *ProcessDescription) Clone() *ProcessDescription {
+	q := NewProcess(p.Name)
+	for _, a := range p.Activities {
+		q.Activities = append(q.Activities, a.Clone())
+	}
+	for _, t := range p.Transitions {
+		q.Transitions = append(q.Transitions, t.Clone())
+	}
+	return q
+}
+
+// String renders a compact multi-line summary for logs and tests.
+func (p *ProcessDescription) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "process %s: %d activities, %d transitions\n",
+		p.Name, len(p.Activities), len(p.Transitions))
+	for _, a := range p.Activities {
+		fmt.Fprintf(&sb, "  %s %s (%s)", a.ID, a.Name, a.Kind)
+		if a.Service != "" {
+			fmt.Fprintf(&sb, " service=%s", a.Service)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, t := range p.Transitions {
+		fmt.Fprintf(&sb, "  %s: %s -> %s", t.ID, t.Source, t.Dest)
+		if t.Condition != "" {
+			fmt.Fprintf(&sb, " [%s]", t.Condition)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ValidationError aggregates every structural problem found in a process
+// description, so callers can report them all at once.
+type ValidationError struct {
+	Process  string
+	Problems []string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("workflow: process %q invalid: %s",
+		e.Process, strings.Join(e.Problems, "; "))
+}
+
+// Validate checks the structural rules of Section 3.1:
+//
+//   - exactly one Begin and one End, occurring nowhere else;
+//   - per-kind in/out degree constraints (Choice/Fork: 1 in, >=2 out;
+//     Join/Merge: >=2 in, 1 out; end-user: 1 in, 1 out);
+//   - unique activity and transition IDs, transitions referencing existing
+//     activities, no self loops;
+//   - every activity reachable from Begin, and End reachable from every
+//     activity;
+//   - every condition expression parses.
+func (p *ProcessDescription) Validate() error {
+	p.index()
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	seen := make(map[string]bool, len(p.Activities))
+	for _, a := range p.Activities {
+		if a.ID == "" {
+			addf("activity %q has empty ID", a.Name)
+			continue
+		}
+		if seen[a.ID] {
+			addf("duplicate activity ID %q", a.ID)
+		}
+		seen[a.ID] = true
+		if a.Kind == KindEndUser && a.Service == "" {
+			addf("end-user activity %s has no service", a.ID)
+		}
+		if a.Kind != KindEndUser && a.Service != "" {
+			addf("flow-control activity %s names service %q", a.ID, a.Service)
+		}
+		if a.Constraint != "" {
+			if _, err := expr.Parse(a.Constraint); err != nil {
+				addf("activity %s constraint: %v", a.ID, err)
+			}
+		}
+	}
+
+	if n := p.CountKind(KindBegin); n != 1 {
+		addf("want exactly 1 Begin activity, have %d", n)
+	}
+	if n := p.CountKind(KindEnd); n != 1 {
+		addf("want exactly 1 End activity, have %d", n)
+	}
+
+	tseen := make(map[string]bool, len(p.Transitions))
+	for _, t := range p.Transitions {
+		if t.ID == "" {
+			addf("transition %s->%s has empty ID", t.Source, t.Dest)
+		} else if tseen[t.ID] {
+			addf("duplicate transition ID %q", t.ID)
+		}
+		tseen[t.ID] = true
+		if p.byID[t.Source] == nil {
+			addf("transition %s: unknown source %q", t.ID, t.Source)
+		}
+		if p.byID[t.Dest] == nil {
+			addf("transition %s: unknown destination %q", t.ID, t.Dest)
+		}
+		if t.Source == t.Dest {
+			addf("transition %s: self loop on %q", t.ID, t.Source)
+		}
+		if t.Condition != "" {
+			if _, err := expr.Parse(t.Condition); err != nil {
+				addf("transition %s condition: %v", t.ID, err)
+			}
+		}
+	}
+
+	for _, a := range p.Activities {
+		inMin, inMax, outMin, outMax := a.Kind.minMaxDegree()
+		in, out := len(p.in[a.ID]), len(p.out[a.ID])
+		if in < inMin || (inMax >= 0 && in > inMax) {
+			addf("%s activity %s has in-degree %d", a.Kind, a.ID, in)
+		}
+		if out < outMin || (outMax >= 0 && out > outMax) {
+			addf("%s activity %s has out-degree %d", a.Kind, a.ID, out)
+		}
+	}
+
+	if len(problems) == 0 {
+		if begin := p.Begin(); begin != nil {
+			fromBegin := p.reachableFrom(begin.ID, false)
+			for _, a := range p.Activities {
+				if !fromBegin[a.ID] {
+					addf("activity %s unreachable from Begin", a.ID)
+				}
+			}
+		}
+		if end := p.End(); end != nil {
+			toEnd := p.reachableFrom(end.ID, true)
+			for _, a := range p.Activities {
+				if !toEnd[a.ID] {
+					addf("End unreachable from activity %s", a.ID)
+				}
+			}
+		}
+	}
+
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return &ValidationError{Process: p.Name, Problems: problems}
+	}
+	return nil
+}
+
+// reachableFrom returns the set of activity IDs reachable from start,
+// following transitions backwards when reverse is true.
+func (p *ProcessDescription) reachableFrom(start string, reverse bool) map[string]bool {
+	p.index()
+	visited := map[string]bool{start: true}
+	stack := []string{start}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var ts []*Transition
+		if reverse {
+			ts = p.in[id]
+		} else {
+			ts = p.out[id]
+		}
+		for _, t := range ts {
+			next := t.Dest
+			if reverse {
+				next = t.Source
+			}
+			if !visited[next] {
+				visited[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return visited
+}

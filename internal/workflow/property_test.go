@@ -1,0 +1,148 @@
+package workflow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+)
+
+// randomState builds a state with a random mix of classifications.
+func randomState(rng *rand.Rand) *State {
+	classes := []string{"POD-Parameter", "P3DR-Parameter", "PSF-Parameter",
+		"2D Image", "Orientation File", "3D Model", "Resolution File"}
+	st := NewState()
+	n := 1 + rng.Intn(12)
+	for i := 0; i < n; i++ {
+		st.Put(NewDataItem(fmt.Sprintf("R%02d", i), classes[rng.Intn(len(classes))]))
+	}
+	return st
+}
+
+// Property: whenever Bind succeeds, the returned binding is injective and
+// every formal's condition holds under it.
+func TestQuickBindSoundness(t *testing.T) {
+	cat := testCatalog()
+	svcs := cat.Services()
+	rng := rand.New(rand.NewSource(31))
+	f := func(seed int64, which uint8) bool {
+		local := rand.New(rand.NewSource(seed))
+		st := randomState(local)
+		svc := svcs[int(which)%len(svcs)]
+		binding, ok := svc.Bind(st)
+		if !ok {
+			return true // nothing to verify
+		}
+		used := map[string]bool{}
+		for _, item := range binding {
+			if used[item.Name] {
+				return false // not injective
+			}
+			used[item.Name] = true
+		}
+		env := Binding{Formals: binding, Base: st}
+		for _, p := range svc.Inputs {
+			node, err := expr.Parse(p.Condition)
+			if err != nil {
+				return false
+			}
+			if !node.Eval(env) {
+				return false // condition not actually satisfied
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bind succeeds iff a brute-force search over all injective
+// assignments finds one (completeness, checked on small states).
+func TestQuickBindCompleteness(t *testing.T) {
+	cat := testCatalog()
+	psf := cat.Get("PSF")
+	rng := rand.New(rand.NewSource(32))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		st := NewState()
+		n := 1 + local.Intn(5)
+		classes := []string{"PSF-Parameter", "3D Model", "Orientation File"}
+		for i := 0; i < n; i++ {
+			st.Put(NewDataItem(fmt.Sprintf("X%d", i), classes[local.Intn(len(classes))]))
+		}
+		_, got := psf.Bind(st)
+		// Brute force: PSF needs 1 PSF-Parameter + 2 distinct 3D Models.
+		params, models := 0, 0
+		for _, it := range st.Items() {
+			switch it.Classification() {
+			case "PSF-Parameter":
+				params++
+			case "3D Model":
+				models++
+			}
+		}
+		want := params >= 1 && models >= 2
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the process JSON round trip is the identity on valid processes.
+func TestQuickProcessJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	f := func(seed int64, variant uint8) bool {
+		_ = seed
+		var p *ProcessDescription
+		switch variant % 3 {
+		case 0:
+			p = buildSequential()
+		case 1:
+			p = buildForkJoin()
+		default:
+			p = buildChoiceMerge()
+		}
+		data, err := p.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		back, err := DecodeProcess(data)
+		if err != nil {
+			return false
+		}
+		data2, err := back.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		return string(data) == string(data2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Goal.Fitness is monotone under state growth: adding items never
+// lowers it.
+func TestQuickGoalMonotone(t *testing.T) {
+	goal := NewGoal(
+		`G.Classification = "Resolution File"`,
+		`G.Classification = "3D Model"`,
+		`G.Classification = "Orientation File"`,
+	)
+	rng := rand.New(rand.NewSource(34))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		st := randomState(local)
+		before := goal.Fitness(st)
+		grown := st.Clone()
+		grown.Put(NewDataItem("extra", "3D Model"))
+		return goal.Fitness(grown) >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
