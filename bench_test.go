@@ -270,6 +270,42 @@ func BenchmarkFig10Enactment(b *testing.B) {
 	b.ReportMetric(compute, "compute-s")
 }
 
+// BenchmarkEnactOverhead compares the Figure 10 enactment bare (telemetry
+// disabled, every record site paying only a nil check) against the default
+// instrumented environment; the acceptance bar is <5% overhead.
+func BenchmarkEnactOverhead(b *testing.B) {
+	for _, instrumented := range []bool{false, true} {
+		name := "bare"
+		if instrumented {
+			name = "instrumented"
+		}
+		b.Run(name, func(b *testing.B) {
+			env, err := core.NewEnvironment(core.Options{
+				Catalog:     virolab.Catalog(),
+				Planner:     reducedParams(),
+				PostProcess: virolab.ResolutionHook(nil),
+				NoTelemetry: !instrumented,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				task := virolab.Task()
+				task.ID = fmt.Sprintf("T-ovh-%s-%d", name, i)
+				report, err := env.Submit(task)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !report.Completed {
+					b.Fatal("enactment incomplete")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig11PlanTree measures recovering the Figure 11 plan tree from
 // the Figure 10 graph.
 func BenchmarkFig11PlanTree(b *testing.B) {

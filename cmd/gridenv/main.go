@@ -13,9 +13,14 @@
 //
 // Try it:
 //
-//	curl localhost:8080/api/nodes
-//	curl localhost:8080/api/services
-//	curl -X POST localhost:8080/api/tasks -d '{"id":"T1","goal":["G.Classification = \"Resolution File\""],"initialData":[...]}'
+//	curl localhost:8080/api/v1/nodes
+//	curl localhost:8080/api/v1/services
+//	curl -X POST localhost:8080/api/v1/tasks -d '{"id":"T1","goal":["G.Classification = \"Resolution File\""],"initialData":[...]}'
+//	curl localhost:8080/api/v1/tasks/T1/trace
+//	curl localhost:8080/api/v1/metrics
+//
+// The unversioned /api/... paths still work as deprecated aliases. See
+// OBSERVABILITY.md for the metric names and the trace span schema.
 package main
 
 import (

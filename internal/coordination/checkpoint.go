@@ -84,6 +84,8 @@ func (c *Coordinator) checkpoint(report *Report, task *workflow.Task, pd *workfl
 		report.trace("checkpoint", "", "store failed: "+err.Error())
 		return
 	}
+	c.mCheckpoints.Inc()
+	c.hCkptBytes.Observe(float64(len(data)))
 	if pr, ok := reply.Content.(services.PutReply); ok {
 		report.trace("checkpoint", "", fmt.Sprintf("version %d", pr.Version))
 	}
@@ -168,6 +170,7 @@ func (c *Coordinator) resume(snap *CheckpointData) (*Report, error) {
 		SimulatedTime: snap.Time,
 		WallClockTime: snap.Wall,
 		TotalCost:     snap.Cost,
+		spans:         c.cfg.Telemetry.TaskTrace(snap.TaskID),
 	}
 	report.trace("resume", "", fmt.Sprintf("from checkpoint after %d executions", snap.Executed))
 	es := &enactState{
@@ -197,6 +200,7 @@ func (c *Coordinator) resume(snap *CheckpointData) (*Report, error) {
 			return report, fmt.Errorf("coordination: resumed task %s: re-planning budget exhausted", snap.TaskID)
 		}
 		report.Replans++
+		c.mReplans.Inc()
 		failedServices[ne.service] = true
 		var exclude []string
 		for name := range failedServices {

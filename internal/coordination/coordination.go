@@ -17,6 +17,7 @@ import (
 	"repro/internal/pdl"
 	"repro/internal/planning"
 	"repro/internal/services"
+	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
 
@@ -52,11 +53,16 @@ type Config struct {
 	// Checkpoint enables checkpointing to the storage service after every
 	// completed activity.
 	Checkpoint bool
+
+	// Telemetry, when set, receives enactment metrics (see OBSERVABILITY.md)
+	// and per-task span traces. Nil disables instrumentation at a nil-check
+	// per record site.
+	Telemetry *telemetry.Registry
 }
 
 // TraceEvent records one step of an enactment for inspection.
 type TraceEvent struct {
-	Kind     string // "fire", "dispatch", "complete", "fail", "replan", "choice", "checkpoint"
+	Kind     string // "fire", "invoke", "dispatch", "complete", "fail", "replan", "choice", "checkpoint", ...
 	Activity string
 	Detail   string
 }
@@ -78,6 +84,10 @@ type Report struct {
 	TotalCost      float64
 	FinalState     *workflow.State
 	Trace          []TraceEvent
+
+	// spans mirrors Trace into the telemetry task trace when telemetry is
+	// wired; nil otherwise (TaskTrace methods are nil-safe).
+	spans *telemetry.TaskTrace
 }
 
 // Coordinator enacts tasks. Register its agent with Register, or call
@@ -85,6 +95,14 @@ type Report struct {
 type Coordinator struct {
 	cfg Config
 	ctx *agent.Context
+
+	// Instruments are resolved once here so the enactment hot path pays one
+	// atomic op per record, not a registry lookup. All are nil (no-ops) when
+	// cfg.Telemetry is nil.
+	mFired, mExecuted, mFailures, mReplans  *telemetry.Counter
+	mTasksCompleted, mTasksFailed, mBatches *telemetry.Counter
+	mCheckpoints, mCNRounds, mCNBids        *telemetry.Counter
+	hBatchWall, hEnactReal, hCkptBytes      *telemetry.Histogram
 }
 
 // New builds a coordinator and registers its agent (services.CoordinationName).
@@ -105,6 +123,21 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg.CallTimeout = services.CallTimeout
 	}
 	c := &Coordinator{cfg: cfg}
+	if tel := cfg.Telemetry; tel != nil {
+		c.mFired = tel.Counter("coordination.activities.fired")
+		c.mExecuted = tel.Counter("coordination.activities.executed")
+		c.mFailures = tel.Counter("coordination.dispatch.failures")
+		c.mReplans = tel.Counter("coordination.replans")
+		c.mTasksCompleted = tel.Counter("coordination.tasks.completed")
+		c.mTasksFailed = tel.Counter("coordination.tasks.failed")
+		c.mBatches = tel.Counter("coordination.batches")
+		c.mCheckpoints = tel.Counter("coordination.checkpoints.written")
+		c.mCNRounds = tel.Counter("coordination.contractnet.rounds")
+		c.mCNBids = tel.Counter("coordination.contractnet.bids")
+		c.hBatchWall = tel.Histogram("coordination.batch.simulated.seconds", []float64{1, 10, 60, 300, 1800, 3600, 10800})
+		c.hEnactReal = tel.Histogram("coordination.enact.real.seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60})
+		c.hCkptBytes = tel.Histogram("coordination.checkpoint.bytes", []float64{1024, 4096, 16384, 65536, 262144})
+	}
 	ctx, err := cfg.Platform.Register(services.CoordinationName, agent.HandlerFunc(c.handle))
 	if err != nil {
 		return nil, err
@@ -139,7 +172,16 @@ func (c *Coordinator) RunTask(task *workflow.Task) (*Report, error) {
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
-	report := &Report{TaskID: task.ID}
+	report := &Report{TaskID: task.ID, spans: c.cfg.Telemetry.TaskTrace(task.ID)}
+	start := time.Now()
+	defer func() {
+		c.hEnactReal.Observe(time.Since(start).Seconds())
+		if report.Completed {
+			c.mTasksCompleted.Inc()
+		} else {
+			c.mTasksFailed.Inc()
+		}
+	}()
 	state := task.Case.InitialState()
 	goal := task.Case.Goal
 
@@ -168,6 +210,7 @@ func (c *Coordinator) RunTask(task *workflow.Task) (*Report, error) {
 			return report, fmt.Errorf("coordination: task %s: re-planning budget exhausted after %q failed", task.ID, ne.service)
 		}
 		report.Replans++
+		c.mReplans.Inc()
 		failedServices[ne.service] = true
 		report.trace("replan", ne.service, fmt.Sprintf("activity %s not executable", ne.activity))
 		var exclude []string
@@ -198,6 +241,7 @@ func (c *Coordinator) RunTask(task *workflow.Task) (*Report, error) {
 func (c *Coordinator) requestPlan(report *Report, state *workflow.State, goal workflow.Goal, nonExecutable []string, trustCaller bool) (*workflow.ProcessDescription, error) {
 	report.trace("plan-request", "", fmt.Sprintf("non-executable: %v", nonExecutable))
 	reply, err := c.ctx.Call(services.PlanningName, services.OntPlanning, planning.PlanRequest{
+		TaskID:        report.TaskID,
 		Initial:       state.Items(),
 		Goal:          goal.Conditions,
 		NonExecutable: nonExecutable,
@@ -220,6 +264,7 @@ func (c *Coordinator) requestPlan(report *Report, state *workflow.State, goal wo
 
 func (r *Report) trace(kind, activity, detail string) {
 	r.Trace = append(r.Trace, TraceEvent{Kind: kind, Activity: activity, Detail: detail})
+	r.spans.Span(kind, activity, detail)
 }
 
 // nonExecutableError signals that an activity could not be executed anywhere

@@ -56,6 +56,7 @@ func (c *Coordinator) enact(report *Report, task *workflow.Task, pd *workflow.Pr
 				return fmt.Errorf("coordination: token at unknown activity %q", id)
 			}
 			report.Fired++
+			c.mFired.Inc()
 			es.Visits[id]++
 			report.trace("fire", act.Name, act.Kind.String())
 
@@ -216,6 +217,7 @@ func (c *Coordinator) dispatch(act *workflow.Activity, state *workflow.State, vi
 
 	var ranked []services.Candidate
 	if c.cfg.UseContractNet {
+		res.events = append(res.events, TraceEvent{Kind: "invoke", Activity: act.Name, Detail: services.BrokerageName})
 		cands, err := c.contractNet(&res, act, svc, dataMB)
 		if err != nil {
 			res.err = err
@@ -223,6 +225,7 @@ func (c *Coordinator) dispatch(act *workflow.Activity, state *workflow.State, vi
 		}
 		ranked = cands
 	} else {
+		res.events = append(res.events, TraceEvent{Kind: "invoke", Activity: act.Name, Detail: services.MatchmakingName})
 		reply, err := c.ctx.Call(services.MatchmakingName, services.OntMatchmaking,
 			services.MatchRequest{Service: act.Service}, c.cfg.CallTimeout)
 		if err != nil {
@@ -282,6 +285,7 @@ func (c *Coordinator) dispatch(act *workflow.Activity, state *workflow.State, vi
 // Containers that refuse (down node, service not offered) drop out here —
 // exactly how staleness is reconciled in a negotiation.
 func (c *Coordinator) contractNet(res *execResult, act *workflow.Activity, svc *workflow.Service, dataMB float64) ([]services.Candidate, error) {
+	c.mCNRounds.Inc()
 	reply, err := c.ctx.Call(services.BrokerageName, services.OntBrokerage,
 		services.ContainersRequest{Service: act.Service}, c.cfg.CallTimeout)
 	if err != nil {
@@ -300,6 +304,7 @@ func (c *Coordinator) contractNet(res *execResult, act *workflow.Activity, svc *
 		}
 		if prop, ok := bidReply.Content.(services.Proposal); ok {
 			bids = append(bids, prop)
+			c.mCNBids.Inc()
 			res.events = append(res.events, TraceEvent{Kind: "bid", Activity: act.Name,
 				Detail: fmt.Sprintf("%s offers %.0fs at %.2f", prop.Container, prop.PredictedTime, prop.PredictedCost)})
 		}
@@ -352,11 +357,16 @@ func (c *Coordinator) reorderByHistory(service string, cands []services.Candidat
 // accounting, trace, postconditions (with the steering hook), data items.
 func (c *Coordinator) apply(report *Report, res execResult, state *workflow.State) {
 	report.Trace = append(report.Trace, res.events...)
+	for _, ev := range res.events {
+		report.spans.Span(ev.Kind, ev.Activity, ev.Detail)
+	}
 	report.Failures += res.failures
+	c.mFailures.Add(int64(res.failures))
 	if res.err != nil {
 		return
 	}
 	report.Executed++
+	c.mExecuted.Inc()
 	report.SimulatedTime += res.duration
 	report.TotalCost += res.cost
 	svc := c.cfg.Catalog.Get(res.act.Service)
@@ -379,6 +389,7 @@ func (c *Coordinator) runBatch(report *Report, batch []pendingExec, state *workf
 	if len(batch) == 1 {
 		results[0] = c.dispatch(batch[0].act, state, batch[0].visit)
 	} else {
+		c.consultScheduling(report, batch)
 		var wg sync.WaitGroup
 		for i := range batch {
 			wg.Add(1)
@@ -397,6 +408,8 @@ func (c *Coordinator) runBatch(report *Report, batch []pendingExec, state *workf
 		}
 	}
 	report.WallClockTime += longest
+	c.mBatches.Inc()
+	c.hBatchWall.Observe(longest)
 	var replanErr error
 	for i := range results {
 		if err := results[i].err; err != nil {
@@ -410,6 +423,35 @@ func (c *Coordinator) runBatch(report *Report, batch []pendingExec, state *workf
 		}
 	}
 	return replanErr
+}
+
+// consultScheduling asks the scheduling service for a min-min placement of
+// a concurrent batch before it is dispatched. The placement is advisory:
+// each activity still matchmakes (or bids) for its own container, which
+// keeps per-activity failure recovery intact — but the batch-level decision
+// is recorded, so the schedule and its predicted makespan appear in the
+// task trace and the scheduling metrics. A missing scheduling service is
+// noted and otherwise ignored.
+func (c *Coordinator) consultScheduling(report *Report, batch []pendingExec) {
+	specs := make([]services.TaskSpec, 0, len(batch))
+	for _, p := range batch {
+		if svc := c.cfg.Catalog.Get(p.act.Service); svc != nil {
+			specs = append(specs, services.TaskSpec{ID: p.act.Name, Service: p.act.Service, BaseTime: svc.BaseTime})
+		}
+	}
+	if len(specs) == 0 {
+		return
+	}
+	report.trace("invoke", "", services.SchedulingName)
+	reply, err := c.ctx.Call(services.SchedulingName, services.OntScheduling,
+		services.ScheduleRequest{Tasks: specs}, c.cfg.CallTimeout)
+	if err != nil {
+		report.trace("schedule", "", "scheduling service unavailable: "+err.Error())
+		return
+	}
+	if sr, ok := reply.Content.(services.ScheduleReply); ok {
+		report.trace("schedule", "", fmt.Sprintf("min-min over %d ready activities: makespan %.0fs", len(specs), sr.Makespan))
+	}
 }
 
 // pendingExec is one batch member.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/planning"
 	"repro/internal/services"
+	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
 
@@ -53,6 +54,15 @@ type Options struct {
 
 	// CallTimeout bounds service interactions; zero uses the default.
 	CallTimeout time.Duration
+
+	// Telemetry is the metrics registry threaded through the coordination,
+	// planning, and core services; nil builds a fresh one (so every
+	// environment is observable by default). Set NoTelemetry to run bare.
+	Telemetry *telemetry.Registry
+
+	// NoTelemetry disables instrumentation entirely — the hot paths then pay
+	// only a nil check per record site. Used by overhead benchmarks.
+	NoTelemetry bool
 }
 
 // Environment is a fully wired grid environment.
@@ -64,6 +74,9 @@ type Environment struct {
 	Coordinator *coordination.Coordinator
 	Archive     *kb.Archive
 	Catalog     *workflow.Catalog
+	// Telemetry is the monitoring registry every layer records into; nil
+	// only when Options.NoTelemetry was set.
+	Telemetry *telemetry.Registry
 }
 
 // NewEnvironment builds and starts an environment.
@@ -88,13 +101,25 @@ func NewEnvironment(opts Options) (*Environment, error) {
 		return nil, err
 	}
 
+	tel := opts.Telemetry
+	if tel == nil && !opts.NoTelemetry {
+		tel = telemetry.New()
+	}
+
 	platform := agent.NewPlatform()
 	coreSvcs, err := services.Bootstrap(platform, g)
 	if err != nil {
 		platform.Shutdown()
 		return nil, err
 	}
+	// Instrument the core services. Safe before any traffic: the services
+	// only touch the registry while handling messages, which start flowing
+	// after NewEnvironment returns.
+	coreSvcs.Brokerage.Telemetry = tel
+	coreSvcs.Matchmaking.Telemetry = tel
+	coreSvcs.Scheduling.Telemetry = tel
 	plansvc := planning.New(opts.Catalog, params)
+	plansvc.Telemetry = tel
 	if _, err := platform.Register(services.PlanningName, plansvc); err != nil {
 		platform.Shutdown()
 		return nil, err
@@ -106,6 +131,7 @@ func NewEnvironment(opts Options) (*Environment, error) {
 		Checkpoint:     opts.Checkpoint,
 		CallTimeout:    opts.CallTimeout,
 		UseContractNet: opts.UseContractNet,
+		Telemetry:      tel,
 	})
 	if err != nil {
 		platform.Shutdown()
@@ -119,6 +145,7 @@ func NewEnvironment(opts Options) (*Environment, error) {
 		Coordinator: coord,
 		Archive:     kb.NewArchive(),
 		Catalog:     opts.Catalog,
+		Telemetry:   tel,
 	}, nil
 }
 

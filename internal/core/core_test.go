@@ -101,3 +101,91 @@ func TestPlanArchivesAndReturns(t *testing.T) {
 		t.Error("invalid problem accepted")
 	}
 }
+
+func TestTelemetryWiring(t *testing.T) {
+	env := testEnv(t) // checkpointing on
+	if env.Telemetry == nil {
+		t.Fatal("environment has no telemetry registry")
+	}
+	task := &workflow.Task{ID: "T-tel", Name: "telemetry probe",
+		NeedPlanning: true, Case: virolab.Case()}
+	report, err := env.Submit(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Completed {
+		t.Fatalf("report = %+v", report)
+	}
+
+	snap := env.Telemetry.Snapshot()
+	for _, name := range []string{
+		"coordination.activities.fired",
+		"coordination.activities.executed",
+		"coordination.tasks.completed",
+		"coordination.checkpoints.written",
+		"coordination.batches",
+		"planning.requests",
+		"planner.generations",
+		"planner.runs",
+		"matchmaking.requests",
+		"matchmaking.hits",
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	if got := snap.Counters["coordination.activities.executed"]; got != int64(report.Executed) {
+		t.Errorf("executed counter = %d, report says %d", got, report.Executed)
+	}
+	if h := snap.Histograms["coordination.enact.real.seconds"]; h.Count != 1 {
+		t.Errorf("enact histogram count = %d, want 1", h.Count)
+	}
+	if h := snap.Histograms["coordination.checkpoint.bytes"]; h.Count <= 0 || h.Sum <= 0 {
+		t.Errorf("checkpoint bytes histogram = %+v", h)
+	}
+
+	// The task trace holds an ordered span log covering planning and
+	// enactment.
+	tr := env.Telemetry.LookupTrace("T-tel")
+	if tr == nil {
+		t.Fatal("no trace for T-tel")
+	}
+	spans := tr.Spans()
+	kinds := map[string]int{}
+	lastSeq := uint64(0)
+	for _, s := range spans {
+		if s.Seq <= lastSeq {
+			t.Fatalf("spans out of order: %d after %d", s.Seq, lastSeq)
+		}
+		lastSeq = s.Seq
+		kinds[s.Kind]++
+	}
+	for _, k := range []string{"plan-request", "gp-generation", "plan-received", "fire", "invoke", "dispatch", "complete", "checkpoint"} {
+		if kinds[k] == 0 {
+			t.Errorf("trace has no %q span; kinds = %v", k, kinds)
+		}
+	}
+}
+
+func TestNoTelemetry(t *testing.T) {
+	params := planner.DefaultParams()
+	params.PopulationSize = 120
+	params.Generations = 15
+	env, err := NewEnvironment(Options{
+		Catalog:     virolab.Catalog(),
+		Planner:     params,
+		PostProcess: virolab.ResolutionHook(nil),
+		NoTelemetry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+	if env.Telemetry != nil {
+		t.Fatal("NoTelemetry still built a registry")
+	}
+	report, err := env.Submit(virolab.Task())
+	if err != nil || !report.Completed {
+		t.Fatalf("bare environment cannot enact: %v %+v", err, report)
+	}
+}

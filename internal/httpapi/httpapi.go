@@ -1,28 +1,48 @@
 // Package httpapi is the User Interface of Figure 1: an HTTP/JSON facade
 // over a core.Environment through which end users submit tasks, watch their
 // progress, browse the grid and the service offerings, fetch ontologies,
-// and run what-if simulations.
+// inspect telemetry, and run what-if simulations.
 //
-// Endpoints:
+// The API is versioned under /api/v1; the unversioned /api/... paths remain
+// as deprecated aliases of the same handlers (responses carry a
+// "Deprecation: true" header). One route table serves both prefixes.
 //
-//	GET  /api/nodes                     grid nodes with live status
-//	GET  /api/containers                application containers
-//	GET  /api/services                  the end-user service catalog
-//	GET  /api/classes                   resource equivalence classes
-//	POST /api/tasks                     submit a task (async); returns its ID
-//	GET  /api/tasks                     list submitted tasks
-//	GET  /api/tasks/{id}                task status / final report
-//	GET  /api/plans                     archived plan names
-//	GET  /api/plans/{name}              latest archived revision (PDL text)
-//	GET  /api/ontology/{name}           knowledge base JSON
-//	POST /api/simulate                  run the simulation service
+// Endpoints (all under /api/v1, aliased under /api):
+//
+//	GET  /api/v1/nodes                  grid nodes with live status (paginated)
+//	GET  /api/v1/containers             application containers
+//	GET  /api/v1/services               the end-user service catalog
+//	GET  /api/v1/classes                resource equivalence classes
+//	POST /api/v1/tasks                  submit a task (async); returns its ID
+//	GET  /api/v1/tasks                  list tasks, submission order (paginated)
+//	GET  /api/v1/tasks/{id}             task status / final report
+//	GET  /api/v1/tasks/{id}/trace       the task's telemetry span log
+//	GET  /api/v1/plans                  archived plan names
+//	GET  /api/v1/plans/{name}           latest archived revision (PDL text)
+//	GET  /api/v1/ontology/{name}        knowledge base JSON
+//	GET  /api/v1/metrics                telemetry registry snapshot
+//	POST /api/v1/simulate               run the simulation service
+//
+// Paginated endpoints accept limit and offset query parameters and wrap the
+// result as {"items": [...], "total": N, "limit": L, "offset": O}; limit -1
+// (the default) means unlimited.
+//
+// Every response carries an X-Request-Id header. Errors share one envelope:
+// {"error": {"code": "...", "message": "..."}, "requestId": "..."} — also
+// for unknown paths (404) and wrong methods (405), which stdlib muxes would
+// otherwise answer in plain text.
 package httpapi
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/coordination"
@@ -30,6 +50,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/pdl"
 	"repro/internal/services"
+	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
 
@@ -37,39 +58,160 @@ import (
 type Server struct {
 	env *core.Environment
 
+	// Logger receives one line per request (method, path, status, duration,
+	// request ID). Defaults to log.Default(); replace before Handler is
+	// mounted to redirect or silence it.
+	Logger *log.Logger
+
+	reqSeq  atomic.Int64 // request ID counter
+	taskSeq atomic.Int64 // task submission order
+
 	mu     sync.Mutex
 	tasks  map[string]*taskRecord
 	client *agent.Context // the UI's own agent, registered lazily
 }
 
 type taskRecord struct {
-	ID     string
-	Status string // "running", "completed", "failed"
-	Error  string
-	Report *coordination.Report
+	ID        string
+	Seq       int64 // submission order, for stable listing
+	Submitted time.Time
+	Status    string // "running", "completed", "failed"
+	Error     string
+	Report    *coordination.Report
 }
 
 // New builds a server over the environment.
 func New(env *core.Environment) *Server {
-	return &Server{env: env, tasks: make(map[string]*taskRecord)}
+	return &Server{env: env, Logger: log.Default(), tasks: make(map[string]*taskRecord)}
 }
 
-// Handler returns the HTTP handler with all routes mounted.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/nodes", s.handleNodes)
-	mux.HandleFunc("GET /api/containers", s.handleContainers)
-	mux.HandleFunc("GET /api/services", s.handleServices)
-	mux.HandleFunc("GET /api/classes", s.handleClasses)
-	mux.HandleFunc("POST /api/tasks", s.handleSubmit)
-	mux.HandleFunc("GET /api/tasks", s.handleTaskList)
-	mux.HandleFunc("GET /api/tasks/{id}", s.handleTaskGet)
-	mux.HandleFunc("GET /api/plans", s.handlePlans)
-	mux.HandleFunc("GET /api/plans/{name}", s.handlePlanGet)
-	mux.HandleFunc("GET /api/ontology/{name}", s.handleOntology)
-	mux.HandleFunc("POST /api/simulate", s.handleSimulate)
-	return mux
+// --- routing ---------------------------------------------------------------
+
+// route is one row of the route table: a method, a path pattern relative to
+// the version prefix, and its handler. The same table is mounted under
+// /api/v1 and, deprecated, under /api.
+type route struct {
+	method  string
+	path    string
+	handler http.HandlerFunc
 }
+
+func (s *Server) routes() []route {
+	return []route{
+		{http.MethodGet, "/nodes", s.handleNodes},
+		{http.MethodGet, "/containers", s.handleContainers},
+		{http.MethodGet, "/services", s.handleServices},
+		{http.MethodGet, "/classes", s.handleClasses},
+		{http.MethodPost, "/tasks", s.handleSubmit},
+		{http.MethodGet, "/tasks", s.handleTaskList},
+		{http.MethodGet, "/tasks/{id}", s.handleTaskGet},
+		{http.MethodGet, "/tasks/{id}/trace", s.handleTaskTrace},
+		{http.MethodGet, "/plans", s.handlePlans},
+		{http.MethodGet, "/plans/{name}", s.handlePlanGet},
+		{http.MethodGet, "/ontology/{name}", s.handleOntology},
+		{http.MethodGet, "/metrics", s.handleMetrics},
+		{http.MethodPost, "/simulate", s.handleSimulate},
+	}
+}
+
+// Handler returns the HTTP handler: the route table mounted under /api/v1
+// and /api (deprecated aliases), behind the request-ID/logging/metrics
+// middleware, with JSON 404/405 fallbacks.
+func (s *Server) Handler() http.Handler {
+	byPath := map[string]map[string]http.HandlerFunc{}
+	for _, rt := range s.routes() {
+		if byPath[rt.path] == nil {
+			byPath[rt.path] = map[string]http.HandlerFunc{}
+		}
+		byPath[rt.path][rt.method] = rt.handler
+	}
+	mux := http.NewServeMux()
+	for path, methods := range byPath {
+		mux.Handle("/api/v1"+path, s.dispatch(methods, false))
+		mux.Handle("/api"+path, s.dispatch(methods, true))
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, r, http.StatusNotFound, "not_found", "no route %s", r.URL.Path)
+	})
+	return s.middleware(mux)
+}
+
+// dispatch selects the handler by method, answering JSON 405 (with Allow)
+// otherwise. Deprecated mounts add the Deprecation header first.
+func (s *Server) dispatch(methods map[string]http.HandlerFunc, deprecated bool) http.Handler {
+	var allow []string
+	for m := range methods {
+		allow = append(allow, m)
+	}
+	sort.Strings(allow)
+	allowHeader := ""
+	for i, m := range allow {
+		if i > 0 {
+			allowHeader += ", "
+		}
+		allowHeader += m
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if deprecated {
+			w.Header().Set("Deprecation", "true")
+		}
+		h, ok := methods[r.Method]
+		if !ok {
+			w.Header().Set("Allow", allowHeader)
+			s.writeError(w, r, http.StatusMethodNotAllowed, "method_not_allowed",
+				"method %s not allowed on %s (allow: %s)", r.Method, r.URL.Path, allowHeader)
+			return
+		}
+		h(w, r)
+	})
+}
+
+// --- middleware ------------------------------------------------------------
+
+// requestIDHeader carries the per-request ID on every response.
+const requestIDHeader = "X-Request-Id"
+
+// middleware assigns the request ID, records http.* metrics, and logs the
+// request line.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	tel := s.telemetry()
+	latency := tel.Histogram("http.request.seconds",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		w.Header().Set(requestIDHeader, rid)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		tel.Counter("http.requests.total").Inc()
+		tel.Counter(fmt.Sprintf("http.responses.%dxx", rec.status/100)).Inc()
+		latency.Observe(elapsed.Seconds())
+		if s.Logger != nil {
+			s.Logger.Printf("httpapi: %s %s -> %d (%s) %s", r.Method, r.URL.Path, rec.status, elapsed.Round(time.Microsecond), rid)
+		}
+	})
+}
+
+// statusRecorder captures the response status for metrics and logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) telemetry() *telemetry.Registry {
+	if s.env == nil {
+		return nil
+	}
+	return s.env.Telemetry
+}
+
+// --- response helpers ------------------------------------------------------
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -77,8 +219,65 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+	RequestID string `json:"requestId"`
+}
+
+// writeError emits the error envelope; the request ID is the one the
+// middleware stamped on the response header.
+func (s *Server) writeError(w http.ResponseWriter, _ *http.Request, status int, code, format string, args ...any) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = fmt.Sprintf(format, args...)
+	body.RequestID = w.Header().Get(requestIDHeader)
+	writeJSON(w, status, body)
+}
+
+// page wraps a paginated listing.
+type page struct {
+	Items  any `json:"items"`
+	Total  int `json:"total"`
+	Limit  int `json:"limit"` // -1 = unlimited
+	Offset int `json:"offset"`
+}
+
+// parsePage reads limit/offset query parameters. Missing limit means
+// unlimited (-1); limit=0 is a valid empty page; negatives and non-integers
+// are errors.
+func parsePage(r *http.Request) (limit, offset int, err error) {
+	limit = -1
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 0 {
+			return 0, 0, fmt.Errorf("limit must be a non-negative integer, got %q", v)
+		}
+		limit = n
+	}
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 0 {
+			return 0, 0, fmt.Errorf("offset must be a non-negative integer, got %q", v)
+		}
+		offset = n
+	}
+	return limit, offset, nil
+}
+
+// paginate applies offset/limit to items; limit -1 means all from offset.
+func paginate[T any](items []T, limit, offset int) []T {
+	if offset >= len(items) {
+		return []T{}
+	}
+	items = items[offset:]
+	if limit >= 0 && limit < len(items) {
+		items = items[:limit]
+	}
+	return items
 }
 
 // --- read-only grid views --------------------------------------------------
@@ -93,8 +292,13 @@ type nodeView struct {
 	Software []string `json:"software,omitempty"`
 }
 
-func (s *Server) handleNodes(w http.ResponseWriter, _ *http.Request) {
-	var out []nodeView
+func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	limit, offset, err := parsePage(r)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	out := []nodeView{}
 	for _, n := range s.env.Grid.Nodes() {
 		var sw []string
 		for _, pkg := range n.Software {
@@ -105,7 +309,10 @@ func (s *Server) handleNodes(w http.ResponseWriter, _ *http.Request) {
 			Speed: n.Hardware.Speed, Cost: n.CostPerSec, Up: n.Up(), Software: sw,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, page{
+		Items: paginate(out, limit, offset), Total: len(out), Limit: limit, Offset: offset,
+	})
 }
 
 type containerView struct {
@@ -134,8 +341,8 @@ func (s *Server) handleServices(w http.ResponseWriter, _ *http.Request) {
 	var out []serviceView
 	for _, svc := range s.env.Catalog.Services() {
 		v := serviceView{Name: svc.Name, BaseTime: svc.BaseTime, Cost: svc.Cost}
-		for _, in := range svc.Inputs {
-			v.Inputs = append(v.Inputs, in.Condition)
+		for i := range svc.Inputs {
+			v.Inputs = append(v.Inputs, svc.Inputs[i].Condition)
 		}
 		for _, o := range svc.Outputs {
 			v.Outputs = append(v.Outputs, o.Name)
@@ -151,7 +358,7 @@ func (s *Server) handleClasses(w http.ResponseWriter, _ *http.Request) {
 
 // --- task submission ---------------------------------------------------------
 
-// TaskSubmission is the POST /api/tasks body.
+// TaskSubmission is the POST /api/v1/tasks body.
 type TaskSubmission struct {
 	ID   string `json:"id"`
 	Name string `json:"name"`
@@ -177,11 +384,11 @@ type DataItemJSON struct {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var sub TaskSubmission
 	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad submission: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "bad submission: %v", err)
 		return
 	}
 	if sub.ID == "" || len(sub.Goal) == 0 {
-		writeErr(w, http.StatusBadRequest, "id and goal are required")
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "id and goal are required")
 		return
 	}
 	caseDesc := workflow.NewCase(sub.ID, sub.Name)
@@ -203,23 +410,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	} else {
 		p, err := pdl.ParseProcess(sub.ID, sub.PDL)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad PDL: %v", err)
+			s.writeError(w, r, http.StatusBadRequest, "bad_pdl", "bad PDL: %v", err)
 			return
 		}
 		task.Process = p
 	}
 	if err := task.Validate(); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid task: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, "invalid_task", "invalid task: %v", err)
 		return
 	}
 
 	s.mu.Lock()
 	if _, dup := s.tasks[sub.ID]; dup {
 		s.mu.Unlock()
-		writeErr(w, http.StatusConflict, "task %q already submitted", sub.ID)
+		s.writeError(w, r, http.StatusConflict, "duplicate_task", "task %q already submitted", sub.ID)
 		return
 	}
-	rec := &taskRecord{ID: sub.ID, Status: "running"}
+	rec := &taskRecord{ID: sub.ID, Seq: s.taskSeq.Add(1), Submitted: time.Now(), Status: "running"}
 	s.tasks[sub.ID] = rec
 	s.mu.Unlock()
 
@@ -239,25 +446,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": sub.ID, "status": "running"})
 }
 
-// TaskView is the GET /api/tasks/{id} response.
+// TaskView is the GET /api/v1/tasks/{id} response.
 type TaskView struct {
-	ID          string   `json:"id"`
-	Status      string   `json:"status"`
-	Error       string   `json:"error,omitempty"`
-	Completed   bool     `json:"completed,omitempty"`
-	GoalFitness float64  `json:"goalFitness,omitempty"`
-	Executed    int      `json:"executed,omitempty"`
-	Failures    int      `json:"failures,omitempty"`
-	Replans     int      `json:"replans,omitempty"`
-	Deadline    bool     `json:"deadlineMissed,omitempty"`
-	Wall        float64  `json:"wallClockTime,omitempty"`
-	Time        float64  `json:"simulatedTime,omitempty"`
-	Cost        float64  `json:"totalCost,omitempty"`
-	FinalData   []string `json:"finalData,omitempty"`
+	ID          string    `json:"id"`
+	Status      string    `json:"status"`
+	Submitted   time.Time `json:"submittedAt"`
+	Error       string    `json:"error,omitempty"`
+	Completed   bool      `json:"completed,omitempty"`
+	GoalFitness float64   `json:"goalFitness,omitempty"`
+	Executed    int       `json:"executed,omitempty"`
+	Failures    int       `json:"failures,omitempty"`
+	Replans     int       `json:"replans,omitempty"`
+	Deadline    bool      `json:"deadlineMissed,omitempty"`
+	Wall        float64   `json:"wallClockTime,omitempty"`
+	Time        float64   `json:"simulatedTime,omitempty"`
+	Cost        float64   `json:"totalCost,omitempty"`
+	FinalData   []string  `json:"finalData,omitempty"`
 }
 
 func (s *Server) view(rec *taskRecord) TaskView {
-	v := TaskView{ID: rec.ID, Status: rec.Status, Error: rec.Error}
+	v := TaskView{ID: rec.ID, Status: rec.Status, Submitted: rec.Submitted, Error: rec.Error}
 	if r := rec.Report; r != nil {
 		v.Completed = r.Completed
 		v.GoalFitness = r.GoalFitness
@@ -277,14 +485,27 @@ func (s *Server) view(rec *taskRecord) TaskView {
 	return v
 }
 
-func (s *Server) handleTaskList(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleTaskList(w http.ResponseWriter, r *http.Request) {
+	limit, offset, err := parsePage(r)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]TaskView, 0, len(s.tasks))
+	recs := make([]*taskRecord, 0, len(s.tasks))
 	for _, rec := range s.tasks {
+		recs = append(recs, rec)
+	}
+	// Stable listing: submission order, not map iteration order.
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	out := make([]TaskView, 0, len(recs))
+	for _, rec := range recs {
 		out = append(out, s.view(rec))
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, page{
+		Items: paginate(out, limit, offset), Total: len(out), Limit: limit, Offset: offset,
+	})
 }
 
 func (s *Server) handleTaskGet(w http.ResponseWriter, r *http.Request) {
@@ -293,12 +514,42 @@ func (s *Server) handleTaskGet(w http.ResponseWriter, r *http.Request) {
 	rec := s.tasks[id]
 	s.mu.Unlock()
 	if rec == nil {
-		writeErr(w, http.StatusNotFound, "no task %q", id)
+		s.writeError(w, r, http.StatusNotFound, "not_found", "no task %q", id)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	writeJSON(w, http.StatusOK, s.view(rec))
+}
+
+// --- telemetry -------------------------------------------------------------
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.telemetry().Snapshot())
+}
+
+// traceView is the GET /api/v1/tasks/{id}/trace response.
+type traceView struct {
+	TaskID  string           `json:"taskId"`
+	Spans   []telemetry.Span `json:"spans"`
+	Dropped uint64           `json:"dropped"`
+}
+
+func (s *Server) handleTaskTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	rec := s.tasks[id]
+	s.mu.Unlock()
+	if rec == nil {
+		s.writeError(w, r, http.StatusNotFound, "not_found", "no task %q", id)
+		return
+	}
+	tr := s.telemetry().LookupTrace(id)
+	spans := tr.Spans()
+	if spans == nil {
+		spans = []telemetry.Span{}
+	}
+	writeJSON(w, http.StatusOK, traceView{TaskID: id, Spans: spans, Dropped: tr.Dropped()})
 }
 
 // --- plans and ontology ------------------------------------------------------
@@ -311,7 +562,7 @@ func (s *Server) handlePlanGet(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	_, entry, err := s.env.Archive.Get(name, 0)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		s.writeError(w, r, http.StatusNotFound, "not_found", "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -325,18 +576,18 @@ func (s *Server) handleOntology(w http.ResponseWriter, r *http.Request) {
 	// Fetch through the ontology service agent for faithfulness.
 	client, err := s.clientContext()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "%v", err)
 		return
 	}
 	reply, err := client.Call(services.OntologyName, services.OntOntology,
 		services.KBRequest{Name: name}, services.CallTimeout)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "%v", err)
 		return
 	}
 	kr, ok := reply.Content.(services.KBReply)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no ontology %q", name)
+		s.writeError(w, r, http.StatusNotFound, "not_found", "no ontology %q", name)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -346,7 +597,7 @@ func (s *Server) handleOntology(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req services.SimulateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "bad request: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.env.Services.Simulation.Simulate(req))

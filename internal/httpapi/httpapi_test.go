@@ -3,6 +3,8 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/planner"
 	"repro/internal/services"
+	"repro/internal/telemetry"
 	"repro/internal/virolab"
 )
 
@@ -30,6 +33,7 @@ func testServer(t *testing.T) (*Server, *httptest.Server) {
 	}
 	t.Cleanup(env.Close)
 	s := New(env)
+	s.Logger = log.New(io.Discard, "", 0)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -69,29 +73,201 @@ func postJSON(t *testing.T, url string, body, out any) int {
 	return resp.StatusCode
 }
 
+// nodesPage decodes the paginated nodes listing.
+type nodesPage struct {
+	Items  []nodeView `json:"items"`
+	Total  int        `json:"total"`
+	Limit  int        `json:"limit"`
+	Offset int        `json:"offset"`
+}
+
+// tasksPage decodes the paginated task listing.
+type tasksPage struct {
+	Items  []TaskView `json:"items"`
+	Total  int        `json:"total"`
+	Limit  int        `json:"limit"`
+	Offset int        `json:"offset"`
+}
+
 func TestGridViews(t *testing.T) {
 	_, ts := testServer(t)
-	var nodes []nodeView
-	if code := getJSON(t, ts.URL+"/api/nodes", &nodes); code != 200 {
+	var nodes nodesPage
+	if code := getJSON(t, ts.URL+"/api/v1/nodes", &nodes); code != 200 {
 		t.Fatalf("nodes status %d", code)
 	}
-	if len(nodes) == 0 {
-		t.Fatal("no nodes")
+	if len(nodes.Items) == 0 || nodes.Total != len(nodes.Items) {
+		t.Fatalf("nodes page = %+v", nodes)
 	}
-	if !nodes[0].Up || nodes[0].Speed <= 0 {
-		t.Errorf("node view = %+v", nodes[0])
+	if !nodes.Items[0].Up || nodes.Items[0].Speed <= 0 {
+		t.Errorf("node view = %+v", nodes.Items[0])
 	}
 	var containers []containerView
-	if code := getJSON(t, ts.URL+"/api/containers", &containers); code != 200 || len(containers) == 0 {
+	if code := getJSON(t, ts.URL+"/api/v1/containers", &containers); code != 200 || len(containers) == 0 {
 		t.Fatalf("containers status %d len %d", code, len(containers))
 	}
 	var svcs []serviceView
-	if code := getJSON(t, ts.URL+"/api/services", &svcs); code != 200 || len(svcs) != 4 {
+	if code := getJSON(t, ts.URL+"/api/v1/services", &svcs); code != 200 || len(svcs) != 4 {
 		t.Fatalf("services status %d len %d", code, len(svcs))
 	}
 	var classes []any
-	if code := getJSON(t, ts.URL+"/api/classes", &classes); code != 200 || len(classes) == 0 {
+	if code := getJSON(t, ts.URL+"/api/v1/classes", &classes); code != 200 || len(classes) == 0 {
 		t.Fatalf("classes status %d len %d", code, len(classes))
+	}
+}
+
+// TestRouteTable drives every GET route through both the v1 surface and the
+// deprecated /api alias and checks version headers.
+func TestRouteTable(t *testing.T) {
+	_, ts := testServer(t)
+	paths := []string{"/nodes", "/containers", "/services", "/classes", "/tasks", "/plans", "/metrics"}
+	for _, p := range paths {
+		for _, prefix := range []string{"/api/v1", "/api"} {
+			resp, err := http.Get(ts.URL + prefix + p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("GET %s%s = %d", prefix, p, resp.StatusCode)
+			}
+			if rid := resp.Header.Get("X-Request-Id"); rid == "" {
+				t.Errorf("GET %s%s: no X-Request-Id", prefix, p)
+			}
+			dep := resp.Header.Get("Deprecation")
+			if prefix == "/api" && dep != "true" {
+				t.Errorf("GET %s%s: legacy alias not marked deprecated", prefix, p)
+			}
+			if prefix == "/api/v1" && dep != "" {
+				t.Errorf("GET %s%s: v1 wrongly marked deprecated", prefix, p)
+			}
+		}
+	}
+}
+
+// TestErrorEnvelope checks the uniform error body on every failure shape,
+// including the JSON 404/405 fallbacks the stdlib mux would answer in plain
+// text.
+func TestErrorEnvelope(t *testing.T) {
+	_, ts := testServer(t)
+	do := func(method, path string) (*http.Response, errorBody) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s %s: body is not the JSON envelope: %v", method, path, err)
+		}
+		return resp, body
+	}
+	cases := []struct {
+		name, method, path string
+		wantStatus         int
+		wantCode           string
+	}{
+		{"unknown path", http.MethodGet, "/nope", http.StatusNotFound, "not_found"},
+		{"unknown api path", http.MethodGet, "/api/v1/nope", http.StatusNotFound, "not_found"},
+		{"bare version root", http.MethodGet, "/api/v1", http.StatusNotFound, "not_found"},
+		{"wrong method", http.MethodDelete, "/api/v1/tasks", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"wrong method legacy", http.MethodPut, "/api/nodes", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"ghost task", http.MethodGet, "/api/v1/tasks/ghost", http.StatusNotFound, "not_found"},
+		{"ghost trace", http.MethodGet, "/api/v1/tasks/ghost/trace", http.StatusNotFound, "not_found"},
+		{"ghost plan", http.MethodGet, "/api/v1/plans/ghost", http.StatusNotFound, "not_found"},
+		{"bad limit", http.MethodGet, "/api/v1/nodes?limit=x", http.StatusBadRequest, "bad_request"},
+		{"negative offset", http.MethodGet, "/api/v1/tasks?offset=-1", http.StatusBadRequest, "bad_request"},
+	}
+	for _, c := range cases {
+		resp, body := do(c.method, c.path)
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.wantStatus)
+		}
+		if body.Error.Code != c.wantCode {
+			t.Errorf("%s: code %q, want %q", c.name, body.Error.Code, c.wantCode)
+		}
+		if body.Error.Message == "" {
+			t.Errorf("%s: empty message", c.name)
+		}
+		if body.RequestID == "" || body.RequestID != resp.Header.Get("X-Request-Id") {
+			t.Errorf("%s: requestId %q vs header %q", c.name, body.RequestID, resp.Header.Get("X-Request-Id"))
+		}
+	}
+	// 405 carries the allowed methods.
+	resp, _ := do(http.MethodDelete, "/api/v1/tasks")
+	if allow := resp.Header.Get("Allow"); allow != "GET, POST" {
+		t.Errorf("Allow = %q, want \"GET, POST\"", allow)
+	}
+}
+
+// TestPagination exercises limit/offset on both paginated listings,
+// including the edge cases, using records injected directly into the task
+// table (planning a real task per record would dominate the test).
+func TestPagination(t *testing.T) {
+	s, ts := testServer(t)
+	base := time.Now()
+	s.mu.Lock()
+	for i, id := range []string{"T-a", "T-b", "T-c", "T-d", "T-e"} {
+		s.tasks[id] = &taskRecord{
+			ID: id, Seq: s.taskSeq.Add(1),
+			Submitted: base.Add(time.Duration(i) * time.Second), Status: "running",
+		}
+	}
+	s.mu.Unlock()
+
+	var p tasksPage
+	if code := getJSON(t, ts.URL+"/api/v1/tasks", &p); code != 200 {
+		t.Fatalf("tasks status %d", code)
+	}
+	if p.Total != 5 || len(p.Items) != 5 || p.Limit != -1 || p.Offset != 0 {
+		t.Fatalf("default page = %+v", p)
+	}
+	// Stable submission order, not map order.
+	for i, want := range []string{"T-a", "T-b", "T-c", "T-d", "T-e"} {
+		if p.Items[i].ID != want {
+			t.Errorf("item %d = %s, want %s", i, p.Items[i].ID, want)
+		}
+	}
+
+	cases := []struct {
+		query     string
+		wantIDs   []string
+		wantTotal int
+	}{
+		{"?limit=2", []string{"T-a", "T-b"}, 5},
+		{"?limit=2&offset=2", []string{"T-c", "T-d"}, 5},
+		{"?limit=0", []string{}, 5},   // explicit empty page
+		{"?offset=99", []string{}, 5}, // offset past the end
+		{"?limit=99&offset=4", []string{"T-e"}, 5},
+	}
+	for _, c := range cases {
+		var got tasksPage
+		if code := getJSON(t, ts.URL+"/api/v1/tasks"+c.query, &got); code != 200 {
+			t.Fatalf("%s: status %d", c.query, code)
+		}
+		if got.Total != c.wantTotal || len(got.Items) != len(c.wantIDs) {
+			t.Errorf("%s: page = %+v", c.query, got)
+			continue
+		}
+		for i, want := range c.wantIDs {
+			if got.Items[i].ID != want {
+				t.Errorf("%s: item %d = %s, want %s", c.query, i, got.Items[i].ID, want)
+			}
+		}
+	}
+
+	// Nodes pagination slices the same way.
+	var all nodesPage
+	getJSON(t, ts.URL+"/api/v1/nodes", &all)
+	var sliced nodesPage
+	getJSON(t, ts.URL+"/api/v1/nodes?limit=1&offset=1", &sliced)
+	if len(sliced.Items) != 1 || sliced.Total != all.Total || sliced.Items[0].ID != all.Items[1].ID {
+		t.Errorf("nodes slice = %+v (all = %+v)", sliced, all)
 	}
 }
 
@@ -120,14 +296,14 @@ END`,
 		sub.InitialData = append(sub.InitialData, item)
 	}
 	var accepted map[string]string
-	if code := postJSON(t, ts.URL+"/api/tasks", sub, &accepted); code != http.StatusAccepted {
+	if code := postJSON(t, ts.URL+"/api/v1/tasks", sub, &accepted); code != http.StatusAccepted {
 		t.Fatalf("submit status %d: %v", code, accepted)
 	}
 
 	deadline := time.Now().Add(30 * time.Second)
 	var view TaskView
 	for {
-		if code := getJSON(t, ts.URL+"/api/tasks/T-http", &view); code != 200 {
+		if code := getJSON(t, ts.URL+"/api/v1/tasks/T-http", &view); code != 200 {
 			t.Fatalf("poll status %d", code)
 		}
 		if view.Status != "running" {
@@ -144,6 +320,9 @@ END`,
 	if view.Executed != 17 {
 		t.Errorf("executed = %d, want 17", view.Executed)
 	}
+	if view.Submitted.IsZero() {
+		t.Error("no submission time")
+	}
 	found := false
 	for _, line := range view.FinalData {
 		if strings.HasPrefix(line, "D12{") && strings.Contains(line, "value=7.8") {
@@ -154,15 +333,98 @@ END`,
 		t.Errorf("final data missing refined D12: %v", view.FinalData)
 	}
 
-	// The list view includes it.
-	var list []TaskView
+	// The list view includes it (same shape on the legacy alias).
+	var list tasksPage
 	getJSON(t, ts.URL+"/api/tasks", &list)
-	if len(list) != 1 || list[0].ID != "T-http" {
+	if list.Total != 1 || len(list.Items) != 1 || list.Items[0].ID != "T-http" {
 		t.Errorf("list = %+v", list)
 	}
 	// Duplicate submission conflicts.
-	if code := postJSON(t, ts.URL+"/api/tasks", sub, nil); code != http.StatusConflict {
+	if code := postJSON(t, ts.URL+"/api/v1/tasks", sub, nil); code != http.StatusConflict {
 		t.Errorf("duplicate submit status %d", code)
+	}
+}
+
+// TestMetricsAndTrace runs a workflow through the API and then checks that
+// the telemetry surface reports it: nonzero enactment/scheduling/http
+// counters and an ordered span log.
+func TestMetricsAndTrace(t *testing.T) {
+	_, ts := testServer(t)
+	sub := TaskSubmission{
+		ID:   "T-obs",
+		Name: "observed",
+		// The FORK makes a concurrent batch, so the coordinator consults the
+		// scheduling service and the scheduling counters move too.
+		PDL: `BEGIN,
+  POD(D1, D7 -> D8);
+  {FORK
+    {P3DR(D2, D7, D8 -> D9)}
+    {P3DR(D3, D7, D8 -> D10)}
+  JOIN},
+END`,
+		Goal: []string{`G.Classification = "3D Model"`},
+	}
+	for _, d := range virolab.InitialData() {
+		sub.InitialData = append(sub.InitialData, DataItemJSON{Name: d.Name, Classification: d.Classification()})
+	}
+	if code := postJSON(t, ts.URL+"/api/v1/tasks", sub, nil); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var view TaskView
+		getJSON(t, ts.URL+"/api/v1/tasks/T-obs", &view)
+		if view.Status == "completed" {
+			break
+		}
+		if view.Status == "failed" || time.Now().After(deadline) {
+			t.Fatalf("task did not complete: %+v", view)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var snap telemetry.Snapshot
+	if code := getJSON(t, ts.URL+"/api/v1/metrics", &snap); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, name := range []string{
+		"coordination.activities.fired",
+		"coordination.activities.executed",
+		"coordination.tasks.completed",
+		"matchmaking.requests",
+		"scheduling.requests",
+		"scheduling.tasks.assigned",
+		"http.requests.total",
+		"http.responses.2xx",
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	if h := snap.Histograms["http.request.seconds"]; h.Count <= 0 {
+		t.Errorf("http latency histogram = %+v", h)
+	}
+
+	var trace traceView
+	if code := getJSON(t, ts.URL+"/api/v1/tasks/T-obs/trace", &trace); code != 200 {
+		t.Fatalf("trace status %d", code)
+	}
+	if trace.TaskID != "T-obs" || len(trace.Spans) == 0 {
+		t.Fatalf("trace = %+v", trace)
+	}
+	lastSeq := uint64(0)
+	kinds := map[string]int{}
+	for _, s := range trace.Spans {
+		if s.Seq <= lastSeq {
+			t.Fatalf("spans out of order: %d after %d", s.Seq, lastSeq)
+		}
+		lastSeq = s.Seq
+		kinds[s.Kind]++
+	}
+	for _, k := range []string{"fire", "invoke", "dispatch", "complete", "schedule"} {
+		if kinds[k] == 0 {
+			t.Errorf("trace missing %q spans; kinds = %v", k, kinds)
+		}
 	}
 }
 
@@ -181,20 +443,20 @@ func TestSubmitValidation(t *testing.T) {
 	for _, c := range cases {
 		var code int
 		if s, ok := c.body.(string); ok {
-			resp, err := http.Post(ts.URL+"/api/tasks", "application/json", strings.NewReader(s))
+			resp, err := http.Post(ts.URL+"/api/v1/tasks", "application/json", strings.NewReader(s))
 			if err != nil {
 				t.Fatal(err)
 			}
 			code = resp.StatusCode
 			resp.Body.Close()
 		} else {
-			code = postJSON(t, ts.URL+"/api/tasks", c.body, nil)
+			code = postJSON(t, ts.URL+"/api/v1/tasks", c.body, nil)
 		}
 		if code != c.want {
 			t.Errorf("%s: status %d, want %d", c.name, code, c.want)
 		}
 	}
-	if code := getJSON(t, ts.URL+"/api/tasks/ghost", nil); code != http.StatusNotFound {
+	if code := getJSON(t, ts.URL+"/api/v1/tasks/ghost", nil); code != http.StatusNotFound {
 		t.Errorf("ghost task status %d", code)
 	}
 }
@@ -206,17 +468,17 @@ func TestPlansEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	var names []string
-	if code := getJSON(t, ts.URL+"/api/plans", &names); code != 200 || len(names) != 1 {
+	if code := getJSON(t, ts.URL+"/api/v1/plans", &names); code != 200 || len(names) != 1 {
 		t.Fatalf("plans status %d names %v", code, names)
 	}
 	var plan map[string]any
-	if code := getJSON(t, ts.URL+"/api/plans/http-plan", &plan); code != 200 {
+	if code := getJSON(t, ts.URL+"/api/v1/plans/http-plan", &plan); code != 200 {
 		t.Fatalf("plan status %d", code)
 	}
 	if !strings.Contains(plan["pdl"].(string), "BEGIN") {
 		t.Errorf("plan body = %v", plan)
 	}
-	if code := getJSON(t, ts.URL+"/api/plans/ghost", nil); code != http.StatusNotFound {
+	if code := getJSON(t, ts.URL+"/api/v1/plans/ghost", nil); code != http.StatusNotFound {
 		t.Errorf("ghost plan status %d", code)
 	}
 }
@@ -224,14 +486,14 @@ func TestPlansEndpoint(t *testing.T) {
 func TestOntologyEndpoint(t *testing.T) {
 	_, ts := testServer(t)
 	var kb map[string]any
-	if code := getJSON(t, ts.URL+"/api/ontology/grid", &kb); code != 200 {
+	if code := getJSON(t, ts.URL+"/api/v1/ontology/grid", &kb); code != 200 {
 		t.Fatalf("ontology status %d", code)
 	}
 	classes, ok := kb["classes"].([]any)
 	if !ok || len(classes) != 10 {
 		t.Errorf("ontology classes = %d", len(classes))
 	}
-	if code := getJSON(t, ts.URL+"/api/ontology/ghost", nil); code == 200 {
+	if code := getJSON(t, ts.URL+"/api/v1/ontology/ghost", nil); code == 200 {
 		t.Error("ghost ontology served")
 	}
 }
@@ -246,13 +508,13 @@ func TestSimulateEndpoint(t *testing.T) {
 		InterArrival: 5, Retries: 1, Seed: 1,
 	}
 	var reply services.SimulateReply
-	if code := postJSON(t, ts.URL+"/api/simulate", req, &reply); code != 200 {
+	if code := postJSON(t, ts.URL+"/api/v1/simulate", req, &reply); code != 200 {
 		t.Fatalf("simulate status %d", code)
 	}
 	if reply.Completed+reply.Failed != 2 || reply.Makespan <= 0 {
 		t.Errorf("reply = %+v", reply)
 	}
-	resp, err := http.Post(ts.URL+"/api/simulate", "application/json", strings.NewReader("{"))
+	resp, err := http.Post(ts.URL+"/api/v1/simulate", "application/json", strings.NewReader("{"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/plantree"
+	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
 
@@ -43,7 +44,13 @@ type GP struct {
 	eval     *Evaluator
 	services []string
 	seeds    []*plantree.Node
+	tel      *telemetry.Registry
 }
+
+// SetTelemetry wires a metrics registry: Run then counts generations,
+// evaluations, and size-limit rejections, and gauges the latest best/mean
+// fitness (see OBSERVABILITY.md). Call before Run; nil is a no-op.
+func (gp *GP) SetTelemetry(r *telemetry.Registry) { gp.tel = r }
 
 // Seed injects existing plan trees into the initial population (plan reuse:
 // re-planning "adapts an existing process description to new conditions").
@@ -89,7 +96,15 @@ func (gp *GP) Run() (*Result, error) {
 	res := &Result{}
 	for gen := 0; gen <= gp.params.Generations; gen++ {
 		gp.evaluateAll(pop)
-		res.History = append(res.History, summarize(gen, pop))
+		stats := summarize(gen, pop)
+		res.History = append(res.History, stats)
+		if tel := gp.tel; tel != nil {
+			tel.Counter("planner.generations").Inc()
+			tel.Gauge("planner.last.best_fitness").Set(stats.BestFitness)
+			tel.Gauge("planner.last.mean_fitness").Set(stats.MeanFitness)
+			tel.Histogram("planner.generation.best_fitness",
+				[]float64{0.2, 0.4, 0.6, 0.8, 0.9, 1}).Observe(stats.BestFitness)
+		}
 		if gen == gp.params.Generations {
 			break
 		}
@@ -112,6 +127,10 @@ func (gp *GP) Run() (*Result, error) {
 	best.Tree = best.Tree.Clone()
 	res.Best = best
 	res.Evaluations = gp.eval.Evaluations
+	if tel := gp.tel; tel != nil {
+		tel.Counter("planner.runs").Inc()
+		tel.Counter("planner.evaluations").Add(int64(res.Evaluations))
+	}
 	return res, nil
 }
 
@@ -265,7 +284,9 @@ func (gp *GP) crossoverPop(pop []Individual) {
 		if gp.rng.Float64() >= gp.params.CrossoverRate {
 			continue
 		}
-		Crossover(gp.rng, pop[i].Tree, pop[i+1].Tree, gp.params.Smax)
+		if !Crossover(gp.rng, pop[i].Tree, pop[i+1].Tree, gp.params.Smax) {
+			gp.tel.Counter("planner.crossover.size_rejections").Inc()
+		}
 	}
 }
 

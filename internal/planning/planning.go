@@ -17,6 +17,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/plantree"
 	"repro/internal/services"
+	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
 
@@ -28,6 +29,10 @@ func formatPDL(p *workflow.ProcessDescription) (string, error) {
 // PlanRequest asks the planning service for a process description
 // (Figure 2: "planning task specification").
 type PlanRequest struct {
+	// TaskID, when set, names the task this plan is for; the planning
+	// service then records GP progress spans into the task's telemetry
+	// trace.
+	TaskID string
 	// Initial is the set of initial data available to the end user.
 	Initial []*workflow.DataItem
 	// Goal is the goal of planning, expressed as conditions on the results.
@@ -57,6 +62,10 @@ type Service struct {
 	// Trace, when set, receives a line per step of the re-planning flow, so
 	// tests can assert the Figure 3 sequence.
 	Trace func(step string)
+
+	// Telemetry, when set, receives planner metrics and per-task GP
+	// generation spans (see OBSERVABILITY.md).
+	Telemetry *telemetry.Registry
 
 	// DisableReuse turns plan reuse off (every request starts from a fresh
 	// random population). By default the service seeds each run with its
@@ -139,6 +148,10 @@ func (s *Service) HandleMessage(ctx *agent.Context, msg agent.Message) {
 // carries NonExecutable hints without TrustCaller, each hinted service is
 // verified through brokerage and containers before being excluded.
 func (s *Service) Plan(ctx *agent.Context, req PlanRequest) (PlanReply, error) {
+	s.Telemetry.Counter("planning.requests").Inc()
+	if len(req.NonExecutable) > 0 {
+		s.Telemetry.Counter("planning.replan.requests").Inc()
+	}
 	excluded := map[string]bool{}
 	for _, name := range req.NonExecutable {
 		if req.TrustCaller || ctx == nil {
@@ -181,10 +194,18 @@ func (s *Service) Plan(ctx *agent.Context, req PlanRequest) (PlanReply, error) {
 	if err != nil {
 		return PlanReply{}, err
 	}
+	gp.SetTelemetry(s.Telemetry)
 	gp.Seed(seeds...)
 	res, err := gp.Run()
 	if err != nil {
 		return PlanReply{}, err
+	}
+	if req.TaskID != "" {
+		tt := s.Telemetry.TaskTrace(req.TaskID)
+		for _, g := range res.History {
+			tt.Span("gp-generation", fmt.Sprintf("gen-%d", g.Generation),
+				fmt.Sprintf("best %.3f mean %.3f size %d", g.BestFitness, g.MeanFitness, g.BestSize))
+		}
 	}
 	tree := res.Best.Tree.Normalize()
 	pd, err := plantree.ToProcess("planned", tree)

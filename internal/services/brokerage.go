@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/grid"
+	"repro/internal/telemetry"
 )
 
 // ContainersRequest asks the brokerage for the application containers that
@@ -55,6 +56,10 @@ type RefreshRequest struct{}
 type Brokerage struct {
 	Grid *grid.Grid
 
+	// Telemetry, when set, counts requests, refreshes, and recorded
+	// executions.
+	Telemetry *telemetry.Registry
+
 	mu       sync.Mutex
 	snapshot map[string][]string // service -> container IDs (possibly stale)
 	history  []grid.Execution
@@ -85,6 +90,7 @@ func (b *Brokerage) Refresh() {
 	b.mu.Lock()
 	b.snapshot = snap
 	b.mu.Unlock()
+	b.Telemetry.Counter("brokerage.refreshes").Inc()
 }
 
 // Record adds an execution to the history (also reachable by message).
@@ -92,6 +98,7 @@ func (b *Brokerage) Record(ex grid.Execution) {
 	b.mu.Lock()
 	b.history = append(b.history, ex)
 	b.mu.Unlock()
+	b.Telemetry.Counter("brokerage.executions.recorded").Inc()
 }
 
 func (b *Brokerage) stats(service, node string) PerfStats {
@@ -123,6 +130,7 @@ func (b *Brokerage) stats(service, node string) PerfStats {
 
 // HandleMessage implements agent.Handler.
 func (b *Brokerage) HandleMessage(ctx *agent.Context, msg agent.Message) {
+	b.Telemetry.Counter("brokerage.requests").Inc()
 	switch req := msg.Content.(type) {
 	case ContainersRequest:
 		b.mu.Lock()

@@ -93,6 +93,12 @@ func (s *Scheduling) bestOptions(tasks []TaskSpec, ready map[string]float64) ([]
 // ScheduleWith computes a schedule using the given heuristic. Tasks without
 // any provider are silently dropped (reported by their absence).
 func (s *Scheduling) ScheduleWith(tasks []TaskSpec, h Heuristic) ScheduleReply {
+	out := s.scheduleWith(tasks, h)
+	s.record(h, len(tasks), out)
+	return out
+}
+
+func (s *Scheduling) scheduleWith(tasks []TaskSpec, h Heuristic) ScheduleReply {
 	if h == HeuristicFCFS {
 		return s.scheduleFCFS(tasks)
 	}

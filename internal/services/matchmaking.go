@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/grid"
+	"repro/internal/telemetry"
 )
 
 // MatchRequest asks for resources matching a set of conditions, the
@@ -36,11 +37,29 @@ type MatchReply struct{ Candidates []Candidate }
 // Matchmaking is the matchmaking service agent. Unlike the brokerage's
 // best-effort snapshot, matchmaking reads the live grid, so its answers
 // reflect current node status.
-type Matchmaking struct{ Grid *grid.Grid }
+type Matchmaking struct {
+	Grid *grid.Grid
+
+	// Telemetry, when set, counts lookups and whether they produced any
+	// candidate (hits) or none (misses).
+	Telemetry *telemetry.Registry
+}
 
 // Match evaluates a request against the live grid.
 func (s *Matchmaking) Match(req MatchRequest) []Candidate {
 	var out []Candidate
+	defer func() {
+		tel := s.Telemetry
+		if tel == nil {
+			return
+		}
+		tel.Counter("matchmaking.requests").Inc()
+		if len(out) > 0 {
+			tel.Counter("matchmaking.hits").Inc()
+		} else {
+			tel.Counter("matchmaking.misses").Inc()
+		}
+	}()
 	for _, c := range s.Grid.ContainersFor(req.Service) {
 		n := s.Grid.Node(c.NodeID)
 		if n == nil {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/grid"
+	"repro/internal/telemetry"
 )
 
 // TaskSpec describes one independent task to schedule.
@@ -42,12 +43,32 @@ type ScheduleReply struct {
 // min-min list-scheduling heuristic over predicted execution times: at each
 // step, the task whose best completion time is smallest is placed on the
 // container achieving it.
-type Scheduling struct{ Grid *grid.Grid }
+type Scheduling struct {
+	Grid *grid.Grid
+
+	// Telemetry, when set, counts scheduling decisions per heuristic and
+	// observes makespans (see OBSERVABILITY.md).
+	Telemetry *telemetry.Registry
+}
 
 // Schedule computes the min-min schedule (the default policy); use
 // ScheduleWith for the other heuristics.
 func (s *Scheduling) Schedule(tasks []TaskSpec) ScheduleReply {
 	return s.ScheduleWith(tasks, HeuristicMinMin)
+}
+
+// record feeds the telemetry registry after one scheduling decision.
+func (s *Scheduling) record(h Heuristic, requested int, out ScheduleReply) {
+	tel := s.Telemetry
+	if tel == nil {
+		return
+	}
+	tel.Counter("scheduling.requests").Inc()
+	tel.Counter("scheduling.requests." + h.String()).Inc()
+	tel.Counter("scheduling.tasks.assigned").Add(int64(len(out.Assignments)))
+	tel.Counter("scheduling.tasks.dropped").Add(int64(requested - len(out.Assignments)))
+	tel.Histogram("scheduling.makespan.seconds",
+		[]float64{60, 300, 1800, 3600, 10800, 43200}).Observe(out.Makespan)
 }
 
 // HandleMessage implements agent.Handler.

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one structured event in a task's trace: an activity dispatched or
+// completed, a core service invoked, a token moved, a checkpoint written, a
+// re-plan triggered, a GP generation evaluated (the kinds are listed in
+// OBSERVABILITY.md). Seq orders spans within a task; the ring buffer keeps
+// the most recent DefaultSpanCap spans.
+type Span struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	Name   string    `json:"name,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// TaskTrace is a bounded, concurrency-safe span log for one task. Obtain
+// through Registry.TaskTrace; all methods are safe on a nil receiver.
+type TaskTrace struct {
+	seq atomic.Uint64
+
+	mu    sync.Mutex
+	buf   []Span // ring buffer of capacity cap
+	cap   int
+	start int // index of the oldest span
+	n     int // spans currently held
+}
+
+// TaskTrace returns the trace for the task, creating it on first use. When
+// the registry already tracks its maximum number of tasks, the oldest trace
+// is evicted. Returns nil (a no-op trace) on a nil registry.
+func (r *Registry) TaskTrace(taskID string) *TaskTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	t := r.traces[taskID]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.traces[taskID]; t != nil {
+		return t
+	}
+	for len(r.traceOrder) >= r.maxTraces {
+		oldest := r.traceOrder[0]
+		r.traceOrder = r.traceOrder[1:]
+		delete(r.traces, oldest)
+	}
+	t = &TaskTrace{cap: r.spanCap}
+	r.traces[taskID] = t
+	r.traceOrder = append(r.traceOrder, taskID)
+	return t
+}
+
+// LookupTrace returns the task's trace or nil if none was ever recorded.
+func (r *Registry) LookupTrace(taskID string) *TaskTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.traces[taskID]
+}
+
+// Span appends one event to the trace.
+func (t *TaskTrace) Span(kind, name, detail string) {
+	if t == nil {
+		return
+	}
+	s := Span{
+		Seq:    t.seq.Add(1),
+		Time:   time.Now(),
+		Kind:   kind,
+		Name:   name,
+		Detail: detail,
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// The buffer grows geometrically up to cap, so short traces (the common
+	// case) never pay for the full ring.
+	if t.n == len(t.buf) && len(t.buf) < t.cap {
+		size := len(t.buf) * 2
+		if size == 0 {
+			size = 64
+		}
+		if size > t.cap {
+			size = t.cap
+		}
+		grown := make([]Span, size)
+		for i := 0; i < t.n; i++ {
+			grown[i] = t.buf[(t.start+i)%len(t.buf)]
+		}
+		t.buf = grown
+		t.start = 0
+	}
+	t.buf[(t.start+t.n)%len(t.buf)] = s
+	if t.n < len(t.buf) {
+		t.n++
+	} else {
+		t.start = (t.start + 1) % len(t.buf) // overwrote the oldest
+	}
+}
+
+// Spans returns the retained spans in seq order (oldest first).
+func (t *TaskTrace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(t.start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Dropped reports how many spans the ring buffer has overwritten.
+func (t *TaskTrace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq.Load() - uint64(t.n)
+}

@@ -43,8 +43,8 @@ func TestQuickBindSoundness(t *testing.T) {
 			used[item.Name] = true
 		}
 		env := Binding{Formals: binding, Base: st}
-		for _, p := range svc.Inputs {
-			node, err := expr.Parse(p.Condition)
+		for i := range svc.Inputs {
+			node, err := expr.Parse(svc.Inputs[i].Condition)
 			if err != nil {
 				return false
 			}

@@ -3,6 +3,7 @@ package workflow
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/expr"
 )
@@ -14,19 +15,16 @@ type ParamSpec struct {
 	Name      string
 	Condition string
 
+	once     sync.Once
 	compiled expr.Node
+	err      error
 }
 
-// compile parses the condition once and caches it.
+// compile parses the condition once and caches it. Services are shared by
+// concurrent dispatch batches, so the cache fill must be synchronized.
 func (p *ParamSpec) compile() (expr.Node, error) {
-	if p.compiled == nil {
-		n, err := expr.Parse(p.Condition)
-		if err != nil {
-			return nil, err
-		}
-		p.compiled = n
-	}
-	return p.compiled, nil
+	p.once.Do(func() { p.compiled, p.err = expr.Parse(p.Condition) })
+	return p.compiled, p.err
 }
 
 // OutputSpec describes one data item a service produces: the formal name and
