@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench check fmt vet
+.PHONY: build test race bench check fmt vet chaos
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,10 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# The fault-injection acceptance scenarios under the race detector.
+chaos:
+	$(GO) test -race -run Chaos ./...
+
 fmt:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -21,4 +25,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet race
+check: fmt vet race chaos

@@ -12,6 +12,7 @@
 package agent
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -281,6 +282,21 @@ func (c *Context) Send(receiver string, perf Performative, ontology string, cont
 // Call sends a Request and blocks for the reply, up to timeout (zero means
 // 10 seconds). The reply is whatever message the receiver passes to Reply.
 func (c *Context) Call(receiver, ontology string, content any, timeout time.Duration) (Message, error) {
+	return c.CallContext(context.Background(), receiver, ontology, content, timeout)
+}
+
+// CallContext is Call with cancellation: it additionally aborts the wait
+// when ctx is done, returning ctx's error. The request is still delivered
+// (the receiver may process it), only the caller stops waiting — the
+// at-most-once reply is dropped on the floor, as with a timeout. A nil ctx
+// behaves like Call.
+func (c *Context) CallContext(ctx context.Context, receiver, ontology string, content any, timeout time.Duration) (Message, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Message{}, err
+	}
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
@@ -308,6 +324,8 @@ func (c *Context) Call(receiver, ontology string, content any, timeout time.Dura
 			}
 		}
 		return reply, nil
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
 	case <-timer.C:
 		return Message{}, fmt.Errorf("%w: %s -> %s (%s)", ErrTimeout, c.self, receiver, ontology)
 	}

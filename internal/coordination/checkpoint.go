@@ -1,9 +1,10 @@
 package coordination
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/expr"
 	"repro/internal/services"
@@ -45,7 +46,7 @@ func CheckpointKey(taskID string) string { return "checkpoint/" + taskID }
 
 // checkpoint writes the enactment snapshot; failures are recorded in the
 // trace but do not abort the enactment (checkpointing is best effort).
-func (c *Coordinator) checkpoint(report *Report, task *workflow.Task, pd *workflow.ProcessDescription, state *workflow.State, goal workflow.Goal, es *enactState) {
+func (c *Coordinator) checkpoint(ctx context.Context, report *Report, task *workflow.Task, pd *workflow.ProcessDescription, state *workflow.State, goal workflow.Goal, es *enactState) {
 	pdJSON, err := pd.MarshalJSON()
 	if err != nil {
 		report.trace("checkpoint", "", "process marshal failed: "+err.Error())
@@ -78,7 +79,7 @@ func (c *Coordinator) checkpoint(report *Report, task *workflow.Task, pd *workfl
 		report.trace("checkpoint", "", "marshal failed: "+err.Error())
 		return
 	}
-	reply, err := c.ctx.Call(services.StorageName, services.OntStorage,
+	reply, err := c.ctx.CallContext(ctx, services.StorageName, services.OntStorage,
 		services.PutRequest{Key: CheckpointKey(task.ID), Value: data}, c.cfg.CallTimeout)
 	if err != nil {
 		report.trace("checkpoint", "", "store failed: "+err.Error())
@@ -128,12 +129,24 @@ func (cd *CheckpointData) RestoreState() *workflow.State {
 	return st
 }
 
-// ResumeTask continues an enactment from its latest checkpoint in the
+// ResumeTask continues an enactment from its latest checkpoint with the
+// default policy and no cancellation.
+//
+// Deprecated: use ResumeTaskContext.
+func (c *Coordinator) ResumeTask(taskID string) (*Report, error) {
+	return c.ResumeTaskContext(context.Background(), taskID, nil)
+}
+
+// ResumeTaskContext continues an enactment from its latest checkpoint in the
 // storage service: the process description, data state, token positions,
 // and accounting are restored, and the token game picks up at the next
-// pending activity. Re-planning still works during the resumed run.
-func (c *Coordinator) ResumeTask(taskID string) (*Report, error) {
-	reply, err := c.ctx.Call(services.StorageName, services.OntStorage,
+// pending activity. Re-planning still works during the resumed run. A nil
+// ctx behaves like context.Background(); a nil pol means defaults.
+func (c *Coordinator) ResumeTaskContext(ctx context.Context, taskID string, pol *Policy) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	reply, err := c.ctx.CallContext(ctx, services.StorageName, services.OntStorage,
 		services.GetRequest{Key: CheckpointKey(taskID)}, c.cfg.CallTimeout)
 	if err != nil {
 		return nil, err
@@ -146,21 +159,38 @@ func (c *Coordinator) ResumeTask(taskID string) (*Report, error) {
 	if err := json.Unmarshal(gr.Value, &snap); err != nil {
 		return nil, err
 	}
-	return c.resume(&snap)
+	return c.resume(ctx, &snap, pol)
 }
 
-// Resume continues an enactment from an explicit checkpoint snapshot.
+// Resume continues an enactment from an explicit checkpoint snapshot with
+// the default policy and no cancellation.
+//
+// Deprecated: use ResumeContext.
 func (c *Coordinator) Resume(snap *CheckpointData) (*Report, error) {
-	return c.resume(snap)
+	return c.ResumeContext(context.Background(), snap, nil)
 }
 
-func (c *Coordinator) resume(snap *CheckpointData) (*Report, error) {
+// ResumeContext continues an enactment from an explicit checkpoint snapshot.
+func (c *Coordinator) ResumeContext(ctx context.Context, snap *CheckpointData, pol *Policy) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return c.resume(ctx, snap, pol)
+}
+
+func (c *Coordinator) resume(ctx context.Context, snap *CheckpointData, pol *Policy) (*Report, error) {
 	pd, err := workflow.DecodeProcess(snap.Process)
 	if err != nil {
 		return nil, fmt.Errorf("coordination: checkpointed process corrupt: %w", err)
 	}
 	state := snap.RestoreState()
 	goal := workflow.NewGoal(snap.Goal...)
+	p := c.ResolvePolicy(pol)
+	if p.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Deadline)
+		defer cancel()
+	}
 	report := &Report{
 		TaskID:        snap.TaskID,
 		Executed:      snap.Executed,
@@ -170,6 +200,7 @@ func (c *Coordinator) resume(snap *CheckpointData) (*Report, error) {
 		SimulatedTime: snap.Time,
 		WallClockTime: snap.Wall,
 		TotalCost:     snap.Cost,
+		Policy:        p,
 		spans:         c.cfg.Telemetry.TaskTrace(snap.TaskID),
 	}
 	report.trace("resume", "", fmt.Sprintf("from checkpoint after %d executions", snap.Executed))
@@ -186,33 +217,12 @@ func (c *Coordinator) resume(snap *CheckpointData) (*Report, error) {
 			ID: snap.TaskID, Name: snap.TaskName, Goal: goal, Deadline: snap.Deadline,
 		},
 	}
-	failedServices := map[string]bool{}
-	for {
-		err := c.enact(report, task, pd, state, goal, es)
-		if err == nil {
-			break
+	if err := c.enactWithReplanning(ctx, p, report, task, pd, state, goal, es); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			report.Cancelled = true
+			report.trace("cancel", "", err.Error())
 		}
-		ne, isReplan := err.(*nonExecutableError)
-		if !isReplan {
-			return report, err
-		}
-		if report.Replans >= c.cfg.MaxReplans {
-			return report, fmt.Errorf("coordination: resumed task %s: re-planning budget exhausted", snap.TaskID)
-		}
-		report.Replans++
-		c.mReplans.Inc()
-		failedServices[ne.service] = true
-		var exclude []string
-		for name := range failedServices {
-			exclude = append(exclude, name)
-		}
-		sort.Strings(exclude)
-		newPD, perr := c.requestPlan(report, state, goal, exclude, ne.hadCandidates)
-		if perr != nil {
-			return report, perr
-		}
-		pd = newPD
-		es = newEnactState(pd)
+		return report, err
 	}
 	report.GoalFitness = goal.Fitness(state)
 	report.Completed = report.GoalFitness >= 1

@@ -9,6 +9,8 @@
 package coordination
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -69,13 +71,23 @@ type TraceEvent struct {
 
 // Report summarizes a finished enactment.
 type Report struct {
-	TaskID        string
-	Completed     bool
-	GoalFitness   float64
-	Fired         int
-	Executed      int // end-user activity executions
-	Failures      int
-	Replans       int
+	TaskID      string
+	Completed   bool
+	GoalFitness float64
+	Fired       int
+	Executed    int // end-user activity executions
+	Failures    int
+	Retries     int // failed attempts that were retried (possibly elsewhere)
+	Faults      int // failures where the node was found down afterwards
+	Replans     int
+	// BackoffWait is the total simulated seconds spent backing off between
+	// retry attempts; it counts toward WallClockTime.
+	BackoffWait float64
+	// Cancelled is set when the enactment was aborted by context
+	// cancellation or a policy deadline.
+	Cancelled bool
+	// Policy is the resolved fault-tolerance policy the enactment ran under.
+	Policy        Policy
 	SimulatedTime float64 // accumulated compute seconds across all executions
 	WallClockTime float64 // simulated elapsed time; concurrent branches overlap
 	// DeadlineMissed is set when the case carries a soft deadline and the
@@ -102,7 +114,10 @@ type Coordinator struct {
 	mFired, mExecuted, mFailures, mReplans  *telemetry.Counter
 	mTasksCompleted, mTasksFailed, mBatches *telemetry.Counter
 	mCheckpoints, mCNRounds, mCNBids        *telemetry.Counter
+	mRetries, mFaults, mFaultReplans        *telemetry.Counter
+	mCancelled                              *telemetry.Counter
 	hBatchWall, hEnactReal, hCkptBytes      *telemetry.Histogram
+	hBackoff                                *telemetry.Histogram
 }
 
 // New builds a coordinator and registers its agent (services.CoordinationName).
@@ -134,6 +149,11 @@ func New(cfg Config) (*Coordinator, error) {
 		c.mCheckpoints = tel.Counter("coordination.checkpoints.written")
 		c.mCNRounds = tel.Counter("coordination.contractnet.rounds")
 		c.mCNBids = tel.Counter("coordination.contractnet.bids")
+		c.mRetries = tel.Counter("coordination.retries")
+		c.mFaults = tel.Counter("coordination.dispatch.faults")
+		c.mFaultReplans = tel.Counter("coordination.replans.fault")
+		c.mCancelled = tel.Counter("coordination.tasks.cancelled")
+		c.hBackoff = tel.Histogram("coordination.backoff.simulated.seconds", []float64{1, 5, 30, 120, 300, 600})
 		c.hBatchWall = tel.Histogram("coordination.batch.simulated.seconds", []float64{1, 10, 60, 300, 1800, 3600, 10800})
 		c.hEnactReal = tel.Histogram("coordination.enact.real.seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60})
 		c.hCkptBytes = tel.Histogram("coordination.checkpoint.bytes", []float64{1024, 4096, 16384, 65536, 262144})
@@ -164,21 +184,43 @@ func (c *Coordinator) handle(ctx *agent.Context, msg agent.Message) {
 	_ = ctx.Reply(msg, agent.Inform, report)
 }
 
-// RunTask enacts the task: if it needs planning, the planning service is
-// asked for a process description first (Figure 2); then the case is
-// enacted, re-planning on failures (Figure 3), until the goal is met or the
-// budgets are exhausted.
+// RunTask enacts the task with the coordinator's default policy and no
+// cancellation.
+//
+// Deprecated: use RunTaskContext, which additionally supports cancellation
+// and a per-task fault-tolerance policy.
 func (c *Coordinator) RunTask(task *workflow.Task) (*Report, error) {
+	return c.RunTaskContext(context.Background(), task, nil)
+}
+
+// RunTaskContext enacts the task: if it needs planning, the planning service
+// is asked for a process description first (Figure 2); then the case is
+// enacted under the resolved policy, re-planning on failures (Figure 3),
+// until the goal is met, the budgets are exhausted, or ctx is cancelled. A
+// nil ctx behaves like context.Background(); a nil pol means defaults.
+func (c *Coordinator) RunTaskContext(ctx context.Context, task *workflow.Task, pol *Policy) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
-	report := &Report{TaskID: task.ID, spans: c.cfg.Telemetry.TaskTrace(task.ID)}
+	p := c.ResolvePolicy(pol)
+	if p.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Deadline)
+		defer cancel()
+	}
+	report := &Report{TaskID: task.ID, Policy: p, spans: c.cfg.Telemetry.TaskTrace(task.ID)}
 	start := time.Now()
 	defer func() {
 		c.hEnactReal.Observe(time.Since(start).Seconds())
-		if report.Completed {
+		switch {
+		case report.Cancelled:
+			c.mCancelled.Inc()
+		case report.Completed:
 			c.mTasksCompleted.Inc()
-		} else {
+		default:
 			c.mTasksFailed.Inc()
 		}
 	}()
@@ -187,30 +229,55 @@ func (c *Coordinator) RunTask(task *workflow.Task) (*Report, error) {
 
 	pd := task.Process
 	if pd == nil {
-		newPD, err := c.requestPlan(report, state, goal, nil, false)
+		newPD, err := c.requestPlan(ctx, report, state, goal, nil, false)
 		if err != nil {
 			return nil, err
 		}
 		pd = newPD
 	}
 
+	if err := c.enactWithReplanning(ctx, p, report, task, pd, state, goal, newEnactState(pd)); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			report.Cancelled = true
+			report.trace("cancel", "", err.Error())
+		}
+		return report, err
+	}
+
+	report.GoalFitness = goal.Fitness(state)
+	report.Completed = report.GoalFitness >= 1
+	report.FinalState = state
+	return report, nil
+}
+
+// enactWithReplanning drives the enact/re-plan cycle of Figure 3 from an
+// initial token state (fresh for RunTaskContext, restored for resume):
+// each *nonExecutableError triggers a re-planning round excluding every
+// service that failed so far; when the failure was fault-driven (retries
+// exhausted on known nodes) those nodes are quarantined first so the new
+// plan routes around them.
+func (c *Coordinator) enactWithReplanning(ctx context.Context, p Policy, report *Report, task *workflow.Task, pd *workflow.ProcessDescription, state *workflow.State, goal workflow.Goal, es *enactState) error {
 	// failedServices accumulates every service declared non-executable so
 	// later re-planning rounds exclude all of them, not just the latest.
 	failedServices := map[string]bool{}
 	for {
-		err := c.enact(report, task, pd, state, goal, newEnactState(pd))
+		err := c.enact(ctx, p, report, task, pd, state, goal, es)
 		if err == nil {
-			break
+			return nil
 		}
 		ne, isReplan := err.(*nonExecutableError)
 		if !isReplan {
-			return report, err
+			return err
 		}
 		if report.Replans >= c.cfg.MaxReplans {
-			return report, fmt.Errorf("coordination: task %s: re-planning budget exhausted after %q failed", task.ID, ne.service)
+			return fmt.Errorf("coordination: task %s: re-planning budget exhausted after %q failed", task.ID, ne.service)
 		}
 		report.Replans++
 		c.mReplans.Inc()
+		if len(ne.nodes) > 0 {
+			c.mFaultReplans.Inc()
+			c.quarantine(ctx, report, ne)
+		}
 		failedServices[ne.service] = true
 		report.trace("replan", ne.service, fmt.Sprintf("activity %s not executable", ne.activity))
 		var exclude []string
@@ -224,23 +291,38 @@ func (c *Coordinator) RunTask(task *workflow.Task) (*Report, error) {
 		// (the paper's "first method"). When no provider was found at all,
 		// the planning service verifies through brokerage and containers
 		// (Figure 3, the "second method").
-		newPD, perr := c.requestPlan(report, state, goal, exclude, ne.hadCandidates)
+		newPD, perr := c.requestPlan(ctx, report, state, goal, exclude, ne.hadCandidates)
 		if perr != nil {
-			return report, perr
+			return perr
 		}
 		pd = newPD
+		es = newEnactState(pd)
 	}
+}
 
-	report.GoalFitness = goal.Fitness(state)
-	report.Completed = report.GoalFitness >= 1
-	report.FinalState = state
-	return report, nil
+// quarantine asks the monitoring service to take the failed nodes out of
+// rotation before re-planning. Best effort: without a monitoring service the
+// re-plan still excludes the failed service itself.
+func (c *Coordinator) quarantine(ctx context.Context, report *Report, ne *nonExecutableError) {
+	if c.ctx == nil || !c.ctx.Platform().Has(services.MonitoringName) {
+		return
+	}
+	reason := fmt.Sprintf("retries exhausted for %s (activity %s)", ne.service, ne.activity)
+	for _, node := range ne.nodes {
+		_, err := c.ctx.CallContext(ctx, services.MonitoringName, services.OntMonitoring,
+			services.QuarantineRequest{Node: node, Reason: reason}, c.cfg.CallTimeout)
+		if err != nil {
+			report.trace("fault", ne.activity, fmt.Sprintf("quarantine of %s failed: %v", node, err))
+			continue
+		}
+		report.trace("fault", ne.activity, "quarantined node "+node+": "+reason)
+	}
 }
 
 // requestPlan performs the Figure 2 interaction with the planning service.
-func (c *Coordinator) requestPlan(report *Report, state *workflow.State, goal workflow.Goal, nonExecutable []string, trustCaller bool) (*workflow.ProcessDescription, error) {
+func (c *Coordinator) requestPlan(ctx context.Context, report *Report, state *workflow.State, goal workflow.Goal, nonExecutable []string, trustCaller bool) (*workflow.ProcessDescription, error) {
 	report.trace("plan-request", "", fmt.Sprintf("non-executable: %v", nonExecutable))
-	reply, err := c.ctx.Call(services.PlanningName, services.OntPlanning, planning.PlanRequest{
+	reply, err := c.ctx.CallContext(ctx, services.PlanningName, services.OntPlanning, planning.PlanRequest{
 		TaskID:        report.TaskID,
 		Initial:       state.Items(),
 		Goal:          goal.Conditions,
@@ -275,6 +357,10 @@ type nonExecutableError struct {
 	// hadCandidates is true when matchmaking found providers but every
 	// execution attempt failed (as opposed to no provider existing).
 	hadCandidates bool
+	// nodes lists the nodes attempts failed on (sorted); the coordinator
+	// quarantines them before re-planning so the new plan routes around the
+	// faulty resources.
+	nodes []string
 }
 
 func (e *nonExecutableError) Error() string {

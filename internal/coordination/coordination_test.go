@@ -30,6 +30,12 @@ type env struct {
 // plus a backup reconstruction service P3DRALT (used by the re-planning
 // scenario).
 func newEnv(t *testing.T, checkpoint bool) *env {
+	return newEnvWith(t, checkpoint, nil)
+}
+
+// newEnvWith is newEnv with a coordinator-config hook applied before New;
+// the fault-tolerance tests use it to wire telemetry and custom hooks.
+func newEnvWith(t *testing.T, checkpoint bool, mod func(*Config)) *env {
 	t.Helper()
 	g := grid.New(5)
 	must := func(err error) {
@@ -81,12 +87,16 @@ func newEnv(t *testing.T, checkpoint bool) *env {
 	_, err = p.Register(services.PlanningName, plansvc)
 	must(err)
 
-	coord, err := New(Config{
+	cfg := Config{
 		Platform:    p,
 		Catalog:     catalog,
 		PostProcess: virolab.ResolutionHook(nil),
 		Checkpoint:  checkpoint,
-	})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	coord, err := New(cfg)
 	must(err)
 	t.Cleanup(p.Shutdown)
 	return &env{platform: p, grid: g, core: core, plansvc: plansvc, coord: coord}

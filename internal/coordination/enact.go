@@ -1,7 +1,9 @@
 package coordination
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 
@@ -34,13 +36,16 @@ func newEnactState(pd *workflow.ProcessDescription) *enactState {
 // fire immediately; end-user tokens that are ready at the same time — the
 // branches of a Fork — are dispatched concurrently as one batch, advancing
 // the wall clock by the slowest member only. It returns nil on reaching
-// End, a *nonExecutableError when re-planning is needed, or another error on
-// a malformed enactment.
-func (c *Coordinator) enact(report *Report, task *workflow.Task, pd *workflow.ProcessDescription, state *workflow.State, goal workflow.Goal, es *enactState) error {
+// End, a *nonExecutableError when re-planning is needed, ctx's error on
+// cancellation, or another error on a malformed enactment.
+func (c *Coordinator) enact(ctx context.Context, p Policy, report *Report, task *workflow.Task, pd *workflow.ProcessDescription, state *workflow.State, goal workflow.Goal, es *enactState) error {
 	if err := pd.Validate(); err != nil {
 		return err
 	}
 	for len(es.Ready) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var batch []pendingExec
 		// Drain the current worklist: flow control fires in place (and may
 		// enqueue more tokens); end-user activities accumulate into the
@@ -92,7 +97,7 @@ func (c *Coordinator) enact(report *Report, task *workflow.Task, pd *workflow.Pr
 		if len(batch) == 0 {
 			break
 		}
-		if err := c.runBatch(report, batch, state); err != nil {
+		if err := c.runBatch(ctx, p, report, batch, state); err != nil {
 			return err
 		}
 		if dl := task.Case.Deadline; dl > 0 && report.WallClockTime > dl && !report.DeadlineMissed {
@@ -103,7 +108,7 @@ func (c *Coordinator) enact(report *Report, task *workflow.Task, pd *workflow.Pr
 			es.Ready = append(es.Ready, pd.Out(b.token)[0].Dest)
 		}
 		if c.cfg.Checkpoint {
-			c.checkpoint(report, task, pd, state, goal, es)
+			c.checkpoint(ctx, report, task, pd, state, goal, es)
 		}
 	}
 	return fmt.Errorf("coordination: task %s: tokens drained before reaching End", task.ID)
@@ -182,16 +187,22 @@ type execResult struct {
 	duration float64
 	cost     float64
 	failures int
+	retries  int
+	faults   int
+	backoff  float64 // simulated seconds waited between attempts
 	events   []TraceEvent
 	err      error
 }
 
 // dispatch runs one end-user activity remotely: it verifies the service's
 // preconditions against the (read-only) state, matchmakes candidate
-// containers, and tries them best-first, bounded by MaxRetries. It does NOT
+// containers, and tries them best-first with retry-on-alternate-candidate —
+// attempt n goes to candidate (n-1) mod len(candidates), so retries rotate
+// through the ranking before coming back around — bounded by the policy's
+// MaxRetries, backing off (in simulated time) between attempts. It does NOT
 // mutate the state; apply() does that afterwards. Safe to call from
 // multiple goroutines over the same state.
-func (c *Coordinator) dispatch(act *workflow.Activity, state *workflow.State, visit int) execResult {
+func (c *Coordinator) dispatch(ctx context.Context, p Policy, act *workflow.Activity, state *workflow.State, visit int) execResult {
 	res := execResult{act: act, visit: visit}
 	svc := c.cfg.Catalog.Get(act.Service)
 	if svc == nil {
@@ -218,7 +229,7 @@ func (c *Coordinator) dispatch(act *workflow.Activity, state *workflow.State, vi
 	var ranked []services.Candidate
 	if c.cfg.UseContractNet {
 		res.events = append(res.events, TraceEvent{Kind: "invoke", Activity: act.Name, Detail: services.BrokerageName})
-		cands, err := c.contractNet(&res, act, svc, dataMB)
+		cands, err := c.contractNet(ctx, &res, act, svc, dataMB)
 		if err != nil {
 			res.err = err
 			return res
@@ -226,7 +237,7 @@ func (c *Coordinator) dispatch(act *workflow.Activity, state *workflow.State, vi
 		ranked = cands
 	} else {
 		res.events = append(res.events, TraceEvent{Kind: "invoke", Activity: act.Name, Detail: services.MatchmakingName})
-		reply, err := c.ctx.Call(services.MatchmakingName, services.OntMatchmaking,
+		reply, err := c.ctx.CallContext(ctx, services.MatchmakingName, services.OntMatchmaking,
 			services.MatchRequest{Service: act.Service}, c.cfg.CallTimeout)
 		if err != nil {
 			res.err = err
@@ -243,39 +254,89 @@ func (c *Coordinator) dispatch(act *workflow.Activity, state *workflow.State, vi
 		res.err = &nonExecutableError{activity: act.Name, service: act.Service}
 		return res
 	}
-	candidates := c.reorderByHistory(act.Service, ranked)
+	candidates := c.reorderByHistory(ctx, act.Service, ranked)
 
-	attempts := 0
-	for _, cand := range candidates {
-		if attempts >= c.cfg.MaxRetries {
-			break
+	var rng *rand.Rand // lazily seeded: most dispatches never retry
+	failedNodes := map[string]bool{}
+	for attempt := 1; attempt <= p.MaxRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			res.err = err
+			return res
 		}
-		attempts++
+		cand := candidates[(attempt-1)%len(candidates)]
 		res.events = append(res.events, TraceEvent{Kind: "dispatch", Activity: act.Name, Detail: cand.Container})
-		execReply, err := c.ctx.Call(cand.Container, services.OntExecution, services.ExecuteRequest{
+		execReply, err := c.ctx.CallContext(ctx, cand.Container, services.OntExecution, services.ExecuteRequest{
 			Service:  act.Service,
 			BaseTime: svc.BaseTime,
 			DataMB:   dataMB,
 		}, c.cfg.CallTimeout)
-		if err != nil || execReply.Performative == agent.Failure {
-			res.failures++
-			res.events = append(res.events, TraceEvent{Kind: "fail", Activity: act.Name,
-				Detail: fmt.Sprintf("on %s: %v", cand.Container, err)})
-			continue
+		if err == nil && execReply.Performative != agent.Failure {
+			if er, ok := execReply.Content.(services.ExecuteReply); ok {
+				res.duration = er.Exec.Duration
+				res.cost = er.Exec.Cost
+				res.events = append(res.events, TraceEvent{Kind: "complete", Activity: act.Name,
+					Detail: fmt.Sprintf("on %s in %.1fs", cand.Container, er.Exec.Duration)})
+				return res
+			}
 		}
-		er, ok := execReply.Content.(services.ExecuteReply)
-		if !ok {
-			res.failures++
-			continue
+		if cerr := ctx.Err(); cerr != nil {
+			res.err = cerr
+			return res
 		}
-		res.duration = er.Exec.Duration
-		res.cost = er.Exec.Cost
-		res.events = append(res.events, TraceEvent{Kind: "complete", Activity: act.Name,
-			Detail: fmt.Sprintf("on %s in %.1fs", cand.Container, er.Exec.Duration)})
-		return res
+		res.failures++
+		res.events = append(res.events, TraceEvent{Kind: "fail", Activity: act.Name,
+			Detail: fmt.Sprintf("on %s: %v", cand.Container, err)})
+		failedNodes[cand.Node] = true
+		c.noteFault(ctx, &res, act, cand)
+		if attempt == p.MaxRetries {
+			break
+		}
+		res.retries++
+		next := candidates[attempt%len(candidates)]
+		if p.BackoffBase > 0 {
+			if rng == nil {
+				rng = p.retryStream(act.Name, visit)
+			}
+			wait := p.backoff(attempt, rng)
+			if p.ActivityTimeout > 0 && res.backoff+wait > p.ActivityTimeout {
+				res.events = append(res.events, TraceEvent{Kind: "retry", Activity: act.Name,
+					Detail: fmt.Sprintf("abandoned: backoff budget %.0fs exhausted", p.ActivityTimeout)})
+				break
+			}
+			res.backoff += wait
+			res.events = append(res.events, TraceEvent{Kind: "retry", Activity: act.Name,
+				Detail: fmt.Sprintf("attempt %d/%d on %s after %.1fs backoff", attempt+1, p.MaxRetries, next.Container, wait)})
+		} else {
+			res.events = append(res.events, TraceEvent{Kind: "retry", Activity: act.Name,
+				Detail: fmt.Sprintf("attempt %d/%d on %s", attempt+1, p.MaxRetries, next.Container)})
+		}
 	}
-	res.err = &nonExecutableError{activity: act.Name, service: act.Service, hadCandidates: true}
+	ne := &nonExecutableError{activity: act.Name, service: act.Service, hadCandidates: true}
+	for n := range failedNodes {
+		ne.nodes = append(ne.nodes, n)
+	}
+	sort.Strings(ne.nodes)
+	res.err = ne
 	return res
+}
+
+// noteFault asks the monitoring service whether the candidate's node went
+// down during the failed attempt — the signature of an injected crash — and
+// records it as a fault. Best effort; silent without a monitoring service.
+func (c *Coordinator) noteFault(ctx context.Context, res *execResult, act *workflow.Activity, cand services.Candidate) {
+	if c.ctx == nil || !c.ctx.Platform().Has(services.MonitoringName) {
+		return
+	}
+	reply, err := c.ctx.CallContext(ctx, services.MonitoringName, services.OntMonitoring,
+		services.NodeStatusRequest{Node: cand.Node}, c.cfg.CallTimeout)
+	if err != nil {
+		return
+	}
+	if sr, ok := reply.Content.(services.NodeStatusReply); ok && sr.Known && !sr.Up {
+		res.faults++
+		res.events = append(res.events, TraceEvent{Kind: "fault", Activity: act.Name,
+			Detail: fmt.Sprintf("node %s down after failed attempt on %s", cand.Node, cand.Container)})
+	}
 }
 
 // contractNet acquires candidates by bidding (the Section 1 spot-market
@@ -284,9 +345,9 @@ func (c *Coordinator) dispatch(act *workflow.Activity, state *workflow.State, vi
 // earliest predicted completion, ties broken by predicted cost then ID.
 // Containers that refuse (down node, service not offered) drop out here —
 // exactly how staleness is reconciled in a negotiation.
-func (c *Coordinator) contractNet(res *execResult, act *workflow.Activity, svc *workflow.Service, dataMB float64) ([]services.Candidate, error) {
+func (c *Coordinator) contractNet(ctx context.Context, res *execResult, act *workflow.Activity, svc *workflow.Service, dataMB float64) ([]services.Candidate, error) {
 	c.mCNRounds.Inc()
-	reply, err := c.ctx.Call(services.BrokerageName, services.OntBrokerage,
+	reply, err := c.ctx.CallContext(ctx, services.BrokerageName, services.OntBrokerage,
 		services.ContainersRequest{Service: act.Service}, c.cfg.CallTimeout)
 	if err != nil {
 		return nil, err
@@ -298,7 +359,7 @@ func (c *Coordinator) contractNet(res *execResult, act *workflow.Activity, svc *
 	cfp := services.CallForProposal{Service: act.Service, BaseTime: svc.BaseTime, DataMB: dataMB}
 	var bids []services.Proposal
 	for _, containerID := range cr.Containers {
-		bidReply, err := c.ctx.Call(containerID, services.OntExecution, cfp, c.cfg.CallTimeout)
+		bidReply, err := c.ctx.CallContext(ctx, containerID, services.OntExecution, cfp, c.cfg.CallTimeout)
 		if err != nil || bidReply.Performative != agent.Inform {
 			continue // refused or unreachable: not a bidder
 		}
@@ -331,13 +392,13 @@ func (c *Coordinator) contractNet(res *execResult, act *workflow.Activity, svc *
 // "ability to access history information about the past execution of the
 // task": resources with a proven record are preferred. Relative order
 // within the kept and demoted groups is preserved.
-func (c *Coordinator) reorderByHistory(service string, cands []services.Candidate) []services.Candidate {
+func (c *Coordinator) reorderByHistory(ctx context.Context, service string, cands []services.Candidate) []services.Candidate {
 	if len(cands) < 2 {
 		return cands
 	}
 	var kept, demoted []services.Candidate
 	for _, cand := range cands {
-		reply, err := c.ctx.Call(services.BrokerageName, services.OntBrokerage,
+		reply, err := c.ctx.CallContext(ctx, services.BrokerageName, services.OntBrokerage,
 			services.PerfRequest{Service: service, Node: cand.Node}, c.cfg.CallTimeout)
 		if err != nil {
 			kept = append(kept, cand)
@@ -362,6 +423,14 @@ func (c *Coordinator) apply(report *Report, res execResult, state *workflow.Stat
 	}
 	report.Failures += res.failures
 	c.mFailures.Add(int64(res.failures))
+	report.Retries += res.retries
+	c.mRetries.Add(int64(res.retries))
+	report.Faults += res.faults
+	c.mFaults.Add(int64(res.faults))
+	if res.backoff > 0 {
+		report.BackoffWait += res.backoff
+		c.hBackoff.Observe(res.backoff)
+	}
 	if res.err != nil {
 		return
 	}
@@ -381,21 +450,22 @@ func (c *Coordinator) apply(report *Report, res execResult, state *workflow.Stat
 
 // runBatch dispatches a set of simultaneously ready end-user activities
 // concurrently — the Fork semantics of the paper — and applies the results
-// in activity order. Wall-clock time advances by the longest member
-// (compute time still accumulates every execution). Returns the first
-// error, preferring hard errors over re-planning signals.
-func (c *Coordinator) runBatch(report *Report, batch []pendingExec, state *workflow.State) error {
+// in activity order. Wall-clock time advances by the longest member,
+// counting its backoff waits (compute time still accumulates every
+// execution). Returns the first error, preferring hard errors over
+// re-planning signals.
+func (c *Coordinator) runBatch(ctx context.Context, p Policy, report *Report, batch []pendingExec, state *workflow.State) error {
 	results := make([]execResult, len(batch))
 	if len(batch) == 1 {
-		results[0] = c.dispatch(batch[0].act, state, batch[0].visit)
+		results[0] = c.dispatch(ctx, p, batch[0].act, state, batch[0].visit)
 	} else {
-		c.consultScheduling(report, batch)
+		c.consultScheduling(ctx, report, batch)
 		var wg sync.WaitGroup
 		for i := range batch {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				results[i] = c.dispatch(batch[i].act, state, batch[i].visit)
+				results[i] = c.dispatch(ctx, p, batch[i].act, state, batch[i].visit)
 			}(i)
 		}
 		wg.Wait()
@@ -403,8 +473,8 @@ func (c *Coordinator) runBatch(report *Report, batch []pendingExec, state *workf
 	longest := 0.0
 	for i := range results {
 		c.apply(report, results[i], state)
-		if results[i].duration > longest {
-			longest = results[i].duration
+		if d := results[i].duration + results[i].backoff; d > longest {
+			longest = d
 		}
 	}
 	report.WallClockTime += longest
@@ -422,6 +492,11 @@ func (c *Coordinator) runBatch(report *Report, batch []pendingExec, state *workf
 			return err
 		}
 	}
+	if replanErr != nil {
+		if err := ctx.Err(); err != nil {
+			return err // cancellation beats a re-planning round
+		}
+	}
 	return replanErr
 }
 
@@ -432,7 +507,7 @@ func (c *Coordinator) runBatch(report *Report, batch []pendingExec, state *workf
 // is recorded, so the schedule and its predicted makespan appear in the
 // task trace and the scheduling metrics. A missing scheduling service is
 // noted and otherwise ignored.
-func (c *Coordinator) consultScheduling(report *Report, batch []pendingExec) {
+func (c *Coordinator) consultScheduling(ctx context.Context, report *Report, batch []pendingExec) {
 	specs := make([]services.TaskSpec, 0, len(batch))
 	for _, p := range batch {
 		if svc := c.cfg.Catalog.Get(p.act.Service); svc != nil {
@@ -443,7 +518,7 @@ func (c *Coordinator) consultScheduling(report *Report, batch []pendingExec) {
 		return
 	}
 	report.trace("invoke", "", services.SchedulingName)
-	reply, err := c.ctx.Call(services.SchedulingName, services.OntScheduling,
+	reply, err := c.ctx.CallContext(ctx, services.SchedulingName, services.OntScheduling,
 		services.ScheduleRequest{Tasks: specs}, c.cfg.CallTimeout)
 	if err != nil {
 		report.trace("schedule", "", "scheduling service unavailable: "+err.Error())

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -118,6 +119,7 @@ func NewEnvironment(opts Options) (*Environment, error) {
 	coreSvcs.Brokerage.Telemetry = tel
 	coreSvcs.Matchmaking.Telemetry = tel
 	coreSvcs.Scheduling.Telemetry = tel
+	coreSvcs.Monitoring.Telemetry = tel
 	plansvc := planning.New(opts.Catalog, params)
 	plansvc.Telemetry = tel
 	if _, err := platform.Register(services.PlanningName, plansvc); err != nil {
@@ -152,9 +154,19 @@ func NewEnvironment(opts Options) (*Environment, error) {
 // Close shuts the agent platform down.
 func (e *Environment) Close() { e.Platform.Shutdown() }
 
-// Submit enacts a task through the coordination service.
+// Submit enacts a task through the coordination service with the default
+// policy and no cancellation.
+//
+// Deprecated: use SubmitContext.
 func (e *Environment) Submit(task *workflow.Task) (*coordination.Report, error) {
 	return e.Coordinator.RunTask(task)
+}
+
+// SubmitContext enacts a task through the coordination service under the
+// given fault-tolerance policy (nil means defaults), aborting when ctx is
+// cancelled.
+func (e *Environment) SubmitContext(ctx context.Context, task *workflow.Task, pol *coordination.Policy) (*coordination.Report, error) {
+	return e.Coordinator.RunTaskContext(ctx, task, pol)
 }
 
 // Plan asks the planning service for a process description solving the

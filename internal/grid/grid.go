@@ -86,6 +86,9 @@ type Execution struct {
 	Duration  float64 // simulated seconds
 	Cost      float64
 	OK        bool
+	// Fault marks a failure caused by the injected fault spec rather than
+	// the node's advertised failure rate.
+	Fault bool
 }
 
 // Grid is the simulated environment. All methods are safe for concurrent
@@ -95,17 +98,26 @@ type Grid struct {
 	mu         sync.RWMutex
 	nodes      map[string]*Node
 	containers map[string]*Container
-	rng        *rand.Rand
-	history    []Execution
-	clock      float64 // accumulated busy time, advanced by Execute
+	seed       int64
+	// streams holds one jitter/failure random stream per node, derived from
+	// the grid seed and the node ID. Per-node streams keep executions on one
+	// node deterministic regardless of concurrent activity on other nodes.
+	streams      map[string]*rand.Rand
+	faults       *FaultSpec
+	faultStreams map[string]*rand.Rand
+	crashes      []Crash
+	history      []Execution
+	clock        float64 // accumulated busy time, advanced by Execute
 }
 
-// New returns an empty grid with a deterministic failure/jitter stream.
+// New returns an empty grid with deterministic per-node failure/jitter
+// streams derived from seed.
 func New(seed int64) *Grid {
 	return &Grid{
 		nodes:      make(map[string]*Node),
 		containers: make(map[string]*Container),
-		rng:        rand.New(rand.NewSource(seed)),
+		seed:       seed,
+		streams:    make(map[string]*rand.Rand),
 	}
 }
 
@@ -124,6 +136,10 @@ func (g *Grid) AddNode(n *Node) error {
 	}
 	n.up = true
 	g.nodes[n.ID] = n
+	g.streams[n.ID] = nodeStream(g.seed, n.ID, 0)
+	if g.faults != nil {
+		g.faultStreams[n.ID] = nodeStream(g.faults.Seed, n.ID, 0x9e3779b97f4a7c15)
+	}
 	return nil
 }
 
@@ -234,10 +250,11 @@ func ExecTime(baseTime float64, dataMB float64, n *Node) float64 {
 }
 
 // Execute simulates one run of service on the container: it computes the
-// duration from the node's hardware, samples the node's failure rate, and
-// records the execution in the history. baseTime is the service's nominal
-// duration, dataMB the input volume. It fails when the container does not
-// provide the service or its node is down.
+// duration from the node's hardware, samples the node's failure rate (plus
+// any injected fault spec), and records the execution in the history.
+// baseTime is the service's nominal duration, dataMB the input volume. It
+// fails when the container does not provide the service or its node is down;
+// an injected crash additionally takes the node down mid-execution.
 func (g *Grid) Execute(containerID, service string, baseTime, dataMB float64) (Execution, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -252,11 +269,26 @@ func (g *Grid) Execute(containerID, service string, baseTime, dataMB float64) (E
 	if !c.Provides(service) {
 		return Execution{}, fmt.Errorf("grid: container %q does not provide %q", containerID, service)
 	}
+	injecting := g.faults.applies(n.ID)
 	dur := ExecTime(baseTime, dataMB, n)
+	if injecting && g.faults.SlowFactor > 1 {
+		dur *= g.faults.SlowFactor
+	}
 	// Execution-time jitter of +/-10% keeps the history realistic for the
 	// brokerage's performance statistics.
-	dur *= 0.9 + 0.2*g.rng.Float64()
-	ok := g.rng.Float64() >= n.FailureRate
+	st := g.streams[n.ID]
+	dur *= 0.9 + 0.2*st.Float64()
+	ok := st.Float64() >= n.FailureRate
+	fault, crashed := false, false
+	if injecting && g.faults.FailureRate > 0 {
+		fs := g.faultStreams[n.ID]
+		if fs.Float64() < g.faults.FailureRate {
+			ok, fault = false, true
+			if g.faults.CrashRate > 0 && fs.Float64() < g.faults.CrashRate {
+				crashed = true
+			}
+		}
+	}
 	ex := Execution{
 		Service:   service,
 		Container: containerID,
@@ -264,9 +296,15 @@ func (g *Grid) Execute(containerID, service string, baseTime, dataMB float64) (E
 		Duration:  dur,
 		Cost:      dur * n.CostPerSec,
 		OK:        ok,
+		Fault:     fault,
 	}
 	g.history = append(g.history, ex)
 	g.clock += dur
+	if crashed {
+		n.up = false
+		g.crashes = append(g.crashes, Crash{Node: n.ID, Clock: g.clock})
+		return ex, fmt.Errorf("grid: node %q crashed during execution of %q", n.ID, service)
+	}
 	if !ok {
 		return ex, fmt.Errorf("grid: execution of %q on %q failed", service, n.ID)
 	}

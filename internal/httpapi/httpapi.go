@@ -10,12 +10,15 @@
 // Endpoints (all under /api/v1, aliased under /api):
 //
 //	GET  /api/v1/nodes                  grid nodes with live status (paginated)
+//	GET  /api/v1/nodes/{id}/health      monitoring's health record of one node
+//	GET  /api/v1/monitor                cluster health summary
 //	GET  /api/v1/containers             application containers
 //	GET  /api/v1/services               the end-user service catalog
 //	GET  /api/v1/classes                resource equivalence classes
 //	POST /api/v1/tasks                  submit a task (async); returns its ID
 //	GET  /api/v1/tasks                  list tasks, submission order (paginated)
 //	GET  /api/v1/tasks/{id}             task status / final report
+//	DELETE /api/v1/tasks/{id}           cancel a running task
 //	GET  /api/v1/tasks/{id}/trace       the task's telemetry span log
 //	GET  /api/v1/plans                  archived plan names
 //	GET  /api/v1/plans/{name}           latest archived revision (PDL text)
@@ -34,6 +37,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -48,6 +52,7 @@ import (
 	"repro/internal/coordination"
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/grid"
 	"repro/internal/pdl"
 	"repro/internal/services"
 	"repro/internal/telemetry"
@@ -75,9 +80,15 @@ type taskRecord struct {
 	ID        string
 	Seq       int64 // submission order, for stable listing
 	Submitted time.Time
-	Status    string // "running", "completed", "failed"
+	Status    string // "running", "completed", "failed", "cancelled"
 	Error     string
 	Report    *coordination.Report
+	// Policy is the resolved fault-tolerance policy the task runs under;
+	// nil for records that predate submission (tests inject those).
+	Policy *coordination.Policy
+	// cancel aborts the running enactment (DELETE /tasks/{id}); nil once the
+	// task finished or for injected records.
+	cancel context.CancelFunc
 }
 
 // New builds a server over the environment.
@@ -99,12 +110,15 @@ type route struct {
 func (s *Server) routes() []route {
 	return []route{
 		{http.MethodGet, "/nodes", s.handleNodes},
+		{http.MethodGet, "/nodes/{id}/health", s.handleNodeHealth},
+		{http.MethodGet, "/monitor", s.handleMonitor},
 		{http.MethodGet, "/containers", s.handleContainers},
 		{http.MethodGet, "/services", s.handleServices},
 		{http.MethodGet, "/classes", s.handleClasses},
 		{http.MethodPost, "/tasks", s.handleSubmit},
 		{http.MethodGet, "/tasks", s.handleTaskList},
 		{http.MethodGet, "/tasks/{id}", s.handleTaskGet},
+		{http.MethodDelete, "/tasks/{id}", s.handleTaskCancel},
 		{http.MethodGet, "/tasks/{id}/trace", s.handleTaskTrace},
 		{http.MethodGet, "/plans", s.handlePlans},
 		{http.MethodGet, "/plans/{name}", s.handlePlanGet},
@@ -315,6 +329,54 @@ func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleNodeHealth serves monitoring's health record of one node, fetched
+// through the monitoring agent so the answer is the authoritative live view.
+func (s *Server) handleNodeHealth(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	client, err := s.clientContext()
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	reply, err := client.Call(services.MonitoringName, services.OntMonitoring,
+		services.NodeHealthRequest{Node: id}, services.CallTimeout)
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	hr, ok := reply.Content.(services.NodeHealthReply)
+	if !ok {
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "unexpected monitoring reply %T", reply.Content)
+		return
+	}
+	if !hr.Health.Known {
+		s.writeError(w, r, http.StatusNotFound, "not_found", "no node %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, hr.Health)
+}
+
+// handleMonitor serves the cluster-wide health summary.
+func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
+	client, err := s.clientContext()
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	reply, err := client.Call(services.MonitoringName, services.OntMonitoring,
+		services.ClusterHealthRequest{}, services.CallTimeout)
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	ch, ok := reply.Content.(services.ClusterHealthReply)
+	if !ok {
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "unexpected monitoring reply %T", reply.Content)
+		return
+	}
+	writeJSON(w, http.StatusOK, ch)
+}
+
 type containerView struct {
 	ID       string   `json:"id"`
 	Node     string   `json:"node"`
@@ -371,6 +433,71 @@ type TaskSubmission struct {
 	Goal []string `json:"goal"`
 	// Deadline is a soft wall-clock deadline in simulated seconds (0 = none).
 	Deadline float64 `json:"deadline,omitempty"`
+	// Policy overrides the fault-tolerance policy for this task; omitted
+	// fields keep the coordinator's defaults.
+	Policy *PolicyJSON `json:"policy,omitempty"`
+	// Faults installs a deterministic fault-injection spec on the grid
+	// before the task runs (chaos testing over the API).
+	Faults *grid.FaultSpec `json:"faults,omitempty"`
+}
+
+// PolicyJSON is the wire form of coordination.Policy: durations in
+// milliseconds, pointers so absent fields fall back to defaults.
+type PolicyJSON struct {
+	MaxRetries        *int     `json:"maxRetries,omitempty"`
+	ActivityTimeoutMS *float64 `json:"activityTimeoutMS,omitempty"`
+	BackoffBaseMS     *float64 `json:"backoffBaseMS,omitempty"`
+	BackoffCapMS      *float64 `json:"backoffCapMS,omitempty"`
+	DeadlineMS        *float64 `json:"deadlineMS,omitempty"`
+	Seed              *int64   `json:"seed,omitempty"`
+}
+
+// toPolicy converts the wire form; nil yields nil (defaults).
+func (pj *PolicyJSON) toPolicy() *coordination.Policy {
+	if pj == nil {
+		return nil
+	}
+	p := &coordination.Policy{}
+	if pj.MaxRetries != nil {
+		p.MaxRetries = *pj.MaxRetries
+	}
+	if pj.ActivityTimeoutMS != nil {
+		p.ActivityTimeout = *pj.ActivityTimeoutMS / 1000
+	}
+	if pj.BackoffBaseMS != nil {
+		p.BackoffBase = *pj.BackoffBaseMS / 1000
+	}
+	if pj.BackoffCapMS != nil {
+		p.BackoffCap = *pj.BackoffCapMS / 1000
+	}
+	if pj.DeadlineMS != nil {
+		p.Deadline = time.Duration(*pj.DeadlineMS * float64(time.Millisecond))
+	}
+	if pj.Seed != nil {
+		p.Seed = *pj.Seed
+	}
+	return p
+}
+
+// policyView echoes a resolved policy back in wire units.
+type policyView struct {
+	MaxRetries        int     `json:"maxRetries"`
+	ActivityTimeoutMS float64 `json:"activityTimeoutMS"`
+	BackoffBaseMS     float64 `json:"backoffBaseMS"`
+	BackoffCapMS      float64 `json:"backoffCapMS"`
+	DeadlineMS        float64 `json:"deadlineMS"`
+	Seed              int64   `json:"seed"`
+}
+
+func viewPolicy(p coordination.Policy) policyView {
+	return policyView{
+		MaxRetries:        p.MaxRetries,
+		ActivityTimeoutMS: p.ActivityTimeout * 1000,
+		BackoffBaseMS:     p.BackoffBase * 1000,
+		BackoffCapMS:      p.BackoffCap * 1000,
+		DeadlineMS:        float64(p.Deadline) / float64(time.Millisecond),
+		Seed:              p.Seed,
+	}
 }
 
 // DataItemJSON is one initial data item.
@@ -419,6 +546,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "invalid_task", "invalid task: %v", err)
 		return
 	}
+	pol := sub.Policy.toPolicy()
+	if err := pol.Validate(); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_policy", "bad policy: %v", err)
+		return
+	}
+	resolved := s.env.Coordinator.ResolvePolicy(pol)
+	if sub.Faults != nil {
+		if err := s.env.Grid.SetFaults(sub.Faults); err != nil {
+			s.writeError(w, r, http.StatusBadRequest, "bad_faults", "bad fault spec: %v", err)
+			return
+		}
+	}
 
 	s.mu.Lock()
 	if _, dup := s.tasks[sub.ID]; dup {
@@ -426,24 +565,63 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusConflict, "duplicate_task", "task %q already submitted", sub.ID)
 		return
 	}
-	rec := &taskRecord{ID: sub.ID, Seq: s.taskSeq.Add(1), Submitted: time.Now(), Status: "running"}
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := &taskRecord{
+		ID: sub.ID, Seq: s.taskSeq.Add(1), Submitted: time.Now(),
+		Status: "running", Policy: &resolved, cancel: cancel,
+	}
 	s.tasks[sub.ID] = rec
 	s.mu.Unlock()
 
 	go func() {
-		report, err := s.env.Submit(task)
+		report, err := s.env.SubmitContext(ctx, task, pol)
+		cancel()
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		if err != nil {
+		rec.cancel = nil
+		rec.Report = report
+		switch {
+		case report != nil && report.Cancelled:
+			rec.Status = "cancelled"
+			if err != nil {
+				rec.Error = err.Error()
+			}
+		case err != nil:
 			rec.Status = "failed"
 			rec.Error = err.Error()
-			rec.Report = report
-			return
+		default:
+			rec.Status = "completed"
 		}
-		rec.Status = "completed"
-		rec.Report = report
 	}()
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": sub.ID, "status": "running"})
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id": sub.ID, "status": "running", "policy": viewPolicy(resolved),
+	})
+}
+
+// handleTaskCancel aborts a running task via its context. Finished tasks
+// answer 409; the cancellation itself is asynchronous, so the reply is 202
+// and the record transitions to "cancelled" once the enactment unwinds.
+func (s *Server) handleTaskCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	rec := s.tasks[id]
+	if rec == nil {
+		s.mu.Unlock()
+		s.writeError(w, r, http.StatusNotFound, "not_found", "no task %q", id)
+		return
+	}
+	if rec.Status != "running" {
+		status := rec.Status
+		s.mu.Unlock()
+		s.writeError(w, r, http.StatusConflict, "task_finished", "task %q already %s", id, status)
+		return
+	}
+	cancel := rec.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": "cancelling"})
 }
 
 // TaskView is the GET /api/v1/tasks/{id} response.
@@ -456,22 +634,34 @@ type TaskView struct {
 	GoalFitness float64   `json:"goalFitness,omitempty"`
 	Executed    int       `json:"executed,omitempty"`
 	Failures    int       `json:"failures,omitempty"`
+	Retries     int       `json:"retries,omitempty"`
+	Faults      int       `json:"faults,omitempty"`
 	Replans     int       `json:"replans,omitempty"`
+	BackoffWait float64   `json:"backoffWait,omitempty"`
 	Deadline    bool      `json:"deadlineMissed,omitempty"`
 	Wall        float64   `json:"wallClockTime,omitempty"`
 	Time        float64   `json:"simulatedTime,omitempty"`
 	Cost        float64   `json:"totalCost,omitempty"`
 	FinalData   []string  `json:"finalData,omitempty"`
+	// Policy echoes the resolved fault-tolerance policy, when known.
+	Policy *policyView `json:"policy,omitempty"`
 }
 
 func (s *Server) view(rec *taskRecord) TaskView {
 	v := TaskView{ID: rec.ID, Status: rec.Status, Submitted: rec.Submitted, Error: rec.Error}
+	if rec.Policy != nil {
+		pv := viewPolicy(*rec.Policy)
+		v.Policy = &pv
+	}
 	if r := rec.Report; r != nil {
 		v.Completed = r.Completed
 		v.GoalFitness = r.GoalFitness
 		v.Executed = r.Executed
 		v.Failures = r.Failures
+		v.Retries = r.Retries
+		v.Faults = r.Faults
 		v.Replans = r.Replans
+		v.BackoffWait = r.BackoffWait
 		v.Deadline = r.DeadlineMissed
 		v.Wall = r.WallClockTime
 		v.Time = r.SimulatedTime

@@ -19,15 +19,26 @@ import (
 )
 
 func testServer(t *testing.T) (*Server, *httptest.Server) {
+	return testServerWith(t, nil)
+}
+
+// testServerWith is testServer with an environment-options hook applied
+// before the environment is built; the fault-tolerance tests use it to
+// install blocking post-process hooks.
+func testServerWith(t *testing.T, mod func(*core.Options)) (*Server, *httptest.Server) {
 	t.Helper()
 	params := planner.DefaultParams()
 	params.PopulationSize = 120
 	params.Generations = 15
-	env, err := core.NewEnvironment(core.Options{
+	opts := core.Options{
 		Catalog:     virolab.Catalog(),
 		Planner:     params,
 		PostProcess: virolab.ResolutionHook(nil),
-	})
+	}
+	if mod != nil {
+		mod(&opts)
+	}
+	env, err := core.NewEnvironment(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,9 +306,12 @@ END`,
 		item := DataItemJSON{Name: d.Name, Classification: d.Classification()}
 		sub.InitialData = append(sub.InitialData, item)
 	}
-	var accepted map[string]string
+	var accepted map[string]any
 	if code := postJSON(t, ts.URL+"/api/v1/tasks", sub, &accepted); code != http.StatusAccepted {
 		t.Fatalf("submit status %d: %v", code, accepted)
+	}
+	if accepted["policy"] == nil {
+		t.Fatalf("202 body missing resolved policy: %v", accepted)
 	}
 
 	deadline := time.Now().Add(30 * time.Second)

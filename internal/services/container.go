@@ -41,6 +41,7 @@ type ContainerAgent struct {
 func (a *ContainerAgent) HandleMessage(ctx *agent.Context, msg agent.Message) {
 	switch req := msg.Content.(type) {
 	case AvailabilityRequest:
+		a.heartbeat(ctx)
 		ok := false
 		if c := a.Grid.Container(a.Container); c != nil && c.Provides(req.Service) {
 			if n := a.Grid.Node(c.NodeID); n != nil && n.Up() {
@@ -51,6 +52,7 @@ func (a *ContainerAgent) HandleMessage(ctx *agent.Context, msg agent.Message) {
 			Container: a.Container, Service: req.Service, Executable: ok,
 		})
 	case CallForProposal:
+		a.heartbeat(ctx)
 		if prop, ok := a.bid(req); ok {
 			_ = ctx.Reply(msg, agent.Inform, prop)
 		} else {
@@ -64,6 +66,15 @@ func (a *ContainerAgent) HandleMessage(ctx *agent.Context, msg agent.Message) {
 		if ex.Service != "" && ctx.Platform().Has(BrokerageName) {
 			_ = ctx.Send(BrokerageName, agent.Inform, OntBrokerage, ExecutionReport{Exec: ex})
 		}
+		// And to the monitoring service's health statistics, also best
+		// effort — a crash mid-execution shows up here as a faulted failure.
+		if ctx.Platform().Has(MonitoringName) {
+			out := ExecOutcome{Node: a.node(), Container: a.Container, Service: req.Service, OK: err == nil}
+			if ex.Service != "" {
+				out.Fault = ex.Fault
+			}
+			_ = ctx.Send(MonitoringName, agent.Inform, OntMonitoring, out)
+		}
 		if err != nil {
 			_ = ctx.Reply(msg, agent.Failure, fmt.Errorf("container %s: %w", a.Container, err))
 			return
@@ -71,5 +82,22 @@ func (a *ContainerAgent) HandleMessage(ctx *agent.Context, msg agent.Message) {
 		_ = ctx.Reply(msg, agent.Inform, ExecuteReply{Exec: ex})
 	default:
 		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("container %s: unsupported content %T", a.Container, msg.Content))
+	}
+}
+
+// node returns the hosting node's ID (looked up live, since the container
+// record is the source of truth).
+func (a *ContainerAgent) node() string {
+	if c := a.Grid.Container(a.Container); c != nil {
+		return c.NodeID
+	}
+	return ""
+}
+
+// heartbeat signals liveness to the monitoring service, best effort.
+func (a *ContainerAgent) heartbeat(ctx *agent.Context) {
+	if ctx.Platform().Has(MonitoringName) {
+		_ = ctx.Send(MonitoringName, agent.Inform, OntMonitoring,
+			Heartbeat{Node: a.node(), Container: a.Container})
 	}
 }

@@ -1,0 +1,347 @@
+package services
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/agent"
+	"repro/internal/grid"
+	"repro/internal/telemetry"
+)
+
+// The monitoring service of Figure 1: accurate, on-demand resource status
+// (the brokerage's view may be stale; monitoring's is authoritative), plus
+// per-node health tracked from container heartbeats and execution outcomes,
+// and the quarantine interface the coordinator uses to take a faulty node
+// out of rotation before re-planning (Figure 3: the new plan must route
+// around the failed resource).
+
+// NodeStatusRequest asks for the live status of a node.
+type NodeStatusRequest struct{ Node string }
+
+// NodeStatusReply reports it.
+type NodeStatusReply struct {
+	Node  string
+	Known bool
+	Up    bool
+}
+
+// SubscribeStatus subscribes the sender to node status-change events; the
+// monitoring service delivers a StatusEvent to every subscriber whenever a
+// PollStatus detects a node changed state.
+type SubscribeStatus struct{}
+
+// UnsubscribeStatus removes the sender's subscription.
+type UnsubscribeStatus struct{}
+
+// PollStatus makes the monitoring service re-scan the grid and notify
+// subscribers of changes (in a deployment a ticker would send this; tests
+// and scenarios drive it explicitly for determinism).
+type PollStatus struct{}
+
+// StatusEvent is pushed to subscribers when a node changes state.
+type StatusEvent struct {
+	Node string
+	Up   bool
+}
+
+// Heartbeat is a container's liveness signal; containers emit one whenever
+// they answer an availability probe or a call for proposals.
+type Heartbeat struct {
+	Node      string
+	Container string
+}
+
+// ExecOutcome reports one finished execution attempt (success or failure)
+// from a container, feeding the per-node health statistics.
+type ExecOutcome struct {
+	Node      string
+	Container string
+	Service   string
+	OK        bool
+	// Fault marks an injected fault (see grid.FaultSpec) as opposed to the
+	// node's ordinary failure rate.
+	Fault bool
+}
+
+// NodeHealthRequest asks for the full health record of a node.
+type NodeHealthRequest struct{ Node string }
+
+// NodeHealthReply answers it.
+type NodeHealthReply struct{ Health NodeHealth }
+
+// ClusterHealthRequest asks for the health summary of every node.
+type ClusterHealthRequest struct{}
+
+// ClusterHealthReply answers it, nodes sorted by ID.
+type ClusterHealthReply struct {
+	Nodes       []NodeHealth `json:"nodes"`
+	Up          int          `json:"up"`
+	Down        int          `json:"down"`
+	Degraded    int          `json:"degraded"`
+	Quarantined int          `json:"quarantined"`
+}
+
+// QuarantineRequest marks a node unavailable in the grid (its containers
+// refuse work until repair) and records the reason. The coordinator sends it
+// when an activity exhausts its retry budget on the node.
+type QuarantineRequest struct {
+	Node   string
+	Reason string
+}
+
+// QuarantineReply acknowledges a quarantine.
+type QuarantineReply struct {
+	Node  string
+	Known bool
+}
+
+// DegradedAfter is the number of consecutive failed executions after which
+// a node's health status turns "degraded".
+const DegradedAfter = 3
+
+// Node health status values.
+const (
+	HealthHealthy     = "healthy"
+	HealthDegraded    = "degraded"
+	HealthDown        = "down"
+	HealthQuarantined = "quarantined"
+)
+
+// NodeHealth is the monitoring service's view of one node.
+type NodeHealth struct {
+	Node                string `json:"node"`
+	Known               bool   `json:"known"`
+	Up                  bool   `json:"up"`
+	Status              string `json:"status"`
+	Heartbeats          int64  `json:"heartbeats"`
+	Successes           int64  `json:"successes"`
+	Failures            int64  `json:"failures"`
+	Faults              int64  `json:"faults"`
+	ConsecutiveFailures int    `json:"consecutiveFailures"`
+	QuarantineReason    string `json:"quarantineReason,omitempty"`
+}
+
+// healthRecord accumulates per-node signals; guarded by Monitoring.mu.
+type healthRecord struct {
+	heartbeats          int64
+	successes           int64
+	failures            int64
+	faults              int64
+	consecutiveFailures int
+}
+
+// Monitoring is the monitoring service agent: authoritative on-demand node
+// status, push subscriptions for status changes, per-node health from
+// heartbeats and execution outcomes, and node quarantine.
+type Monitoring struct {
+	Grid *grid.Grid
+	// Telemetry, when set, receives monitoring.* metrics; nil disables
+	// instrumentation (all instruments are nil-safe).
+	Telemetry *telemetry.Registry
+
+	mu          sync.Mutex
+	subs        map[string]bool
+	last        map[string]bool
+	health      map[string]*healthRecord
+	quarantined map[string]string // node -> reason
+}
+
+// HandleMessage implements agent.Handler.
+func (s *Monitoring) HandleMessage(ctx *agent.Context, msg agent.Message) {
+	switch req := msg.Content.(type) {
+	case NodeStatusRequest:
+		n := s.Grid.Node(req.Node)
+		reply := NodeStatusReply{Node: req.Node, Known: n != nil}
+		if n != nil {
+			reply.Up = n.Up()
+		}
+		_ = ctx.Reply(msg, agent.Inform, reply)
+	case Heartbeat:
+		s.Telemetry.Counter("monitoring.heartbeats").Inc()
+		s.mu.Lock()
+		s.record(req.Node).heartbeats++
+		s.mu.Unlock()
+	case ExecOutcome:
+		s.Telemetry.Counter("monitoring.outcomes").Inc()
+		s.mu.Lock()
+		rec := s.record(req.Node)
+		rec.heartbeats++
+		if req.OK {
+			rec.successes++
+			rec.consecutiveFailures = 0
+		} else {
+			rec.failures++
+			rec.consecutiveFailures++
+			if req.Fault {
+				rec.faults++
+			}
+		}
+		s.mu.Unlock()
+		s.updateUpGauge()
+	case NodeHealthRequest:
+		_ = ctx.Reply(msg, agent.Inform, NodeHealthReply{Health: s.NodeHealth(req.Node)})
+	case ClusterHealthRequest:
+		_ = ctx.Reply(msg, agent.Inform, s.ClusterHealth())
+	case QuarantineRequest:
+		known := s.Grid.Node(req.Node) != nil
+		if known {
+			_ = s.Grid.SetNodeUp(req.Node, false)
+			s.mu.Lock()
+			if s.quarantined == nil {
+				s.quarantined = make(map[string]string)
+			}
+			s.quarantined[req.Node] = req.Reason
+			s.mu.Unlock()
+			s.Telemetry.Counter("monitoring.quarantines").Inc()
+			s.updateUpGauge()
+		}
+		_ = ctx.Reply(msg, agent.Agree, QuarantineReply{Node: req.Node, Known: known})
+	case SubscribeStatus:
+		s.mu.Lock()
+		if s.subs == nil {
+			s.subs = make(map[string]bool)
+		}
+		s.subs[msg.Sender] = true
+		if s.last == nil {
+			s.last = s.snapshot()
+		}
+		s.mu.Unlock()
+		_ = ctx.Reply(msg, agent.Agree, nil)
+	case UnsubscribeStatus:
+		s.mu.Lock()
+		delete(s.subs, msg.Sender)
+		s.mu.Unlock()
+		_ = ctx.Reply(msg, agent.Agree, nil)
+	case PollStatus:
+		events := s.poll()
+		for _, ev := range events {
+			s.mu.Lock()
+			subs := make([]string, 0, len(s.subs))
+			for name := range s.subs {
+				subs = append(subs, name)
+			}
+			s.mu.Unlock()
+			sort.Strings(subs)
+			for _, sub := range subs {
+				_ = ctx.Send(sub, agent.Inform, OntMonitoring, ev)
+			}
+		}
+		s.updateUpGauge()
+		_ = ctx.Reply(msg, agent.Inform, len(events))
+	default:
+		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("monitoring: unsupported content %T", msg.Content))
+	}
+}
+
+// record returns (creating if needed) the health record of a node; callers
+// hold s.mu.
+func (s *Monitoring) record(node string) *healthRecord {
+	if s.health == nil {
+		s.health = make(map[string]*healthRecord)
+	}
+	rec := s.health[node]
+	if rec == nil {
+		rec = &healthRecord{}
+		s.health[node] = rec
+	}
+	return rec
+}
+
+// NodeHealth assembles the health view of one node.
+func (s *Monitoring) NodeHealth(node string) NodeHealth {
+	n := s.Grid.Node(node)
+	h := NodeHealth{Node: node, Known: n != nil}
+	if n == nil {
+		return h
+	}
+	h.Up = n.Up()
+	s.mu.Lock()
+	if rec := s.health[node]; rec != nil {
+		h.Heartbeats = rec.heartbeats
+		h.Successes = rec.successes
+		h.Failures = rec.failures
+		h.Faults = rec.faults
+		h.ConsecutiveFailures = rec.consecutiveFailures
+	}
+	h.QuarantineReason = s.quarantined[node]
+	s.mu.Unlock()
+	switch {
+	case h.QuarantineReason != "":
+		h.Status = HealthQuarantined
+	case !h.Up:
+		h.Status = HealthDown
+	case h.ConsecutiveFailures >= DegradedAfter:
+		h.Status = HealthDegraded
+	default:
+		h.Status = HealthHealthy
+	}
+	return h
+}
+
+// ClusterHealth assembles the health summary of every node.
+func (s *Monitoring) ClusterHealth() ClusterHealthReply {
+	reply := ClusterHealthReply{Nodes: []NodeHealth{}}
+	for _, n := range s.Grid.Nodes() {
+		h := s.NodeHealth(n.ID)
+		reply.Nodes = append(reply.Nodes, h)
+		switch h.Status {
+		case HealthQuarantined:
+			reply.Quarantined++
+		case HealthDown:
+			reply.Down++
+		case HealthDegraded:
+			reply.Degraded++
+		}
+		if h.Up {
+			reply.Up++
+		}
+	}
+	return reply
+}
+
+// updateUpGauge refreshes the monitoring.nodes.up gauge from the grid.
+func (s *Monitoring) updateUpGauge() {
+	if s.Telemetry == nil {
+		return
+	}
+	up := 0
+	for _, n := range s.Grid.Nodes() {
+		if n.Up() {
+			up++
+		}
+	}
+	s.Telemetry.Gauge("monitoring.nodes.up").Set(float64(up))
+}
+
+// snapshot captures every node's up/down state; callers hold s.mu.
+func (s *Monitoring) snapshot() map[string]bool {
+	out := make(map[string]bool)
+	for _, n := range s.Grid.Nodes() {
+		out[n.ID] = n.Up()
+	}
+	return out
+}
+
+// poll diffs the grid against the last snapshot and returns the changes.
+func (s *Monitoring) poll() []StatusEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snapshot()
+	var events []StatusEvent
+	if s.last != nil {
+		names := make([]string, 0, len(cur))
+		for n := range cur {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if prev, seen := s.last[n]; !seen || prev != cur[n] {
+				events = append(events, StatusEvent{Node: n, Up: cur[n]})
+			}
+		}
+	}
+	s.last = cur
+	return events
+}

@@ -18,7 +18,6 @@ import (
 	"time"
 
 	"repro/internal/agent"
-	"repro/internal/grid"
 )
 
 // Well-known agent names for the core services.
@@ -125,124 +124,7 @@ func Lookup(ctx *agent.Context, offerType string) ([]Offer, error) {
 }
 
 // ---------------------------------------------------------------------------
-// Monitoring service: accurate, on-demand resource status (the brokerage's
-// view may be stale; monitoring's is authoritative).
-
-// NodeStatusRequest asks for the live status of a node.
-type NodeStatusRequest struct{ Node string }
-
-// NodeStatusReply reports it.
-type NodeStatusReply struct {
-	Node  string
-	Known bool
-	Up    bool
-}
-
-// SubscribeStatus subscribes the sender to node status-change events; the
-// monitoring service delivers a StatusEvent to every subscriber whenever a
-// PollStatus detects a node changed state.
-type SubscribeStatus struct{}
-
-// UnsubscribeStatus removes the sender's subscription.
-type UnsubscribeStatus struct{}
-
-// PollStatus makes the monitoring service re-scan the grid and notify
-// subscribers of changes (in a deployment a ticker would send this; tests
-// and scenarios drive it explicitly for determinism).
-type PollStatus struct{}
-
-// StatusEvent is pushed to subscribers when a node changes state.
-type StatusEvent struct {
-	Node string
-	Up   bool
-}
-
-// Monitoring is the monitoring service agent: authoritative on-demand node
-// status plus push subscriptions for status changes.
-type Monitoring struct {
-	Grid *grid.Grid
-
-	mu   sync.Mutex
-	subs map[string]bool
-	last map[string]bool
-}
-
-// HandleMessage implements agent.Handler.
-func (s *Monitoring) HandleMessage(ctx *agent.Context, msg agent.Message) {
-	switch req := msg.Content.(type) {
-	case NodeStatusRequest:
-		n := s.Grid.Node(req.Node)
-		reply := NodeStatusReply{Node: req.Node, Known: n != nil}
-		if n != nil {
-			reply.Up = n.Up()
-		}
-		_ = ctx.Reply(msg, agent.Inform, reply)
-	case SubscribeStatus:
-		s.mu.Lock()
-		if s.subs == nil {
-			s.subs = make(map[string]bool)
-		}
-		s.subs[msg.Sender] = true
-		if s.last == nil {
-			s.last = s.snapshot()
-		}
-		s.mu.Unlock()
-		_ = ctx.Reply(msg, agent.Agree, nil)
-	case UnsubscribeStatus:
-		s.mu.Lock()
-		delete(s.subs, msg.Sender)
-		s.mu.Unlock()
-		_ = ctx.Reply(msg, agent.Agree, nil)
-	case PollStatus:
-		events := s.poll()
-		for _, ev := range events {
-			s.mu.Lock()
-			subs := make([]string, 0, len(s.subs))
-			for name := range s.subs {
-				subs = append(subs, name)
-			}
-			s.mu.Unlock()
-			sort.Strings(subs)
-			for _, sub := range subs {
-				_ = ctx.Send(sub, agent.Inform, OntMonitoring, ev)
-			}
-		}
-		_ = ctx.Reply(msg, agent.Inform, len(events))
-	default:
-		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("monitoring: unsupported content %T", msg.Content))
-	}
-}
-
-// snapshot captures every node's up/down state; callers hold s.mu.
-func (s *Monitoring) snapshot() map[string]bool {
-	out := make(map[string]bool)
-	for _, n := range s.Grid.Nodes() {
-		out[n.ID] = n.Up()
-	}
-	return out
-}
-
-// poll diffs the grid against the last snapshot and returns the changes.
-func (s *Monitoring) poll() []StatusEvent {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur := s.snapshot()
-	var events []StatusEvent
-	if s.last != nil {
-		names := make([]string, 0, len(cur))
-		for n := range cur {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			if prev, seen := s.last[n]; !seen || prev != cur[n] {
-				events = append(events, StatusEvent{Node: n, Up: cur[n]})
-			}
-		}
-	}
-	s.last = cur
-	return events
-}
+// Monitoring service: see monitor.go.
 
 // ---------------------------------------------------------------------------
 // Authentication service: token issue and verification (HMAC-based).
