@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench check fmt vet chaos
+.PHONY: build test race bench bench-json check fmt vet chaos
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark run: the full suite in `go test -json` event
+# form, dated so successive runs can be diffed for regressions.
+bench-json:
+	$(GO) test -json -run '^$$' -bench=. -benchmem . > BENCH_$(shell date +%Y%m%d).json
 
 # The fault-injection acceptance scenarios under the race detector.
 chaos:

@@ -7,6 +7,7 @@ package repro
 // next to the timing data (see EXPERIMENTS.md for paper-vs-measured).
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/grid"
 	"repro/internal/ontology"
 	"repro/internal/pdl"
@@ -146,7 +148,7 @@ func BenchmarkFig2PlanningRequest(b *testing.B) {
 			Case:         virolab.Case(),
 			NeedPlanning: true,
 		}
-		report, err := env.Submit(task)
+		report, err := env.SubmitContext(context.Background(), task, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -183,7 +185,7 @@ func BenchmarkFig3Replanning(b *testing.B) {
 		_ = g.SetNodeUp("main", false)
 		b.StartTimer()
 
-		report, err := env.Submit(virolab.Task())
+		report, err := env.SubmitContext(context.Background(), virolab.Task(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -254,7 +256,7 @@ func BenchmarkFig10Enactment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		task := virolab.Task()
 		task.ID = fmt.Sprintf("T-fig10-%d", i)
-		report, err := env.Submit(task)
+		report, err := env.SubmitContext(context.Background(), task, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -294,7 +296,7 @@ func BenchmarkEnactOverhead(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				task := virolab.Task()
 				task.ID = fmt.Sprintf("T-ovh-%s-%d", name, i)
-				report, err := env.Submit(task)
+				report, err := env.SubmitContext(context.Background(), task, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -578,7 +580,7 @@ func BenchmarkAblationAcquisition(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				task := virolab.Task()
 				task.ID = fmt.Sprintf("T-acq-%s-%d", name, i)
-				report, err := env.Submit(task)
+				report, err := env.SubmitContext(context.Background(), task, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -588,6 +590,68 @@ func BenchmarkAblationAcquisition(b *testing.B) {
 				wall = report.WallClockTime
 			}
 			b.ReportMetric(wall, "wallclock-s")
+		})
+	}
+}
+
+// BenchmarkEngineThroughput measures the enactment engine's sustained rate:
+// a 200-task burst submitted through the admission queue, timed until the
+// last task settles, at three worker-pool sizes. The tasks/sec metric is the
+// quantity the worker-pool sizing advice in README.md is based on.
+func BenchmarkEngineThroughput(b *testing.B) {
+	const burst = 200
+	text, err := pdl.Format(virolab.PlanTree())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			env, err := core.NewEnvironment(core.Options{
+				Catalog:       virolab.Catalog(),
+				Planner:       reducedParams(),
+				PostProcess:   virolab.ResolutionHook(nil),
+				Workers:       workers,
+				QueueCapacity: burst * 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids := make([]string, burst)
+				for j := range ids {
+					id := fmt.Sprintf("T-thr-%d-%d", i, j)
+					process, err := pdl.ParseProcess(id, text)
+					if err != nil {
+						b.Fatal(err)
+					}
+					task := virolab.Task()
+					task.ID = id
+					task.Process = process
+					ids[j] = id
+					if _, err := env.Engine.Submit(engine.Submission{Task: task}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, id := range ids {
+					for {
+						st, err := env.Engine.Task(id)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if st.Status == engine.StatusCompleted {
+							break
+						}
+						if st.Status == engine.StatusFailed || st.Status == engine.StatusCancelled {
+							b.Fatalf("task %s ended %s: %s", id, st.Status, st.Error)
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*burst)/b.Elapsed().Seconds(), "tasks/sec")
 		})
 	}
 }

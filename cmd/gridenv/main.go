@@ -5,11 +5,15 @@
 // Usage:
 //
 //	gridenv [-addr :8080] [-clusters 6] [-smps 3] [-supers 1] [-seed 1]
-//	        [-store state.json]
+//	        [-store state.json] [-workers N]
 //
 // With -store, the persistent storage service loads its state from the file
-// at startup (if present) and saves it on SIGINT/SIGTERM, so checkpoints and
-// archived plans survive restarts.
+// at startup (if present) and saves it on SIGINT/SIGTERM, so checkpoints,
+// archived plans, and the enactment engine's task journal survive restarts.
+// After loading, the engine replays the journal: tasks that were accepted but
+// never started are re-enqueued, tasks interrupted mid-enactment resume from
+// their latest checkpoint, and finished tasks stay queryable. -workers sizes
+// the engine's coordinator worker pool (default: GOMAXPROCS).
 //
 // Try it:
 //
@@ -24,8 +28,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,15 +52,16 @@ func main() {
 		supers   = flag.Int("supers", 1, "supercomputers")
 		seed     = flag.Int64("seed", 1, "grid and planner seed")
 		store    = flag.String("store", "", "persistent storage file (loaded at start, saved on shutdown)")
+		workers  = flag.Int("workers", 0, "enactment worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*addr, *clusters, *smps, *supers, *seed, *store); err != nil {
+	if err := run(*addr, *clusters, *smps, *supers, *seed, *store, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "gridenv:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, clusters, smps, supers int, seed int64, store string) error {
+func run(addr string, clusters, smps, supers int, seed int64, store string, workers int) error {
 	gridCfg := grid.DefaultSyntheticConfig()
 	gridCfg.Clusters = clusters
 	gridCfg.SMPs = smps
@@ -69,6 +76,7 @@ func run(addr string, clusters, smps, supers int, seed int64, store string) erro
 		Planner:     params,
 		PostProcess: virolab.ResolutionHook(nil),
 		Checkpoint:  true,
+		Workers:     workers,
 	})
 	if err != nil {
 		return err
@@ -78,7 +86,15 @@ func run(addr string, clusters, smps, supers int, seed int64, store string) erro
 	if store != "" {
 		if err := env.Services.Storage.Load(store); err == nil {
 			fmt.Printf("loaded persistent storage from %s\n", store)
-		} else if !os.IsNotExist(err) {
+			report, err := env.Engine.Recover()
+			if err != nil {
+				return fmt.Errorf("replaying task journal: %w", err)
+			}
+			if report.Total() > 0 || report.Terminal > 0 {
+				fmt.Printf("journal replayed: %d requeued, %d resumed from checkpoint, %d restarted, %d already finished\n",
+					len(report.Requeued), len(report.Resumed), len(report.Restarted), report.Terminal)
+			}
+		} else if !errors.Is(err, fs.ErrNotExist) {
 			return err
 		}
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -97,7 +98,7 @@ func run(pdlFile string, needPlanning bool, failNode string, trace, checkpoint b
 		fmt.Printf("failure injected: node %s is down\n", failNode)
 	}
 
-	report, err := env.Submit(task)
+	report, err := env.SubmitContext(context.Background(), task, nil)
 	if err != nil {
 		return err
 	}
@@ -109,7 +110,7 @@ func run(pdlFile string, needPlanning bool, failNode string, trace, checkpoint b
 			return err
 		}
 		fmt.Printf("\nresuming from checkpoint v%d (%d executions done)...\n", resumeFrom, snap.Executed)
-		resumed, err := env.Coordinator.Resume(snap)
+		resumed, err := env.Coordinator.ResumeContext(context.Background(), snap, nil)
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -103,9 +104,9 @@ func main() {
 	caseDesc := workflow.NewCase("ens-1", "ensemble case").AddData(initial...)
 	caseDesc.Goal = problem.Goal
 	caseDesc.Deadline = 4000 // soft; generous for this grid, flagged only if overrun
-	report, err := env.Submit(&workflow.Task{
+	report, err := env.SubmitContext(context.Background(), &workflow.Task{
 		ID: "E1", Name: "ensemble", Process: pd, Case: caseDesc,
-	})
+	}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

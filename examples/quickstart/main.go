@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -70,9 +71,9 @@ func main() {
 	caseDesc := workflow.NewCase("quick-1", "quickstart case").
 		AddData(workflow.NewDataItem("input", "raw"))
 	caseDesc.Goal = workflow.NewGoal(`G.Classification = "report"`)
-	report, err := env.Submit(&workflow.Task{
+	report, err := env.SubmitContext(context.Background(), &workflow.Task{
 		ID: "Q1", Name: "quickstart", Process: pd, Case: caseDesc,
-	})
+	}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -79,7 +80,7 @@ func main() {
 	}
 
 	fmt.Println("enacting PD-3DSD; expect a re-plan onto P3DRALT:")
-	report, err := env.Submit(virolab.Task())
+	report, err := env.SubmitContext(context.Background(), virolab.Task(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}

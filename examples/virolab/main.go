@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,7 +53,7 @@ func main() {
 	}
 	defer env.Close()
 
-	report, err := env.Submit(virolab.Task())
+	report, err := env.SubmitContext(context.Background(), virolab.Task(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -60,6 +60,12 @@ type Config struct {
 	// and per-task span traces. Nil disables instrumentation at a nil-check
 	// per record site.
 	Telemetry *telemetry.Registry
+
+	// OnCheckpoint, when set, is invoked after every checkpoint successfully
+	// written to the storage service, with the task ID and the stored
+	// version. The enactment engine uses it to append "checkpointed" records
+	// to its write-ahead task journal.
+	OnCheckpoint func(taskID string, version int)
 }
 
 // TraceEvent records one step of an enactment for inspection.
@@ -166,6 +172,13 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
+// SetCheckpointHook installs (or replaces) the Config.OnCheckpoint callback.
+// Like the Telemetry wiring in core.NewEnvironment, this is only safe before
+// the coordinator receives traffic.
+func (c *Coordinator) SetCheckpointHook(fn func(taskID string, version int)) {
+	c.cfg.OnCheckpoint = fn
+}
+
 // TaskRequest asks the coordination service to enact a task.
 type TaskRequest struct{ Task *workflow.Task }
 
@@ -176,7 +189,7 @@ func (c *Coordinator) handle(ctx *agent.Context, msg agent.Message) {
 		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("coordination: unsupported content %T", msg.Content))
 		return
 	}
-	report, err := c.RunTask(req.Task)
+	report, err := c.RunTaskContext(context.Background(), req.Task, nil)
 	if err != nil {
 		_ = ctx.Reply(msg, agent.Failure, err)
 		return

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/coordination"
+	"repro/internal/engine"
 	"repro/internal/grid"
 	"repro/internal/kb"
 	"repro/internal/pdl"
@@ -56,6 +57,19 @@ type Options struct {
 	// CallTimeout bounds service interactions; zero uses the default.
 	CallTimeout time.Duration
 
+	// Workers sizes the enactment engine's coordinator worker pool — the cap
+	// on concurrent case enactments. 0 means GOMAXPROCS.
+	Workers int
+
+	// QueueCapacity bounds the engine's admission queue; submissions beyond
+	// it fail with engine.ErrQueueFull. 0 means engine.DefaultQueueCapacity.
+	QueueCapacity int
+
+	// RetainFinished bounds how many finished task records the engine keeps
+	// queryable before evicting the oldest. 0 means
+	// engine.DefaultRetainFinished.
+	RetainFinished int
+
 	// Telemetry is the metrics registry threaded through the coordination,
 	// planning, and core services; nil builds a fresh one (so every
 	// environment is observable by default). Set NoTelemetry to run bare.
@@ -73,8 +87,11 @@ type Environment struct {
 	Services    *services.Core
 	Planning    *planning.Service
 	Coordinator *coordination.Coordinator
-	Archive     *kb.Archive
-	Catalog     *workflow.Catalog
+	// Engine is the durable enactment engine: bounded admission queue,
+	// coordinator worker pool, write-ahead task journal, crash recovery.
+	Engine  *engine.Engine
+	Archive *kb.Archive
+	Catalog *workflow.Catalog
 	// Telemetry is the monitoring registry every layer records into; nil
 	// only when Options.NoTelemetry was set.
 	Telemetry *telemetry.Registry
@@ -139,27 +156,48 @@ func NewEnvironment(opts Options) (*Environment, error) {
 		platform.Shutdown()
 		return nil, err
 	}
+	eng, err := engine.New(engine.Config{
+		Coordinator:    coord,
+		Storage:        coreSvcs.Storage,
+		Telemetry:      tel,
+		Workers:        opts.Workers,
+		QueueCapacity:  opts.QueueCapacity,
+		RetainFinished: opts.RetainFinished,
+	})
+	if err != nil {
+		platform.Shutdown()
+		return nil, err
+	}
+	// The engine journals coordinator checkpoints so recovery knows how far
+	// each enactment got.
+	coord.SetCheckpointHook(eng.NoteCheckpoint)
+	eng.Start()
 	return &Environment{
 		Platform:    platform,
 		Grid:        g,
 		Services:    coreSvcs,
 		Planning:    plansvc,
 		Coordinator: coord,
+		Engine:      eng,
 		Archive:     kb.NewArchive(),
 		Catalog:     opts.Catalog,
 		Telemetry:   tel,
 	}, nil
 }
 
-// Close shuts the agent platform down.
-func (e *Environment) Close() { e.Platform.Shutdown() }
+// Close stops the enactment engine (cancelling in-flight work) and shuts the
+// agent platform down.
+func (e *Environment) Close() {
+	e.Engine.Close()
+	e.Platform.Shutdown()
+}
 
 // Submit enacts a task through the coordination service with the default
 // policy and no cancellation.
 //
 // Deprecated: use SubmitContext.
 func (e *Environment) Submit(task *workflow.Task) (*coordination.Report, error) {
-	return e.Coordinator.RunTask(task)
+	return e.Coordinator.RunTaskContext(context.Background(), task, nil)
 }
 
 // SubmitContext enacts a task through the coordination service under the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/planner"
@@ -56,7 +57,7 @@ func TestNewEnvironmentValidation(t *testing.T) {
 
 func TestSubmitFig10Task(t *testing.T) {
 	env := testEnv(t)
-	report, err := env.Submit(virolab.Task())
+	report, err := env.SubmitContext(context.Background(), virolab.Task(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestPlanArchivesAndReturns(t *testing.T) {
 	}
 	// And the planned PD is enactable end to end.
 	task := &workflow.Task{ID: "TP", Name: "planned", Process: pd, Case: virolab.Case()}
-	report, err := env.Submit(task)
+	report, err := env.SubmitContext(context.Background(), task, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestTelemetryWiring(t *testing.T) {
 	}
 	task := &workflow.Task{ID: "T-tel", Name: "telemetry probe",
 		NeedPlanning: true, Case: virolab.Case()}
-	report, err := env.Submit(task)
+	report, err := env.SubmitContext(context.Background(), task, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestNoTelemetry(t *testing.T) {
 	if env.Telemetry != nil {
 		t.Fatal("NoTelemetry still built a registry")
 	}
-	report, err := env.Submit(virolab.Task())
+	report, err := env.SubmitContext(context.Background(), virolab.Task(), nil)
 	if err != nil || !report.Completed {
 		t.Fatalf("bare environment cannot enact: %v %+v", err, report)
 	}

@@ -1,0 +1,747 @@
+// Package engine is the durable enactment engine: the execution-service
+// layer the workflow-platform literature places between the user interface
+// and the coordination service. It owns the task lifecycle end-to-end —
+//
+//   - a bounded admission queue with priority classes and backpressure
+//     (submissions beyond capacity fail fast with ErrQueueFull, which the
+//     HTTP layer surfaces as 429 + Retry-After);
+//   - a pool of N coordinator workers draining the queue, so concurrent
+//     case enactments are capped and scheduled fairly instead of spawning
+//     one goroutine per request;
+//   - a write-ahead task journal: append-only lifecycle records persisted
+//     through the persistent storage service, with snapshot compaction
+//     (see journal.go);
+//   - crash recovery: Recover replays the journal, re-enqueues tasks that
+//     were accepted but never started, and resumes started tasks from their
+//     latest coordination checkpoint (see recover.go).
+//
+// The engine records engine.* metrics and per-task queue/attempt spans into
+// the telemetry registry (OBSERVABILITY.md lists them all).
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/coordination"
+	"repro/internal/telemetry"
+	"repro/internal/workflow"
+)
+
+// Typed engine errors. The HTTP layer maps them to status codes.
+var (
+	// ErrQueueFull signals admission backpressure: the bounded queue is at
+	// capacity and the submission was rejected.
+	ErrQueueFull = errors.New("engine: admission queue full")
+	// ErrUnknownTask is returned for task IDs the engine has never seen.
+	ErrUnknownTask = errors.New("engine: unknown task")
+	// ErrEvicted is returned for finished tasks whose record was dropped by
+	// bounded retention (the journal still holds the compacted outcome).
+	ErrEvicted = errors.New("engine: task record evicted")
+	// ErrDuplicate rejects a submission reusing a known task ID.
+	ErrDuplicate = errors.New("engine: duplicate task")
+	// ErrFinished rejects cancelling a task that already reached a terminal
+	// status.
+	ErrFinished = errors.New("engine: task already finished")
+	// ErrClosed rejects submissions to a closed engine.
+	ErrClosed = errors.New("engine: closed")
+)
+
+// Priority is an admission class. Lower values drain first; within a class
+// the queue is FIFO.
+type Priority int
+
+const (
+	PriorityHigh Priority = iota
+	PriorityNormal
+	PriorityLow
+	numPriorities
+)
+
+// String returns the wire name of the priority class.
+func (p Priority) String() string {
+	switch p {
+	case PriorityHigh:
+		return "high"
+	case PriorityLow:
+		return "low"
+	default:
+		return "normal"
+	}
+}
+
+// ParsePriority maps a wire name to a class; the empty string means normal.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "high":
+		return PriorityHigh, nil
+	case "", "normal":
+		return PriorityNormal, nil
+	case "low":
+		return PriorityLow, nil
+	}
+	return PriorityNormal, fmt.Errorf("engine: unknown priority %q (want high, normal, or low)", s)
+}
+
+// Task status values.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusCompleted = "completed"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// terminal reports whether a status is final.
+func terminal(status string) bool {
+	return status == StatusCompleted || status == StatusFailed || status == StatusCancelled
+}
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultQueueCapacity  = 256
+	DefaultRetainFinished = 1024
+)
+
+// storageAPI is the slice of the persistent storage service the engine
+// journals through; *services.Storage satisfies it.
+type storageAPI interface {
+	Put(key string, value []byte) int
+	Get(key string, version int) (value []byte, ver int, found bool)
+	Keys(prefix string) []string
+	Delete(key string)
+}
+
+// Config wires an engine.
+type Config struct {
+	// Coordinator enacts the tasks; required.
+	Coordinator *coordination.Coordinator
+	// Storage persists the task journal; required.
+	Storage storageAPI
+	// Telemetry receives engine.* metrics and queue/attempt spans; nil
+	// disables instrumentation.
+	Telemetry *telemetry.Registry
+	// Workers is the coordinator worker-pool size — the cap on concurrent
+	// enactments. 0 means GOMAXPROCS.
+	Workers int
+	// QueueCapacity bounds the admission queue (queued tasks, not running
+	// ones). 0 means DefaultQueueCapacity.
+	QueueCapacity int
+	// RetainFinished bounds how many finished task records stay queryable;
+	// older ones are evicted (lookups then return ErrEvicted). 0 means
+	// DefaultRetainFinished.
+	RetainFinished int
+}
+
+// Submission is one task handed to the engine.
+type Submission struct {
+	Task *workflow.Task
+	// Policy is the fault-tolerance policy; nil means the coordinator's
+	// defaults.
+	Policy *coordination.Policy
+	// Priority is the admission class; the zero value is PriorityHigh, so
+	// API layers should parse explicitly (ParsePriority maps "" to normal).
+	Priority Priority
+	// Tenant attributes the task to a submitting principal (accounting
+	// only; admission is shared).
+	Tenant string
+}
+
+// TaskStatus is a point-in-time public view of one task record.
+type TaskStatus struct {
+	ID        string
+	Status    string
+	Priority  Priority
+	Tenant    string
+	Seq       int64
+	Attempt   int
+	Submitted time.Time
+	Finished  time.Time
+	// QueuePosition is the 1-based position among queued tasks (all
+	// classes, drain order); 0 once the task left the queue.
+	QueuePosition int
+	// QueueWait is the real time the task spent queued, in seconds (set
+	// when it starts running).
+	QueueWait float64
+	Error     string
+	Report    *coordination.Report
+	Policy    coordination.Policy
+}
+
+// Stats is the queue/worker snapshot behind GET /api/v1/queue.
+type Stats struct {
+	Capacity      int            `json:"capacity"`
+	Depth         int            `json:"depth"`
+	DepthByClass  map[string]int `json:"depthByClass"`
+	Workers       int            `json:"workers"`
+	Busy          int            `json:"busy"`
+	Running       int            `json:"running"`
+	Accepted      int64          `json:"accepted"`
+	Rejected      int64          `json:"rejected"`
+	RetryAfterSec int            `json:"retryAfterSec"`
+}
+
+// record is the engine's internal per-task state.
+type record struct {
+	id        string
+	seq       int64
+	priority  Priority
+	tenant    string
+	status    string
+	attempt   int
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	queueWait float64
+	err       string
+	report    *coordination.Report
+	policy    coordination.Policy
+	env       *TaskEnvelope
+	// resume holds the checkpoint snapshot a recovered task continues from;
+	// nil for fresh runs.
+	resume *coordination.CheckpointData
+	// runCtx/cancel scope the running enactment; nil unless running.
+	runCtx context.Context
+	cancel context.CancelFunc
+}
+
+// Engine is the durable enactment engine. Create with New, then Start the
+// worker pool; Close stops it.
+type Engine struct {
+	cfg   Config
+	coord *coordination.Coordinator
+	store storageAPI
+	tel   *telemetry.Registry
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [numPriorities][]*record
+	queued  int
+	records map[string]*record
+	// finished is the eviction ring: finished task IDs in completion order.
+	finished []string
+	evicted  map[string]bool
+	closed   bool
+	seq      int64
+
+	wg      sync.WaitGroup
+	started atomic.Bool
+	busy    atomic.Int64
+	running atomic.Int64
+
+	mAccepted, mRejected                 *telemetry.Counter
+	mCompleted, mFailed, mCancelled      *telemetry.Counter
+	mRequeued, mResumed, mRestarted      *telemetry.Counter
+	mJournalRecords, mJournalCompactions *telemetry.Counter
+	gDepth, gBusy                        *telemetry.Gauge
+	hWait, hRun                          *telemetry.Histogram
+}
+
+// New builds an engine over a coordinator and the persistent storage
+// service. Call Start to spin up the worker pool.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Coordinator == nil || cfg.Storage == nil {
+		return nil, fmt.Errorf("engine: coordinator and storage are required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = DefaultQueueCapacity
+	}
+	if cfg.RetainFinished <= 0 {
+		cfg.RetainFinished = DefaultRetainFinished
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:        cfg,
+		coord:      cfg.Coordinator,
+		store:      cfg.Storage,
+		tel:        cfg.Telemetry,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		records:    make(map[string]*record),
+		evicted:    make(map[string]bool),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	tel := cfg.Telemetry
+	e.mAccepted = tel.Counter("engine.admission.accepted")
+	e.mRejected = tel.Counter("engine.admission.rejected")
+	e.mCompleted = tel.Counter("engine.tasks.completed")
+	e.mFailed = tel.Counter("engine.tasks.failed")
+	e.mCancelled = tel.Counter("engine.tasks.cancelled")
+	e.mRequeued = tel.Counter("engine.recovery.requeued")
+	e.mResumed = tel.Counter("engine.recovery.resumed")
+	e.mRestarted = tel.Counter("engine.recovery.restarted")
+	e.mJournalRecords = tel.Counter("engine.journal.records")
+	e.mJournalCompactions = tel.Counter("engine.journal.compactions")
+	e.gDepth = tel.Gauge("engine.queue.depth")
+	e.gBusy = tel.Gauge("engine.workers.busy")
+	e.hWait = tel.Histogram("engine.queue.wait.seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60, 300})
+	e.hRun = tel.Histogram("engine.run.seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60, 300})
+	return e, nil
+}
+
+// Start launches the worker pool. Idempotent.
+func (e *Engine) Start() {
+	if e.started.Swap(true) {
+		return
+	}
+	e.wg.Add(e.cfg.Workers)
+	for i := 0; i < e.cfg.Workers; i++ {
+		go e.worker()
+	}
+}
+
+// Close stops the engine: no further admissions, in-flight enactments are
+// cancelled, and the worker pool drains. Queued tasks that never started are
+// cancelled too (their journals record it, so a restart does not resurrect
+// deliberately stopped work).
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	var drained []*record
+	for p := range e.queues {
+		drained = append(drained, e.queues[p]...)
+		e.queues[p] = nil
+	}
+	e.queued = 0
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	e.baseCancel()
+	for _, rec := range drained {
+		e.finish(rec, StatusCancelled, nil, "engine closed before the task started")
+	}
+	e.gDepth.Set(0)
+	if e.started.Load() {
+		e.wg.Wait()
+	}
+}
+
+// Workers returns the configured worker-pool size.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Submit admits a task: the accepted record is journaled (write-ahead), the
+// task enters its priority class's FIFO, and the returned status carries the
+// queue position. Fails fast with ErrQueueFull beyond capacity, ErrDuplicate
+// for reused IDs, or the task's own validation error.
+func (e *Engine) Submit(sub Submission) (TaskStatus, error) {
+	if sub.Task == nil {
+		return TaskStatus{}, fmt.Errorf("engine: nil task")
+	}
+	if err := sub.Task.Validate(); err != nil {
+		return TaskStatus{}, err
+	}
+	if err := sub.Policy.Validate(); err != nil {
+		return TaskStatus{}, err
+	}
+	if sub.Priority < PriorityHigh || sub.Priority >= numPriorities {
+		return TaskStatus{}, fmt.Errorf("engine: invalid priority %d", sub.Priority)
+	}
+	env, err := envelope(sub.Task, sub.Policy)
+	if err != nil {
+		return TaskStatus{}, err
+	}
+	resolved := e.coord.ResolvePolicy(sub.Policy)
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return TaskStatus{}, ErrClosed
+	}
+	id := sub.Task.ID
+	if _, dup := e.records[id]; dup || e.evicted[id] {
+		e.mu.Unlock()
+		return TaskStatus{}, fmt.Errorf("%w: %s", ErrDuplicate, id)
+	}
+	if e.queued >= e.cfg.QueueCapacity {
+		e.mu.Unlock()
+		e.mRejected.Inc()
+		return TaskStatus{}, fmt.Errorf("%w: capacity %d", ErrQueueFull, e.cfg.QueueCapacity)
+	}
+	e.seq++
+	rec := &record{
+		id:        id,
+		seq:       e.seq,
+		priority:  sub.Priority,
+		tenant:    sub.Tenant,
+		status:    StatusQueued,
+		submitted: time.Now(),
+		policy:    resolved,
+		env:       env,
+	}
+	// Write-ahead: the accepted record is durable before the task is
+	// visible in the queue, so a crash between here and the first worker
+	// pickup still re-enqueues it on recovery.
+	e.journalAppend(JournalRecord{
+		Event: EventAccepted, TaskID: id, Seq: rec.seq,
+		Priority: int(rec.priority), Tenant: rec.tenant, Task: env,
+	})
+	e.records[id] = rec
+	e.queues[rec.priority] = append(e.queues[rec.priority], rec)
+	e.queued++
+	pos := e.positionLocked(rec)
+	depth := e.queued
+	e.cond.Signal()
+	status := e.statusLocked(rec)
+	e.mu.Unlock()
+
+	e.mAccepted.Inc()
+	e.gDepth.Set(float64(depth))
+	e.tel.TaskTrace(id).Span("queue", "", fmt.Sprintf("admitted at position %d (%s priority)", pos, rec.priority))
+	return status, nil
+}
+
+// enqueueRecovered re-admits a recovered task, bypassing the capacity check:
+// it was accepted in a previous life, so the admission promise stands even
+// if the queue is momentarily over capacity.
+func (e *Engine) enqueueRecovered(rec *record) {
+	e.mu.Lock()
+	rec.status = StatusQueued
+	e.records[rec.id] = rec
+	if rec.seq > e.seq {
+		e.seq = rec.seq
+	}
+	e.queues[rec.priority] = append(e.queues[rec.priority], rec)
+	e.queued++
+	depth := e.queued
+	e.cond.Signal()
+	e.mu.Unlock()
+	e.gDepth.Set(float64(depth))
+}
+
+// next blocks until a task is available or the engine closes; it pops the
+// head of the highest non-empty priority class and transitions it to
+// running.
+func (e *Engine) next() *record {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.queued > 0 {
+			for p := range e.queues {
+				if len(e.queues[p]) == 0 {
+					continue
+				}
+				rec := e.queues[p][0]
+				e.queues[p] = e.queues[p][1:]
+				e.queued--
+				rec.status = StatusRunning
+				rec.attempt++
+				rec.started = time.Now()
+				rec.queueWait = rec.started.Sub(rec.submitted).Seconds()
+				ctx, cancel := context.WithCancel(e.baseCtx)
+				rec.cancel = cancel
+				rec.runCtx = ctx
+				e.gDepth.Set(float64(e.queued))
+				return rec
+			}
+		}
+		if e.closed {
+			return nil
+		}
+		e.cond.Wait()
+	}
+}
+
+// worker is one coordinator worker: it drains the queue until Close.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		rec := e.next()
+		if rec == nil {
+			return
+		}
+		e.run(rec)
+	}
+}
+
+// run executes one attempt of a task: journal "started", enact (fresh or
+// resumed from checkpoint), then journal the terminal event and compact.
+func (e *Engine) run(rec *record) {
+	e.busy.Add(1)
+	e.running.Add(1)
+	e.gBusy.Set(float64(e.busy.Load()))
+	defer func() {
+		e.busy.Add(-1)
+		e.running.Add(-1)
+		e.gBusy.Set(float64(e.busy.Load()))
+	}()
+
+	e.journalAppend(JournalRecord{Event: EventStarted, TaskID: rec.id, Attempt: rec.attempt})
+	e.hWait.Observe(rec.queueWait)
+	e.tel.TaskTrace(rec.id).Span("attempt", "", fmt.Sprintf("attempt %d after %.3fs queued", rec.attempt, rec.queueWait))
+
+	ctx := rec.runCtx
+	var report *coordination.Report
+	var err error
+	if rec.resume != nil {
+		report, err = e.coord.ResumeContext(ctx, rec.resume, rec.env.Policy)
+	} else {
+		var task *workflow.Task
+		task, err = rec.env.task()
+		if err == nil {
+			report, err = e.coord.RunTaskContext(ctx, task, rec.env.Policy)
+		}
+	}
+	e.hRun.Observe(time.Since(rec.started).Seconds())
+
+	status := StatusCompleted
+	switch {
+	case report != nil && report.Cancelled:
+		status = StatusCancelled
+	case err != nil:
+		status = StatusFailed
+	}
+	errText := ""
+	if err != nil {
+		errText = err.Error()
+	}
+	e.finish(rec, status, report, errText)
+}
+
+// finish records a terminal transition: journal + compaction, record update,
+// retention eviction, metrics.
+func (e *Engine) finish(rec *record, status string, report *coordination.Report, errText string) {
+	e.journalAppend(JournalRecord{Event: terminalEvent(status), TaskID: rec.id, Attempt: rec.attempt, Error: errText})
+	e.compact(JournalRecord{
+		TaskID: rec.id, Seq: rec.seq, Attempt: rec.attempt,
+		Priority: int(rec.priority), Tenant: rec.tenant,
+		Status: status, Error: errText,
+	})
+
+	e.mu.Lock()
+	rec.status = status
+	rec.err = errText
+	rec.report = report
+	rec.finished = time.Now()
+	rec.cancel = nil
+	rec.runCtx = nil
+	e.finished = append(e.finished, rec.id)
+	for len(e.finished) > e.cfg.RetainFinished {
+		oldest := e.finished[0]
+		e.finished = e.finished[1:]
+		delete(e.records, oldest)
+		e.evicted[oldest] = true
+	}
+	e.mu.Unlock()
+
+	switch status {
+	case StatusCompleted:
+		e.mCompleted.Inc()
+	case StatusFailed:
+		e.mFailed.Inc()
+	case StatusCancelled:
+		e.mCancelled.Inc()
+	}
+}
+
+// terminalEvent maps a terminal status to its journal event.
+func terminalEvent(status string) string {
+	switch status {
+	case StatusFailed:
+		return EventFailed
+	case StatusCancelled:
+		return EventCancelled
+	default:
+		return EventCompleted
+	}
+}
+
+// NoteCheckpoint is the coordination.Config.OnCheckpoint hook: it journals
+// checkpoint progress for tasks the engine owns (direct coordinator use
+// outside the engine is ignored).
+func (e *Engine) NoteCheckpoint(taskID string, version int) {
+	e.mu.Lock()
+	rec := e.records[taskID]
+	owned := rec != nil && rec.status == StatusRunning
+	e.mu.Unlock()
+	if !owned {
+		return
+	}
+	if ver := e.journalAppend(JournalRecord{Event: EventCheckpointed, TaskID: taskID, CheckpointVersion: version}); ver > maxJournalVersions {
+		e.compact(JournalRecord{
+			TaskID: taskID, Seq: rec.seq, Attempt: rec.attempt,
+			Priority: int(rec.priority), Tenant: rec.tenant,
+			Status: StatusRunning, CheckpointVersion: version, Task: rec.env,
+		})
+	}
+}
+
+// Cancel stops a task. Queued tasks are cancelled immediately (removed from
+// the queue, terminal journal record written); running tasks get their
+// context cancelled and unwind asynchronously. Returns the resulting status
+// ("cancelled" or "cancelling"), ErrFinished for terminal tasks, ErrEvicted
+// or ErrUnknownTask otherwise.
+func (e *Engine) Cancel(id string) (string, error) {
+	e.mu.Lock()
+	rec := e.records[id]
+	if rec == nil {
+		evicted := e.evicted[id]
+		e.mu.Unlock()
+		if evicted {
+			return "", ErrEvicted
+		}
+		return "", ErrUnknownTask
+	}
+	switch rec.status {
+	case StatusQueued:
+		q := e.queues[rec.priority]
+		for i, r := range q {
+			if r == rec {
+				e.queues[rec.priority] = append(q[:i:i], q[i+1:]...)
+				e.queued--
+				break
+			}
+		}
+		depth := e.queued
+		e.mu.Unlock()
+		e.gDepth.Set(float64(depth))
+		e.finish(rec, StatusCancelled, nil, "cancelled while queued")
+		return StatusCancelled, nil
+	case StatusRunning:
+		cancel := rec.cancel
+		e.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return "cancelling", nil
+	default:
+		e.mu.Unlock()
+		return "", fmt.Errorf("%w: %s is %s", ErrFinished, id, rec.status)
+	}
+}
+
+// Task returns the public view of one task, ErrEvicted for records dropped
+// by retention, or ErrUnknownTask.
+func (e *Engine) Task(id string) (TaskStatus, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rec := e.records[id]
+	if rec == nil {
+		if e.evicted[id] {
+			return TaskStatus{}, ErrEvicted
+		}
+		return TaskStatus{}, ErrUnknownTask
+	}
+	return e.statusLocked(rec), nil
+}
+
+// Tasks returns every live record in admission order.
+func (e *Engine) Tasks() []TaskStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]TaskStatus, 0, len(e.records))
+	for _, rec := range e.records {
+		out = append(out, e.statusLocked(rec))
+	}
+	sortStatuses(out)
+	return out
+}
+
+// Stats snapshots the queue and worker pool.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	byClass := make(map[string]int, numPriorities)
+	for p := range e.queues {
+		byClass[Priority(p).String()] = len(e.queues[p])
+	}
+	depth := e.queued
+	e.mu.Unlock()
+	busy := int(e.busy.Load())
+	return Stats{
+		Capacity:      e.cfg.QueueCapacity,
+		Depth:         depth,
+		DepthByClass:  byClass,
+		Workers:       e.cfg.Workers,
+		Busy:          busy,
+		Running:       int(e.running.Load()),
+		Accepted:      e.mAccepted.Value(),
+		Rejected:      e.mRejected.Value(),
+		RetryAfterSec: e.retryAfterSeconds(depth),
+	}
+}
+
+// RetryAfterSeconds estimates how long a rejected client should wait before
+// resubmitting: the mean observed run time times the queue backlog per
+// worker, clamped to [1, 60] seconds.
+func (e *Engine) RetryAfterSeconds() int {
+	e.mu.Lock()
+	depth := e.queued
+	e.mu.Unlock()
+	return e.retryAfterSeconds(depth)
+}
+
+func (e *Engine) retryAfterSeconds(depth int) int {
+	mean := 0.1
+	if n := e.hRun.Count(); n > 0 {
+		mean = e.hRun.Sum() / float64(n)
+	}
+	est := int(mean * float64(depth+1) / float64(e.cfg.Workers))
+	if est < 1 {
+		est = 1
+	}
+	if est > 60 {
+		est = 60
+	}
+	return est
+}
+
+// statusLocked builds the public view; caller holds e.mu.
+func (e *Engine) statusLocked(rec *record) TaskStatus {
+	s := TaskStatus{
+		ID:        rec.id,
+		Status:    rec.status,
+		Priority:  rec.priority,
+		Tenant:    rec.tenant,
+		Seq:       rec.seq,
+		Attempt:   rec.attempt,
+		Submitted: rec.submitted,
+		Finished:  rec.finished,
+		QueueWait: rec.queueWait,
+		Error:     rec.err,
+		Report:    rec.report,
+		Policy:    rec.policy,
+	}
+	if rec.status == StatusQueued {
+		s.QueuePosition = e.positionLocked(rec)
+	}
+	return s
+}
+
+// positionLocked returns a queued record's 1-based drain position across all
+// classes; caller holds e.mu.
+func (e *Engine) positionLocked(rec *record) int {
+	pos := 0
+	for p := 0; p <= int(rec.priority); p++ {
+		for _, r := range e.queues[p] {
+			pos++
+			if r == rec {
+				return pos
+			}
+		}
+	}
+	return 0
+}
+
+// sortStatuses orders by admission sequence (insertion sort; listings are
+// small and mostly sorted already).
+func sortStatuses(s []TaskStatus) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1].Seq > s[j].Seq; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

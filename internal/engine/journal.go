@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/coordination"
+	"repro/internal/expr"
+	"repro/internal/workflow"
+)
+
+// Journal event names. Every lifecycle transition of a task appends one
+// record to the task's journal key before (write-ahead) or immediately after
+// the transition takes effect, so a crashed engine can reconstruct where
+// every task stood from the persistent storage service alone.
+const (
+	EventAccepted     = "accepted"     // admitted to the queue; carries the full task envelope
+	EventStarted      = "started"      // a worker began attempt N
+	EventCheckpointed = "checkpointed" // the coordinator wrote checkpoint version V
+	EventCompleted    = "completed"    // enactment finished (goal met or not; see Status)
+	EventFailed       = "failed"       // enactment returned an error
+	EventCancelled    = "cancelled"    // cancelled while queued or running
+	EventSnapshot     = "snapshot"     // compaction record replacing older history
+)
+
+// JournalKey returns the storage key of a task's journal. Each journal
+// record is one version of this key, so the storage service's versioning is
+// the append-only log.
+func JournalKey(taskID string) string { return "journal/" + taskID }
+
+// JournalPrefix is the storage key prefix shared by all task journals.
+const JournalPrefix = "journal/"
+
+// JournalRecord is one append-only lifecycle record.
+type JournalRecord struct {
+	Event  string `json:"event"`
+	TaskID string `json:"taskId"`
+	// Seq is the admission sequence number (on accepted/snapshot records);
+	// recovery re-enqueues tasks in this order.
+	Seq int64 `json:"seq,omitempty"`
+	// Attempt is the 1-based execution attempt (on started records and on
+	// terminal records).
+	Attempt  int    `json:"attempt,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	Tenant   string `json:"tenant,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// CheckpointVersion is the coordination checkpoint version (on
+	// checkpointed records and snapshots of started tasks).
+	CheckpointVersion int `json:"checkpointVersion,omitempty"`
+	// Task is the serialized submission (on accepted records and on
+	// snapshots of non-terminal tasks); recovery re-creates the workflow
+	// task from it.
+	Task *TaskEnvelope `json:"task,omitempty"`
+	// Status is the effective task status (on snapshot records only).
+	Status string `json:"status,omitempty"`
+}
+
+// TaskEnvelope is the durable, self-contained form of a submission: enough
+// to rebuild the workflow.Task (and its resolved policy) after a crash.
+type TaskEnvelope struct {
+	ID           string               `json:"id"`
+	Name         string               `json:"name,omitempty"`
+	NeedPlanning bool                 `json:"needPlanning,omitempty"`
+	Process      json.RawMessage      `json:"process,omitempty"`
+	Items        []EnvelopeItem       `json:"items,omitempty"`
+	Goal         []string             `json:"goal,omitempty"`
+	ResultSet    []string             `json:"resultSet,omitempty"`
+	Constraints  map[string]string    `json:"constraints,omitempty"`
+	Deadline     float64              `json:"deadline,omitempty"`
+	Policy       *coordination.Policy `json:"policy,omitempty"`
+}
+
+// EnvelopeItem is one serialized initial data item.
+type EnvelopeItem struct {
+	Name  string                `json:"name"`
+	Props map[string]expr.Value `json:"props"`
+}
+
+// envelope serializes a submission for the journal.
+func envelope(task *workflow.Task, pol *coordination.Policy) (*TaskEnvelope, error) {
+	env := &TaskEnvelope{
+		ID:           task.ID,
+		Name:         task.Name,
+		NeedPlanning: task.NeedPlanning,
+		Policy:       pol,
+	}
+	if task.Process != nil {
+		raw, err := task.Process.MarshalJSON()
+		if err != nil {
+			return nil, fmt.Errorf("engine: marshal process of task %s: %w", task.ID, err)
+		}
+		env.Process = raw
+	}
+	if c := task.Case; c != nil {
+		env.Goal = append([]string(nil), c.Goal.Conditions...)
+		env.ResultSet = append([]string(nil), c.ResultSet...)
+		env.Deadline = c.Deadline
+		if len(c.Constraints) > 0 {
+			env.Constraints = make(map[string]string, len(c.Constraints))
+			for k, v := range c.Constraints {
+				env.Constraints[k] = v
+			}
+		}
+		for _, item := range c.InitialData {
+			env.Items = append(env.Items, EnvelopeItem{Name: item.Name, Props: item.Props})
+		}
+	}
+	return env, nil
+}
+
+// task rebuilds the workflow task from its durable envelope.
+func (te *TaskEnvelope) task() (*workflow.Task, error) {
+	c := workflow.NewCase(te.ID, te.Name)
+	c.Goal = workflow.NewGoal(te.Goal...)
+	c.ResultSet = append([]string(nil), te.ResultSet...)
+	c.Deadline = te.Deadline
+	for k, v := range te.Constraints {
+		c.SetConstraint(k, v)
+	}
+	for _, it := range te.Items {
+		c.AddData(&workflow.DataItem{Name: it.Name, Props: it.Props})
+	}
+	task := &workflow.Task{ID: te.ID, Name: te.Name, Case: c, NeedPlanning: te.NeedPlanning}
+	if len(te.Process) > 0 {
+		pd, err := workflow.DecodeProcess(te.Process)
+		if err != nil {
+			return nil, fmt.Errorf("engine: journaled process of task %s corrupt: %w", te.ID, err)
+		}
+		task.Process = pd
+	}
+	return task, nil
+}
+
+// maxJournalVersions bounds a task's journal length before mid-run
+// compaction folds the history into one snapshot record (long enactments
+// append one "checkpointed" record per dispatch batch).
+const maxJournalVersions = 64
+
+// journalAppend appends one record to the task's journal and triggers
+// compaction when the log outgrows maxJournalVersions. The caller must NOT
+// hold e.mu when the record belongs to a running task it owns; per-task
+// journal keys have a single writer at any time (admission before the task
+// is queued, then its worker), so appends never race.
+func (e *Engine) journalAppend(rec JournalRecord) int {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		// Records are built from plain serializable fields; a marshal
+		// failure is a programming error, not a runtime condition.
+		panic(fmt.Sprintf("engine: journal record marshal: %v", err))
+	}
+	ver := e.store.Put(JournalKey(rec.TaskID), data)
+	e.mJournalRecords.Inc()
+	return ver
+}
+
+// compact replaces a task's journal history with a single snapshot record
+// describing its effective state. Terminal tasks compact to a bare status;
+// live tasks keep their envelope and checkpoint cursor so recovery still
+// works from the compacted form.
+func (e *Engine) compact(snapshot JournalRecord) {
+	snapshot.Event = EventSnapshot
+	data, err := json.Marshal(snapshot)
+	if err != nil {
+		panic(fmt.Sprintf("engine: journal snapshot marshal: %v", err))
+	}
+	e.store.Delete(JournalKey(snapshot.TaskID))
+	e.store.Put(JournalKey(snapshot.TaskID), data)
+	e.mJournalCompactions.Inc()
+}
+
+// ReadJournal returns every journal record of a task in append order,
+// reading directly from a storage service instance. Used by recovery, tests,
+// and operational tooling.
+func ReadJournal(store storageAPI, taskID string) ([]JournalRecord, error) {
+	_, latest, found := store.Get(JournalKey(taskID), 0)
+	if !found {
+		return nil, nil
+	}
+	out := make([]JournalRecord, 0, latest)
+	for v := 1; v <= latest; v++ {
+		raw, _, ok := store.Get(JournalKey(taskID), v)
+		if !ok {
+			return nil, fmt.Errorf("engine: journal of task %s missing version %d", taskID, v)
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("engine: journal of task %s version %d corrupt: %w", taskID, v, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package engine_test
+
+import (
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workflow"
+)
+
+// TestCrashRecovery is the kill-and-restart acceptance scenario: a burst of
+// tasks is submitted to a single-worker engine with checkpointing on; the
+// first task is stopped mid-enactment (after its first checkpoint, inside
+// its second dispatch batch) and the storage service is snapshotted to disk
+// — the simulated crash. A brand-new environment loads the same store file,
+// replays the journal, resumes the interrupted task from its checkpoint, and
+// re-enqueues the never-started ones. Every task must end completed, no
+// journal entry may stay non-terminal, and no activity past the last
+// checkpoint may be enacted twice (counted via the post-process hook).
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crash/recovery cycle in -short mode")
+	}
+	store := filepath.Join(t.TempDir(), "state.json")
+	ids := []string{"T-run", "T-q1", "T-q2", "T-q3"}
+
+	// First life. The hook blocks at the second activity of the first task:
+	// by then checkpoint v1 (after batch one, the POD) exists, and batch two
+	// (the FORK of two P3DRs) is in flight and NOT checkpointed.
+	midway := make(chan struct{})
+	crashed := make(chan struct{})
+	var calls1 atomic.Int64
+	env1 := newEnv(t, func(opts *core.Options) {
+		opts.Workers = 1
+		opts.Checkpoint = true
+		opts.PostProcess = func(*workflow.Activity, []*workflow.DataItem, int) {
+			if calls1.Add(1) == 2 {
+				close(midway)
+				<-crashed
+			}
+		}
+	})
+	for _, id := range ids {
+		if _, err := env1.Engine.Submit(engine.Submission{Task: forkTask(t, id), Priority: engine.PriorityNormal}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-midway:
+	case <-time.After(30 * time.Second):
+		t.Fatal("first task never reached its second activity")
+	}
+	// Snapshot the storage service mid-enactment — this file is the state a
+	// crash would leave behind — then let the doomed environment unwind.
+	if err := env1.Services.Storage.Save(store); err != nil {
+		t.Fatal(err)
+	}
+	close(crashed)
+	env1.Close()
+
+	// Second life: fresh platform, agents, coordinator, engine. Load the
+	// crashed state and replay the journal.
+	var calls2 atomic.Int64
+	env2 := newEnv(t, func(opts *core.Options) {
+		opts.Workers = 1
+		opts.Checkpoint = true
+		opts.PostProcess = func(*workflow.Activity, []*workflow.DataItem, int) { calls2.Add(1) }
+	})
+	if err := env2.Services.Storage.Load(store); err != nil {
+		t.Fatal(err)
+	}
+	report, err := env2.Engine.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Resumed) != 1 || report.Resumed[0] != "T-run" {
+		t.Errorf("resumed = %v, want [T-run]", report.Resumed)
+	}
+	if len(report.Requeued) != 3 {
+		t.Errorf("requeued = %v, want the three never-started tasks", report.Requeued)
+	}
+	if len(report.Restarted) != 0 || report.Terminal != 0 {
+		t.Errorf("report = %+v", report)
+	}
+
+	for _, id := range ids {
+		st := waitTerminal(t, env2.Engine, id)
+		if st.Status != engine.StatusCompleted {
+			t.Errorf("task %s = %+v", id, st)
+		}
+		if st.Report == nil || st.Report.Executed != forkActivities {
+			t.Errorf("task %s report = %+v, want %d executed", id, st.Report, forkActivities)
+		}
+	}
+
+	// No double enactment past the checkpoint: the resumed task replays only
+	// its unfinished second batch (2 activities — the blocked P3DR's effects
+	// were never checkpointed), the three requeued tasks run in full.
+	wantCalls := int64(forkActivities - 1 + 3*forkActivities)
+	if got := calls2.Load(); got != wantCalls {
+		t.Errorf("second-life activity executions = %d, want %d", got, wantCalls)
+	}
+
+	// No orphaned journal entries: every journal has collapsed to a single
+	// terminal snapshot.
+	for _, id := range ids {
+		recs, err := engine.ReadJournal(env2.Services.Storage, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].Event != engine.EventSnapshot || recs[0].Status != engine.StatusCompleted {
+			t.Errorf("journal of %s = %+v, want one completed snapshot", id, recs)
+		}
+	}
+
+	// Recovery telemetry moved.
+	snap := env2.Telemetry.Snapshot()
+	if snap.Counters["engine.recovery.resumed"] != 1 || snap.Counters["engine.recovery.requeued"] != 3 {
+		t.Errorf("recovery counters = %v", snap.Counters)
+	}
+	// Resumed task ran attempt 2; a trace span records the recovery.
+	st, err := env2.Engine.Task("T-run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Attempt != 2 {
+		t.Errorf("resumed task attempt = %d, want 2", st.Attempt)
+	}
+}
+
+// TestRecoverIdempotent replays a journal of already-finished tasks: their
+// records are restored for lookups and nothing re-runs.
+func TestRecoverIdempotent(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "state.json")
+	env1 := newEnv(t, func(opts *core.Options) { opts.Workers = 1 })
+	if _, err := env1.Engine.Submit(engine.Submission{Task: forkTask(t, "T-done"), Priority: engine.PriorityNormal}); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, env1.Engine, "T-done")
+	if err := env1.Services.Storage.Save(store); err != nil {
+		t.Fatal(err)
+	}
+	env1.Close()
+
+	env2 := newEnv(t, func(opts *core.Options) { opts.Workers = 1 })
+	if err := env2.Services.Storage.Load(store); err != nil {
+		t.Fatal(err)
+	}
+	report, err := env2.Engine.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total() != 0 || report.Terminal != 1 {
+		t.Fatalf("report = %+v, want one terminal task and nothing requeued", report)
+	}
+	st, err := env2.Engine.Task("T-done")
+	if err != nil || st.Status != engine.StatusCompleted {
+		t.Fatalf("restored record = %+v, %v", st, err)
+	}
+	// A second replay on the warm engine skips the known record.
+	again, err := env2.Engine.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Total() != 0 || again.Terminal != 0 {
+		t.Errorf("second replay = %+v, want nothing", again)
+	}
+}

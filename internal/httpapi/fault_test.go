@@ -38,6 +38,12 @@ func forkSubmission(id string) TaskSubmission {
 	return sub
 }
 
+// settled reports a terminal task status (a task now passes through "queued"
+// before "running", so polls wait for an actual outcome).
+func settled(s string) bool {
+	return s == "completed" || s == "failed" || s == "cancelled"
+}
+
 func pollStatus(t *testing.T, url string, done func(string) bool) TaskView {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
@@ -136,7 +142,7 @@ func TestSubmitPolicyEcho(t *testing.T) {
 		t.Errorf("backoffCapMS = %g, want 300000", accepted.Policy.BackoffCapMS)
 	}
 
-	view := pollStatus(t, ts.URL+"/api/v1/tasks/T-pol", func(s string) bool { return s != "running" })
+	view := pollStatus(t, ts.URL+"/api/v1/tasks/T-pol", settled)
 	if view.Status != "completed" {
 		t.Fatalf("task = %+v", view)
 	}
@@ -161,7 +167,7 @@ func TestSubmitWithFaultsReportsRetries(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/api/v1/tasks", sub, nil); code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
-	view := pollStatus(t, ts.URL+"/api/v1/tasks/T-faulty", func(st string) bool { return st != "running" })
+	view := pollStatus(t, ts.URL+"/api/v1/tasks/T-faulty", settled)
 	if view.Status != "completed" {
 		t.Fatalf("task = %+v", view)
 	}
@@ -232,7 +238,7 @@ func TestTaskCancelEndpoint(t *testing.T) {
 	}
 	close(release)
 
-	view := pollStatus(t, ts.URL+"/api/v1/tasks/T-cxl", func(s string) bool { return s != "running" })
+	view := pollStatus(t, ts.URL+"/api/v1/tasks/T-cxl", settled)
 	if view.Status != "cancelled" {
 		t.Fatalf("post-cancel view = %+v", view)
 	}

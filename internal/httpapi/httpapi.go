@@ -15,11 +15,12 @@
 //	GET  /api/v1/containers             application containers
 //	GET  /api/v1/services               the end-user service catalog
 //	GET  /api/v1/classes                resource equivalence classes
-//	POST /api/v1/tasks                  submit a task (async); returns its ID
-//	GET  /api/v1/tasks                  list tasks, submission order (paginated)
+//	POST /api/v1/tasks                  submit a task to the enactment engine
+//	GET  /api/v1/tasks                  list tasks, admission order (paginated)
 //	GET  /api/v1/tasks/{id}             task status / final report
-//	DELETE /api/v1/tasks/{id}           cancel a running task
+//	DELETE /api/v1/tasks/{id}           cancel a queued or running task
 //	GET  /api/v1/tasks/{id}/trace       the task's telemetry span log
+//	GET  /api/v1/queue                  enactment engine queue / worker stats
 //	GET  /api/v1/plans                  archived plan names
 //	GET  /api/v1/plans/{name}           latest archived revision (PDL text)
 //	GET  /api/v1/ontology/{name}        knowledge base JSON
@@ -30,6 +31,12 @@
 // result as {"items": [...], "total": N, "limit": L, "offset": O}; limit -1
 // (the default) means unlimited.
 //
+// Task submissions go through the durable enactment engine: they are
+// journaled, queued (per-priority FIFO), and enacted by the engine's worker
+// pool. A full queue answers 429 queue_full with a Retry-After header;
+// finished records eventually age out of retention and answer 404
+// task_evicted.
+//
 // Every response carries an X-Request-Id header. Errors share one envelope:
 // {"error": {"code": "...", "message": "..."}, "requestId": "..."} — also
 // for unknown paths (404) and wrong methods (405), which stdlib muxes would
@@ -37,8 +44,8 @@
 package httpapi
 
 import (
-	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -51,6 +58,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/coordination"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/grid"
 	"repro/internal/pdl"
@@ -68,32 +76,15 @@ type Server struct {
 	// mounted to redirect or silence it.
 	Logger *log.Logger
 
-	reqSeq  atomic.Int64 // request ID counter
-	taskSeq atomic.Int64 // task submission order
+	reqSeq atomic.Int64 // request ID counter
 
 	mu     sync.Mutex
-	tasks  map[string]*taskRecord
 	client *agent.Context // the UI's own agent, registered lazily
-}
-
-type taskRecord struct {
-	ID        string
-	Seq       int64 // submission order, for stable listing
-	Submitted time.Time
-	Status    string // "running", "completed", "failed", "cancelled"
-	Error     string
-	Report    *coordination.Report
-	// Policy is the resolved fault-tolerance policy the task runs under;
-	// nil for records that predate submission (tests inject those).
-	Policy *coordination.Policy
-	// cancel aborts the running enactment (DELETE /tasks/{id}); nil once the
-	// task finished or for injected records.
-	cancel context.CancelFunc
 }
 
 // New builds a server over the environment.
 func New(env *core.Environment) *Server {
-	return &Server{env: env, Logger: log.Default(), tasks: make(map[string]*taskRecord)}
+	return &Server{env: env, Logger: log.Default()}
 }
 
 // --- routing ---------------------------------------------------------------
@@ -120,6 +111,7 @@ func (s *Server) routes() []route {
 		{http.MethodGet, "/tasks/{id}", s.handleTaskGet},
 		{http.MethodDelete, "/tasks/{id}", s.handleTaskCancel},
 		{http.MethodGet, "/tasks/{id}/trace", s.handleTaskTrace},
+		{http.MethodGet, "/queue", s.handleQueue},
 		{http.MethodGet, "/plans", s.handlePlans},
 		{http.MethodGet, "/plans/{name}", s.handlePlanGet},
 		{http.MethodGet, "/ontology/{name}", s.handleOntology},
@@ -433,6 +425,10 @@ type TaskSubmission struct {
 	Goal []string `json:"goal"`
 	// Deadline is a soft wall-clock deadline in simulated seconds (0 = none).
 	Deadline float64 `json:"deadline,omitempty"`
+	// Priority is the admission class: "high", "normal" (default), or "low".
+	Priority string `json:"priority,omitempty"`
+	// Tenant attributes the task to a submitting principal (accounting).
+	Tenant string `json:"tenant,omitempty"`
 	// Policy overrides the fault-tolerance policy for this task; omitted
 	// fields keep the coordinator's defaults.
 	Policy *PolicyJSON `json:"policy,omitempty"`
@@ -551,7 +547,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "bad_policy", "bad policy: %v", err)
 		return
 	}
-	resolved := s.env.Coordinator.ResolvePolicy(pol)
+	prio, err := engine.ParsePriority(sub.Priority)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_priority", "%v", err)
+		return
+	}
 	if sub.Faults != nil {
 		if err := s.env.Grid.SetFaults(sub.Faults); err != nil {
 			s.writeError(w, r, http.StatusBadRequest, "bad_faults", "bad fault spec: %v", err)
@@ -559,100 +559,100 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	s.mu.Lock()
-	if _, dup := s.tasks[sub.ID]; dup {
-		s.mu.Unlock()
+	status, err := s.env.Engine.Submit(engine.Submission{
+		Task: task, Policy: pol, Priority: prio, Tenant: sub.Tenant,
+	})
+	switch {
+	case errors.Is(err, engine.ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.env.Engine.RetryAfterSeconds()))
+		s.writeError(w, r, http.StatusTooManyRequests, "queue_full", "%v", err)
+		return
+	case errors.Is(err, engine.ErrDuplicate):
 		s.writeError(w, r, http.StatusConflict, "duplicate_task", "task %q already submitted", sub.ID)
 		return
+	case err != nil:
+		s.writeError(w, r, http.StatusBadRequest, "invalid_task", "%v", err)
+		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	rec := &taskRecord{
-		ID: sub.ID, Seq: s.taskSeq.Add(1), Submitted: time.Now(),
-		Status: "running", Policy: &resolved, cancel: cancel,
-	}
-	s.tasks[sub.ID] = rec
-	s.mu.Unlock()
-
-	go func() {
-		report, err := s.env.SubmitContext(ctx, task, pol)
-		cancel()
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		rec.cancel = nil
-		rec.Report = report
-		switch {
-		case report != nil && report.Cancelled:
-			rec.Status = "cancelled"
-			if err != nil {
-				rec.Error = err.Error()
-			}
-		case err != nil:
-			rec.Status = "failed"
-			rec.Error = err.Error()
-		default:
-			rec.Status = "completed"
-		}
-	}()
 	writeJSON(w, http.StatusAccepted, map[string]any{
-		"id": sub.ID, "status": "running", "policy": viewPolicy(resolved),
+		"id":            sub.ID,
+		"status":        status.Status,
+		"queuePosition": status.QueuePosition,
+		"priority":      status.Priority.String(),
+		"policy":        viewPolicy(status.Policy),
 	})
 }
 
-// handleTaskCancel aborts a running task via its context. Finished tasks
-// answer 409; the cancellation itself is asynchronous, so the reply is 202
-// and the record transitions to "cancelled" once the enactment unwinds.
+// handleTaskCancel stops a task through the engine. Queued tasks are
+// cancelled immediately; running ones get their context cancelled and the
+// record transitions to "cancelled" once the enactment unwinds (202).
+// Finished tasks answer 409.
 func (s *Server) handleTaskCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	rec := s.tasks[id]
-	if rec == nil {
-		s.mu.Unlock()
+	result, err := s.env.Engine.Cancel(id)
+	switch {
+	case errors.Is(err, engine.ErrEvicted):
+		s.writeError(w, r, http.StatusNotFound, "task_evicted", "task %q finished and its record was evicted", id)
+		return
+	case errors.Is(err, engine.ErrUnknownTask):
 		s.writeError(w, r, http.StatusNotFound, "not_found", "no task %q", id)
 		return
-	}
-	if rec.Status != "running" {
-		status := rec.Status
-		s.mu.Unlock()
-		s.writeError(w, r, http.StatusConflict, "task_finished", "task %q already %s", id, status)
+	case errors.Is(err, engine.ErrFinished):
+		s.writeError(w, r, http.StatusConflict, "task_finished", "%v", err)
+		return
+	case err != nil:
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "%v", err)
 		return
 	}
-	cancel := rec.cancel
-	s.mu.Unlock()
-	if cancel != nil {
-		cancel()
+	code := http.StatusAccepted
+	if result == engine.StatusCancelled {
+		code = http.StatusOK
 	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": "cancelling"})
+	writeJSON(w, code, map[string]string{"id": id, "status": result})
+}
+
+// handleQueue serves the enactment engine's queue and worker-pool snapshot.
+func (s *Server) handleQueue(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.env.Engine.Stats())
 }
 
 // TaskView is the GET /api/v1/tasks/{id} response.
 type TaskView struct {
-	ID          string    `json:"id"`
-	Status      string    `json:"status"`
-	Submitted   time.Time `json:"submittedAt"`
-	Error       string    `json:"error,omitempty"`
-	Completed   bool      `json:"completed,omitempty"`
-	GoalFitness float64   `json:"goalFitness,omitempty"`
-	Executed    int       `json:"executed,omitempty"`
-	Failures    int       `json:"failures,omitempty"`
-	Retries     int       `json:"retries,omitempty"`
-	Faults      int       `json:"faults,omitempty"`
-	Replans     int       `json:"replans,omitempty"`
-	BackoffWait float64   `json:"backoffWait,omitempty"`
-	Deadline    bool      `json:"deadlineMissed,omitempty"`
-	Wall        float64   `json:"wallClockTime,omitempty"`
-	Time        float64   `json:"simulatedTime,omitempty"`
-	Cost        float64   `json:"totalCost,omitempty"`
-	FinalData   []string  `json:"finalData,omitempty"`
+	ID        string    `json:"id"`
+	Status    string    `json:"status"`
+	Submitted time.Time `json:"submittedAt"`
+	// QueuePosition is the 1-based drain position while the task is queued.
+	QueuePosition int `json:"queuePosition,omitempty"`
+	// Attempt counts execution attempts (recovery re-runs increment it).
+	Attempt     int      `json:"attempt,omitempty"`
+	Priority    string   `json:"priority,omitempty"`
+	Tenant      string   `json:"tenant,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	Completed   bool     `json:"completed,omitempty"`
+	GoalFitness float64  `json:"goalFitness,omitempty"`
+	Executed    int      `json:"executed,omitempty"`
+	Failures    int      `json:"failures,omitempty"`
+	Retries     int      `json:"retries,omitempty"`
+	Faults      int      `json:"faults,omitempty"`
+	Replans     int      `json:"replans,omitempty"`
+	BackoffWait float64  `json:"backoffWait,omitempty"`
+	Deadline    bool     `json:"deadlineMissed,omitempty"`
+	Wall        float64  `json:"wallClockTime,omitempty"`
+	Time        float64  `json:"simulatedTime,omitempty"`
+	Cost        float64  `json:"totalCost,omitempty"`
+	FinalData   []string `json:"finalData,omitempty"`
 	// Policy echoes the resolved fault-tolerance policy, when known.
 	Policy *policyView `json:"policy,omitempty"`
 }
 
-func (s *Server) view(rec *taskRecord) TaskView {
-	v := TaskView{ID: rec.ID, Status: rec.Status, Submitted: rec.Submitted, Error: rec.Error}
-	if rec.Policy != nil {
-		pv := viewPolicy(*rec.Policy)
-		v.Policy = &pv
+func viewTask(rec engine.TaskStatus) TaskView {
+	v := TaskView{
+		ID: rec.ID, Status: rec.Status, Submitted: rec.Submitted,
+		QueuePosition: rec.QueuePosition, Attempt: rec.Attempt,
+		Priority: rec.Priority.String(), Tenant: rec.Tenant, Error: rec.Error,
 	}
+	pv := viewPolicy(rec.Policy)
+	v.Policy = &pv
 	if r := rec.Report; r != nil {
 		v.Completed = r.Completed
 		v.GoalFitness = r.GoalFitness
@@ -681,18 +681,11 @@ func (s *Server) handleTaskList(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	s.mu.Lock()
-	recs := make([]*taskRecord, 0, len(s.tasks))
-	for _, rec := range s.tasks {
-		recs = append(recs, rec)
-	}
-	// Stable listing: submission order, not map iteration order.
-	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	recs := s.env.Engine.Tasks()
 	out := make([]TaskView, 0, len(recs))
 	for _, rec := range recs {
-		out = append(out, s.view(rec))
+		out = append(out, viewTask(rec))
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, page{
 		Items: paginate(out, limit, offset), Total: len(out), Limit: limit, Offset: offset,
 	})
@@ -700,16 +693,16 @@ func (s *Server) handleTaskList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTaskGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	rec := s.tasks[id]
-	s.mu.Unlock()
-	if rec == nil {
+	rec, err := s.env.Engine.Task(id)
+	switch {
+	case errors.Is(err, engine.ErrEvicted):
+		s.writeError(w, r, http.StatusNotFound, "task_evicted", "task %q finished and its record was evicted", id)
+		return
+	case err != nil:
 		s.writeError(w, r, http.StatusNotFound, "not_found", "no task %q", id)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	writeJSON(w, http.StatusOK, s.view(rec))
+	writeJSON(w, http.StatusOK, viewTask(rec))
 }
 
 // --- telemetry -------------------------------------------------------------
@@ -727,10 +720,11 @@ type traceView struct {
 
 func (s *Server) handleTaskTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	rec := s.tasks[id]
-	s.mu.Unlock()
-	if rec == nil {
+	if _, err := s.env.Engine.Task(id); err != nil {
+		if errors.Is(err, engine.ErrEvicted) {
+			s.writeError(w, r, http.StatusNotFound, "task_evicted", "task %q finished and its record was evicted", id)
+			return
+		}
 		s.writeError(w, r, http.StatusNotFound, "not_found", "no task %q", id)
 		return
 	}

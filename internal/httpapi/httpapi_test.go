@@ -7,7 +7,9 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,6 +18,7 @@ import (
 	"repro/internal/services"
 	"repro/internal/telemetry"
 	"repro/internal/virolab"
+	"repro/internal/workflow"
 )
 
 func testServer(t *testing.T) (*Server, *httptest.Server) {
@@ -217,19 +220,23 @@ func TestErrorEnvelope(t *testing.T) {
 }
 
 // TestPagination exercises limit/offset on both paginated listings,
-// including the edge cases, using records injected directly into the task
-// table (planning a real task per record would dominate the test).
+// including the edge cases. Five real submissions pile up behind a single
+// worker whose post-process hook blocks, so the listing is deterministic:
+// one running task and four queued ones, in admission order.
 func TestPagination(t *testing.T) {
-	s, ts := testServer(t)
-	base := time.Now()
-	s.mu.Lock()
-	for i, id := range []string{"T-a", "T-b", "T-c", "T-d", "T-e"} {
-		s.tasks[id] = &taskRecord{
-			ID: id, Seq: s.taskSeq.Add(1),
-			Submitted: base.Add(time.Duration(i) * time.Second), Status: "running",
+	unblock := make(chan struct{})
+	_, ts := testServerWith(t, func(opts *core.Options) {
+		opts.Workers = 1
+		opts.PostProcess = func(*workflow.Activity, []*workflow.DataItem, int) { <-unblock }
+	})
+	// LIFO cleanup: release the worker before the server and environment
+	// close, or Engine.Close would wait on the blocked enactment forever.
+	t.Cleanup(func() { close(unblock) })
+	for _, id := range []string{"T-a", "T-b", "T-c", "T-d", "T-e"} {
+		if code := postJSON(t, ts.URL+"/api/v1/tasks", forkSubmission(id), nil); code != http.StatusAccepted {
+			t.Fatalf("submit %s: status %d", id, code)
 		}
 	}
-	s.mu.Unlock()
 
 	var p tasksPage
 	if code := getJSON(t, ts.URL+"/api/v1/tasks", &p); code != 200 {
@@ -320,7 +327,7 @@ END`,
 		if code := getJSON(t, ts.URL+"/api/v1/tasks/T-http", &view); code != 200 {
 			t.Fatalf("poll status %d", code)
 		}
-		if view.Status != "running" {
+		if view.Status != "queued" && view.Status != "running" {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -356,6 +363,123 @@ END`,
 	// Duplicate submission conflicts.
 	if code := postJSON(t, ts.URL+"/api/v1/tasks", sub, nil); code != http.StatusConflict {
 		t.Errorf("duplicate submit status %d", code)
+	}
+}
+
+// TestQueueBackpressure drives a burst larger than the queue capacity
+// through POST /api/v1/tasks: the overflow submission gets 429 queue_full
+// with a Retry-After header and the engine.admission.rejected counter moves,
+// while every accepted task still completes once the worker unblocks.
+func TestQueueBackpressure(t *testing.T) {
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var startOnce, gateOnce sync.Once
+	open := func() { gateOnce.Do(func() { close(gate) }) }
+	_, ts := testServerWith(t, func(opts *core.Options) {
+		opts.Workers = 1
+		opts.QueueCapacity = 2
+		opts.PostProcess = func(*workflow.Activity, []*workflow.DataItem, int) {
+			startOnce.Do(func() { close(started) })
+			<-gate
+		}
+	})
+	t.Cleanup(open)
+
+	// The blocker occupies the single worker; wait until it actually runs so
+	// it no longer counts against queue capacity.
+	if code := postJSON(t, ts.URL+"/api/v1/tasks", forkSubmission("T-blk"), nil); code != http.StatusAccepted {
+		t.Fatalf("blocker submit status %d", code)
+	}
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never picked the blocker up")
+	}
+	for i, id := range []string{"T-q1", "T-q2"} {
+		var accepted struct {
+			Status        string `json:"status"`
+			QueuePosition int    `json:"queuePosition"`
+		}
+		if code := postJSON(t, ts.URL+"/api/v1/tasks", forkSubmission(id), &accepted); code != http.StatusAccepted {
+			t.Fatalf("submit %s status %d", id, code)
+		}
+		if accepted.Status != "queued" || accepted.QueuePosition != i+1 {
+			t.Errorf("submission %s = %+v", id, accepted)
+		}
+	}
+
+	// The queue is full: the next submission is rejected with Retry-After.
+	data, _ := json.Marshal(forkSubmission("T-over"))
+	resp, err := http.Post(ts.URL+"/api/v1/tasks", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || body.Error.Code != "queue_full" {
+		t.Fatalf("overflow submit = %d %+v, want 429 queue_full", resp.StatusCode, body)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+
+	var snap telemetry.Snapshot
+	getJSON(t, ts.URL+"/api/v1/metrics", &snap)
+	if snap.Counters["engine.admission.rejected"] != 1 {
+		t.Errorf("rejected counter = %d, want 1", snap.Counters["engine.admission.rejected"])
+	}
+	var stats struct {
+		Capacity int `json:"capacity"`
+		Depth    int `json:"depth"`
+		Workers  int `json:"workers"`
+		Busy     int `json:"busy"`
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/queue", &stats); code != 200 {
+		t.Fatalf("queue status %d", code)
+	}
+	if stats.Capacity != 2 || stats.Depth != 2 || stats.Workers != 1 || stats.Busy != 1 {
+		t.Errorf("queue stats = %+v", stats)
+	}
+
+	open()
+	for _, id := range []string{"T-blk", "T-q1", "T-q2"} {
+		if view := pollStatus(t, ts.URL+"/api/v1/tasks/"+id, settled); view.Status != "completed" {
+			t.Errorf("task %s = %+v", id, view)
+		}
+	}
+	// The rejected task left no record.
+	if code := getJSON(t, ts.URL+"/api/v1/tasks/T-over", nil); code != http.StatusNotFound {
+		t.Errorf("rejected task lookup status %d", code)
+	}
+}
+
+// TestRetentionEvictedOverHTTP bounds finished-task retention through the
+// API: once newer tasks displace an old record, its ID answers 404 with the
+// task_evicted error code.
+func TestRetentionEvictedOverHTTP(t *testing.T) {
+	_, ts := testServerWith(t, func(opts *core.Options) {
+		opts.Workers = 1
+		opts.RetainFinished = 1
+	})
+	for _, id := range []string{"T-old", "T-new"} {
+		if code := postJSON(t, ts.URL+"/api/v1/tasks", forkSubmission(id), nil); code != http.StatusAccepted {
+			t.Fatalf("submit %s status %d", id, code)
+		}
+	}
+	// Single worker, admission order: T-new finishing means T-old finished
+	// earlier and was evicted by the K=1 retention bound.
+	if view := pollStatus(t, ts.URL+"/api/v1/tasks/T-new", settled); view.Status != "completed" {
+		t.Fatalf("T-new = %+v", view)
+	}
+	var body errorBody
+	if code := getJSON(t, ts.URL+"/api/v1/tasks/T-old", &body); code != http.StatusNotFound {
+		t.Fatalf("evicted task status %d, want 404", code)
+	}
+	if body.Error.Code != "task_evicted" {
+		t.Errorf("evicted task code = %q, want task_evicted", body.Error.Code)
 	}
 }
 

@@ -1,8 +1,13 @@
 package services
 
 import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -48,6 +53,91 @@ func TestStorageSaveLoad(t *testing.T) {
 	b2, _ := os.ReadFile(path2)
 	if string(b1) != string(b2) {
 		t.Error("save not deterministic")
+	}
+}
+
+// TestStorageSaveLoadProperty is a randomized round-trip property: whatever
+// key/version/byte structure goes in, Save followed by Load reproduces it
+// exactly, including version ordering and empty values.
+func TestStorageSaveLoadProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		s := NewStorage()
+		want := make(map[string][][]byte)
+		prefixes := []string{"plans/", "checkpoint/", "journal/", ""}
+		for i, n := 0, 1+rng.Intn(12); i < n; i++ {
+			key := fmt.Sprintf("%sk%d", prefixes[rng.Intn(len(prefixes))], rng.Intn(8))
+			value := make([]byte, rng.Intn(64))
+			rng.Read(value)
+			s.Put(key, value)
+			want[key] = append(want[key], append([]byte(nil), value...))
+		}
+
+		path := filepath.Join(t.TempDir(), "store.json")
+		if err := s.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		fresh := NewStorage()
+		fresh.Put("stale", []byte("gone after load"))
+		if err := fresh.Load(path); err != nil {
+			t.Fatal(err)
+		}
+
+		if got := fresh.Keys(""); len(got) != len(want) {
+			t.Fatalf("trial %d: %d keys after load, want %d (%v)", trial, len(got), len(want), got)
+		}
+		for key, versions := range want {
+			if _, latest, ok := fresh.Get(key, 0); !ok || latest != len(versions) {
+				t.Fatalf("trial %d: key %q latest = v%d ok=%v, want v%d", trial, key, latest, ok, len(versions))
+			}
+			for i, value := range versions {
+				got, _, ok := fresh.Get(key, i+1)
+				if !ok || !bytes.Equal(got, value) {
+					t.Fatalf("trial %d: key %q v%d = %q ok=%v, want %q", trial, key, i+1, got, ok, value)
+				}
+			}
+		}
+	}
+}
+
+// TestStorageLoadTruncated covers the crash-while-saving shape: a dump cut
+// off mid-JSON must fail with an error wrapping the decode cause, and the
+// store being loaded into must keep its previous contents.
+func TestStorageLoadTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	s := NewStorage()
+	s.Put("plans/a", []byte("v1"))
+	s.Put("checkpoint/T1", []byte(`{"x":1}`))
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := filepath.Join(dir, "truncated.json")
+	if err := os.WriteFile(truncated, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	target := NewStorage()
+	target.Put("survivor", []byte("intact"))
+	loadErr := target.Load(truncated)
+	if loadErr == nil {
+		t.Fatal("truncated dump loaded without error")
+	}
+	if !strings.Contains(loadErr.Error(), "storage load") {
+		t.Errorf("error %q does not identify the storage load", loadErr)
+	}
+	if errors.Unwrap(loadErr) == nil {
+		t.Errorf("error %q does not wrap the decode cause", loadErr)
+	}
+	if v, _, ok := target.Get("survivor", 0); !ok || string(v) != "intact" {
+		t.Errorf("failed load clobbered the store: %q ok=%v", v, ok)
+	}
+	if _, _, ok := target.Get("plans/a", 0); ok {
+		t.Error("failed load partially applied the dump")
 	}
 }
 
