@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json check fmt vet chaos
+.PHONY: build test race bench bench-json check fmt vet lint chaos
 
 build:
 	$(GO) build ./...
@@ -30,4 +30,13 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet race chaos
+# Static analysis beyond vet. Skips with a notice when staticcheck is not on
+# PATH (CI installs it; local runs need not).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping lint"; \
+	fi
+
+check: fmt vet lint race chaos

@@ -6,6 +6,7 @@
 //
 //	gridenv [-addr :8080] [-clusters 6] [-smps 3] [-supers 1] [-seed 1]
 //	        [-store state.json] [-workers N]
+//	        [-log-level info] [-log-format text] [-pprof]
 //
 // With -store, the persistent storage service loads its state from the file
 // at startup (if present) and saves it on SIGINT/SIGTERM, so checkpoints,
@@ -22,9 +23,18 @@
 //	curl -X POST localhost:8080/api/v1/tasks -d '{"id":"T1","goal":["G.Classification = \"Resolution File\""],"initialData":[...]}'
 //	curl localhost:8080/api/v1/tasks/T1/trace
 //	curl localhost:8080/api/v1/metrics
+//	curl localhost:8080/api/v1/metrics?format=prometheus
+//	curl -N localhost:8080/api/v1/events
+//	curl localhost:8080/api/v1/stats
+//	curl localhost:8080/healthz localhost:8080/readyz
 //
-// The unversioned /api/... paths still work as deprecated aliases. See
-// OBSERVABILITY.md for the metric names and the trace span schema.
+// Structured logs go to stderr; -log-level picks the threshold (debug, info,
+// warn, error) and -log-format the encoding (text or json). -pprof mounts
+// the net/http/pprof profiling handlers under /debug/pprof/.
+//
+// The unversioned /api/... paths still work as deprecated aliases (responses
+// name the successor route in a Link header). See OBSERVABILITY.md for the
+// metric names, the trace span schema, the log schema, and the event stream.
 package main
 
 import (
@@ -41,6 +51,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/httpapi"
 	"repro/internal/planner"
+	"repro/internal/telemetry"
 	"repro/internal/virolab"
 )
 
@@ -53,15 +64,18 @@ func main() {
 		seed     = flag.Int64("seed", 1, "grid and planner seed")
 		store    = flag.String("store", "", "persistent storage file (loaded at start, saved on shutdown)")
 		workers  = flag.Int("workers", 0, "enactment worker pool size (0 = GOMAXPROCS)")
+		logLevel = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error")
+		logFmt   = flag.String("log-format", "text", "structured log encoding: text or json")
+		pprof    = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*addr, *clusters, *smps, *supers, *seed, *store, *workers); err != nil {
+	if err := run(*addr, *clusters, *smps, *supers, *seed, *store, *workers, *logLevel, *logFmt, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "gridenv:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, clusters, smps, supers int, seed int64, store string, workers int) error {
+func run(addr string, clusters, smps, supers int, seed int64, store string, workers int, logLevel, logFmt string, pprof bool) error {
 	gridCfg := grid.DefaultSyntheticConfig()
 	gridCfg.Clusters = clusters
 	gridCfg.SMPs = smps
@@ -69,6 +83,10 @@ func run(addr string, clusters, smps, supers int, seed int64, store string, work
 	gridCfg.Seed = seed
 	params := planner.DefaultParams()
 	params.Seed = seed
+	logger, err := telemetry.NewLogger(os.Stderr, logLevel, logFmt)
+	if err != nil {
+		return err
+	}
 
 	env, err := core.NewEnvironment(core.Options{
 		GridConfig:  &gridCfg,
@@ -77,6 +95,7 @@ func run(addr string, clusters, smps, supers int, seed int64, store string, work
 		PostProcess: virolab.ResolutionHook(nil),
 		Checkpoint:  true,
 		Workers:     workers,
+		Logger:      logger,
 	})
 	if err != nil {
 		return err
@@ -99,7 +118,9 @@ func run(addr string, clusters, smps, supers int, seed int64, store string, work
 		}
 	}
 
-	server := &http.Server{Addr: addr, Handler: httpapi.New(env).Handler()}
+	ui := httpapi.New(env)
+	ui.EnablePprof = pprof
+	server := &http.Server{Addr: addr, Handler: ui.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
 	fmt.Printf("grid environment up: %d nodes, %d containers; serving on %s\n",

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"time"
 
@@ -60,6 +61,10 @@ type Config struct {
 	// and per-task span traces. Nil disables instrumentation at a nil-check
 	// per record site.
 	Telemetry *telemetry.Registry
+
+	// Logger receives structured enactment logs (task outcomes, re-plans,
+	// quarantines); nil means silent.
+	Logger *slog.Logger
 
 	// OnCheckpoint, when set, is invoked after every checkpoint successfully
 	// written to the storage service, with the task ID and the stored
@@ -113,6 +118,7 @@ type Report struct {
 type Coordinator struct {
 	cfg Config
 	ctx *agent.Context
+	log *slog.Logger
 
 	// Instruments are resolved once here so the enactment hot path pays one
 	// atomic op per record, not a registry lookup. All are nil (no-ops) when
@@ -143,7 +149,10 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = services.CallTimeout
 	}
-	c := &Coordinator{cfg: cfg}
+	c := &Coordinator{cfg: cfg, log: cfg.Logger}
+	if c.log == nil {
+		c.log = telemetry.NopLogger()
+	}
 	if tel := cfg.Telemetry; tel != nil {
 		c.mFired = tel.Counter("coordination.activities.fired")
 		c.mExecuted = tel.Counter("coordination.activities.executed")
@@ -170,6 +179,15 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c.ctx = ctx
 	return c, nil
+}
+
+// logger tolerates coordinators assembled as struct literals (tests do):
+// a nil log falls back to the shared no-op logger.
+func (c *Coordinator) logger() *slog.Logger {
+	if c.log == nil {
+		return telemetry.NopLogger()
+	}
+	return c.log
 }
 
 // SetCheckpointHook installs (or replaces) the Config.OnCheckpoint callback.
@@ -228,14 +246,22 @@ func (c *Coordinator) RunTaskContext(ctx context.Context, task *workflow.Task, p
 	start := time.Now()
 	defer func() {
 		c.hEnactReal.Observe(time.Since(start).Seconds())
+		outcome := "failed"
 		switch {
 		case report.Cancelled:
 			c.mCancelled.Inc()
+			outcome = "cancelled"
 		case report.Completed:
 			c.mTasksCompleted.Inc()
+			outcome = "completed"
 		default:
 			c.mTasksFailed.Inc()
 		}
+		c.logger().Info("enactment finished",
+			slog.String("task", task.ID), slog.String("outcome", outcome),
+			slog.Int("executed", report.Executed), slog.Int("retries", report.Retries),
+			slog.Int("replans", report.Replans),
+			slog.Float64("wallSec", time.Since(start).Seconds()))
 	}()
 	state := task.Case.InitialState()
 	goal := task.Case.Goal
@@ -293,6 +319,9 @@ func (c *Coordinator) enactWithReplanning(ctx context.Context, p Policy, report 
 		}
 		failedServices[ne.service] = true
 		report.trace("replan", ne.service, fmt.Sprintf("activity %s not executable", ne.activity))
+		c.logger().Warn("re-planning after non-executable activity",
+			slog.String("task", task.ID), slog.String("service", ne.service),
+			slog.String("activity", ne.activity), slog.Int("replans", report.Replans))
 		var exclude []string
 		for name := range failedServices {
 			exclude = append(exclude, name)
@@ -329,6 +358,9 @@ func (c *Coordinator) quarantine(ctx context.Context, report *Report, ne *nonExe
 			continue
 		}
 		report.trace("fault", ne.activity, "quarantined node "+node+": "+reason)
+		c.logger().Warn("node quarantined",
+			slog.String("task", report.TaskID), slog.String("node", node),
+			slog.String("reason", reason))
 	}
 }
 

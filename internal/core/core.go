@@ -13,6 +13,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/agent"
@@ -75,6 +76,11 @@ type Options struct {
 	// environment is observable by default). Set NoTelemetry to run bare.
 	Telemetry *telemetry.Registry
 
+	// Logger is the root structured logger; each layer gets a
+	// component-scoped child (component=engine, coordination, scheduling,
+	// monitoring, httpapi). Nil means silent.
+	Logger *slog.Logger
+
 	// NoTelemetry disables instrumentation entirely — the hot paths then pay
 	// only a nil check per record site. Used by overhead benchmarks.
 	NoTelemetry bool
@@ -95,6 +101,9 @@ type Environment struct {
 	// Telemetry is the monitoring registry every layer records into; nil
 	// only when Options.NoTelemetry was set.
 	Telemetry *telemetry.Registry
+	// Logger is the root structured logger (never nil; a no-op logger when
+	// Options.Logger was nil).
+	Logger *slog.Logger
 }
 
 // NewEnvironment builds and starts an environment.
@@ -123,6 +132,10 @@ func NewEnvironment(opts Options) (*Environment, error) {
 	if tel == nil && !opts.NoTelemetry {
 		tel = telemetry.New()
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = telemetry.NopLogger()
+	}
 
 	platform := agent.NewPlatform()
 	coreSvcs, err := services.Bootstrap(platform, g)
@@ -137,6 +150,8 @@ func NewEnvironment(opts Options) (*Environment, error) {
 	coreSvcs.Matchmaking.Telemetry = tel
 	coreSvcs.Scheduling.Telemetry = tel
 	coreSvcs.Monitoring.Telemetry = tel
+	coreSvcs.Scheduling.Logger = telemetry.ComponentLogger(logger, "scheduling")
+	coreSvcs.Monitoring.Logger = telemetry.ComponentLogger(logger, "monitoring")
 	plansvc := planning.New(opts.Catalog, params)
 	plansvc.Telemetry = tel
 	if _, err := platform.Register(services.PlanningName, plansvc); err != nil {
@@ -151,6 +166,7 @@ func NewEnvironment(opts Options) (*Environment, error) {
 		CallTimeout:    opts.CallTimeout,
 		UseContractNet: opts.UseContractNet,
 		Telemetry:      tel,
+		Logger:         telemetry.ComponentLogger(logger, "coordination"),
 	})
 	if err != nil {
 		platform.Shutdown()
@@ -160,6 +176,7 @@ func NewEnvironment(opts Options) (*Environment, error) {
 		Coordinator:    coord,
 		Storage:        coreSvcs.Storage,
 		Telemetry:      tel,
+		Logger:         telemetry.ComponentLogger(logger, "engine"),
 		Workers:        opts.Workers,
 		QueueCapacity:  opts.QueueCapacity,
 		RetainFinished: opts.RetainFinished,
@@ -182,6 +199,7 @@ func NewEnvironment(opts Options) (*Environment, error) {
 		Archive:     kb.NewArchive(),
 		Catalog:     opts.Catalog,
 		Telemetry:   tel,
+		Logger:      logger,
 	}, nil
 }
 

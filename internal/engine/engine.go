@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -126,6 +127,9 @@ type Config struct {
 	// Telemetry receives engine.* metrics and queue/attempt spans; nil
 	// disables instrumentation.
 	Telemetry *telemetry.Registry
+	// Logger receives structured lifecycle logs (admission, attempts,
+	// terminal transitions, recovery); nil means silent.
+	Logger *slog.Logger
 	// Workers is the coordinator worker-pool size — the cap on concurrent
 	// enactments. 0 means GOMAXPROCS.
 	Workers int
@@ -217,6 +221,7 @@ type Engine struct {
 	coord *coordination.Coordinator
 	store storageAPI
 	tel   *telemetry.Registry
+	log   *slog.Logger
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -260,12 +265,16 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.RetainFinished <= 0 {
 		cfg.RetainFinished = DefaultRetainFinished
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = telemetry.NopLogger()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		cfg:        cfg,
 		coord:      cfg.Coordinator,
 		store:      cfg.Storage,
 		tel:        cfg.Telemetry,
+		log:        cfg.Logger,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		records:    make(map[string]*record),
@@ -334,6 +343,14 @@ func (e *Engine) Close() {
 // Workers returns the configured worker-pool size.
 func (e *Engine) Workers() int { return e.cfg.Workers }
 
+// Ready reports whether the engine is accepting work: the worker pool has
+// started and Close has not been called. The /readyz probe serves this.
+func (e *Engine) Ready() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.started.Load() && !e.closed
+}
+
 // Submit admits a task: the accepted record is journaled (write-ahead), the
 // task enters its priority class's FIFO, and the returned status carries the
 // queue position. Fails fast with ErrQueueFull beyond capacity, ErrDuplicate
@@ -370,6 +387,8 @@ func (e *Engine) Submit(sub Submission) (TaskStatus, error) {
 	if e.queued >= e.cfg.QueueCapacity {
 		e.mu.Unlock()
 		e.mRejected.Inc()
+		e.log.Warn("task rejected: admission queue full",
+			slog.String("task", id), slog.Int("capacity", e.cfg.QueueCapacity))
 		return TaskStatus{}, fmt.Errorf("%w: capacity %d", ErrQueueFull, e.cfg.QueueCapacity)
 	}
 	e.seq++
@@ -402,6 +421,9 @@ func (e *Engine) Submit(sub Submission) (TaskStatus, error) {
 	e.mAccepted.Inc()
 	e.gDepth.Set(float64(depth))
 	e.tel.TaskTrace(id).Span("queue", "", fmt.Sprintf("admitted at position %d (%s priority)", pos, rec.priority))
+	e.log.Info("task admitted",
+		slog.String("task", id), slog.String("priority", rec.priority.String()),
+		slog.Int("position", pos), slog.Int("depth", depth))
 	return status, nil
 }
 
@@ -483,6 +505,9 @@ func (e *Engine) run(rec *record) {
 	e.journalAppend(JournalRecord{Event: EventStarted, TaskID: rec.id, Attempt: rec.attempt})
 	e.hWait.Observe(rec.queueWait)
 	e.tel.TaskTrace(rec.id).Span("attempt", "", fmt.Sprintf("attempt %d after %.3fs queued", rec.attempt, rec.queueWait))
+	e.log.Info("enactment attempt started",
+		slog.String("task", rec.id), slog.Int("attempt", rec.attempt),
+		slog.Float64("queueWaitSec", rec.queueWait))
 
 	ctx := rec.runCtx
 	var report *coordination.Report
@@ -545,6 +570,15 @@ func (e *Engine) finish(rec *record, status string, report *coordination.Report,
 		e.mFailed.Inc()
 	case StatusCancelled:
 		e.mCancelled.Inc()
+	}
+	attrs := []any{slog.String("task", rec.id), slog.String("status", status), slog.Int("attempt", rec.attempt)}
+	if errText != "" {
+		attrs = append(attrs, slog.String("error", errText))
+	}
+	if status == StatusFailed {
+		e.log.Warn("task finished", attrs...)
+	} else {
+		e.log.Info("task finished", attrs...)
 	}
 }
 

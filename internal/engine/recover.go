@@ -3,6 +3,7 @@ package engine
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"sort"
 
 	"repro/internal/coordination"
@@ -110,6 +111,7 @@ func (e *Engine) Recover() (RecoveryReport, error) {
 			e.mRequeued.Inc()
 			report.Requeued = append(report.Requeued, st.id)
 			e.tel.TaskTrace(st.id).Span("recovered", "", "re-enqueued: accepted but never started")
+			e.log.Info("recovery re-enqueued task", slog.String("task", st.id))
 		case st.checkpointed:
 			snap, err := e.loadCheckpoint(st.id)
 			if err != nil {
@@ -121,11 +123,14 @@ func (e *Engine) Recover() (RecoveryReport, error) {
 			report.Resumed = append(report.Resumed, st.id)
 			e.tel.TaskTrace(st.id).Span("recovered", "",
 				fmt.Sprintf("resuming from checkpoint after %d executions", snap.Executed))
+			e.log.Info("recovery resumed task from checkpoint",
+				slog.String("task", st.id), slog.Int("executed", snap.Executed))
 		default:
 			e.enqueueRecovered(rec)
 			e.mRestarted.Inc()
 			report.Restarted = append(report.Restarted, st.id)
 			e.tel.TaskTrace(st.id).Span("recovered", "", "restarting: started but no checkpoint written")
+			e.log.Info("recovery restarted task", slog.String("task", st.id))
 		}
 	}
 	return report, nil

@@ -1,0 +1,85 @@
+package httpapi
+
+// GET /api/v1/events streams the telemetry event bus as Server-Sent Events:
+// every task span and node-health transition, live, as it is recorded.
+// Clients filter with ?task=<id> (exact match) and ?kind=<kind> (repeatable;
+// any listed kind matches). The stream runs until the client disconnects;
+// a comment keepalive goes out while the bus is quiet so idle proxies keep
+// the connection open. The subscription is bounded — a client that stops
+// reading loses events rather than stalling enactments (see the bus contract
+// in internal/telemetry).
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// keepaliveInterval is how often an idle event stream emits an SSE comment.
+const keepaliveInterval = 15 * time.Second
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "response writer cannot stream")
+		return
+	}
+	tel := s.telemetry()
+	if tel == nil {
+		s.writeError(w, r, http.StatusServiceUnavailable, "no_telemetry", "telemetry registry disabled")
+		return
+	}
+	q := r.URL.Query()
+	taskFilter := q.Get("task")
+	kindFilter := map[string]bool{}
+	for _, k := range q["kind"] {
+		kindFilter[k] = true
+	}
+
+	sub := tel.Subscribe(0)
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass events through
+	w.WriteHeader(http.StatusOK)
+	// The opening comment both primes proxies and guarantees the client's
+	// request has returned only after the subscription is live, so events
+	// caused by anything the client does next are never missed.
+	fmt.Fprint(w, ": stream opened\n\n")
+	flusher.Flush()
+
+	keepalive := time.NewTicker(keepaliveInterval)
+	defer keepalive.Stop()
+	sent := 0
+	for {
+		select {
+		case <-r.Context().Done():
+			if s.Logger != nil {
+				s.Logger.Debug("event stream closed",
+					slog.Int("sent", sent), slog.Uint64("dropped", sub.Dropped()))
+			}
+			return
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
+		case ev := <-sub.Events():
+			if taskFilter != "" && ev.Task != taskFilter {
+				continue
+			}
+			if len(kindFilter) > 0 && !kindFilter[ev.Kind] {
+				continue
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data)
+			flusher.Flush()
+			sent++
+		}
+	}
+}

@@ -5,7 +5,8 @@
 //
 // The API is versioned under /api/v1; the unversioned /api/... paths remain
 // as deprecated aliases of the same handlers (responses carry a
-// "Deprecation: true" header). One route table serves both prefixes.
+// "Deprecation: true" header and a Link header naming the /api/v1
+// successor route). One route table serves both prefixes.
 //
 // Endpoints (all under /api/v1, aliased under /api):
 //
@@ -24,8 +25,17 @@
 //	GET  /api/v1/plans                  archived plan names
 //	GET  /api/v1/plans/{name}           latest archived revision (PDL text)
 //	GET  /api/v1/ontology/{name}        knowledge base JSON
-//	GET  /api/v1/metrics                telemetry registry snapshot
+//	GET  /api/v1/metrics                telemetry registry snapshot (JSON, or
+//	                                    Prometheus text with ?format=prometheus)
+//	GET  /api/v1/events                 live SSE stream of task spans and
+//	                                    node-health transitions (?task=, ?kind=)
+//	GET  /api/v1/stats                  grid-wide rollup: nodes, queue, rates
 //	POST /api/v1/simulate               run the simulation service
+//
+// Outside the versioned prefix the server answers the operational probes
+// GET /healthz (process liveness) and GET /readyz (enactment engine
+// accepting work), and — only when EnablePprof is set — the net/http/pprof
+// profiling handlers under /debug/pprof/.
 //
 // Paginated endpoints accept limit and offset query parameters and wrap the
 // result as {"items": [...], "total": N, "limit": L, "offset": O}; limit -1
@@ -47,10 +57,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,10 +83,16 @@ import (
 type Server struct {
 	env *core.Environment
 
-	// Logger receives one line per request (method, path, status, duration,
-	// request ID). Defaults to log.Default(); replace before Handler is
-	// mounted to redirect or silence it.
-	Logger *log.Logger
+	// Logger receives one structured record per request (method, path,
+	// status, duration, request ID). Defaults to the environment's root
+	// logger scoped to component=httpapi; replace before Handler is mounted
+	// to redirect it, or set nil to silence request logging.
+	Logger *slog.Logger
+
+	// EnablePprof mounts the net/http/pprof profiling handlers under
+	// /debug/pprof/ (gridenv's -pprof flag). Off by default: profiling
+	// endpoints expose internals and cost CPU, so they are opt-in.
+	EnablePprof bool
 
 	reqSeq atomic.Int64 // request ID counter
 
@@ -84,7 +102,7 @@ type Server struct {
 
 // New builds a server over the environment.
 func New(env *core.Environment) *Server {
-	return &Server{env: env, Logger: log.Default()}
+	return &Server{env: env, Logger: telemetry.ComponentLogger(env.Logger, "httpapi")}
 }
 
 // --- routing ---------------------------------------------------------------
@@ -116,6 +134,8 @@ func (s *Server) routes() []route {
 		{http.MethodGet, "/plans/{name}", s.handlePlanGet},
 		{http.MethodGet, "/ontology/{name}", s.handleOntology},
 		{http.MethodGet, "/metrics", s.handleMetrics},
+		{http.MethodGet, "/events", s.handleEvents},
+		{http.MethodGet, "/stats", s.handleStats},
 		{http.MethodPost, "/simulate", s.handleSimulate},
 	}
 }
@@ -136,6 +156,15 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle("/api/v1"+path, s.dispatch(methods, false))
 		mux.Handle("/api"+path, s.dispatch(methods, true))
 	}
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusNotFound, "not_found", "no route %s", r.URL.Path)
 	})
@@ -143,7 +172,8 @@ func (s *Server) Handler() http.Handler {
 }
 
 // dispatch selects the handler by method, answering JSON 405 (with Allow)
-// otherwise. Deprecated mounts add the Deprecation header first.
+// otherwise. Deprecated mounts add the Deprecation header and a Link header
+// pointing at the /api/v1 successor route first.
 func (s *Server) dispatch(methods map[string]http.HandlerFunc, deprecated bool) http.Handler {
 	var allow []string
 	for m := range methods {
@@ -160,6 +190,8 @@ func (s *Server) dispatch(methods map[string]http.HandlerFunc, deprecated bool) 
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if deprecated {
 			w.Header().Set("Deprecation", "true")
+			successor := "/api/v1" + strings.TrimPrefix(r.URL.Path, "/api")
+			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
 		}
 		h, ok := methods[r.Method]
 		if !ok {
@@ -194,7 +226,10 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		tel.Counter(fmt.Sprintf("http.responses.%dxx", rec.status/100)).Inc()
 		latency.Observe(elapsed.Seconds())
 		if s.Logger != nil {
-			s.Logger.Printf("httpapi: %s %s -> %d (%s) %s", r.Method, r.URL.Path, rec.status, elapsed.Round(time.Microsecond), rid)
+			s.Logger.Info("request served",
+				slog.String("method", r.Method), slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status), slog.Float64("durMs", float64(elapsed)/float64(time.Millisecond)),
+				slog.String("requestId", rid))
 		}
 	})
 }
@@ -208,6 +243,14 @@ type statusRecorder struct {
 func (sr *statusRecorder) WriteHeader(code int) {
 	sr.status = code
 	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streaming handlers (SSE) keep
+// working behind the middleware's wrapper.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) telemetry() *telemetry.Registry {
@@ -707,8 +750,35 @@ func (s *Server) handleTaskGet(w http.ResponseWriter, r *http.Request) {
 
 // --- telemetry -------------------------------------------------------------
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.telemetry().Snapshot())
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.telemetry().Snapshot()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, snap)
+	case "prometheus":
+		w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = telemetry.WritePrometheus(w, snap)
+	default:
+		s.writeError(w, r, http.StatusBadRequest, "bad_request",
+			"unknown format %q (want json or prometheus)", format)
+	}
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 only while the enactment engine
+// is started and accepting work, 503 otherwise (so load balancers drain the
+// instance during startup and shutdown).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.env == nil || s.env.Engine == nil || !s.env.Engine.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unready"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // traceView is the GET /api/v1/tasks/{id}/trace response.

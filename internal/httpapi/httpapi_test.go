@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
-	"log"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -47,7 +46,7 @@ func testServerWith(t *testing.T, mod func(*core.Options)) (*Server, *httptest.S
 	}
 	t.Cleanup(env.Close)
 	s := New(env)
-	s.Logger = log.New(io.Discard, "", 0)
+	s.Logger = nil
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts

@@ -1,0 +1,94 @@
+package httpapi
+
+// GET /api/v1/stats is the grid-wide rollup a dashboard polls: cluster
+// health counts, engine queue/worker state, enactment outcome totals and
+// rates derived from the telemetry counters, and the event-bus publication
+// counters — one request instead of stitching /monitor, /queue, and
+// /metrics together client-side.
+
+import (
+	"net/http"
+
+	"repro/internal/engine"
+	"repro/internal/services"
+)
+
+// StatsView is the GET /api/v1/stats response.
+type StatsView struct {
+	Nodes  statsNodes   `json:"nodes"`
+	Engine engine.Stats `json:"engine"`
+	Tasks  statsTasks   `json:"tasks"`
+	Events statsEvents  `json:"events"`
+}
+
+// statsNodes summarizes cluster health (monitoring's authoritative view).
+type statsNodes struct {
+	Total       int `json:"total"`
+	Up          int `json:"up"`
+	Down        int `json:"down"`
+	Degraded    int `json:"degraded"`
+	Quarantined int `json:"quarantined"`
+}
+
+// statsTasks aggregates enactment outcomes from the telemetry counters.
+// SuccessRate is completed/(completed+failed), 0 when nothing finished yet.
+type statsTasks struct {
+	Completed   int64   `json:"completed"`
+	Failed      int64   `json:"failed"`
+	Cancelled   int64   `json:"cancelled"`
+	Retries     int64   `json:"retries"`
+	Replans     int64   `json:"replans"`
+	SuccessRate float64 `json:"successRate"`
+}
+
+// statsEvents reports the event bus counters.
+type statsEvents struct {
+	Published int64 `json:"published"`
+	Dropped   int64 `json:"dropped"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	client, err := s.clientContext()
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	reply, err := client.Call(services.MonitoringName, services.OntMonitoring,
+		services.ClusterHealthRequest{}, services.CallTimeout)
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	ch, ok := reply.Content.(services.ClusterHealthReply)
+	if !ok {
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "unexpected monitoring reply %T", reply.Content)
+		return
+	}
+
+	snap := s.telemetry().Snapshot()
+	out := StatsView{
+		Nodes: statsNodes{
+			Total:       len(ch.Nodes),
+			Up:          ch.Up,
+			Down:        ch.Down,
+			Degraded:    ch.Degraded,
+			Quarantined: ch.Quarantined,
+		},
+		Engine: s.env.Engine.Stats(),
+		Tasks: statsTasks{
+			Completed: snap.Counters["engine.tasks.completed"],
+			Failed:    snap.Counters["engine.tasks.failed"],
+			Cancelled: snap.Counters["engine.tasks.cancelled"],
+			Retries:   snap.Counters["coordination.retries"],
+			Replans:   snap.Counters["coordination.replans"],
+		},
+		Events: statsEvents{
+			Published: snap.Counters["telemetry.events.published"],
+			Dropped:   snap.Counters["telemetry.events.dropped"],
+		},
+	}
+	if finished := out.Tasks.Completed + out.Tasks.Failed; finished > 0 {
+		out.Tasks.SuccessRate = float64(out.Tasks.Completed) / float64(finished)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

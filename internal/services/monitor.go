@@ -2,6 +2,7 @@ package services
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 
@@ -137,9 +138,12 @@ type healthRecord struct {
 // heartbeats and execution outcomes, and node quarantine.
 type Monitoring struct {
 	Grid *grid.Grid
-	// Telemetry, when set, receives monitoring.* metrics; nil disables
-	// instrumentation (all instruments are nil-safe).
+	// Telemetry, when set, receives monitoring.* metrics and node-health
+	// transition events on its bus; nil disables instrumentation (all
+	// instruments are nil-safe).
 	Telemetry *telemetry.Registry
+	// Logger, when set, records health transitions and quarantines.
+	Logger *slog.Logger
 
 	mu          sync.Mutex
 	subs        map[string]bool
@@ -168,6 +172,7 @@ func (s *Monitoring) HandleMessage(ctx *agent.Context, msg agent.Message) {
 		s.mu.Lock()
 		rec := s.record(req.Node)
 		rec.heartbeats++
+		wasDegraded := rec.consecutiveFailures >= DegradedAfter
 		if req.OK {
 			rec.successes++
 			rec.consecutiveFailures = 0
@@ -178,7 +183,15 @@ func (s *Monitoring) HandleMessage(ctx *agent.Context, msg agent.Message) {
 				rec.faults++
 			}
 		}
+		nowDegraded := rec.consecutiveFailures >= DegradedAfter
 		s.mu.Unlock()
+		// Publish only the edge, not every outcome while degraded.
+		if !wasDegraded && nowDegraded {
+			s.publishHealth(req.Node, HealthDegraded,
+				fmt.Sprintf("%d consecutive failures (service %s)", DegradedAfter, req.Service))
+		} else if wasDegraded && req.OK {
+			s.publishHealth(req.Node, HealthHealthy, "recovered after successful execution")
+		}
 		s.updateUpGauge()
 	case NodeHealthRequest:
 		_ = ctx.Reply(msg, agent.Inform, NodeHealthReply{Health: s.NodeHealth(req.Node)})
@@ -195,6 +208,7 @@ func (s *Monitoring) HandleMessage(ctx *agent.Context, msg agent.Message) {
 			s.quarantined[req.Node] = req.Reason
 			s.mu.Unlock()
 			s.Telemetry.Counter("monitoring.quarantines").Inc()
+			s.publishHealth(req.Node, HealthQuarantined, req.Reason)
 			s.updateUpGauge()
 		}
 		_ = ctx.Reply(msg, agent.Agree, QuarantineReply{Node: req.Node, Known: known})
@@ -217,6 +231,14 @@ func (s *Monitoring) HandleMessage(ctx *agent.Context, msg agent.Message) {
 	case PollStatus:
 		events := s.poll()
 		for _, ev := range events {
+			status := HealthDown
+			detail := "node went down"
+			if ev.Up {
+				status, detail = HealthHealthy, "node came up"
+			}
+			s.publishHealth(ev.Node, status, detail)
+		}
+		for _, ev := range events {
 			s.mu.Lock()
 			subs := make([]string, 0, len(s.subs))
 			for name := range s.subs {
@@ -232,6 +254,18 @@ func (s *Monitoring) HandleMessage(ctx *agent.Context, msg agent.Message) {
 		_ = ctx.Reply(msg, agent.Inform, len(events))
 	default:
 		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("monitoring: unsupported content %T", msg.Content))
+	}
+}
+
+// publishHealth mirrors one node-health transition onto the telemetry event
+// bus and the structured log.
+func (s *Monitoring) publishHealth(node, status, detail string) {
+	s.Telemetry.PublishEvent(telemetry.Event{
+		Node: node, Kind: telemetry.EventKindNodeHealth, Name: status, Detail: detail,
+	})
+	if s.Logger != nil {
+		s.Logger.Info("node health transition",
+			slog.String("node", node), slog.String("status", status), slog.String("detail", detail))
 	}
 }
 

@@ -2,6 +2,7 @@ package services
 
 import (
 	"fmt"
+	"log/slog"
 
 	"repro/internal/agent"
 	"repro/internal/grid"
@@ -49,6 +50,9 @@ type Scheduling struct {
 	// Telemetry, when set, counts scheduling decisions per heuristic and
 	// observes makespans (see OBSERVABILITY.md).
 	Telemetry *telemetry.Registry
+
+	// Logger, when set, records one debug line per scheduling decision.
+	Logger *slog.Logger
 }
 
 // Schedule computes the min-min schedule (the default policy); use
@@ -59,6 +63,11 @@ func (s *Scheduling) Schedule(tasks []TaskSpec) ScheduleReply {
 
 // record feeds the telemetry registry after one scheduling decision.
 func (s *Scheduling) record(h Heuristic, requested int, out ScheduleReply) {
+	if s.Logger != nil {
+		s.Logger.Debug("schedule computed",
+			slog.String("heuristic", h.String()), slog.Int("tasks", requested),
+			slog.Int("assigned", len(out.Assignments)), slog.Float64("makespanSec", out.Makespan))
+	}
 	tel := s.Telemetry
 	if tel == nil {
 		return

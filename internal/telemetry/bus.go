@@ -1,0 +1,125 @@
+package telemetry
+
+// The event bus is the live side of the monitoring service: every task span
+// and node-health transition recorded into the registry is also fanned out
+// to subscribers (the SSE endpoint, dashboards, steering agents). Delivery
+// is strictly non-blocking: each subscriber owns a bounded buffer, and a
+// subscriber that falls behind loses events — counted per subscriber and in
+// the registry-wide telemetry.events.dropped counter — rather than ever
+// stalling an enactment hot path.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Event is one observability event on the bus: a task span (Task set) or a
+// node-health transition (Node set). Seq is a bus-global publication order.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Task   string    `json:"task,omitempty"`
+	Node   string    `json:"node,omitempty"`
+	Kind   string    `json:"kind"`
+	Name   string    `json:"name,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// EventKindNodeHealth is the Kind of node-health transition events published
+// by the monitoring service (Name holds the new status).
+const EventKindNodeHealth = "node-health"
+
+// DefaultSubscribeBuffer is the per-subscriber channel capacity used when
+// Subscribe is called with a non-positive buffer size.
+const DefaultSubscribeBuffer = 256
+
+// Subscription is one bounded listener on the registry's event bus. Receive
+// from Events; Close unregisters. A subscription that stops draining loses
+// events (Dropped counts them) but never blocks publishers.
+type Subscription struct {
+	reg     *Registry
+	ch      chan Event
+	dropped atomic.Uint64
+}
+
+// Subscribe registers a listener with the given buffer capacity (<= 0 means
+// DefaultSubscribeBuffer). Returns nil on a nil registry.
+func (r *Registry) Subscribe(buffer int) *Subscription {
+	if r == nil {
+		return nil
+	}
+	if buffer <= 0 {
+		buffer = DefaultSubscribeBuffer
+	}
+	sub := &Subscription{reg: r, ch: make(chan Event, buffer)}
+	r.subMu.Lock()
+	r.subs = append(r.subs, sub)
+	r.nsubs.Store(int32(len(r.subs)))
+	r.subMu.Unlock()
+	return sub
+}
+
+// Events is the subscription's receive channel. It is closed by Close. Nil
+// on a nil subscription.
+func (s *Subscription) Events() <-chan Event {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// Dropped reports how many events this subscription lost to a full buffer.
+func (s *Subscription) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Close unregisters the subscription and closes its channel. Safe to call
+// once; the exclusive lock excludes in-flight publishers, so no event is ever
+// sent on the closed channel.
+func (s *Subscription) Close() {
+	if s == nil {
+		return
+	}
+	r := s.reg
+	r.subMu.Lock()
+	for i, sub := range r.subs {
+		if sub == s {
+			r.subs = append(r.subs[:i:i], r.subs[i+1:]...)
+			close(s.ch)
+			break
+		}
+	}
+	r.nsubs.Store(int32(len(r.subs)))
+	r.subMu.Unlock()
+}
+
+// PublishEvent offers an event to every subscriber. With no subscribers the
+// cost is one atomic load (plus the published counter), so instrumented hot
+// paths pay nothing extra for an idle bus. Full subscriber buffers drop the
+// event for that subscriber only. Safe on a nil registry.
+func (r *Registry) PublishEvent(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mEventsPublished.Inc()
+	if r.nsubs.Load() == 0 {
+		return
+	}
+	ev.Seq = r.eventSeq.Add(1)
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	r.subMu.RLock()
+	for _, sub := range r.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped.Add(1)
+			r.mEventsDropped.Inc()
+		}
+	}
+	r.subMu.RUnlock()
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBusFanOut checks plain delivery: every published event reaches a
+// draining subscriber, in publication order, with bus-global sequence
+// numbers.
+func TestBusFanOut(t *testing.T) {
+	r := New()
+	sub := r.Subscribe(16)
+	defer sub.Close()
+	for i := 0; i < 5; i++ {
+		r.PublishEvent(Event{Kind: "k", Name: fmt.Sprintf("e%d", i)})
+	}
+	var last uint64
+	for i := 0; i < 5; i++ {
+		select {
+		case ev := <-sub.Events():
+			if ev.Name != fmt.Sprintf("e%d", i) {
+				t.Fatalf("event %d = %q", i, ev.Name)
+			}
+			if ev.Seq <= last {
+				t.Fatalf("seq not increasing: %d after %d", ev.Seq, last)
+			}
+			last = ev.Seq
+		case <-time.After(time.Second):
+			t.Fatalf("event %d never arrived", i)
+		}
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", sub.Dropped())
+	}
+}
+
+// TestBusTraceSpansPublished checks that task spans recorded through
+// TaskTrace.Span are mirrored onto the bus with the task ID attached.
+func TestBusTraceSpansPublished(t *testing.T) {
+	r := New()
+	sub := r.Subscribe(4)
+	defer sub.Close()
+	r.TaskTrace("T1").Span("queue", "", "admitted")
+	select {
+	case ev := <-sub.Events():
+		if ev.Task != "T1" || ev.Kind != "queue" || ev.Detail != "admitted" {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("span never reached the bus")
+	}
+}
+
+// TestBusSlowSubscriberNeverBlocks is the acceptance scenario for the bus:
+// N concurrent publishers hammer the registry while one subscriber with a
+// one-slot buffer deliberately never drains. Publishing must complete (the
+// test finishing is the liveness assertion — a blocking bus would hang), and
+// every undeliverable event must be counted as dropped, both on the
+// subscription and in telemetry.events.dropped. Run under -race via
+// `make race` / `make check`.
+func TestBusSlowSubscriberNeverBlocks(t *testing.T) {
+	const (
+		publishers = 8
+		perPub     = 500
+	)
+	r := New()
+	slow := r.Subscribe(1) // never drained
+	defer slow.Close()
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			trace := r.TaskTrace(fmt.Sprintf("T%d", p))
+			for i := 0; i < perPub; i++ {
+				trace.Span("fire", "act", "concurrent publish")
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("publishers blocked on a slow subscriber")
+	}
+
+	total := uint64(publishers * perPub)
+	dropped := slow.Dropped()
+	if dropped == 0 {
+		t.Fatal("expected drops with a one-slot buffer")
+	}
+	if dropped > total {
+		t.Fatalf("dropped %d > published %d", dropped, total)
+	}
+	// Everything not dropped must still be sitting in the buffer (1 slot) —
+	// drops plus deliverable events account for every publish.
+	if got := dropped + uint64(len(slow.Events())); got != total {
+		t.Fatalf("dropped %d + buffered %d != published %d", dropped, len(slow.Events()), total)
+	}
+	if c := r.Counter("telemetry.events.dropped").Value(); uint64(c) != dropped {
+		t.Fatalf("telemetry.events.dropped = %d, want %d", c, dropped)
+	}
+	if c := r.Counter("telemetry.events.published").Value(); uint64(c) != total {
+		t.Fatalf("telemetry.events.published = %d, want %d", c, total)
+	}
+}
+
+// TestBusSubscribeCloseConcurrent exercises subscribe/close churn against
+// concurrent publishers: closing must never panic a publisher mid-send.
+func TestBusSubscribeCloseConcurrent(t *testing.T) {
+	r := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.PublishEvent(Event{Kind: "churn"})
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		sub := r.Subscribe(2)
+		// Drain a little, then close while publishers are active.
+		select {
+		case <-sub.Events():
+		default:
+		}
+		sub.Close()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestBusNilSafety: nil registry and nil subscription are inert.
+func TestBusNilSafety(t *testing.T) {
+	var r *Registry
+	r.PublishEvent(Event{Kind: "x"})
+	sub := r.Subscribe(1)
+	if sub != nil {
+		t.Fatal("Subscribe on nil registry should return nil")
+	}
+	sub.Close()
+	if sub.Dropped() != 0 || sub.Events() != nil {
+		t.Fatal("nil subscription should be inert")
+	}
+}

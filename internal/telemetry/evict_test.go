@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOverwriteDroppedExact pins the dropped-span accounting: a trace
+// reports zero drops until the ring is full, then exactly one additional
+// drop per overwriting span.
+func TestRingOverwriteDroppedExact(t *testing.T) {
+	r := New()
+	r.spanCap = 4
+	tr := r.TaskTrace("T-exact")
+	for i := 0; i < 4; i++ {
+		tr.Span("fire", fmt.Sprintf("a%d", i), "")
+		if tr.Dropped() != 0 {
+			t.Fatalf("dropped = %d before the ring filled (span %d)", tr.Dropped(), i)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		tr.Span("fire", fmt.Sprintf("b%d", i), "")
+		if got, want := tr.Dropped(), uint64(i+1); got != want {
+			t.Fatalf("after overwrite %d: dropped = %d, want %d", i, got, want)
+		}
+		if n := len(tr.Spans()); n != 4 {
+			t.Fatalf("retained %d spans, want 4", n)
+		}
+	}
+	// The retained window is the newest 4 spans, still in seq order.
+	spans := tr.Spans()
+	for i, s := range spans {
+		if want := uint64(11 + i); s.Seq != want {
+			t.Fatalf("span %d seq = %d, want %d", i, s.Seq, want)
+		}
+	}
+}
+
+// TestEvictionAtDefaultMaxTraces exercises the registry's task-trace cap at
+// its real production value: the (DefaultMaxTraces+1)-th task evicts exactly
+// the oldest trace, and subsequent tasks keep evicting in insertion order.
+func TestEvictionAtDefaultMaxTraces(t *testing.T) {
+	r := New()
+	id := func(i int) string { return fmt.Sprintf("T%04d", i) }
+	for i := 0; i < DefaultMaxTraces; i++ {
+		r.TaskTrace(id(i)).Span("k", "", "")
+	}
+	if r.LookupTrace(id(0)) == nil {
+		t.Fatal("T0000 evicted before the cap was reached")
+	}
+	r.TaskTrace(id(DefaultMaxTraces)).Span("k", "", "")
+	if r.LookupTrace(id(0)) != nil {
+		t.Fatal("oldest trace survived past DefaultMaxTraces")
+	}
+	if r.LookupTrace(id(1)) == nil {
+		t.Fatal("second-oldest trace evicted out of order")
+	}
+	r.TaskTrace(id(DefaultMaxTraces+1)).Span("k", "", "")
+	if r.LookupTrace(id(1)) != nil {
+		t.Fatal("eviction did not proceed oldest-first")
+	}
+	for _, i := range []int{2, DefaultMaxTraces - 1, DefaultMaxTraces, DefaultMaxTraces + 1} {
+		if r.LookupTrace(id(i)) == nil {
+			t.Fatalf("trace %s evicted too early", id(i))
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+// Structured logging for the observability plane: log/slog with
+// component-scoped loggers. core.NewEnvironment derives one logger per
+// component (engine, coordination, scheduling, monitoring, httpapi) from
+// Options.Logger via ComponentLogger; gridenv builds the root logger from
+// its -log-level / -log-format flags through NewLogger. A nil root logger
+// means silent — NopLogger supplies a logger whose handler discards
+// everything, so component code never nil-checks.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a root slog logger writing to w. level is one of
+// "debug", "info", "warn", "error" (case-insensitive; empty means info);
+// format is "text" or "json" (empty means text).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+}
+
+// ComponentLogger scopes a root logger to one component; a nil root yields
+// the no-op logger, so callers can pass the result around unconditionally.
+func ComponentLogger(root *slog.Logger, component string) *slog.Logger {
+	if root == nil {
+		return NopLogger()
+	}
+	return root.With(slog.String("component", component))
+}
+
+// nopHandler discards every record.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+var nop = slog.New(nopHandler{})
+
+// NopLogger returns a logger that discards everything (its handler reports
+// every level disabled, so argument evaluation is the only cost).
+func NopLogger() *slog.Logger { return nop }

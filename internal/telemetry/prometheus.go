@@ -1,0 +1,128 @@
+package telemetry
+
+// Prometheus text exposition (format version 0.0.4) for registry snapshots.
+// The registry's dot-separated metric names are sanitized into legal
+// Prometheus names (dots and other illegal runes become underscores, a
+// leading digit gains an underscore prefix); counters and gauges emit one
+// sample each, histograms emit cumulative `_bucket` series keyed by the `le`
+// label plus `_sum` and `_count`. Output is sorted by metric name so scrapes
+// are diffable and the encoder is deterministic under test.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type for text exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus encodes the snapshot in Prometheus text exposition format.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	type metric struct {
+		name string // sanitized
+		emit func() error
+	}
+	var metrics []metric
+
+	for name, v := range s.Counters {
+		orig, san, val := name, PrometheusName(name), v
+		metrics = append(metrics, metric{san, func() error {
+			return writeSimple(w, san, orig, "counter", strconv.FormatInt(val, 10))
+		}})
+	}
+	for name, v := range s.Gauges {
+		orig, san, val := name, PrometheusName(name), v
+		metrics = append(metrics, metric{san, func() error {
+			return writeSimple(w, san, orig, "gauge", formatFloat(val))
+		}})
+	}
+	for name, h := range s.Histograms {
+		orig, san, hs := name, PrometheusName(name), h
+		metrics = append(metrics, metric{san, func() error {
+			return writeHistogram(w, san, orig, hs)
+		}})
+	}
+
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+	for _, m := range metrics {
+		if err := m.emit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSimple(w io.Writer, name, orig, typ, value string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, helpText(orig), name, typ, name, value)
+	return err
+}
+
+func writeHistogram(w io.Writer, name, orig string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+		name, helpText(orig), name); err != nil {
+		return err
+	}
+	// Snapshot buckets are per-bucket counts; Prometheus buckets are
+	// cumulative ("observations at or below le").
+	var cum int64
+	sawInf := false
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if b.Le == "+Inf" {
+			sawInf = true
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, b.Le, cum); err != nil {
+			return err
+		}
+	}
+	if !sawInf {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(h.Sum), name, h.Count)
+	return err
+}
+
+// helpText is the HELP line payload: the registry's original dot name (the
+// key documented in OBSERVABILITY.md), escaped per the exposition format.
+func helpText(orig string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(orig)
+}
+
+// formatFloat renders a float sample; Prometheus accepts Go's shortest
+// round-trip form plus +Inf/-Inf/NaN spellings, which 'g' covers.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PrometheusName sanitizes a registry metric name into a legal Prometheus
+// metric name ([a-zA-Z_:][a-zA-Z0-9_:]*): every illegal rune becomes an
+// underscore and a leading digit is prefixed with one.
+func PrometheusName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		legal := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		switch {
+		case legal:
+			b.WriteRune(r)
+		case r >= '0' && r <= '9': // leading digit
+			b.WriteByte('_')
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

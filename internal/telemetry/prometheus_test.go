@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrometheusName(t *testing.T) {
+	cases := map[string]string{
+		"engine.queue.depth":       "engine_queue_depth",
+		"http.responses.2xx":       "http_responses_2xx",
+		"2leading":                 "_2leading",
+		"weird-name/with ch":       "weird_name_with_ch",
+		"ok_name:colons":           "ok_name:colons",
+		"":                         "_",
+		"telemetry.events.dropped": "telemetry_events_dropped",
+	}
+	for in, want := range cases {
+		if got := PrometheusName(in); got != want {
+			t.Errorf("PrometheusName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusEncoding(t *testing.T) {
+	r := New()
+	r.Counter("engine.admission.accepted").Add(7)
+	r.Gauge("engine.queue.depth").Set(3.5)
+	h := r.Histogram("engine.run.seconds", []float64{0.1, 1})
+	h.Observe(0.05) // bucket le=0.1
+	h.Observe(0.5)  // bucket le=1
+	h.Observe(5)    // bucket le=+Inf
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE engine_admission_accepted counter\n",
+		"engine_admission_accepted 7\n",
+		"# TYPE engine_queue_depth gauge\n",
+		"engine_queue_depth 3.5\n",
+		"# TYPE engine_run_seconds histogram\n",
+		// Cumulative buckets: 1, then 1+1, then all three at +Inf.
+		"engine_run_seconds_bucket{le=\"0.1\"} 1\n",
+		"engine_run_seconds_bucket{le=\"1\"} 2\n",
+		"engine_run_seconds_bucket{le=\"+Inf\"} 3\n",
+		"engine_run_seconds_sum 5.55\n",
+		"engine_run_seconds_count 3\n",
+		"# HELP engine_run_seconds engine.run.seconds\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+
+	// Deterministic: a second encoding is byte-identical.
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("encoding is not deterministic")
+	}
+}

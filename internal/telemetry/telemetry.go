@@ -20,8 +20,8 @@ import (
 	"sync/atomic"
 )
 
-// Registry holds named instruments and task traces. Create with New; the
-// zero value is not usable (use a nil *Registry for a no-op).
+// Registry holds named instruments, task traces, and the event bus. Create
+// with New; the zero value is not usable (use a nil *Registry for a no-op).
 type Registry struct {
 	mu         sync.RWMutex
 	counters   map[string]*Counter
@@ -31,6 +31,16 @@ type Registry struct {
 	traceOrder []string // insertion order, for eviction
 	spanCap    int
 	maxTraces  int
+
+	// Event bus state (see bus.go). nsubs shadows len(subs) so the publish
+	// hot path can skip the lock entirely while nobody is listening.
+	subMu    sync.RWMutex
+	subs     []*Subscription
+	nsubs    atomic.Int32
+	eventSeq atomic.Uint64
+
+	mEventsPublished *Counter
+	mEventsDropped   *Counter
 }
 
 // Default capacity limits: spans retained per task trace and distinct task
@@ -42,7 +52,7 @@ const (
 
 // New returns an empty registry with the default trace capacities.
 func New() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
@@ -50,6 +60,10 @@ func New() *Registry {
 		spanCap:    DefaultSpanCap,
 		maxTraces:  DefaultMaxTraces,
 	}
+	// Resolved once so PublishEvent pays an atomic add, not a map lookup.
+	r.mEventsPublished = r.Counter("telemetry.events.published")
+	r.mEventsDropped = r.Counter("telemetry.events.dropped")
+	return r
 }
 
 // Counter returns the named counter, creating it on first use.

@@ -22,6 +22,9 @@ type Span struct {
 // TaskTrace is a bounded, concurrency-safe span log for one task. Obtain
 // through Registry.TaskTrace; all methods are safe on a nil receiver.
 type TaskTrace struct {
+	reg  *Registry // owning registry; spans are mirrored onto its event bus
+	task string
+
 	seq atomic.Uint64
 
 	mu    sync.Mutex
@@ -54,7 +57,7 @@ func (r *Registry) TaskTrace(taskID string) *TaskTrace {
 		r.traceOrder = r.traceOrder[1:]
 		delete(r.traces, oldest)
 	}
-	t = &TaskTrace{cap: r.spanCap}
+	t = &TaskTrace{reg: r, task: taskID, cap: r.spanCap}
 	r.traces[taskID] = t
 	r.traceOrder = append(r.traceOrder, taskID)
 	return t
@@ -83,7 +86,6 @@ func (t *TaskTrace) Span(kind, name, detail string) {
 		Detail: detail,
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	// The buffer grows geometrically up to cap, so short traces (the common
 	// case) never pay for the full ring.
 	if t.n == len(t.buf) && len(t.buf) < t.cap {
@@ -107,6 +109,10 @@ func (t *TaskTrace) Span(kind, name, detail string) {
 	} else {
 		t.start = (t.start + 1) % len(t.buf) // overwrote the oldest
 	}
+	t.mu.Unlock()
+	// Mirror onto the event bus outside the ring lock: a publish never holds
+	// up a concurrent Spans() reader.
+	t.reg.PublishEvent(Event{Task: t.task, Time: s.Time, Kind: kind, Name: name, Detail: detail})
 }
 
 // Spans returns the retained spans in seq order (oldest first).
