@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json check fmt vet lint chaos
+# Minimum acceptable total statement coverage (percent) for `make cover`.
+COVER_FLOOR ?= 78.0
+# Optional suffix for bench-json output, e.g. BENCH_SUFFIX=b to write
+# BENCH_<date>b.json next to an existing same-day baseline.
+BENCH_SUFFIX ?=
+
+.PHONY: build test race bench bench-json check cover fmt vet lint chaos
 
 build:
 	$(GO) build ./...
@@ -17,7 +23,17 @@ bench:
 # Machine-readable benchmark run: the full suite in `go test -json` event
 # form, dated so successive runs can be diffed for regressions.
 bench-json:
-	$(GO) test -json -run '^$$' -bench=. -benchmem . > BENCH_$(shell date +%Y%m%d).json
+	$(GO) test -json -run '^$$' -bench=. -benchmem . > BENCH_$(shell date +%Y%m%d)$(BENCH_SUFFIX).json
+
+# Total statement coverage with a floor: fails when the suite drops below
+# COVER_FLOOR percent. -short skips the soak/stress scenarios (the race and
+# chaos targets run those); coverage comes from the fast deterministic tests.
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the floor $(COVER_FLOOR)%"; exit 1; }
 
 # The fault-injection acceptance scenarios under the race detector.
 chaos:
@@ -39,4 +55,4 @@ lint:
 		echo "staticcheck not installed; skipping lint"; \
 	fi
 
-check: fmt vet lint race chaos
+check: fmt vet lint race chaos cover

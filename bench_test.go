@@ -656,6 +656,77 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineThroughputMultiTenant is the same 200-task burst split over
+// four weighted tenants, so the deficit-round-robin queue (rather than a
+// single FIFO flow) is on the dispatch path. Comparing its tasks/sec against
+// BenchmarkEngineThroughput at the same worker count bounds the fair queue's
+// scheduling overhead.
+func BenchmarkEngineThroughputMultiTenant(b *testing.B) {
+	const burst = 200
+	tenants := []string{"alpha", "beta", "gamma", "delta"}
+	text, err := pdl.Format(virolab.PlanTree())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			env, err := core.NewEnvironment(core.Options{
+				Catalog:       virolab.Catalog(),
+				Planner:       reducedParams(),
+				PostProcess:   virolab.ResolutionHook(nil),
+				Workers:       workers,
+				QueueCapacity: burst * 2,
+				Tenants: map[string]engine.TenantConfig{
+					"alpha": {Weight: 4},
+					"beta":  {Weight: 2},
+					"gamma": {Weight: 1},
+					"delta": {Weight: 1},
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids := make([]string, burst)
+				for j := range ids {
+					id := fmt.Sprintf("T-mt-%d-%d", i, j)
+					process, err := pdl.ParseProcess(id, text)
+					if err != nil {
+						b.Fatal(err)
+					}
+					task := virolab.Task()
+					task.ID = id
+					task.Process = process
+					ids[j] = id
+					sub := engine.Submission{Task: task, Tenant: tenants[j%len(tenants)]}
+					if _, err := env.Engine.Submit(sub); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, id := range ids {
+					for {
+						st, err := env.Engine.Task(id)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if st.Status == engine.StatusCompleted {
+							break
+						}
+						if st.Status == engine.StatusFailed || st.Status == engine.StatusCancelled {
+							b.Fatalf("task %s ended %s: %s", id, st.Status, st.Error)
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*burst)/b.Elapsed().Seconds(), "tasks/sec")
+		})
+	}
+}
+
 // BenchmarkPDLParseFig10 measures parsing the Figure 10 PDL text.
 func BenchmarkPDLParseFig10(b *testing.B) {
 	text, err := pdl.Format(virolab.PlanTree())

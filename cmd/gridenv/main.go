@@ -6,6 +6,8 @@
 //
 //	gridenv [-addr :8080] [-clusters 6] [-smps 3] [-supers 1] [-seed 1]
 //	        [-store state.json] [-workers N]
+//	        [-tenants alpha:3,beta:1] [-tenant-max-queued N]
+//	        [-tenant-max-inflight N] [-tenant-rate R] [-tenant-burst N]
 //	        [-log-level info] [-log-format text] [-pprof]
 //
 // With -store, the persistent storage service loads its state from the file
@@ -15,6 +17,13 @@
 // never started are re-enqueued, tasks interrupted mid-enactment resume from
 // their latest checkpoint, and finished tasks stay queryable. -workers sizes
 // the engine's coordinator worker pool (default: GOMAXPROCS).
+//
+// -tenants assigns fair-share weights (id:weight,...) to named tenants; the
+// -tenant-* flags set the default admission quotas — max queued tasks, max
+// concurrent enactments, and token-bucket submit rate/burst — applied to
+// every tenant without an explicit entry. Quota rejections answer HTTP 429
+// tenant_queue_full / tenant_rate_limited with Retry-After and X-RateLimit-*
+// headers; per-tenant accounting is served at /api/v1/tenants.
 //
 // Try it:
 //
@@ -48,8 +57,10 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/grid"
 	"repro/internal/httpapi"
+	"repro/internal/load"
 	"repro/internal/planner"
 	"repro/internal/telemetry"
 	"repro/internal/virolab"
@@ -64,18 +75,55 @@ func main() {
 		seed     = flag.Int64("seed", 1, "grid and planner seed")
 		store    = flag.String("store", "", "persistent storage file (loaded at start, saved on shutdown)")
 		workers  = flag.Int("workers", 0, "enactment worker pool size (0 = GOMAXPROCS)")
+		tenants  = flag.String("tenants", "", "per-tenant fair-share weights as id:weight,... (empty = all weight 1)")
+		tMaxQ    = flag.Int("tenant-max-queued", 0, "default per-tenant queued-task quota (0 = unlimited)")
+		tMaxIF   = flag.Int("tenant-max-inflight", 0, "default per-tenant concurrent-enactment cap (0 = unlimited)")
+		tRate    = flag.Float64("tenant-rate", 0, "default per-tenant submit rate per second (0 = unlimited)")
+		tBurst   = flag.Int("tenant-burst", 0, "default per-tenant submit burst (0 = max(1, ceil(rate)))")
 		logLevel = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error")
 		logFmt   = flag.String("log-format", "text", "structured log encoding: text or json")
 		pprof    = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*addr, *clusters, *smps, *supers, *seed, *store, *workers, *logLevel, *logFmt, *pprof); err != nil {
+	tenantCfg := tenantOptions{
+		weights: *tenants,
+		defaults: engine.TenantConfig{
+			MaxQueued: *tMaxQ, MaxInFlight: *tMaxIF,
+			RatePerSec: *tRate, Burst: *tBurst,
+		},
+	}
+	if err := run(*addr, *clusters, *smps, *supers, *seed, *store, *workers, tenantCfg, *logLevel, *logFmt, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "gridenv:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, clusters, smps, supers int, seed int64, store string, workers int, logLevel, logFmt string, pprof bool) error {
+// tenantOptions carries the tenancy flags into run.
+type tenantOptions struct {
+	weights  string
+	defaults engine.TenantConfig
+}
+
+// resolve parses -tenants and merges the default quotas into every explicit
+// entry, so a weighted tenant still gets the shared quota settings.
+func (t tenantOptions) resolve() (map[string]engine.TenantConfig, engine.TenantConfig, error) {
+	if t.weights == "" {
+		return nil, t.defaults, nil
+	}
+	mix, err := load.ParseTenants(t.weights)
+	if err != nil {
+		return nil, t.defaults, err
+	}
+	out := make(map[string]engine.TenantConfig, len(mix))
+	for _, m := range mix {
+		cfg := t.defaults
+		cfg.Weight = m.Weight
+		out[m.ID] = cfg
+	}
+	return out, t.defaults, nil
+}
+
+func run(addr string, clusters, smps, supers int, seed int64, store string, workers int, tenants tenantOptions, logLevel, logFmt string, pprof bool) error {
 	gridCfg := grid.DefaultSyntheticConfig()
 	gridCfg.Clusters = clusters
 	gridCfg.SMPs = smps
@@ -87,15 +135,21 @@ func run(addr string, clusters, smps, supers int, seed int64, store string, work
 	if err != nil {
 		return err
 	}
+	tenantMap, tenantDefaults, err := tenants.resolve()
+	if err != nil {
+		return err
+	}
 
 	env, err := core.NewEnvironment(core.Options{
-		GridConfig:  &gridCfg,
-		Catalog:     virolab.Catalog(),
-		Planner:     params,
-		PostProcess: virolab.ResolutionHook(nil),
-		Checkpoint:  true,
-		Workers:     workers,
-		Logger:      logger,
+		GridConfig:     &gridCfg,
+		Catalog:        virolab.Catalog(),
+		Planner:        params,
+		PostProcess:    virolab.ResolutionHook(nil),
+		Checkpoint:     true,
+		Workers:        workers,
+		Tenants:        tenantMap,
+		TenantDefaults: tenantDefaults,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err

@@ -71,6 +71,14 @@ type Options struct {
 	// engine.DefaultRetainFinished.
 	RetainFinished int
 
+	// Tenants sets the engine's per-tenant fair-share weights and admission
+	// quotas (max queued, max in-flight, submit rate), keyed by tenant ID.
+	Tenants map[string]engine.TenantConfig
+
+	// TenantDefaults applies to tenants absent from Tenants. The zero value
+	// means weight 1 and no quotas.
+	TenantDefaults engine.TenantConfig
+
 	// Telemetry is the metrics registry threaded through the coordination,
 	// planning, and core services; nil builds a fresh one (so every
 	// environment is observable by default). Set NoTelemetry to run bare.
@@ -180,6 +188,8 @@ func NewEnvironment(opts Options) (*Environment, error) {
 		Workers:        opts.Workers,
 		QueueCapacity:  opts.QueueCapacity,
 		RetainFinished: opts.RetainFinished,
+		Tenants:        opts.Tenants,
+		TenantDefaults: opts.TenantDefaults,
 	})
 	if err != nil {
 		platform.Shutdown()

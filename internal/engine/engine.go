@@ -2,9 +2,14 @@
 // layer the workflow-platform literature places between the user interface
 // and the coordination service. It owns the task lifecycle end-to-end —
 //
-//   - a bounded admission queue with priority classes and backpressure
-//     (submissions beyond capacity fail fast with ErrQueueFull, which the
-//     HTTP layer surfaces as 429 + Retry-After);
+//   - a bounded admission queue with priority classes, weighted fair
+//     queueing across tenants (deficit round-robin within each class, see
+//     internal/fairq), and backpressure (submissions beyond capacity fail
+//     fast with ErrQueueFull, which the HTTP layer surfaces as 429 +
+//     Retry-After);
+//   - per-tenant admission quotas — max queued, max in-flight, token-bucket
+//     submit rate — with distinct ErrTenantQueueFull / ErrTenantRateLimited
+//     rejections and per-tenant accounting (see tenant.go);
 //   - a pool of N coordinator workers draining the queue, so concurrent
 //     case enactments are capped and scheduled fairly instead of spawning
 //     one goroutine per request;
@@ -30,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/coordination"
+	"repro/internal/fairq"
 	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
@@ -39,6 +45,12 @@ var (
 	// ErrQueueFull signals admission backpressure: the bounded queue is at
 	// capacity and the submission was rejected.
 	ErrQueueFull = errors.New("engine: admission queue full")
+	// ErrTenantQueueFull rejects a submission over its tenant's MaxQueued
+	// quota while the shared queue still has room.
+	ErrTenantQueueFull = errors.New("engine: tenant queue quota exceeded")
+	// ErrTenantRateLimited rejects a submission with no token left in its
+	// tenant's submit-rate bucket.
+	ErrTenantRateLimited = errors.New("engine: tenant rate limited")
 	// ErrUnknownTask is returned for task IDs the engine has never seen.
 	ErrUnknownTask = errors.New("engine: unknown task")
 	// ErrEvicted is returned for finished tasks whose record was dropped by
@@ -54,7 +66,8 @@ var (
 )
 
 // Priority is an admission class. Lower values drain first; within a class
-// the queue is FIFO.
+// tenants share service by weighted fair queueing (a single tenant reduces
+// to plain FIFO).
 type Priority int
 
 const (
@@ -140,6 +153,12 @@ type Config struct {
 	// older ones are evicted (lookups then return ErrEvicted). 0 means
 	// DefaultRetainFinished.
 	RetainFinished int
+	// Tenants sets per-tenant fair-share weights and admission quotas,
+	// keyed by tenant ID (the empty tenant is recorded as DefaultTenant).
+	Tenants map[string]TenantConfig
+	// TenantDefaults applies to tenants absent from Tenants. The zero value
+	// means weight 1 and no quotas.
+	TenantDefaults TenantConfig
 }
 
 // Submission is one task handed to the engine.
@@ -151,8 +170,9 @@ type Submission struct {
 	// Priority is the admission class; the zero value is PriorityHigh, so
 	// API layers should parse explicitly (ParsePriority maps "" to normal).
 	Priority Priority
-	// Tenant attributes the task to a submitting principal (accounting
-	// only; admission is shared).
+	// Tenant attributes the task to a submitting principal for fair
+	// queueing, quota enforcement, and accounting. Empty means
+	// DefaultTenant.
 	Tenant string
 }
 
@@ -182,6 +202,8 @@ type Stats struct {
 	Capacity      int            `json:"capacity"`
 	Depth         int            `json:"depth"`
 	DepthByClass  map[string]int `json:"depthByClass"`
+	DepthByTenant map[string]int `json:"depthByTenant,omitempty"`
+	Tenants       int            `json:"tenants"`
 	Workers       int            `json:"workers"`
 	Busy          int            `json:"busy"`
 	Running       int            `json:"running"`
@@ -228,7 +250,8 @@ type Engine struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queues  [numPriorities][]*record
+	fq      *fairq.Queue[*record]
+	tenants map[string]*tenantState
 	queued  int
 	records map[string]*record
 	// finished is the eviction ring: finished task IDs in completion order.
@@ -237,6 +260,7 @@ type Engine struct {
 	closed   bool
 	seq      int64
 
+	epoch   time.Time
 	wg      sync.WaitGroup
 	started atomic.Bool
 	busy    atomic.Int64
@@ -278,8 +302,11 @@ func New(cfg Config) (*Engine, error) {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		records:    make(map[string]*record),
+		tenants:    make(map[string]*tenantState),
 		evicted:    make(map[string]bool),
+		epoch:      time.Now(),
 	}
+	e.fq = fairq.New[*record](int(numPriorities), e.weight)
 	e.cond = sync.NewCond(&e.mu)
 	tel := cfg.Telemetry
 	e.mAccepted = tel.Counter("engine.admission.accepted")
@@ -321,10 +348,9 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	var drained []*record
-	for p := range e.queues {
-		drained = append(drained, e.queues[p]...)
-		e.queues[p] = nil
+	drained := e.fq.Drain()
+	for _, rec := range drained {
+		e.tenantLocked(rec.tenant).queued--
 	}
 	e.queued = 0
 	e.cond.Broadcast()
@@ -352,9 +378,11 @@ func (e *Engine) Ready() bool {
 }
 
 // Submit admits a task: the accepted record is journaled (write-ahead), the
-// task enters its priority class's FIFO, and the returned status carries the
-// queue position. Fails fast with ErrQueueFull beyond capacity, ErrDuplicate
-// for reused IDs, or the task's own validation error.
+// task enters its tenant's FIFO within its priority class, and the returned
+// status carries the queue position. Fails fast with ErrQueueFull beyond the
+// shared capacity, ErrTenantQueueFull / ErrTenantRateLimited beyond the
+// tenant's quotas, ErrDuplicate for reused IDs, or the task's own validation
+// error.
 func (e *Engine) Submit(sub Submission) (TaskStatus, error) {
 	if sub.Task == nil {
 		return TaskStatus{}, fmt.Errorf("engine: nil task")
@@ -384,19 +412,45 @@ func (e *Engine) Submit(sub Submission) (TaskStatus, error) {
 		e.mu.Unlock()
 		return TaskStatus{}, fmt.Errorf("%w: %s", ErrDuplicate, id)
 	}
+	tenant := canonicalTenant(sub.Tenant)
+	ts := e.tenantLocked(tenant)
 	if e.queued >= e.cfg.QueueCapacity {
+		ts.rejectedQueue++
+		ts.mRejectedQueue.Inc()
 		e.mu.Unlock()
 		e.mRejected.Inc()
 		e.log.Warn("task rejected: admission queue full",
 			slog.String("task", id), slog.Int("capacity", e.cfg.QueueCapacity))
 		return TaskStatus{}, fmt.Errorf("%w: capacity %d", ErrQueueFull, e.cfg.QueueCapacity)
 	}
+	if ts.cfg.MaxQueued > 0 && ts.queued >= ts.cfg.MaxQueued {
+		ts.rejectedQueue++
+		ts.mRejectedQueue.Inc()
+		e.mu.Unlock()
+		e.mRejected.Inc()
+		e.log.Warn("task rejected: tenant queue quota exceeded",
+			slog.String("task", id), slog.String("tenant", tenant),
+			slog.Int("maxQueued", ts.cfg.MaxQueued))
+		return TaskStatus{}, fmt.Errorf("%w: tenant %s at %d queued", ErrTenantQueueFull, tenant, ts.cfg.MaxQueued)
+	}
+	// Rate is checked last so a submission doomed by a queue bound does not
+	// burn a token.
+	if ts.bucket != nil && !ts.bucket.Allow(e.now()) {
+		ts.rejectedRate++
+		ts.mRejectedRate.Inc()
+		e.mu.Unlock()
+		e.mRejected.Inc()
+		e.log.Warn("task rejected: tenant rate limited",
+			slog.String("task", id), slog.String("tenant", tenant),
+			slog.Float64("ratePerSec", ts.cfg.RatePerSec))
+		return TaskStatus{}, fmt.Errorf("%w: tenant %s over %g/s", ErrTenantRateLimited, tenant, ts.cfg.RatePerSec)
+	}
 	e.seq++
 	rec := &record{
 		id:        id,
 		seq:       e.seq,
 		priority:  sub.Priority,
-		tenant:    sub.Tenant,
+		tenant:    tenant,
 		status:    StatusQueued,
 		submitted: time.Now(),
 		policy:    resolved,
@@ -410,8 +464,12 @@ func (e *Engine) Submit(sub Submission) (TaskStatus, error) {
 		Priority: int(rec.priority), Tenant: rec.tenant, Task: env,
 	})
 	e.records[id] = rec
-	e.queues[rec.priority] = append(e.queues[rec.priority], rec)
+	e.fq.Push(int(rec.priority), tenant, rec)
 	e.queued++
+	ts.queued++
+	ts.accepted++
+	ts.mAccepted.Inc()
+	ts.gQueued.Set(float64(ts.queued))
 	pos := e.positionLocked(rec)
 	depth := e.queued
 	e.cond.Signal()
@@ -433,47 +491,57 @@ func (e *Engine) Submit(sub Submission) (TaskStatus, error) {
 func (e *Engine) enqueueRecovered(rec *record) {
 	e.mu.Lock()
 	rec.status = StatusQueued
+	rec.tenant = canonicalTenant(rec.tenant)
 	e.records[rec.id] = rec
 	if rec.seq > e.seq {
 		e.seq = rec.seq
 	}
-	e.queues[rec.priority] = append(e.queues[rec.priority], rec)
+	// Recovery feeds tasks back in journal-sequence order (Recover sorts by
+	// seq), so each tenant's FIFO comes back in its original order.
+	e.fq.Push(int(rec.priority), rec.tenant, rec)
 	e.queued++
+	ts := e.tenantLocked(rec.tenant)
+	ts.queued++
+	ts.gQueued.Set(float64(ts.queued))
 	depth := e.queued
 	e.cond.Signal()
 	e.mu.Unlock()
 	e.gDepth.Set(float64(depth))
 }
 
-// next blocks until a task is available or the engine closes; it pops the
-// head of the highest non-empty priority class and transitions it to
-// running.
+// next blocks until a runnable task is available or the engine closes; the
+// fair queue picks the next tenant (highest non-empty priority class,
+// deficit round-robin within it), skipping tenants at their in-flight cap,
+// and the popped record transitions to running.
 func (e *Engine) next() *record {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for {
-		if e.queued > 0 {
-			for p := range e.queues {
-				if len(e.queues[p]) == 0 {
-					continue
-				}
-				rec := e.queues[p][0]
-				e.queues[p] = e.queues[p][1:]
-				e.queued--
-				rec.status = StatusRunning
-				rec.attempt++
-				rec.started = time.Now()
-				rec.queueWait = rec.started.Sub(rec.submitted).Seconds()
-				ctx, cancel := context.WithCancel(e.baseCtx)
-				rec.cancel = cancel
-				rec.runCtx = ctx
-				e.gDepth.Set(float64(e.queued))
-				return rec
-			}
+		if rec, ok := e.fq.Pop(e.eligible); ok {
+			e.queued--
+			rec.status = StatusRunning
+			rec.attempt++
+			rec.started = time.Now()
+			rec.queueWait = rec.started.Sub(rec.submitted).Seconds()
+			ts := e.tenantLocked(rec.tenant)
+			ts.queued--
+			ts.running++
+			ts.waitSum += rec.queueWait
+			ts.waitCount++
+			ts.hWait.Observe(rec.queueWait)
+			ts.gQueued.Set(float64(ts.queued))
+			ts.gRunning.Set(float64(ts.running))
+			ctx, cancel := context.WithCancel(e.baseCtx)
+			rec.cancel = cancel
+			rec.runCtx = ctx
+			e.gDepth.Set(float64(e.queued))
+			return rec
 		}
 		if e.closed {
 			return nil
 		}
+		// Either the queue is empty or every queued tenant is at its
+		// in-flight cap; finish() broadcasts when capacity frees up.
 		e.cond.Wait()
 	}
 }
@@ -548,12 +616,32 @@ func (e *Engine) finish(rec *record, status string, report *coordination.Report,
 	})
 
 	e.mu.Lock()
+	ts := e.tenantLocked(rec.tenant)
+	if rec.status == StatusRunning {
+		ts.running--
+		ts.gRunning.Set(float64(ts.running))
+		run := time.Since(rec.started).Seconds()
+		ts.runSum += run
+		ts.runCount++
+		ts.hRun.Observe(run)
+	}
 	rec.status = status
 	rec.err = errText
 	rec.report = report
 	rec.finished = time.Now()
 	rec.cancel = nil
 	rec.runCtx = nil
+	switch status {
+	case StatusCompleted:
+		ts.completed++
+		ts.mCompleted.Inc()
+	case StatusFailed:
+		ts.failed++
+		ts.mFailed.Inc()
+	case StatusCancelled:
+		ts.cancelled++
+		ts.mCancelled.Inc()
+	}
 	e.finished = append(e.finished, rec.id)
 	for len(e.finished) > e.cfg.RetainFinished {
 		oldest := e.finished[0]
@@ -561,6 +649,8 @@ func (e *Engine) finish(rec *record, status string, report *coordination.Report,
 		delete(e.records, oldest)
 		e.evicted[oldest] = true
 	}
+	// Wake workers parked because this tenant was at its in-flight cap.
+	e.cond.Broadcast()
 	e.mu.Unlock()
 
 	switch status {
@@ -632,13 +722,11 @@ func (e *Engine) Cancel(id string) (string, error) {
 	}
 	switch rec.status {
 	case StatusQueued:
-		q := e.queues[rec.priority]
-		for i, r := range q {
-			if r == rec {
-				e.queues[rec.priority] = append(q[:i:i], q[i+1:]...)
-				e.queued--
-				break
-			}
+		if e.fq.Remove(int(rec.priority), rec.tenant, func(r *record) bool { return r == rec }) {
+			e.queued--
+			ts := e.tenantLocked(rec.tenant)
+			ts.queued--
+			ts.gQueued.Set(float64(ts.queued))
 		}
 		depth := e.queued
 		e.mu.Unlock()
@@ -689,9 +777,11 @@ func (e *Engine) Tasks() []TaskStatus {
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	byClass := make(map[string]int, numPriorities)
-	for p := range e.queues {
-		byClass[Priority(p).String()] = len(e.queues[p])
+	for p := Priority(0); p < numPriorities; p++ {
+		byClass[p.String()] = e.fq.ClassLen(int(p))
 	}
+	byTenant := e.fq.DepthByTenant()
+	tenants := len(e.tenants)
 	depth := e.queued
 	e.mu.Unlock()
 	busy := int(e.busy.Load())
@@ -699,6 +789,8 @@ func (e *Engine) Stats() Stats {
 		Capacity:      e.cfg.QueueCapacity,
 		Depth:         depth,
 		DepthByClass:  byClass,
+		DepthByTenant: byTenant,
+		Tenants:       tenants,
 		Workers:       e.cfg.Workers,
 		Busy:          busy,
 		Running:       int(e.running.Load()),
@@ -756,18 +848,10 @@ func (e *Engine) statusLocked(rec *record) TaskStatus {
 }
 
 // positionLocked returns a queued record's 1-based drain position across all
-// classes; caller holds e.mu.
+// classes (an estimate under multi-tenant interleaving, exact for a single
+// tenant); caller holds e.mu.
 func (e *Engine) positionLocked(rec *record) int {
-	pos := 0
-	for p := 0; p <= int(rec.priority); p++ {
-		for _, r := range e.queues[p] {
-			pos++
-			if r == rec {
-				return pos
-			}
-		}
-	}
-	return 0
+	return e.fq.Position(int(rec.priority), rec.tenant, func(r *record) bool { return r == rec })
 }
 
 // sortStatuses orders by admission sequence (insertion sort; listings are

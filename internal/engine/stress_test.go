@@ -1,0 +1,207 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workflow"
+)
+
+// TestConcurrentMultiTenantStress hammers one engine from eight submitting
+// goroutines spread over four weighted tenants while a canceller picks off
+// every seventh task and another goroutine replays the journal on the warm
+// engine (the crash-recovery path racing live enactment). Run under -race in
+// make check. Invariants: every accepted task reaches exactly one terminal
+// state, a completed task ran all its activities exactly once on attempt 1,
+// warm replays never requeue or resume anything, each journal collapses to a
+// single terminal snapshot, and the per-tenant accounting balances.
+func TestConcurrentMultiTenantStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		goroutines = 8
+		perG       = 10
+	)
+	tenants := []string{"red", "green", "blue", "grey"}
+	env := newEnv(t, func(opts *core.Options) {
+		opts.Workers = 4
+		opts.Checkpoint = true
+		opts.QueueCapacity = goroutines * perG
+		opts.RetainFinished = 4 * goroutines * perG
+		opts.Tenants = map[string]engine.TenantConfig{
+			"red":   {Weight: 4},
+			"green": {Weight: 2},
+			"blue":  {Weight: 1},
+			"grey":  {Weight: 1},
+		}
+		// A touch of latency per activity keeps the queue backlogged so the
+		// canceller and the replayer race genuinely in-flight work.
+		opts.PostProcess = func(*workflow.Activity, []*workflow.DataItem, int) {
+			time.Sleep(time.Millisecond)
+		}
+	})
+	eng := env.Engine
+
+	// Pre-build every task on the test goroutine (forkTask may t.Fatal).
+	type job struct {
+		id     string
+		task   *workflow.Task
+		tenant string
+		prio   engine.Priority
+	}
+	prios := []engine.Priority{engine.PriorityHigh, engine.PriorityNormal, engine.PriorityLow}
+	jobs := make([][]job, goroutines)
+	var all []string
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			id := fmt.Sprintf("S-%d-%d", g, i)
+			jobs[g] = append(jobs[g], job{
+				id:     id,
+				task:   forkTask(t, id),
+				tenant: tenants[(g+i)%len(tenants)],
+				prio:   prios[i%len(prios)],
+			})
+			all = append(all, id)
+		}
+	}
+
+	var (
+		wg        sync.WaitGroup
+		submitted sync.Map // id -> struct{} once accepted
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(list []job) {
+			defer wg.Done()
+			for _, j := range list {
+				_, err := eng.Submit(engine.Submission{
+					Task: j.task, Priority: j.prio, Tenant: j.tenant,
+				})
+				if err != nil {
+					t.Errorf("submit %s: %v", j.id, err)
+					continue
+				}
+				submitted.Store(j.id, struct{}{})
+			}
+		}(jobs[g])
+	}
+
+	// Canceller: sweeps the id space repeatedly, cancelling every seventh
+	// task. Races submission, enactment, and completion — any error except
+	// "not found yet" / "already finished" is a bug surfaced by Cancel.
+	stop := make(chan struct{})
+	var cancelWG sync.WaitGroup
+	cancelWG.Add(1)
+	go func() {
+		defer cancelWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < len(all); i += 7 {
+				_, _ = eng.Cancel(all[i])
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Warm replayer: the crash-recovery scan racing live enactment. Every
+	// record is already known in memory, so a warm replay must be a no-op —
+	// anything requeued or resumed here would be a double enactment.
+	cancelWG.Add(1)
+	go func() {
+		defer cancelWG.Done()
+		for n := 0; ; n++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			report, err := eng.Recover()
+			if err != nil {
+				t.Errorf("warm replay %d: %v", n, err)
+				return
+			}
+			if report.Total() != 0 {
+				t.Errorf("warm replay %d touched live tasks: %+v", n, report)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	for _, id := range all {
+		if _, ok := submitted.Load(id); !ok {
+			continue
+		}
+		waitTerminal(t, eng, id)
+	}
+	close(stop)
+	cancelWG.Wait()
+
+	// Terminal census: no task lost, completed tasks enacted exactly once.
+	counts := map[string]int{}
+	for _, id := range all {
+		if _, ok := submitted.Load(id); !ok {
+			continue
+		}
+		st, err := eng.Task(id)
+		if err != nil {
+			t.Fatalf("task %s lost: %v", id, err)
+		}
+		counts[st.Status]++
+		if st.Status == engine.StatusCompleted {
+			if st.Attempt != 1 {
+				t.Errorf("task %s completed on attempt %d, want 1", id, st.Attempt)
+			}
+			if st.Report == nil || st.Report.Executed != forkActivities {
+				t.Errorf("task %s report = %+v, want %d executed", id, st.Report, forkActivities)
+			}
+		}
+		recs, err := engine.ReadJournal(env.Services.Storage, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].Event != engine.EventSnapshot {
+			t.Errorf("journal of %s = %d records, want one terminal snapshot", id, len(recs))
+		}
+	}
+	total := counts[engine.StatusCompleted] + counts[engine.StatusFailed] + counts[engine.StatusCancelled]
+	if total != goroutines*perG {
+		t.Errorf("terminal census = %v (total %d), want %d tasks", counts, total, goroutines*perG)
+	}
+	if counts[engine.StatusCompleted] == 0 {
+		t.Error("nothing completed — the stress never exercised enactment")
+	}
+
+	// The queue has fully drained and the books balance per tenant.
+	stats := eng.Stats()
+	if stats.Depth != 0 || stats.Running != 0 {
+		t.Errorf("engine not drained: %+v", stats)
+	}
+	var acceptedSum int64
+	for _, ts := range eng.Tenants() {
+		if ts.Queued != 0 || ts.Running != 0 {
+			t.Errorf("tenant %s not drained: %+v", ts.Tenant, ts)
+		}
+		if got := ts.Completed + ts.Failed + ts.Cancelled; got != ts.Accepted {
+			t.Errorf("tenant %s books unbalanced: accepted %d, terminal %d", ts.Tenant, ts.Accepted, got)
+		}
+		acceptedSum += ts.Accepted
+	}
+	if acceptedSum != int64(goroutines*perG) {
+		t.Errorf("tenant accepted sum = %d, want %d", acceptedSum, goroutines*perG)
+	}
+	if _, err := eng.Cancel(all[0]); err == nil || (!errors.Is(err, engine.ErrFinished) && !errors.Is(err, engine.ErrEvicted)) {
+		t.Errorf("cancel of terminal task = %v, want ErrFinished", err)
+	}
+}

@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/fairq"
+	"repro/internal/telemetry"
+)
+
+// DefaultTenant is the tenant submissions without an explicit tenant are
+// attributed to. It competes for service like any other tenant.
+const DefaultTenant = "default"
+
+// canonicalTenant maps the empty tenant to DefaultTenant so that accounting,
+// fair queueing, and quotas always have a concrete principal.
+func canonicalTenant(tenant string) string {
+	if tenant == "" {
+		return DefaultTenant
+	}
+	return tenant
+}
+
+// TenantConfig sets one tenant's fair-share weight and admission quotas.
+// The zero value means weight 1 and no quotas.
+type TenantConfig struct {
+	// Weight is the tenant's deficit-round-robin share within each priority
+	// class: while several tenants stay backlogged, a tenant with weight w
+	// is served w tasks per rotation. Non-positive means 1.
+	Weight int
+	// MaxQueued caps the tenant's queued (not running) tasks; submissions
+	// beyond it fail with ErrTenantQueueFull. 0 means no per-tenant cap
+	// (the global QueueCapacity still applies).
+	MaxQueued int
+	// MaxInFlight caps the tenant's concurrently running tasks; excess work
+	// stays queued without blocking other tenants. 0 means no cap.
+	MaxInFlight int
+	// RatePerSec is the tenant's token-bucket submit rate; submissions with
+	// no token available fail with ErrTenantRateLimited. 0 disables rate
+	// limiting.
+	RatePerSec float64
+	// Burst is the token bucket's capacity; 0 means max(1, ceil(RatePerSec)).
+	Burst int
+}
+
+// tenantState is the engine's per-tenant accounting; all mutable fields are
+// guarded by Engine.mu.
+type tenantState struct {
+	name   string
+	cfg    TenantConfig
+	bucket *fairq.TokenBucket
+
+	queued  int
+	running int
+
+	accepted      int64
+	rejectedQueue int64 // ErrTenantQueueFull and global ErrQueueFull alike
+	rejectedRate  int64
+	completed     int64
+	failed        int64
+	cancelled     int64
+
+	waitSum, runSum     float64
+	waitCount, runCount int64
+
+	mAccepted, mRejectedQueue, mRejectedRate *telemetry.Counter
+	mCompleted, mFailed, mCancelled          *telemetry.Counter
+	gQueued, gRunning                        *telemetry.Gauge
+	hWait, hRun                              *telemetry.Histogram
+}
+
+// tenantLocked returns the state for a canonical tenant name, creating it on
+// first sight with the configured (or default) quota set. Caller holds e.mu.
+func (e *Engine) tenantLocked(name string) *tenantState {
+	if ts := e.tenants[name]; ts != nil {
+		return ts
+	}
+	cfg, ok := e.cfg.Tenants[name]
+	if !ok {
+		cfg = e.cfg.TenantDefaults
+	}
+	ts := &tenantState{
+		name:   name,
+		cfg:    cfg,
+		bucket: fairq.NewTokenBucket(cfg.RatePerSec, cfg.Burst),
+	}
+	tel := e.tel
+	ts.mAccepted = tel.Counter(telemetry.TenantMetric(name, "accepted"))
+	ts.mRejectedQueue = tel.Counter(telemetry.TenantMetric(name, "rejected.queue"))
+	ts.mRejectedRate = tel.Counter(telemetry.TenantMetric(name, "rejected.rate"))
+	ts.mCompleted = tel.Counter(telemetry.TenantMetric(name, "completed"))
+	ts.mFailed = tel.Counter(telemetry.TenantMetric(name, "failed"))
+	ts.mCancelled = tel.Counter(telemetry.TenantMetric(name, "cancelled"))
+	ts.gQueued = tel.Gauge(telemetry.TenantMetric(name, "queued"))
+	ts.gRunning = tel.Gauge(telemetry.TenantMetric(name, "running"))
+	ts.hWait = tel.Histogram(telemetry.TenantMetric(name, "wait.seconds"), []float64{0.001, 0.01, 0.1, 1, 10, 60, 300})
+	ts.hRun = tel.Histogram(telemetry.TenantMetric(name, "run.seconds"), []float64{0.001, 0.01, 0.1, 1, 10, 60, 300})
+	e.tenants[name] = ts
+	return ts
+}
+
+// weight returns a tenant's effective fair-share weight. Called by the fair
+// queue during Pop, so e.mu is already held.
+func (e *Engine) weight(tenant string) int {
+	if ts := e.tenants[tenant]; ts != nil && ts.cfg.Weight > 0 {
+		return ts.cfg.Weight
+	}
+	return 1
+}
+
+// eligible reports whether a tenant may start another task (in-flight cap).
+// Called by the fair queue during Pop under e.mu.
+func (e *Engine) eligible(tenant string) bool {
+	ts := e.tenants[tenant]
+	return ts == nil || ts.cfg.MaxInFlight <= 0 || ts.running < ts.cfg.MaxInFlight
+}
+
+// now is the engine's monotonic clock for token buckets, in seconds since
+// engine creation.
+func (e *Engine) now() float64 { return time.Since(e.epoch).Seconds() }
+
+// TenantStatus is the public per-tenant accounting view behind
+// GET /api/v1/tenants.
+type TenantStatus struct {
+	Tenant      string  `json:"tenant"`
+	Weight      int     `json:"weight"`
+	MaxQueued   int     `json:"maxQueued,omitempty"`
+	MaxInFlight int     `json:"maxInFlight,omitempty"`
+	RatePerSec  float64 `json:"ratePerSec,omitempty"`
+	Burst       int     `json:"burst,omitempty"`
+
+	Queued              int   `json:"queued"`
+	Running             int   `json:"running"`
+	Accepted            int64 `json:"accepted"`
+	RejectedQueueFull   int64 `json:"rejectedQueueFull"`
+	RejectedRateLimited int64 `json:"rejectedRateLimited"`
+	Completed           int64 `json:"completed"`
+	Failed              int64 `json:"failed"`
+	Cancelled           int64 `json:"cancelled"`
+
+	MeanWaitSec float64 `json:"meanWaitSec"`
+	MeanRunSec  float64 `json:"meanRunSec"`
+}
+
+func (ts *tenantState) status(weight int) TenantStatus {
+	s := TenantStatus{
+		Tenant:              ts.name,
+		Weight:              weight,
+		MaxQueued:           ts.cfg.MaxQueued,
+		MaxInFlight:         ts.cfg.MaxInFlight,
+		RatePerSec:          ts.cfg.RatePerSec,
+		Burst:               ts.cfg.Burst,
+		Queued:              ts.queued,
+		Running:             ts.running,
+		Accepted:            ts.accepted,
+		RejectedQueueFull:   ts.rejectedQueue,
+		RejectedRateLimited: ts.rejectedRate,
+		Completed:           ts.completed,
+		Failed:              ts.failed,
+		Cancelled:           ts.cancelled,
+	}
+	if ts.cfg.RatePerSec > 0 && ts.bucket != nil {
+		s.Burst = ts.bucket.Limit()
+	}
+	if ts.waitCount > 0 {
+		s.MeanWaitSec = ts.waitSum / float64(ts.waitCount)
+	}
+	if ts.runCount > 0 {
+		s.MeanRunSec = ts.runSum / float64(ts.runCount)
+	}
+	return s
+}
+
+// Tenants lists every tenant the engine has seen (or has configuration for),
+// sorted by tenant name.
+func (e *Engine) Tenants() []TenantStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name := range e.cfg.Tenants {
+		e.tenantLocked(name) // materialize configured-but-unseen tenants
+	}
+	out := make([]TenantStatus, 0, len(e.tenants))
+	for name, ts := range e.tenants {
+		out = append(out, ts.status(e.weight(name)))
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Tenant > out[j].Tenant; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Tenant returns one tenant's accounting view. ok is false when the engine
+// has neither seen nor been configured with the tenant.
+func (e *Engine) Tenant(id string) (TenantStatus, bool) {
+	id = canonicalTenant(id)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ts := e.tenants[id]
+	if ts == nil {
+		if _, configured := e.cfg.Tenants[id]; !configured && id != DefaultTenant {
+			return TenantStatus{}, false
+		}
+		ts = e.tenantLocked(id)
+	}
+	return ts.status(e.weight(id)), true
+}
+
+// AdmissionInfo is a tenant's admission headroom, used by the HTTP layer to
+// populate the X-RateLimit-* header trio on 429 responses.
+type AdmissionInfo struct {
+	// QueueLimit/QueueRemaining describe the tenant's queued-task quota;
+	// QueueLimit is 0 when the tenant has no per-tenant cap.
+	QueueLimit     int
+	QueueRemaining int
+	// RateLimit/RateRemaining describe the submit token bucket; RateLimit is
+	// 0 when the tenant is not rate limited.
+	RateLimit     int
+	RateRemaining int
+	// RateResetSec is the whole-second wait until the next token (at least 1
+	// when RateRemaining is 0).
+	RateResetSec int
+}
+
+// TenantAdmission reports a tenant's current admission headroom.
+func (e *Engine) TenantAdmission(tenant string) AdmissionInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ts := e.tenantLocked(canonicalTenant(tenant))
+	info := AdmissionInfo{}
+	if ts.cfg.MaxQueued > 0 {
+		info.QueueLimit = ts.cfg.MaxQueued
+		if rem := ts.cfg.MaxQueued - ts.queued; rem > 0 {
+			info.QueueRemaining = rem
+		}
+	}
+	if ts.bucket != nil {
+		now := e.now()
+		info.RateLimit = ts.bucket.Limit()
+		info.RateRemaining = ts.bucket.Remaining(now)
+		if wait := ts.bucket.RetryAfter(now); wait > 0 {
+			info.RateResetSec = int(wait) + 1
+		}
+	}
+	return info
+}

@@ -1,0 +1,229 @@
+// Multi-tenant fair admission tests: weighted drain order, per-tenant
+// quotas, rate limiting, in-flight caps, and accounting views.
+package engine_test
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// TestTenantWeightedDrainOrder blocks a single worker, queues work for three
+// tenants weighted 2:1:1, then releases the gate: with one worker the tasks
+// run strictly sequentially, so the per-task finish times reveal the drain
+// order, which must follow deficit round-robin.
+func TestTenantWeightedDrainOrder(t *testing.T) {
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	open := onceClose(gate)
+	env := newEnv(t, func(opts *core.Options) {
+		opts.Workers = 1
+		opts.PostProcess = gateHook(started, gate)
+		opts.Tenants = map[string]engine.TenantConfig{"a": {Weight: 2}}
+	})
+	t.Cleanup(open)
+	eng := env.Engine
+
+	if _, err := eng.Submit(engine.Submission{Task: forkTask(t, "blocker"), Priority: engine.PriorityNormal, Tenant: "z"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never picked the blocker up")
+	}
+
+	// Interleaved submissions; the tenant flows (a, b, c) form in this
+	// first-seen order.
+	for _, s := range []struct{ id, tenant string }{
+		{"a1", "a"}, {"b1", "b"}, {"c1", "c"},
+		{"a2", "a"}, {"b2", "b"}, {"c2", "c"},
+		{"a3", "a"}, {"a4", "a"},
+	} {
+		if _, err := eng.Submit(engine.Submission{Task: forkTask(t, s.id), Priority: engine.PriorityNormal, Tenant: s.tenant}); err != nil {
+			t.Fatalf("submit %s: %v", s.id, err)
+		}
+	}
+	open()
+
+	ids := []string{"a1", "a2", "a3", "a4", "b1", "b2", "c1", "c2"}
+	finish := make(map[string]time.Time, len(ids))
+	for _, id := range ids {
+		st := waitTerminal(t, eng, id)
+		if st.Status != engine.StatusCompleted {
+			t.Fatalf("task %s finished %s: %s", id, st.Status, st.Error)
+		}
+		finish[id] = st.Finished
+	}
+	sort.Slice(ids, func(i, j int) bool { return finish[ids[i]].Before(finish[ids[j]]) })
+	want := []string{"a1", "a2", "b1", "c1", "a3", "a4", "b2", "c2"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("drain order %v, want %v", ids, want)
+		}
+	}
+}
+
+// TestTenantQueueQuota caps one tenant's queued tasks at 2: the third
+// submission fails with ErrTenantQueueFull while another tenant still gets
+// in, and the per-tenant rejection counter moves.
+func TestTenantQueueQuota(t *testing.T) {
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	open := onceClose(gate)
+	env := newEnv(t, func(opts *core.Options) {
+		opts.Workers = 1
+		opts.PostProcess = gateHook(started, gate)
+		opts.Tenants = map[string]engine.TenantConfig{"q": {MaxQueued: 2}}
+	})
+	t.Cleanup(open)
+	eng := env.Engine
+
+	if _, err := eng.Submit(engine.Submission{Task: forkTask(t, "blocker"), Priority: engine.PriorityNormal}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never picked the blocker up")
+	}
+	for _, id := range []string{"q1", "q2"} {
+		if _, err := eng.Submit(engine.Submission{Task: forkTask(t, id), Priority: engine.PriorityNormal, Tenant: "q"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := eng.Submit(engine.Submission{Task: forkTask(t, "q3"), Priority: engine.PriorityNormal, Tenant: "q"})
+	if !errors.Is(err, engine.ErrTenantQueueFull) {
+		t.Fatalf("third queued q task: err = %v, want ErrTenantQueueFull", err)
+	}
+	if _, err := eng.Submit(engine.Submission{Task: forkTask(t, "other"), Priority: engine.PriorityNormal, Tenant: "free"}); err != nil {
+		t.Fatalf("unrelated tenant rejected: %v", err)
+	}
+
+	st, ok := eng.Tenant("q")
+	if !ok {
+		t.Fatal("tenant q unknown")
+	}
+	if st.Queued != 2 || st.Accepted != 2 || st.RejectedQueueFull != 1 {
+		t.Fatalf("tenant q accounting = %+v", st)
+	}
+	info := eng.TenantAdmission("q")
+	if info.QueueLimit != 2 || info.QueueRemaining != 0 {
+		t.Fatalf("admission info = %+v", info)
+	}
+}
+
+// TestTenantRateLimit gives one tenant a 2-token bucket with a negligible
+// refill rate: two submissions pass, the third is ErrTenantRateLimited.
+func TestTenantRateLimit(t *testing.T) {
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	open := onceClose(gate)
+	env := newEnv(t, func(opts *core.Options) {
+		opts.Workers = 1
+		opts.PostProcess = gateHook(started, gate)
+		opts.Tenants = map[string]engine.TenantConfig{"r": {RatePerSec: 0.001, Burst: 2}}
+	})
+	t.Cleanup(open)
+	eng := env.Engine
+
+	if _, err := eng.Submit(engine.Submission{Task: forkTask(t, "blocker"), Priority: engine.PriorityNormal}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never picked the blocker up")
+	}
+	for _, id := range []string{"r1", "r2"} {
+		if _, err := eng.Submit(engine.Submission{Task: forkTask(t, id), Priority: engine.PriorityNormal, Tenant: "r"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := eng.Submit(engine.Submission{Task: forkTask(t, "r3"), Priority: engine.PriorityNormal, Tenant: "r"})
+	if !errors.Is(err, engine.ErrTenantRateLimited) {
+		t.Fatalf("third r submission: err = %v, want ErrTenantRateLimited", err)
+	}
+	st, _ := eng.Tenant("r")
+	if st.RejectedRateLimited != 1 || st.Accepted != 2 {
+		t.Fatalf("tenant r accounting = %+v", st)
+	}
+	info := eng.TenantAdmission("r")
+	if info.RateLimit != 2 || info.RateRemaining != 0 || info.RateResetSec < 1 {
+		t.Fatalf("admission info = %+v", info)
+	}
+}
+
+// TestTenantInFlightCap runs two workers against a tenant capped at one
+// concurrent enactment: the second task stays queued while the first blocks,
+// and both complete once the gate opens.
+func TestTenantInFlightCap(t *testing.T) {
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	open := onceClose(gate)
+	env := newEnv(t, func(opts *core.Options) {
+		opts.Workers = 2
+		opts.PostProcess = gateHook(started, gate)
+		opts.Tenants = map[string]engine.TenantConfig{"x": {MaxInFlight: 1}}
+	})
+	t.Cleanup(open)
+	eng := env.Engine
+
+	for _, id := range []string{"x1", "x2"} {
+		if _, err := eng.Submit(engine.Submission{Task: forkTask(t, id), Priority: engine.PriorityNormal, Tenant: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("no worker picked a task up")
+	}
+	// Give the idle worker every chance to (incorrectly) start the second
+	// task past the cap.
+	time.Sleep(300 * time.Millisecond)
+	st, ok := eng.Tenant("x")
+	if !ok || st.Running != 1 || st.Queued != 1 {
+		t.Fatalf("tenant x = %+v, want running 1 queued 1", st)
+	}
+	open()
+	for _, id := range []string{"x1", "x2"} {
+		if st := waitTerminal(t, eng, id); st.Status != engine.StatusCompleted {
+			t.Fatalf("task %s finished %s: %s", id, st.Status, st.Error)
+		}
+	}
+	st, _ = eng.Tenant("x")
+	if st.Running != 0 || st.Queued != 0 || st.Completed != 2 {
+		t.Fatalf("tenant x after completion = %+v", st)
+	}
+}
+
+// TestDefaultTenantCanonicalized checks that tenantless submissions are
+// attributed to DefaultTenant everywhere: task views, listings, stats.
+func TestDefaultTenantCanonicalized(t *testing.T) {
+	env := newEnv(t, nil)
+	eng := env.Engine
+	if _, err := eng.Submit(engine.Submission{Task: forkTask(t, "anon"), Priority: engine.PriorityNormal}); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, eng, "anon"); st.Tenant != engine.DefaultTenant {
+		t.Fatalf("task tenant = %q, want %q", st.Tenant, engine.DefaultTenant)
+	}
+	tenants := eng.Tenants()
+	if len(tenants) != 1 || tenants[0].Tenant != engine.DefaultTenant {
+		t.Fatalf("tenants = %+v, want just %q", tenants, engine.DefaultTenant)
+	}
+	if tenants[0].Completed != 1 || tenants[0].Weight != 1 {
+		t.Fatalf("default tenant accounting = %+v", tenants[0])
+	}
+	if _, ok := eng.Tenant("never-seen"); ok {
+		t.Fatal("unknown tenant reported as known")
+	}
+	if stats := eng.Stats(); stats.Tenants != 1 {
+		t.Fatalf("stats.Tenants = %d, want 1", stats.Tenants)
+	}
+}

@@ -1,0 +1,65 @@
+package fairq
+
+import "math"
+
+// TokenBucket is a classic token-bucket rate limiter with an explicit clock:
+// every method takes the current time as seconds since an arbitrary epoch,
+// so callers decide whether that is wall time (the engine) or virtual time
+// (the load simulator). Not concurrency-safe; callers provide locking.
+type TokenBucket struct {
+	rate   float64 // tokens added per second
+	burst  float64
+	tokens float64
+	last   float64
+}
+
+// NewTokenBucket builds a bucket that refills at rate tokens per second up
+// to burst. A non-positive burst defaults to max(1, ceil(rate)). The bucket
+// starts full. Returns nil when rate is non-positive (no limiting).
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, math.Ceil(rate))
+	}
+	return &TokenBucket{rate: rate, burst: b, tokens: b}
+}
+
+func (b *TokenBucket) advance(now float64) {
+	if now > b.last {
+		b.tokens = math.Min(b.burst, b.tokens+(now-b.last)*b.rate)
+		b.last = now
+	}
+}
+
+// Allow consumes one token if available and reports whether it did.
+func (b *TokenBucket) Allow(now float64) bool {
+	b.advance(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// Limit returns the bucket's burst capacity in whole tokens.
+func (b *TokenBucket) Limit() int { return int(b.burst) }
+
+// Remaining returns the number of whole tokens available at now, without
+// consuming any.
+func (b *TokenBucket) Remaining(now float64) int {
+	b.advance(now)
+	return int(b.tokens)
+}
+
+// RetryAfter returns how many seconds until the next token is available at
+// now; zero when one is available already.
+func (b *TokenBucket) RetryAfter(now float64) float64 {
+	b.advance(now)
+	if b.tokens >= 1 {
+		return 0
+	}
+	return (1 - b.tokens) / b.rate
+}

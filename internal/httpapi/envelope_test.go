@@ -1,0 +1,189 @@
+// Satellite conformance sweep: every submission- and lifecycle-path failure
+// must answer the uniform {"error":{"code","message"},"requestId"} envelope
+// with the request id echoing the X-Request-Id response header. The
+// GET-path failures (unknown routes, bad pagination) are covered by
+// TestErrorEnvelope in httpapi_test.go; this file sweeps the stateful codes
+// that need a primed engine: admission rejections, duplicates, and the
+// finished/evicted lifecycle conflicts.
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workflow"
+)
+
+// postRaw posts a raw JSON body and returns the response plus decoded
+// envelope (zero-valued when the response is a success).
+func postRaw(t *testing.T, url, body string) (*http.Response, errorBody) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var envl errorBody
+	if resp.StatusCode >= 400 {
+		if err := json.NewDecoder(resp.Body).Decode(&envl); err != nil {
+			t.Fatalf("POST %s: %d body is not the JSON envelope: %v", url, resp.StatusCode, err)
+		}
+	}
+	return resp, envl
+}
+
+func marshalSubmission(t *testing.T, sub TaskSubmission) string {
+	t.Helper()
+	data, err := json.Marshal(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestSubmitErrorEnvelopeConformance runs the admission failure modes in one
+// ordered table against a gated single-worker server. Order matters: the
+// tenant quota and rate rejections must fire while the global queue still
+// has room (Submit checks global capacity first), and the global queue_full
+// case runs last once the queue is packed.
+func TestSubmitErrorEnvelopeConformance(t *testing.T) {
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var startOnce, gateOnce sync.Once
+	_, ts := testServerWith(t, func(opts *core.Options) {
+		opts.Workers = 1
+		opts.QueueCapacity = 3
+		opts.Tenants = map[string]engine.TenantConfig{
+			"quota":   {MaxQueued: 1},
+			"limited": {RatePerSec: 0.001, Burst: 1},
+		}
+		opts.PostProcess = func(*workflow.Activity, []*workflow.DataItem, int) {
+			startOnce.Do(func() { close(started) })
+			<-gate
+		}
+	})
+	t.Cleanup(func() { gateOnce.Do(func() { close(gate) }) })
+	url := ts.URL + "/api/v1/tasks"
+
+	// Occupy the single worker so later submissions stay queued.
+	if code := postJSON(t, url, forkSubmission("ENV-blk"), nil); code != http.StatusAccepted {
+		t.Fatalf("blocker submit status %d", code)
+	}
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never picked the blocker up")
+	}
+
+	tenantSub := func(id, tenant string) string {
+		sub := forkSubmission(id)
+		sub.Tenant = tenant
+		return marshalSubmission(t, sub)
+	}
+	withPDL := func(id, pdl string) string {
+		sub := forkSubmission(id)
+		sub.PDL = pdl
+		return marshalSubmission(t, sub)
+	}
+	withPriority := func(id, prio string) string {
+		sub := forkSubmission(id)
+		sub.Priority = prio
+		return marshalSubmission(t, sub)
+	}
+
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"malformed json", `{"id": "ENV-x", `, http.StatusBadRequest, "bad_request"},
+		{"missing id and goal", `{"name": "nameless"}`, http.StatusBadRequest, "bad_request"},
+		{"unparseable pdl", withPDL("ENV-pdl", "BEGIN, POD(D1 ->"), http.StatusBadRequest, "bad_pdl"},
+		{"unknown priority", withPriority("ENV-prio", "urgent"), http.StatusBadRequest, "bad_priority"},
+		{"duplicate of running task", marshalSubmission(t, forkSubmission("ENV-blk")), http.StatusConflict, "duplicate_task"},
+		{"quota tenant first", tenantSub("ENV-q1", "quota"), http.StatusAccepted, ""},
+		{"quota tenant over MaxQueued", tenantSub("ENV-q2", "quota"), http.StatusTooManyRequests, "tenant_queue_full"},
+		{"limited tenant first", tenantSub("ENV-r1", "limited"), http.StatusAccepted, ""},
+		{"limited tenant over rate", tenantSub("ENV-r2", "limited"), http.StatusTooManyRequests, "tenant_rate_limited"},
+		{"filler fills global queue", marshalSubmission(t, forkSubmission("ENV-fill")), http.StatusAccepted, ""},
+		{"global queue full", marshalSubmission(t, forkSubmission("ENV-over")), http.StatusTooManyRequests, "queue_full"},
+	}
+	for _, c := range cases {
+		resp, envl := postRaw(t, url, c.body)
+		if resp.StatusCode != c.wantStatus {
+			t.Fatalf("%s: status %d, want %d (envelope %+v)", c.name, resp.StatusCode, c.wantStatus, envl)
+		}
+		if c.wantCode == "" {
+			continue
+		}
+		if envl.Error.Code != c.wantCode {
+			t.Errorf("%s: code %q, want %q", c.name, envl.Error.Code, c.wantCode)
+		}
+		if envl.Error.Message == "" {
+			t.Errorf("%s: empty error message", c.name)
+		}
+		if envl.RequestID == "" || envl.RequestID != resp.Header.Get("X-Request-Id") {
+			t.Errorf("%s: requestId %q vs header %q", c.name, envl.RequestID, resp.Header.Get("X-Request-Id"))
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s: 429 without Retry-After", c.name)
+		}
+	}
+}
+
+// TestLifecycleErrorEnvelopes covers the terminal-state conflicts: cancelling
+// a finished task answers 409 task_finished, and once retention evicts the
+// record the task reads back as 404 task_evicted rather than a generic
+// not_found.
+func TestLifecycleErrorEnvelopes(t *testing.T) {
+	_, ts := testServerWith(t, func(opts *core.Options) {
+		opts.RetainFinished = 1
+	})
+
+	if code := postJSON(t, ts.URL+"/api/v1/tasks", forkSubmission("LC-1"), nil); code != http.StatusAccepted {
+		t.Fatalf("submit LC-1 status %d", code)
+	}
+	pollStatus(t, ts.URL+"/api/v1/tasks/LC-1", settled)
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/tasks/LC-1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envl errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&envl); err != nil {
+		t.Fatalf("cancel-finished body is not the envelope: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || envl.Error.Code != "task_finished" {
+		t.Fatalf("cancel finished = %d %+v, want 409 task_finished", resp.StatusCode, envl)
+	}
+	if envl.RequestID == "" || envl.RequestID != resp.Header.Get("X-Request-Id") {
+		t.Fatalf("cancel finished: requestId %q vs header %q", envl.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+
+	// A second completion pushes LC-1 out of the size-1 retention window.
+	if code := postJSON(t, ts.URL+"/api/v1/tasks", forkSubmission("LC-2"), nil); code != http.StatusAccepted {
+		t.Fatalf("submit LC-2 status %d", code)
+	}
+	pollStatus(t, ts.URL+"/api/v1/tasks/LC-2", settled)
+
+	envl = errorBody{}
+	code := getJSON(t, ts.URL+"/api/v1/tasks/LC-1", &envl)
+	if code != http.StatusNotFound || envl.Error.Code != "task_evicted" {
+		t.Fatalf("evicted read = %d %+v, want 404 task_evicted", code, envl)
+	}
+	if envl.Error.Message == "" || envl.RequestID == "" {
+		t.Fatalf("evicted envelope incomplete: %+v", envl)
+	}
+}

@@ -130,6 +130,8 @@ func (s *Server) routes() []route {
 		{http.MethodDelete, "/tasks/{id}", s.handleTaskCancel},
 		{http.MethodGet, "/tasks/{id}/trace", s.handleTaskTrace},
 		{http.MethodGet, "/queue", s.handleQueue},
+		{http.MethodGet, "/tenants", s.handleTenants},
+		{http.MethodGet, "/tenants/{id}", s.handleTenantGet},
 		{http.MethodGet, "/plans", s.handlePlans},
 		{http.MethodGet, "/plans/{name}", s.handlePlanGet},
 		{http.MethodGet, "/ontology/{name}", s.handleOntology},
@@ -609,6 +611,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, engine.ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(s.env.Engine.RetryAfterSeconds()))
 		s.writeError(w, r, http.StatusTooManyRequests, "queue_full", "%v", err)
+		return
+	case errors.Is(err, engine.ErrTenantQueueFull):
+		s.rateLimitHeaders(w, sub.Tenant, false)
+		s.writeError(w, r, http.StatusTooManyRequests, "tenant_queue_full", "%v", err)
+		return
+	case errors.Is(err, engine.ErrTenantRateLimited):
+		s.rateLimitHeaders(w, sub.Tenant, true)
+		s.writeError(w, r, http.StatusTooManyRequests, "tenant_rate_limited", "%v", err)
 		return
 	case errors.Is(err, engine.ErrDuplicate):
 		s.writeError(w, r, http.StatusConflict, "duplicate_task", "task %q already submitted", sub.ID)

@@ -1,0 +1,163 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workflow"
+)
+
+// tenantsPage decodes the paginated tenants listing.
+type tenantsPage struct {
+	Items []engine.TenantStatus `json:"items"`
+	Total int                   `json:"total"`
+}
+
+// TestTenantsEndpoints submits tasks under two tenants and checks the
+// listing and single-tenant views carry the configuration and accounting.
+func TestTenantsEndpoints(t *testing.T) {
+	_, ts := testServerWith(t, func(opts *core.Options) {
+		opts.Tenants = map[string]engine.TenantConfig{
+			"alpha": {Weight: 3, MaxQueued: 16},
+		}
+	})
+
+	for _, c := range []struct{ id, tenant string }{
+		{"TT-a1", "alpha"}, {"TT-a2", "alpha"}, {"TT-b1", "beta"},
+	} {
+		sub := forkSubmission(c.id)
+		sub.Tenant = c.tenant
+		if code := postJSON(t, ts.URL+"/api/v1/tasks", sub, nil); code != http.StatusAccepted {
+			t.Fatalf("submit %s status %d", c.id, code)
+		}
+	}
+	for _, id := range []string{"TT-a1", "TT-a2", "TT-b1"} {
+		pollStatus(t, ts.URL+"/api/v1/tasks/"+id, settled)
+	}
+
+	var page tenantsPage
+	if code := getJSON(t, ts.URL+"/api/v1/tenants", &page); code != 200 {
+		t.Fatalf("tenants listing status %d", code)
+	}
+	if page.Total != 2 || len(page.Items) != 2 {
+		t.Fatalf("tenants page = %+v, want alpha and beta", page)
+	}
+	// Sorted by name: alpha then beta.
+	if page.Items[0].Tenant != "alpha" || page.Items[1].Tenant != "beta" {
+		t.Fatalf("tenant order = %s, %s", page.Items[0].Tenant, page.Items[1].Tenant)
+	}
+	alpha := page.Items[0]
+	if alpha.Weight != 3 || alpha.MaxQueued != 16 || alpha.Accepted != 2 || alpha.Completed != 2 {
+		t.Fatalf("alpha view = %+v", alpha)
+	}
+	if beta := page.Items[1]; beta.Weight != 1 || beta.Accepted != 1 {
+		t.Fatalf("beta view = %+v", beta)
+	}
+
+	var one engine.TenantStatus
+	if code := getJSON(t, ts.URL+"/api/v1/tenants/alpha", &one); code != 200 || one.Tenant != "alpha" {
+		t.Fatalf("tenant get = %d %+v", code, one)
+	}
+	if one.MeanWaitSec < 0 || one.MeanRunSec <= 0 {
+		t.Fatalf("alpha latency accounting = %+v", one)
+	}
+	var envl errorBody
+	if code := getJSON(t, ts.URL+"/api/v1/tenants/ghost", &envl); code != http.StatusNotFound || envl.Error.Code != "not_found" {
+		t.Fatalf("unknown tenant = %d %+v", code, envl)
+	}
+}
+
+// TestTenant429Headers checks both tenant rejections answer 429 with
+// Retry-After plus the X-RateLimit-Limit/-Remaining/-Reset trio describing
+// the exhausted allowance.
+func TestTenant429Headers(t *testing.T) {
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var startOnce, gateOnce sync.Once
+	open := func() { gateOnce.Do(func() { close(gate) }) }
+	_, ts := testServerWith(t, func(opts *core.Options) {
+		opts.Workers = 1
+		opts.Tenants = map[string]engine.TenantConfig{
+			"quota":   {MaxQueued: 1},
+			"limited": {RatePerSec: 0.001, Burst: 1},
+		}
+		opts.PostProcess = func(*workflow.Activity, []*workflow.DataItem, int) {
+			startOnce.Do(func() { close(started) })
+			<-gate
+		}
+	})
+	t.Cleanup(open)
+
+	if code := postJSON(t, ts.URL+"/api/v1/tasks", forkSubmission("T429-blk"), nil); code != http.StatusAccepted {
+		t.Fatalf("blocker submit status %d", code)
+	}
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never picked the blocker up")
+	}
+
+	post := func(id, tenant string) *http.Response {
+		sub := forkSubmission(id)
+		sub.Tenant = tenant
+		data, _ := json.Marshal(sub)
+		resp, err := http.Post(ts.URL+"/api/v1/tasks", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	trio := func(resp *http.Response) (limit, remaining, reset int) {
+		t.Helper()
+		for _, h := range []string{"X-RateLimit-Limit", "X-RateLimit-Remaining", "X-RateLimit-Reset", "Retry-After"} {
+			if resp.Header.Get(h) == "" {
+				t.Fatalf("missing %s header", h)
+			}
+		}
+		limit, _ = strconv.Atoi(resp.Header.Get("X-RateLimit-Limit"))
+		remaining, _ = strconv.Atoi(resp.Header.Get("X-RateLimit-Remaining"))
+		reset, _ = strconv.Atoi(resp.Header.Get("X-RateLimit-Reset"))
+		return limit, remaining, reset
+	}
+
+	if resp := post("T429-q1", "quota"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first quota submit status %d", resp.StatusCode)
+	}
+	resp := post("T429-q2", "quota")
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests || body.Error.Code != "tenant_queue_full" {
+		t.Fatalf("quota overflow = %d %+v, want 429 tenant_queue_full", resp.StatusCode, body)
+	}
+	if limit, remaining, reset := trio(resp); limit != 1 || remaining != 0 || reset < 1 {
+		t.Fatalf("quota trio = %d/%d/%d, want 1/0/>=1", limit, remaining, reset)
+	}
+
+	if resp := post("T429-r1", "limited"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first limited submit status %d", resp.StatusCode)
+	}
+	resp = post("T429-r2", "limited")
+	body = errorBody{}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests || body.Error.Code != "tenant_rate_limited" {
+		t.Fatalf("rate overflow = %d %+v, want 429 tenant_rate_limited", resp.StatusCode, body)
+	}
+	if limit, remaining, reset := trio(resp); limit != 1 || remaining != 0 || reset < 1 {
+		t.Fatalf("rate trio = %d/%d/%d, want 1/0/>=1", limit, remaining, reset)
+	}
+	if body.RequestID == "" || body.RequestID != resp.Header.Get("X-Request-Id") {
+		t.Fatalf("request id echo = %q vs header %q", body.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+}

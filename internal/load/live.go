@@ -1,0 +1,189 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/workflow"
+)
+
+// TaskFactory builds the n-th synthetic task for a tenant. IDs must be
+// unique across the run; the runner passes a monotonically increasing n per
+// tenant.
+type TaskFactory func(tenant string, n int) (*workflow.Task, error)
+
+// EngineRunner drives a real enactment engine with the spec's arrival
+// pattern and measures wall-clock goodput and latency. Unlike RunSim, the
+// report depends on real scheduling and service times, so it is not
+// byte-reproducible — use it for soak tests with tolerance bounds.
+type EngineRunner struct {
+	Engine *engine.Engine
+	// NewTask builds the submitted tasks; required.
+	NewTask TaskFactory
+	// Priority applies to every submission (default high-less normal).
+	Priority engine.Priority
+	// Poll is the completion-poll interval; 0 means 2ms.
+	Poll time.Duration
+	// Timeout aborts a stuck run; 0 means 120s.
+	Timeout time.Duration
+}
+
+// Run executes the spec. Closed mode keeps spec.Outstanding tasks in flight
+// per tenant until spec.Arrivals tasks have completed; open mode submits
+// spec.Arrivals tasks at the spec's Poisson rate and then drains.
+func (r *EngineRunner) Run(spec Spec) (*Report, error) {
+	spec = spec.Defaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Engine == nil || r.NewTask == nil {
+		return nil, fmt.Errorf("load: EngineRunner needs Engine and NewTask")
+	}
+	poll := r.Poll
+	if poll <= 0 {
+		poll = 2 * time.Millisecond
+	}
+	timeout := r.Timeout
+	if timeout <= 0 {
+		timeout = 120 * time.Second
+	}
+
+	report := &Report{Spec: spec, Tenants: make([]TenantReport, len(spec.Tenants))}
+	latencies := make([][]float64, len(spec.Tenants))
+	counters := make([]int, len(spec.Tenants)) // per-tenant task numbering
+	outstanding := map[string]int{}            // task ID → tenant index
+	for i, t := range spec.Tenants {
+		report.Tenants[i] = TenantReport{ID: t.ID, Weight: t.Weight}
+	}
+
+	submit := func(ti int) error {
+		counters[ti]++
+		task, err := r.NewTask(spec.Tenants[ti].ID, counters[ti])
+		if err != nil {
+			return err
+		}
+		tr := &report.Tenants[ti]
+		tr.Submitted++
+		report.Submitted++
+		_, err = r.Engine.Submit(engine.Submission{
+			Task: task, Priority: r.Priority, Tenant: spec.Tenants[ti].ID,
+		})
+		switch {
+		case err == nil:
+			tr.Accepted++
+			report.Accepted++
+			outstanding[task.ID] = ti
+		case errors.Is(err, engine.ErrQueueFull),
+			errors.Is(err, engine.ErrTenantQueueFull),
+			errors.Is(err, engine.ErrTenantRateLimited):
+			tr.Rejected++
+			report.Rejected++
+		default:
+			return fmt.Errorf("load: submit for tenant %s: %w", spec.Tenants[ti].ID, err)
+		}
+		return nil
+	}
+
+	// reap records finished outstanding tasks; returns how many completed.
+	reap := func() (int, error) {
+		done := 0
+		for id, ti := range outstanding {
+			st, err := r.Engine.Task(id)
+			if errors.Is(err, engine.ErrEvicted) {
+				// Retention dropped the record before we polled it; count
+				// the completion but lose the latency sample.
+				delete(outstanding, id)
+				report.Tenants[ti].Completed++
+				report.Completed++
+				done++
+				continue
+			}
+			if err != nil {
+				return done, fmt.Errorf("load: poll %s: %w", id, err)
+			}
+			switch st.Status {
+			case engine.StatusCompleted, engine.StatusFailed, engine.StatusCancelled:
+				delete(outstanding, id)
+				done++
+				if st.Status == engine.StatusCompleted {
+					report.Tenants[ti].Completed++
+					report.Completed++
+					latencies[ti] = append(latencies[ti], st.Finished.Sub(st.Submitted).Seconds())
+				}
+			}
+		}
+		return done, nil
+	}
+
+	start := time.Now()
+	deadline := start.Add(timeout)
+	switch spec.Mode {
+	case "closed":
+		for ti := range spec.Tenants {
+			for k := 0; k < spec.Outstanding; k++ {
+				if err := submit(ti); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for report.Completed < spec.Arrivals {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("load: closed-loop run timed out at %d/%d completions", report.Completed, spec.Arrivals)
+			}
+			if _, err := reap(); err != nil {
+				return nil, err
+			}
+			// Refill every tenant's window (a rejection or failure shrank it).
+			for ti := range spec.Tenants {
+				have := 0
+				for _, oti := range outstanding {
+					if oti == ti {
+						have++
+					}
+				}
+				for ; have < spec.Outstanding && report.Completed < spec.Arrivals; have++ {
+					if err := submit(ti); err != nil {
+						return nil, err
+					}
+				}
+			}
+			time.Sleep(poll)
+		}
+	case "open":
+		rng := rand.New(rand.NewSource(spec.Seed))
+		for i := 0; i < spec.Arrivals; i++ {
+			u := rng.Float64()
+			for u == 0 {
+				u = rng.Float64()
+			}
+			time.Sleep(time.Duration(-math.Log(u) / spec.RatePerSec * float64(time.Second)))
+			ti := i % len(spec.Tenants)
+			if err := submit(ti); err != nil {
+				return nil, err
+			}
+			if _, err := reap(); err != nil {
+				return nil, err
+			}
+		}
+		for len(outstanding) > 0 {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("load: open-loop drain timed out with %d tasks outstanding", len(outstanding))
+			}
+			if _, err := reap(); err != nil {
+				return nil, err
+			}
+			time.Sleep(poll)
+		}
+	}
+
+	report.DurationSec = time.Since(start).Seconds()
+	for i := range report.Tenants {
+		report.Tenants[i].Latency = latencyStats(latencies[i])
+	}
+	report.finalize()
+	return report, nil
+}

@@ -1,0 +1,142 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func spec311() Spec {
+	return Spec{
+		Seed: 42,
+		Mode: "closed",
+		Tenants: []TenantSpec{
+			{ID: "alpha", Weight: 3},
+			{ID: "beta", Weight: 1},
+			{ID: "gamma", Weight: 1},
+		},
+		Arrivals: 1000,
+	}
+}
+
+// TestSimDeterministic is the reproducibility acceptance check: the same
+// seed and spec must marshal to byte-identical JSON reports, and a different
+// seed must not.
+func TestSimDeterministic(t *testing.T) {
+	marshal := func(s Spec) []byte {
+		r, err := RunSim(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first := marshal(spec311())
+	second := marshal(spec311())
+	if !bytes.Equal(first, second) {
+		t.Fatal("same seed produced different reports")
+	}
+	other := spec311()
+	other.Seed = 43
+	if bytes.Equal(first, marshal(other)) {
+		t.Fatal("different seed produced an identical report (rng unused?)")
+	}
+}
+
+// TestSimClosedLoopFairness saturates the simulated queue with tenants
+// weighted 3:1:1 and checks the goodput shares track the weight shares.
+func TestSimClosedLoopFairness(t *testing.T) {
+	r, err := RunSim(spec311())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed != 1000 {
+		t.Fatalf("completed %d, want 1000", r.Completed)
+	}
+	if r.MaxWeightDeviation > 0.10 {
+		t.Fatalf("max weight deviation %.3f > 0.10; tenants: %+v", r.MaxWeightDeviation, r.Tenants)
+	}
+	if r.JainFairnessIndex < 0.98 {
+		t.Fatalf("Jain index %.4f < 0.98", r.JainFairnessIndex)
+	}
+	for _, tr := range r.Tenants {
+		if tr.Latency.Count == 0 || tr.Latency.MeanSec <= 0 || tr.Latency.MaxSec < tr.Latency.P99Sec {
+			t.Fatalf("tenant %s latency stats look wrong: %+v", tr.ID, tr.Latency)
+		}
+	}
+}
+
+// TestSimOpenLoop sanity-checks the Poisson arrival path: all arrivals are
+// accounted for and the tenant mix roughly follows the configured shares.
+func TestSimOpenLoop(t *testing.T) {
+	s := Spec{
+		Seed: 7,
+		Mode: "open",
+		Tenants: []TenantSpec{
+			{ID: "a", Weight: 1, Share: 0.8},
+			{ID: "b", Weight: 1, Share: 0.2},
+		},
+		Arrivals:   2000,
+		RatePerSec: 1000,
+		Workers:    8,
+	}
+	r, err := RunSim(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Submitted != 2000 || r.Accepted+r.Rejected != 2000 {
+		t.Fatalf("submitted %d accepted %d rejected %d", r.Submitted, r.Accepted, r.Rejected)
+	}
+	frac := float64(r.Tenants[0].Submitted) / float64(r.Submitted)
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("tenant a got %.2f of arrivals, want ~0.8", frac)
+	}
+	if r.DurationSec <= 0 {
+		t.Fatal("duration not recorded")
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	got, err := ParseTenants("alpha:3, beta:1:0.25,gamma:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TenantSpec{{ID: "alpha", Weight: 3}, {ID: "beta", Weight: 1, Share: 0.25}, {ID: "gamma", Weight: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "alpha", "alpha:x", "a:0", "a:1:-2", "a:1:2:3"} {
+		if _, err := ParseTenants(bad); err == nil {
+			t.Errorf("ParseTenants(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := spec311().Defaults()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, mod := range map[string]func(*Spec){
+		"bad mode":     func(s *Spec) { s.Mode = "burst" },
+		"no tenants":   func(s *Spec) { s.Tenants = nil },
+		"dup tenant":   func(s *Spec) { s.Tenants = append(s.Tenants, s.Tenants[0]) },
+		"empty tenant": func(s *Spec) { s.Tenants[0].ID = "" },
+		"neg weight":   func(s *Spec) { s.Tenants[0].Weight = -1 },
+		"no arrivals":  func(s *Spec) { s.Arrivals = -5 },
+	} {
+		s := spec311().Defaults()
+		mod(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, s)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package load
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"repro/internal/fairq"
+)
+
+// simTask is one simulated task flowing through the fair queue.
+type simTask struct {
+	tenant  int // index into spec.Tenants
+	arrival float64
+	service float64
+}
+
+// simEvent is a point on the virtual clock: a task arrival or a worker
+// finishing. seq breaks time ties deterministically.
+type simEvent struct {
+	at   float64
+	seq  int64
+	task simTask
+	done bool // completion event (task left a worker)
+}
+
+type eventHeap []simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)     { *h = append(*h, x.(simEvent)) }
+func (h *eventHeap) Pop() any       { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) add(e simEvent) { heap.Push(h, e) }
+func (h *eventHeap) next() simEvent { return heap.Pop(h).(simEvent) }
+
+// RunSim replays the spec's workload against the real fair-queue scheduling
+// code (internal/fairq — the same deficit-round-robin queue the enactment
+// engine drains) under a virtual clock: Workers simulated servers pull from
+// the queue, service times are exponential draws, and every random draw
+// comes from the spec's seed. The returned report is a pure function of the
+// spec, so marshaling it yields byte-identical JSON run after run.
+func RunSim(spec Spec) (*Report, error) {
+	spec = spec.Defaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	report := &Report{Spec: spec, Tenants: make([]TenantReport, len(spec.Tenants))}
+	latencies := make([][]float64, len(spec.Tenants))
+	for i, t := range spec.Tenants {
+		report.Tenants[i] = TenantReport{ID: t.ID, Weight: t.Weight}
+	}
+
+	weightOf := func(tenant string) int {
+		for _, t := range spec.Tenants {
+			if t.ID == tenant {
+				return t.Weight
+			}
+		}
+		return 1
+	}
+	fq := fairq.New[simTask](1, weightOf)
+
+	// exp draws an exponential variate with the given mean.
+	exp := func(mean float64) float64 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return -mean * math.Log(u)
+	}
+
+	var events eventHeap
+	var seq int64
+	push := func(at float64, t simTask, done bool) {
+		seq++
+		events.add(simEvent{at: at, seq: seq, task: t, done: done})
+	}
+
+	// shares resolves the open-loop tenant mix: explicit Share when set,
+	// weight-proportional otherwise, then normalized to a CDF.
+	cdf := make([]float64, len(spec.Tenants))
+	{
+		total := 0.0
+		for i, t := range spec.Tenants {
+			s := t.Share
+			if s <= 0 {
+				w := t.Weight
+				if w <= 0 {
+					w = 1
+				}
+				s = float64(w)
+			}
+			cdf[i] = s
+			total += s
+		}
+		acc := 0.0
+		for i := range cdf {
+			acc += cdf[i] / total
+			cdf[i] = acc
+		}
+	}
+	pickTenant := func() int {
+		u := rng.Float64()
+		for i, c := range cdf {
+			if u <= c {
+				return i
+			}
+		}
+		return len(cdf) - 1
+	}
+
+	target := spec.Arrivals
+	switch spec.Mode {
+	case "open":
+		// All arrivals are pre-drawn, so later completion-time draws cannot
+		// perturb the arrival process.
+		t := 0.0
+		for i := 0; i < target; i++ {
+			t += exp(1 / spec.RatePerSec)
+			push(t, simTask{tenant: pickTenant(), arrival: t}, false)
+		}
+	case "closed":
+		for ti := range spec.Tenants {
+			for k := 0; k < spec.Outstanding; k++ {
+				push(0, simTask{tenant: ti}, false)
+			}
+		}
+	}
+
+	busy := 0
+	now := 0.0
+	admit := func(t simTask) {
+		tr := &report.Tenants[t.tenant]
+		tr.Submitted++
+		report.Submitted++
+		if fq.Len() >= spec.QueueCapacity {
+			tr.Rejected++
+			report.Rejected++
+			return
+		}
+		tr.Accepted++
+		report.Accepted++
+		fq.Push(0, spec.Tenants[t.tenant].ID, t)
+	}
+	dispatch := func() {
+		for busy < spec.Workers {
+			t, ok := fq.Pop(nil)
+			if !ok {
+				return
+			}
+			busy++
+			t.service = exp(spec.ServiceMeanSec)
+			push(now+t.service, t, true)
+		}
+	}
+
+	for events.Len() > 0 && report.Completed < target {
+		ev := events.next()
+		now = ev.at
+		if !ev.done {
+			ev.task.arrival = now
+			admit(ev.task)
+			dispatch()
+			continue
+		}
+		busy--
+		report.Completed++
+		tr := &report.Tenants[ev.task.tenant]
+		tr.Completed++
+		latencies[ev.task.tenant] = append(latencies[ev.task.tenant], now-ev.task.arrival)
+		if spec.Mode == "closed" {
+			// The tenant immediately replaces its finished task, keeping
+			// its window full until the completion target is reached.
+			push(now, simTask{tenant: ev.task.tenant}, false)
+		}
+		dispatch()
+	}
+
+	report.DurationSec = now
+	for i := range report.Tenants {
+		report.Tenants[i].Latency = latencyStats(latencies[i])
+	}
+	report.finalize()
+	return report, nil
+}

@@ -16,6 +16,10 @@ type Evaluation struct {
 	Flows   int // number of execution flows enumerated
 }
 
+// defaultCacheLimit bounds the evaluation cache across long sweeps; past it,
+// the oldest half of the entries is evicted.
+const defaultCacheLimit = 1 << 17
+
 // Evaluator scores plan trees against a planning problem. It caches
 // per-tree results (selection duplicates individuals heavily) and
 // pre-compiles the goal conditions.
@@ -24,6 +28,11 @@ type Evaluator struct {
 	params  Params
 	goals   []expr.Node
 	cache   map[string]Evaluation
+	// order lists the cached keys in insertion order, so trimming can evict
+	// the oldest half instead of wiping the whole cache (a full wipe forces
+	// the next generation to re-evaluate its entire population).
+	order      []string
+	cacheLimit int
 
 	// Evaluations counts cache-missing evaluations performed.
 	Evaluations int
@@ -38,9 +47,10 @@ func NewEvaluator(problem *workflow.Problem, params Params) (*Evaluator, error) 
 		return nil, err
 	}
 	ev := &Evaluator{
-		problem: problem,
-		params:  params,
-		cache:   make(map[string]Evaluation),
+		problem:    problem,
+		params:     params,
+		cache:      make(map[string]Evaluation),
+		cacheLimit: defaultCacheLimit,
 	}
 	for _, c := range problem.Goal.Conditions {
 		n, err := expr.Parse(c)
@@ -65,13 +75,34 @@ func (ev *Evaluator) Evaluate(tree *plantree.Node) Evaluation {
 	if e, ok := ev.cache[key]; ok {
 		return e
 	}
-	if len(ev.cache) > 1<<17 {
-		ev.cache = make(map[string]Evaluation) // bound memory across long sweeps
-	}
 	e := ev.evaluateOnly(tree)
 	ev.Evaluations++
-	ev.cache[key] = e
+	ev.cacheAdd(key, e)
 	return e
+}
+
+// cacheAdd stores one result and trims the cache if it outgrew the limit.
+func (ev *Evaluator) cacheAdd(key string, e Evaluation) {
+	if _, dup := ev.cache[key]; !dup {
+		ev.order = append(ev.order, key)
+	}
+	ev.cache[key] = e
+	ev.trimCache()
+}
+
+// trimCache evicts the oldest half of the cache once it exceeds the limit,
+// keeping the entries most likely to repeat (selection duplicates recent
+// individuals, not ancient ones).
+func (ev *Evaluator) trimCache() {
+	if len(ev.cache) <= ev.cacheLimit {
+		return
+	}
+	drop := len(ev.order) / 2
+	for _, k := range ev.order[:drop] {
+		delete(ev.cache, k)
+	}
+	n := copy(ev.order, ev.order[drop:])
+	ev.order = ev.order[:n]
 }
 
 // evaluateOnly computes the fitness without touching the cache or the

@@ -202,11 +202,8 @@ func (gp *GP) evaluateAll(pop []Individual) {
 		}
 	}
 	gp.eval.Evaluations += len(missKeys)
-	if len(gp.eval.cache) > 1<<17 {
-		gp.eval.cache = make(map[string]Evaluation) // bound memory
-	}
 	for i, k := range missKeys {
-		gp.eval.cache[k] = results[i]
+		gp.eval.cacheAdd(k, results[i])
 	}
 	for i := range pop {
 		e, ok := gp.eval.cache[keys[i]]

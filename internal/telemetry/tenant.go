@@ -1,0 +1,25 @@
+package telemetry
+
+import "strings"
+
+// TenantMetric builds the canonical per-tenant metric name
+// "engine.tenant.<tenant>.<suffix>". Tenant IDs are caller-supplied, so any
+// character outside [a-zA-Z0-9_-] is mapped to '_' to keep the dotted name
+// unambiguous (dots in a tenant ID would otherwise shift the suffix) and
+// legal after Prometheus sanitization.
+func TenantMetric(tenant, suffix string) string {
+	var b strings.Builder
+	b.Grow(len("engine.tenant.") + len(tenant) + 1 + len(suffix))
+	b.WriteString("engine.tenant.")
+	for _, r := range tenant {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	b.WriteByte('.')
+	b.WriteString(suffix)
+	return b.String()
+}

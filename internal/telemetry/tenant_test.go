@@ -1,0 +1,25 @@
+package telemetry
+
+import "testing"
+
+func TestTenantMetric(t *testing.T) {
+	cases := []struct{ tenant, suffix, want string }{
+		{"alpha", "accepted", "engine.tenant.alpha.accepted"},
+		{"", "queued", "engine.tenant..queued"},
+		{"team-a_1", "run.seconds", "engine.tenant.team-a_1.run.seconds"},
+		// Dots and exotic characters in tenant IDs must not shift the
+		// suffix or survive into the metric name.
+		{"a.b", "queued", "engine.tenant.a_b.queued"},
+		{"sp ace/слон", "x", "engine.tenant.sp_ace_____.x"},
+	}
+	for _, c := range cases {
+		if got := TenantMetric(c.tenant, c.suffix); got != c.want {
+			t.Errorf("TenantMetric(%q, %q) = %q, want %q", c.tenant, c.suffix, got, c.want)
+		}
+	}
+	// The sanitized name must survive Prometheus exposition sanitization
+	// unchanged apart from the usual dot mapping.
+	if got := PrometheusName(TenantMetric("a.b", "queued")); got != "engine_tenant_a_b_queued" {
+		t.Errorf("PrometheusName round trip = %q", got)
+	}
+}
