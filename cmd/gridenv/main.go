@@ -5,18 +5,25 @@
 // Usage:
 //
 //	gridenv [-addr :8080] [-clusters 6] [-smps 3] [-supers 1] [-seed 1]
-//	        [-store state.json] [-workers N]
+//	        [-store mem:|file:DIR|bolt:PATH.db] [-store-batch N]
+//	        [-store-interval D] [-workers N]
 //	        [-tenants alpha:3,beta:1] [-tenant-max-queued N]
 //	        [-tenant-max-inflight N] [-tenant-rate R] [-tenant-burst N]
 //	        [-log-level info] [-log-format text] [-pprof]
 //
-// With -store, the persistent storage service loads its state from the file
-// at startup (if present) and saves it on SIGINT/SIGTERM, so checkpoints,
-// archived plans, and the enactment engine's task journal survive restarts.
-// After loading, the engine replays the journal: tasks that were accepted but
-// never started are re-enqueued, tasks interrupted mid-enactment resume from
-// their latest checkpoint, and finished tasks stay queryable. -workers sizes
-// the engine's coordinator worker pool (default: GOMAXPROCS).
+// -store selects the storage backend by DSN: "mem:" (volatile, the default),
+// "file:DIR" (append-only segmented log with rotation and compaction), or
+// "bolt:PATH.db" (embedded single-file KV). On the durable backends,
+// checkpoints, archived plans, and the enactment engine's write-ahead task
+// journal survive restarts with no explicit save step: journal appends are
+// group-committed (one fsync per batch; -store-batch bounds the batch,
+// -store-interval adds an optional linger), and at startup the engine
+// replays the journal — tasks that were accepted but never started are
+// re-enqueued, tasks interrupted mid-enactment resume from their latest
+// checkpoint, and finished tasks stay queryable. A bare path (no scheme) is
+// the legacy mode: an in-memory store loaded from that JSON dump at startup
+// and saved back on SIGINT/SIGTERM. -workers sizes the engine's coordinator
+// worker pool (default: GOMAXPROCS).
 //
 // -tenants assigns fair-share weights (id:weight,...) to named tenants; the
 // -tenant-* flags set the default admission quotas — max queued tasks, max
@@ -41,8 +48,8 @@
 // warn, error) and -log-format the encoding (text or json). -pprof mounts
 // the net/http/pprof profiling handlers under /debug/pprof/.
 //
-// The unversioned /api/... paths still work as deprecated aliases (responses
-// name the successor route in a Link header). See OBSERVABILITY.md for the
+// The unversioned /api/... aliases were removed: they answer 410 gone with a
+// Link header naming the /api/v1 successor. See OBSERVABILITY.md for the
 // metric names, the trace span schema, the log schema, and the event stream.
 package main
 
@@ -54,6 +61,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/core"
@@ -62,27 +70,30 @@ import (
 	"repro/internal/httpapi"
 	"repro/internal/load"
 	"repro/internal/planner"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/virolab"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		clusters = flag.Int("clusters", 6, "PC clusters in the synthetic grid")
-		smps     = flag.Int("smps", 3, "SMP nodes")
-		supers   = flag.Int("supers", 1, "supercomputers")
-		seed     = flag.Int64("seed", 1, "grid and planner seed")
-		store    = flag.String("store", "", "persistent storage file (loaded at start, saved on shutdown)")
-		workers  = flag.Int("workers", 0, "enactment worker pool size (0 = GOMAXPROCS)")
-		tenants  = flag.String("tenants", "", "per-tenant fair-share weights as id:weight,... (empty = all weight 1)")
-		tMaxQ    = flag.Int("tenant-max-queued", 0, "default per-tenant queued-task quota (0 = unlimited)")
-		tMaxIF   = flag.Int("tenant-max-inflight", 0, "default per-tenant concurrent-enactment cap (0 = unlimited)")
-		tRate    = flag.Float64("tenant-rate", 0, "default per-tenant submit rate per second (0 = unlimited)")
-		tBurst   = flag.Int("tenant-burst", 0, "default per-tenant submit burst (0 = max(1, ceil(rate)))")
-		logLevel = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error")
-		logFmt   = flag.String("log-format", "text", "structured log encoding: text or json")
-		pprof    = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+		addr      = flag.String("addr", ":8080", "listen address")
+		clusters  = flag.Int("clusters", 6, "PC clusters in the synthetic grid")
+		smps      = flag.Int("smps", 3, "SMP nodes")
+		supers    = flag.Int("supers", 1, "supercomputers")
+		seed      = flag.Int64("seed", 1, "grid and planner seed")
+		storeDSN  = flag.String("store", "", "storage backend DSN: mem:, file:DIR, bolt:PATH.db (bare path = legacy JSON dump)")
+		storeBat  = flag.Int("store-batch", 0, "group-commit batch bound for durable backends (0 = default)")
+		storeIntv = flag.Duration("store-interval", 0, "group-commit linger interval (0 = flush when the flusher is free)")
+		workers   = flag.Int("workers", 0, "enactment worker pool size (0 = GOMAXPROCS)")
+		tenants   = flag.String("tenants", "", "per-tenant fair-share weights as id:weight,... (empty = all weight 1)")
+		tMaxQ     = flag.Int("tenant-max-queued", 0, "default per-tenant queued-task quota (0 = unlimited)")
+		tMaxIF    = flag.Int("tenant-max-inflight", 0, "default per-tenant concurrent-enactment cap (0 = unlimited)")
+		tRate     = flag.Float64("tenant-rate", 0, "default per-tenant submit rate per second (0 = unlimited)")
+		tBurst    = flag.Int("tenant-burst", 0, "default per-tenant submit burst (0 = max(1, ceil(rate)))")
+		logLevel  = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error")
+		logFmt    = flag.String("log-format", "text", "structured log encoding: text or json")
+		pprof     = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
 	tenantCfg := tenantOptions{
@@ -92,10 +103,33 @@ func main() {
 			RatePerSec: *tRate, Burst: *tBurst,
 		},
 	}
-	if err := run(*addr, *clusters, *smps, *supers, *seed, *store, *workers, tenantCfg, *logLevel, *logFmt, *pprof); err != nil {
+	storeCfg := storeOptions{
+		dsn:   *storeDSN,
+		flush: store.FlushConfig{MaxBatch: *storeBat, Interval: *storeIntv},
+	}
+	if err := run(*addr, *clusters, *smps, *supers, *seed, storeCfg, *workers, tenantCfg, *logLevel, *logFmt, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "gridenv:", err)
 		os.Exit(1)
 	}
+}
+
+// storeOptions carries the storage flags into run.
+type storeOptions struct {
+	dsn   string
+	flush store.FlushConfig
+}
+
+// split separates the DSN from the legacy bare-path form: a value with a
+// known scheme is a backend DSN; anything else is a JSON dump path handled
+// by the pre-DSN load/save flow on an in-memory backend.
+func (s storeOptions) split() (dsn, legacyDump string) {
+	switch {
+	case s.dsn == "":
+		return "", ""
+	case strings.HasPrefix(s.dsn, "mem:"), strings.HasPrefix(s.dsn, "file:"), strings.HasPrefix(s.dsn, "bolt:"):
+		return s.dsn, ""
+	}
+	return "", s.dsn
 }
 
 // tenantOptions carries the tenancy flags into run.
@@ -123,7 +157,7 @@ func (t tenantOptions) resolve() (map[string]engine.TenantConfig, engine.TenantC
 	return out, t.defaults, nil
 }
 
-func run(addr string, clusters, smps, supers int, seed int64, store string, workers int, tenants tenantOptions, logLevel, logFmt string, pprof bool) error {
+func run(addr string, clusters, smps, supers int, seed int64, storeCfg storeOptions, workers int, tenants tenantOptions, logLevel, logFmt string, pprof bool) error {
 	gridCfg := grid.DefaultSyntheticConfig()
 	gridCfg.Clusters = clusters
 	gridCfg.SMPs = smps
@@ -140,12 +174,15 @@ func run(addr string, clusters, smps, supers int, seed int64, store string, work
 		return err
 	}
 
+	dsn, legacyDump := storeCfg.split()
 	env, err := core.NewEnvironment(core.Options{
 		GridConfig:     &gridCfg,
 		Catalog:        virolab.Catalog(),
 		Planner:        params,
 		PostProcess:    virolab.ResolutionHook(nil),
 		Checkpoint:     true,
+		StoreDSN:       dsn,
+		StoreFlush:     storeCfg.flush,
 		Workers:        workers,
 		Tenants:        tenantMap,
 		TenantDefaults: tenantDefaults,
@@ -156,20 +193,27 @@ func run(addr string, clusters, smps, supers int, seed int64, store string, work
 	}
 	defer env.Close()
 
-	if store != "" {
-		if err := env.Services.Storage.Load(store); err == nil {
-			fmt.Printf("loaded persistent storage from %s\n", store)
-			report, err := env.Engine.Recover()
-			if err != nil {
-				return fmt.Errorf("replaying task journal: %w", err)
-			}
-			if report.Total() > 0 || report.Terminal > 0 {
-				fmt.Printf("journal replayed: %d requeued, %d resumed from checkpoint, %d restarted, %d already finished\n",
-					len(report.Requeued), len(report.Resumed), len(report.Restarted), report.Terminal)
-			}
+	replay := dsn != "" && env.Store.Kind() != "mem"
+	if legacyDump != "" {
+		if err := env.Services.Storage.Load(legacyDump); err == nil {
+			fmt.Printf("loaded persistent storage from %s\n", legacyDump)
+			replay = true
 		} else if !errors.Is(err, fs.ErrNotExist) {
 			return err
 		}
+	}
+	if replay {
+		report, err := env.Engine.Recover()
+		if err != nil {
+			return fmt.Errorf("replaying task journal: %w", err)
+		}
+		if report.Total() > 0 || report.Terminal > 0 {
+			fmt.Printf("journal replayed: %d requeued, %d resumed from checkpoint, %d restarted, %d already finished\n",
+				len(report.Requeued), len(report.Resumed), len(report.Restarted), report.Terminal)
+		}
+	}
+	if dsn != "" {
+		fmt.Printf("storage backend: %s\n", env.Store.Kind())
 	}
 
 	ui := httpapi.New(env)
@@ -188,11 +232,11 @@ func run(addr string, clusters, smps, supers int, seed int64, store string, work
 	case <-sig:
 	}
 	_ = server.Close()
-	if store != "" {
-		if err := env.Services.Storage.Save(store); err != nil {
+	if legacyDump != "" {
+		if err := env.Services.Storage.Save(legacyDump); err != nil {
 			return fmt.Errorf("saving storage: %w", err)
 		}
-		fmt.Printf("persistent storage saved to %s\n", store)
+		fmt.Printf("persistent storage saved to %s\n", legacyDump)
 	}
 	return nil
 }

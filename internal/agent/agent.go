@@ -72,6 +72,20 @@ type Message struct {
 	Content any
 
 	replyCh chan Message // set for synchronous calls
+	// deferred, when set true via DeferReply, tells the agent runtime the
+	// handler hands the reply to another goroutine, suppressing the
+	// terminated-without-replying fallback.
+	deferred *atomic.Bool
+}
+
+// DeferReply marks a synchronous request as answered asynchronously: the
+// handler returns without replying and some other goroutine calls Reply
+// later. Must be called on the handler goroutine, before HandleMessage
+// returns. A no-op for messages that are not synchronous calls.
+func (m Message) DeferReply() {
+	if m.deferred != nil {
+		m.deferred.Store(true)
+	}
 }
 
 // Errors returned by platform operations.
@@ -170,8 +184,9 @@ func (p *Platform) serve(rt *runtime, h Handler) {
 	defer close(rt.done)
 	for msg := range rt.mailbox {
 		h.HandleMessage(rt.ctx, msg)
-		if msg.replyCh != nil {
-			// If the handler never replied, release the caller.
+		if msg.replyCh != nil && !msg.deferred.Load() {
+			// If the handler never replied (and did not defer the reply to
+			// another goroutine), release the caller.
 			select {
 			case msg.replyCh <- Message{Performative: Failure, Sender: rt.name, Content: ErrNoReply}:
 			default:
@@ -302,6 +317,7 @@ func (c *Context) CallContext(ctx context.Context, receiver, ontology string, co
 	}
 	replyCh := make(chan Message, 1)
 	msg := Message{
+		deferred:       new(atomic.Bool),
 		ID:             c.platform.nextID.Add(1),
 		ConversationID: c.platform.nextConv.Add(1),
 		Performative:   Request,

@@ -111,7 +111,10 @@ func LoadCheckpoint(store *services.Storage, taskID string) (*CheckpointData, er
 
 // LoadCheckpointVersion fetches a specific checkpoint version (0 = latest).
 func LoadCheckpointVersion(store *services.Storage, taskID string, version int) (*CheckpointData, error) {
-	raw, _, found := store.Get(CheckpointKey(taskID), version)
+	raw, _, found, err := store.Get(CheckpointKey(taskID), version)
+	if err != nil {
+		return nil, fmt.Errorf("coordination: reading checkpoint of task %q: %w", taskID, err)
+	}
 	if !found {
 		return nil, fmt.Errorf("coordination: no checkpoint for task %q", taskID)
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/agent"
@@ -130,7 +131,34 @@ type Coordinator struct {
 	mCancelled                              *telemetry.Counter
 	hBatchWall, hEnactReal, hCkptBytes      *telemetry.Histogram
 	hBackoff                                *telemetry.Histogram
+
+	// perfMu guards perfCache, the short-TTL memo of brokerage
+	// past-performance replies used by history-aware dispatch. The brokerage
+	// snapshot is best-effort by design ("may be obsolete"), so serving a
+	// reply a few hundred milliseconds stale trades nothing away and spares
+	// one agent round-trip per dispatch batch.
+	perfMu    sync.Mutex
+	perfCache map[string]perfCacheEntry
+	candCache map[string]candCacheEntry
 }
+
+// perfCacheEntry is one memoized PerfBatchReply, re-keyed by node.
+type perfCacheEntry struct {
+	stats map[string]services.PerfStats
+	at    time.Time
+}
+
+// candCacheEntry is one memoized matchmaking reply. Matchmaking reads the
+// live grid, so this cache does trade freshness for round-trips — bounded by
+// the same short TTL, and dropped the moment a dispatch on the service
+// fails, which is when staleness would actually matter.
+type candCacheEntry struct {
+	cands []services.Candidate
+	at    time.Time
+}
+
+// perfCacheTTL bounds how stale a memoized past-performance reply may be.
+const perfCacheTTL = 250 * time.Millisecond
 
 // New builds a coordinator and registers its agent (services.CoordinationName).
 func New(cfg Config) (*Coordinator, error) {

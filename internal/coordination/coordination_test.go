@@ -287,7 +287,7 @@ func TestCheckpointing(t *testing.T) {
 	}
 	// One checkpoint per dispatch batch: Fig 10 has POD, P3DR1, then three
 	// iterations of (POR, the concurrent P3DR trio, PSF) = 2 + 3x3 = 11.
-	_, ver, found := e.core.Storage.Get(CheckpointKey("T1"), 0)
+	_, ver, found, _ := e.core.Storage.Get(CheckpointKey("T1"), 0)
 	if !found || ver != 11 {
 		t.Errorf("checkpoint versions = %d (found=%v), want 11", ver, found)
 	}
@@ -416,7 +416,7 @@ func TestResumeFromMidwayCheckpoint(t *testing.T) {
 	}
 	// Snapshots are per dispatch batch; resuming from EVERY version must
 	// complete the remaining work exactly (total 17 executions each time).
-	_, latest, found := e.core.Storage.Get(CheckpointKey("T1"), 0)
+	_, latest, found, _ := e.core.Storage.Get(CheckpointKey("T1"), 0)
 	if !found || latest < 3 {
 		t.Fatalf("latest checkpoint version = %d", latest)
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/expr"
@@ -237,18 +238,12 @@ func (c *Coordinator) dispatch(ctx context.Context, p Policy, act *workflow.Acti
 		ranked = cands
 	} else {
 		res.events = append(res.events, TraceEvent{Kind: "invoke", Activity: act.Name, Detail: services.MatchmakingName})
-		reply, err := c.ctx.CallContext(ctx, services.MatchmakingName, services.OntMatchmaking,
-			services.MatchRequest{Service: act.Service}, c.cfg.CallTimeout)
+		cands, err := c.matchCandidates(ctx, act.Service)
 		if err != nil {
 			res.err = err
 			return res
 		}
-		mr, ok := reply.Content.(services.MatchReply)
-		if !ok {
-			res.err = fmt.Errorf("coordination: unexpected matchmaking reply %T", reply.Content)
-			return res
-		}
-		ranked = mr.Candidates
+		ranked = cands
 	}
 	if len(ranked) == 0 {
 		res.err = &nonExecutableError{activity: act.Name, service: act.Service}
@@ -284,12 +279,19 @@ func (c *Coordinator) dispatch(ctx context.Context, p Policy, act *workflow.Acti
 			return res
 		}
 		res.failures++
+		c.invalidatePerf(act.Service)
 		res.events = append(res.events, TraceEvent{Kind: "fail", Activity: act.Name,
 			Detail: fmt.Sprintf("on %s: %v", cand.Container, err)})
 		failedNodes[cand.Node] = true
 		c.noteFault(ctx, &res, act, cand)
 		if attempt == p.MaxRetries {
 			break
+		}
+		// The failure just invalidated the memoized candidate list; re-match
+		// against the live grid so later attempts stop rotating through a
+		// snapshot that may still rank a node that went down mid-dispatch.
+		if fresh, ferr := c.matchCandidates(ctx, act.Service); ferr == nil && len(fresh) > 0 {
+			candidates = c.reorderByHistory(ctx, act.Service, fresh)
 		}
 		res.retries++
 		next := candidates[attempt%len(candidates)]
@@ -396,22 +398,121 @@ func (c *Coordinator) reorderByHistory(ctx context.Context, service string, cand
 	if len(cands) < 2 {
 		return cands
 	}
-	var kept, demoted []services.Candidate
-	for _, cand := range cands {
-		reply, err := c.ctx.CallContext(ctx, services.BrokerageName, services.OntBrokerage,
-			services.PerfRequest{Service: service, Node: cand.Node}, c.cfg.CallTimeout)
-		if err != nil {
-			kept = append(kept, cand)
-			continue
+	stats := c.perfStats(ctx, service, cands)
+	if stats == nil {
+		return cands
+	}
+	bad := func(cand services.Candidate) bool {
+		st, ok := stats[cand.Node]
+		return ok && st.Runs >= 3 && st.SuccessRate < 0.5
+	}
+	// Fast path: every node healthy (the overwhelmingly common case) keeps
+	// the ranking as-is without allocating.
+	first := -1
+	for i, cand := range cands {
+		if bad(cand) {
+			first = i
+			break
 		}
-		if pr, ok := reply.Content.(services.PerfReply); ok &&
-			pr.Stats.Runs >= 3 && pr.Stats.SuccessRate < 0.5 {
+	}
+	if first < 0 {
+		return cands
+	}
+	kept := append(make([]services.Candidate, 0, len(cands)), cands[:first]...)
+	demoted := []services.Candidate{cands[first]}
+	for _, cand := range cands[first+1:] {
+		if bad(cand) {
 			demoted = append(demoted, cand)
-			continue
+		} else {
+			kept = append(kept, cand)
 		}
-		kept = append(kept, cand)
 	}
 	return append(kept, demoted...)
+}
+
+// perfStats resolves past-performance statistics by node for one service,
+// memoized for perfCacheTTL: consecutive dispatch batches reuse one
+// brokerage round-trip. The memo is keyed by service alone, so a candidate
+// set that grew within the TTL may miss nodes in the map — a missing node
+// simply has no history yet and is never demoted, which is the same answer
+// a fresh but empty brokerage record would give.
+func (c *Coordinator) perfStats(ctx context.Context, service string, cands []services.Candidate) map[string]services.PerfStats {
+	now := time.Now()
+	c.perfMu.Lock()
+	if e, ok := c.perfCache[service]; ok && now.Sub(e.at) < perfCacheTTL {
+		c.perfMu.Unlock()
+		return e.stats
+	}
+	c.perfMu.Unlock()
+
+	nodes := make([]string, len(cands))
+	for i, cand := range cands {
+		nodes[i] = cand.Node
+	}
+	reply, err := c.ctx.CallContext(ctx, services.BrokerageName, services.OntBrokerage,
+		services.PerfBatchRequest{Service: service, Nodes: nodes}, c.cfg.CallTimeout)
+	if err != nil {
+		return nil
+	}
+	pr, ok := reply.Content.(services.PerfBatchReply)
+	if !ok || len(pr.Stats) != len(nodes) {
+		return nil
+	}
+	byNode := make(map[string]services.PerfStats, len(nodes))
+	for i, node := range nodes {
+		byNode[node] = pr.Stats[i]
+	}
+	c.perfMu.Lock()
+	if c.perfCache == nil {
+		c.perfCache = make(map[string]perfCacheEntry)
+	}
+	c.perfCache[service] = perfCacheEntry{stats: byNode, at: now}
+	c.perfMu.Unlock()
+	return byNode
+}
+
+// matchCandidates resolves the ranked candidate list for one service,
+// memoized for perfCacheTTL. Empty replies are never cached: a re-planning
+// round may deploy software or discover new containers, and a cached "no
+// candidates" answer would blind it for the TTL.
+func (c *Coordinator) matchCandidates(ctx context.Context, service string) ([]services.Candidate, error) {
+	now := time.Now()
+	c.perfMu.Lock()
+	if e, ok := c.candCache[service]; ok && now.Sub(e.at) < perfCacheTTL {
+		c.perfMu.Unlock()
+		return e.cands, nil
+	}
+	c.perfMu.Unlock()
+
+	reply, err := c.ctx.CallContext(ctx, services.MatchmakingName, services.OntMatchmaking,
+		services.MatchRequest{Service: service}, c.cfg.CallTimeout)
+	if err != nil {
+		return nil, err
+	}
+	mr, ok := reply.Content.(services.MatchReply)
+	if !ok {
+		return nil, fmt.Errorf("coordination: unexpected matchmaking reply %T", reply.Content)
+	}
+	if len(mr.Candidates) > 0 {
+		c.perfMu.Lock()
+		if c.candCache == nil {
+			c.candCache = make(map[string]candCacheEntry)
+		}
+		c.candCache[service] = candCacheEntry{cands: mr.Candidates, at: now}
+		c.perfMu.Unlock()
+	}
+	return mr.Candidates, nil
+}
+
+// invalidatePerf drops the memoized past-performance and matchmaking
+// replies for one service. The coordinator calls it the moment it observes
+// a failed execution itself: both cached snapshots are known-obsolete, and
+// the next dispatch must see fresh history and a fresh candidate ranking.
+func (c *Coordinator) invalidatePerf(service string) {
+	c.perfMu.Lock()
+	delete(c.perfCache, service)
+	delete(c.candCache, service)
+	c.perfMu.Unlock()
 }
 
 // apply merges a successful dispatch into the report and case state:

@@ -25,6 +25,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/planning"
 	"repro/internal/services"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
@@ -50,6 +51,20 @@ type Options struct {
 
 	// Checkpoint enables per-activity checkpoints to the storage service.
 	Checkpoint bool
+
+	// StoreDSN selects the storage backend behind the storage service and the
+	// engine's journal: "mem:" (volatile map), "file:DIR" (append-only
+	// segmented log), or "bolt:PATH" (embedded single-file KV). Empty means
+	// "mem:". Ignored when Store is set.
+	StoreDSN string
+
+	// StoreFlush tunes group commit on durable backends: batch bound and
+	// optional linger interval (see store.FlushConfig).
+	StoreFlush store.FlushConfig
+
+	// Store injects an already opened backend instead of StoreDSN. The
+	// environment takes ownership and closes it on Close.
+	Store store.Store
 
 	// UseContractNet acquires resources by container bidding instead of
 	// matchmaking rankings (see coordination.Config).
@@ -103,7 +118,10 @@ type Environment struct {
 	Coordinator *coordination.Coordinator
 	// Engine is the durable enactment engine: bounded admission queue,
 	// coordinator worker pool, write-ahead task journal, crash recovery.
-	Engine  *engine.Engine
+	Engine *engine.Engine
+	// Store is the storage backend behind Services.Storage and the engine's
+	// journal (selected by Options.StoreDSN); the environment closes it.
+	Store   store.Store
 	Archive *kb.Archive
 	Catalog *workflow.Catalog
 	// Telemetry is the monitoring registry every layer records into; nil
@@ -145,10 +163,24 @@ func NewEnvironment(opts Options) (*Environment, error) {
 		logger = telemetry.NopLogger()
 	}
 
+	backend := opts.Store
+	if backend == nil {
+		dsn := opts.StoreDSN
+		if dsn == "" {
+			dsn = "mem:"
+		}
+		var err error
+		backend, err = store.Open(dsn, store.Options{Flush: opts.StoreFlush, Telemetry: tel})
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	platform := agent.NewPlatform()
-	coreSvcs, err := services.Bootstrap(platform, g)
+	coreSvcs, err := services.BootstrapWithStore(platform, g, backend)
 	if err != nil {
 		platform.Shutdown()
+		backend.Close()
 		return nil, err
 	}
 	// Instrument the core services. Safe before any traffic: the services
@@ -164,6 +196,7 @@ func NewEnvironment(opts Options) (*Environment, error) {
 	plansvc.Telemetry = tel
 	if _, err := platform.Register(services.PlanningName, plansvc); err != nil {
 		platform.Shutdown()
+		backend.Close()
 		return nil, err
 	}
 	coord, err := coordination.New(coordination.Config{
@@ -178,6 +211,7 @@ func NewEnvironment(opts Options) (*Environment, error) {
 	})
 	if err != nil {
 		platform.Shutdown()
+		backend.Close()
 		return nil, err
 	}
 	eng, err := engine.New(engine.Config{
@@ -193,6 +227,7 @@ func NewEnvironment(opts Options) (*Environment, error) {
 	})
 	if err != nil {
 		platform.Shutdown()
+		backend.Close()
 		return nil, err
 	}
 	// The engine journals coordinator checkpoints so recovery knows how far
@@ -206,6 +241,7 @@ func NewEnvironment(opts Options) (*Environment, error) {
 		Planning:    plansvc,
 		Coordinator: coord,
 		Engine:      eng,
+		Store:       backend,
 		Archive:     kb.NewArchive(),
 		Catalog:     opts.Catalog,
 		Telemetry:   tel,
@@ -213,11 +249,15 @@ func NewEnvironment(opts Options) (*Environment, error) {
 	}, nil
 }
 
-// Close stops the enactment engine (cancelling in-flight work) and shuts the
-// agent platform down.
+// Close stops the enactment engine (cancelling in-flight work), shuts the
+// agent platform down, and closes the storage backend (flushing any pending
+// group-commit batch).
 func (e *Environment) Close() {
 	e.Engine.Close()
 	e.Platform.Shutdown()
+	if e.Store != nil {
+		_ = e.Store.Close()
+	}
 }
 
 // Submit enacts a task through the coordination service with the default

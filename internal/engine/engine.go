@@ -122,13 +122,16 @@ const (
 	DefaultRetainFinished = 1024
 )
 
-// storageAPI is the slice of the persistent storage service the engine
-// journals through; *services.Storage satisfies it.
+// storageAPI is the slice of the storage layer the engine journals through;
+// store.Store and *services.Storage both satisfy it. On durable backends
+// Put returns only after the write is fsynced (group-committed).
 type storageAPI interface {
-	Put(key string, value []byte) int
-	Get(key string, version int) (value []byte, ver int, found bool)
+	Put(key string, value []byte) (int, error)
+	PutAsync(key string, value []byte) (int, error)
+	Replace(key string, value []byte) (int, error)
+	Get(key string, version int) (value []byte, ver int, found bool, err error)
 	Keys(prefix string) []string
-	Delete(key string)
+	Delete(key string) error
 }
 
 // Config wires an engine.
@@ -228,6 +231,17 @@ type record struct {
 	report    *coordination.Report
 	policy    coordination.Policy
 	env       *TaskEnvelope
+	// task is the live submission, kept so a fresh run does not have to
+	// decode the envelope back into a task; recovered records leave it nil
+	// and rebuild from env (the only copy that survived the crash).
+	task *workflow.Task
+	// admitting marks a record whose write-ahead journal append is still in
+	// flight (Submit holds no lock across the fsync); it is reserved in
+	// e.records but not yet in the queue. preempt asks the admitting Submit
+	// to finish the task as cancelled instead of enqueueing it (set by a
+	// Cancel that raced the admission).
+	admitting bool
+	preempt   bool
 	// resume holds the checkpoint snapshot a recovered task continues from;
 	// nil for fresh runs.
 	resume *coordination.CheckpointData
@@ -452,21 +466,69 @@ func (e *Engine) Submit(sub Submission) (TaskStatus, error) {
 		priority:  sub.Priority,
 		tenant:    tenant,
 		status:    StatusQueued,
+		admitting: true,
 		submitted: time.Now(),
 		policy:    resolved,
 		env:       env,
+		task:      sub.Task,
 	}
+	// Reserve the ID and the queue slot, then release the lock for the
+	// durable append: concurrent admissions must not serialize behind one
+	// fsync — unlocked, they coalesce into one group-commit batch.
+	e.records[id] = rec
+	e.queued++
+	ts.queued++
+	e.mu.Unlock()
+
 	// Write-ahead: the accepted record is durable before the task is
 	// visible in the queue, so a crash between here and the first worker
 	// pickup still re-enqueues it on recovery.
-	e.journalAppend(JournalRecord{
+	_, jerr := e.journalAppend(JournalRecord{
 		Event: EventAccepted, TaskID: id, Seq: rec.seq,
 		Priority: int(rec.priority), Tenant: rec.tenant, Task: env,
 	})
-	e.records[id] = rec
+
+	e.mu.Lock()
+	rec.admitting = false
+	if jerr != nil {
+		// The acceptance never became durable: release the reservation and
+		// surface the storage failure. (Close zeroes e.queued when it drains
+		// the queue, so guard the shared counter.)
+		delete(e.records, id)
+		if e.queued > 0 {
+			e.queued--
+		}
+		ts.queued--
+		ts.gQueued.Set(float64(ts.queued))
+		e.mu.Unlock()
+		e.mRejected.Inc()
+		e.log.Error("task rejected: journal append failed",
+			slog.String("task", id), slog.String("error", jerr.Error()))
+		return TaskStatus{}, jerr
+	}
+	if rec.preempt || e.closed {
+		// A Cancel (or Close) raced the admission. The accepted record is
+		// durable, so finish the task as cancelled — the terminal record
+		// keeps recovery from resurrecting it.
+		if e.queued > 0 {
+			e.queued--
+		}
+		ts.queued--
+		ts.gQueued.Set(float64(ts.queued))
+		closed := e.closed && !rec.preempt
+		e.mu.Unlock()
+		reason := "cancelled during admission"
+		if closed {
+			reason = "engine closed before the task started"
+		}
+		e.finish(rec, StatusCancelled, nil, reason)
+		if closed {
+			return TaskStatus{}, ErrClosed
+		}
+		st, _ := e.Task(id)
+		return st, nil
+	}
 	e.fq.Push(int(rec.priority), tenant, rec)
-	e.queued++
-	ts.queued++
 	ts.accepted++
 	ts.mAccepted.Inc()
 	ts.gQueued.Set(float64(ts.queued))
@@ -570,7 +632,15 @@ func (e *Engine) run(rec *record) {
 		e.gBusy.Set(float64(e.busy.Load()))
 	}()
 
-	e.journalAppend(JournalRecord{Event: EventStarted, TaskID: rec.id, Attempt: rec.attempt})
+	// The started record rides the log asynchronously: its durability is not
+	// load-bearing (a crash mid-run re-enqueues the task from the accepted
+	// record either way), so the worker should not stall on an fsync before
+	// the enactment even begins. Ordering against the terminal snapshot is
+	// preserved — this worker enqueues both, and batches flush FIFO.
+	if err := e.journalAppendAsync(JournalRecord{Event: EventStarted, TaskID: rec.id, Attempt: rec.attempt}); err != nil {
+		e.log.Error("journal append failed for started event",
+			slog.String("task", rec.id), slog.String("error", err.Error()))
+	}
 	e.hWait.Observe(rec.queueWait)
 	e.tel.TaskTrace(rec.id).Span("attempt", "", fmt.Sprintf("attempt %d after %.3fs queued", rec.attempt, rec.queueWait))
 	e.log.Info("enactment attempt started",
@@ -583,8 +653,10 @@ func (e *Engine) run(rec *record) {
 	if rec.resume != nil {
 		report, err = e.coord.ResumeContext(ctx, rec.resume, rec.env.Policy)
 	} else {
-		var task *workflow.Task
-		task, err = rec.env.task()
+		task := rec.task
+		if task == nil { // recovered: rebuild from the durable envelope
+			task, err = rec.env.task()
+		}
 		if err == nil {
 			report, err = e.coord.RunTaskContext(ctx, task, rec.env.Policy)
 		}
@@ -605,15 +677,20 @@ func (e *Engine) run(rec *record) {
 	e.finish(rec, status, report, errText)
 }
 
-// finish records a terminal transition: journal + compaction, record update,
-// retention eviction, metrics.
+// finish records a terminal transition: record update, retention eviction,
+// metrics, and one journal write. The terminal snapshot — carrying the
+// status, attempt, and error — IS the terminal record; compacting straight
+// to it costs a single durable wait where a terminal append followed by a
+// Delete+Put compaction used to cost three.
 func (e *Engine) finish(rec *record, status string, report *coordination.Report, errText string) {
-	e.journalAppend(JournalRecord{Event: terminalEvent(status), TaskID: rec.id, Attempt: rec.attempt, Error: errText})
-	e.compact(JournalRecord{
+	if err := e.compact(JournalRecord{
 		TaskID: rec.id, Seq: rec.seq, Attempt: rec.attempt,
 		Priority: int(rec.priority), Tenant: rec.tenant,
 		Status: status, Error: errText,
-	})
+	}); err != nil {
+		e.log.Error("journal compaction failed",
+			slog.String("task", rec.id), slog.String("error", err.Error()))
+	}
 
 	e.mu.Lock()
 	ts := e.tenantLocked(rec.tenant)
@@ -672,18 +749,6 @@ func (e *Engine) finish(rec *record, status string, report *coordination.Report,
 	}
 }
 
-// terminalEvent maps a terminal status to its journal event.
-func terminalEvent(status string) string {
-	switch status {
-	case StatusFailed:
-		return EventFailed
-	case StatusCancelled:
-		return EventCancelled
-	default:
-		return EventCompleted
-	}
-}
-
 // NoteCheckpoint is the coordination.Config.OnCheckpoint hook: it journals
 // checkpoint progress for tasks the engine owns (direct coordinator use
 // outside the engine is ignored).
@@ -695,12 +760,21 @@ func (e *Engine) NoteCheckpoint(taskID string, version int) {
 	if !owned {
 		return
 	}
-	if ver := e.journalAppend(JournalRecord{Event: EventCheckpointed, TaskID: taskID, CheckpointVersion: version}); ver > maxJournalVersions {
-		e.compact(JournalRecord{
+	ver, err := e.journalAppend(JournalRecord{Event: EventCheckpointed, TaskID: taskID, CheckpointVersion: version})
+	if err != nil {
+		e.log.Error("journal append failed for checkpoint event",
+			slog.String("task", taskID), slog.String("error", err.Error()))
+		return
+	}
+	if ver > maxJournalVersions {
+		if err := e.compact(JournalRecord{
 			TaskID: taskID, Seq: rec.seq, Attempt: rec.attempt,
 			Priority: int(rec.priority), Tenant: rec.tenant,
 			Status: StatusRunning, CheckpointVersion: version, Task: rec.env,
-		})
+		}); err != nil {
+			e.log.Error("journal compaction failed",
+				slog.String("task", taskID), slog.String("error", err.Error()))
+		}
 	}
 }
 
@@ -722,6 +796,13 @@ func (e *Engine) Cancel(id string) (string, error) {
 	}
 	switch rec.status {
 	case StatusQueued:
+		if rec.admitting {
+			// The admission's durable append is still in flight; ask it to
+			// finish the task as cancelled instead of enqueueing.
+			rec.preempt = true
+			e.mu.Unlock()
+			return StatusCancelled, nil
+		}
 		if e.fq.Remove(int(rec.priority), rec.tenant, func(r *record) bool { return r == rec }) {
 			e.queued--
 			ts := e.tenantLocked(rec.tenant)
@@ -841,7 +922,7 @@ func (e *Engine) statusLocked(rec *record) TaskStatus {
 		Report:    rec.report,
 		Policy:    rec.policy,
 	}
-	if rec.status == StatusQueued {
+	if rec.status == StatusQueued && !rec.admitting {
 		s.QueuePosition = e.positionLocked(rec)
 	}
 	return s

@@ -17,10 +17,12 @@ const (
 	EventAccepted     = "accepted"     // admitted to the queue; carries the full task envelope
 	EventStarted      = "started"      // a worker began attempt N
 	EventCheckpointed = "checkpointed" // the coordinator wrote checkpoint version V
-	EventCompleted    = "completed"    // enactment finished (goal met or not; see Status)
-	EventFailed       = "failed"       // enactment returned an error
-	EventCancelled    = "cancelled"    // cancelled while queued or running
-	EventSnapshot     = "snapshot"     // compaction record replacing older history
+	EventCompleted    = "completed"    // legacy terminal append; recovery still honors it
+	EventFailed       = "failed"       // legacy terminal append; recovery still honors it
+	EventCancelled    = "cancelled"    // legacy terminal append; recovery still honors it
+	EventSnapshot     = "snapshot"     // compaction record replacing older history; terminal
+	//                                    transitions write this directly (status + error), so a
+	//                                    finished task's journal is exactly one snapshot record
 )
 
 // JournalKey returns the storage key of a task's journal. Each journal
@@ -136,49 +138,80 @@ func (te *TaskEnvelope) task() (*workflow.Task, error) {
 // append one "checkpointed" record per dispatch batch).
 const maxJournalVersions = 64
 
-// journalAppend appends one record to the task's journal and triggers
-// compaction when the log outgrows maxJournalVersions. The caller must NOT
-// hold e.mu when the record belongs to a running task it owns; per-task
-// journal keys have a single writer at any time (admission before the task
-// is queued, then its worker), so appends never race.
-func (e *Engine) journalAppend(rec JournalRecord) int {
+// journalAppend appends one record to the task's journal — on durable
+// backends it blocks until the record's group-commit batch is fsynced — and
+// returns the new journal depth. The caller must NOT hold e.mu: the append
+// can wait on an fsync, and concurrent appends are exactly what group commit
+// batches together. Per-task journal keys have a single writer at any time
+// (admission before the task is queued, then its worker), so appends to one
+// key never race.
+func (e *Engine) journalAppend(rec JournalRecord) (int, error) {
 	data, err := json.Marshal(rec)
 	if err != nil {
 		// Records are built from plain serializable fields; a marshal
 		// failure is a programming error, not a runtime condition.
 		panic(fmt.Sprintf("engine: journal record marshal: %v", err))
 	}
-	ver := e.store.Put(JournalKey(rec.TaskID), data)
+	ver, err := e.store.Put(JournalKey(rec.TaskID), data)
+	if err != nil {
+		return 0, fmt.Errorf("engine: journal append for task %s: %w", rec.TaskID, err)
+	}
 	e.mJournalRecords.Inc()
-	return ver
+	return ver, nil
+}
+
+// journalAppendAsync appends one record without waiting for its group-commit
+// batch to reach disk; the record's position in the log is still fixed here.
+// For records whose loss a crash already tolerates (the "started" marker).
+func (e *Engine) journalAppendAsync(rec JournalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		panic(fmt.Sprintf("engine: journal record marshal: %v", err))
+	}
+	if _, err := e.store.PutAsync(JournalKey(rec.TaskID), data); err != nil {
+		return fmt.Errorf("engine: journal append for task %s: %w", rec.TaskID, err)
+	}
+	e.mJournalRecords.Inc()
+	return nil
 }
 
 // compact replaces a task's journal history with a single snapshot record
 // describing its effective state. Terminal tasks compact to a bare status;
 // live tasks keep their envelope and checkpoint cursor so recovery still
-// works from the compacted form.
-func (e *Engine) compact(snapshot JournalRecord) {
+// works from the compacted form. The whole compaction is one Replace — one
+// store record, one group-commit slot — so a crash can never land between
+// discarding the history and writing the snapshot, which a Delete+Put pair
+// (separate fsync batches) could not guarantee.
+func (e *Engine) compact(snapshot JournalRecord) error {
 	snapshot.Event = EventSnapshot
 	data, err := json.Marshal(snapshot)
 	if err != nil {
 		panic(fmt.Sprintf("engine: journal snapshot marshal: %v", err))
 	}
-	e.store.Delete(JournalKey(snapshot.TaskID))
-	e.store.Put(JournalKey(snapshot.TaskID), data)
+	if _, err := e.store.Replace(JournalKey(snapshot.TaskID), data); err != nil {
+		return fmt.Errorf("engine: journal compact for task %s: %w", snapshot.TaskID, err)
+	}
 	e.mJournalCompactions.Inc()
+	return nil
 }
 
 // ReadJournal returns every journal record of a task in append order,
-// reading directly from a storage service instance. Used by recovery, tests,
-// and operational tooling.
+// reading directly from a storage backend. Used by recovery, tests, and
+// operational tooling.
 func ReadJournal(store storageAPI, taskID string) ([]JournalRecord, error) {
-	_, latest, found := store.Get(JournalKey(taskID), 0)
+	_, latest, found, err := store.Get(JournalKey(taskID), 0)
+	if err != nil {
+		return nil, fmt.Errorf("engine: journal of task %s: %w", taskID, err)
+	}
 	if !found {
 		return nil, nil
 	}
 	out := make([]JournalRecord, 0, latest)
 	for v := 1; v <= latest; v++ {
-		raw, _, ok := store.Get(JournalKey(taskID), v)
+		raw, _, ok, err := store.Get(JournalKey(taskID), v)
+		if err != nil {
+			return nil, fmt.Errorf("engine: journal of task %s version %d: %w", taskID, v, err)
+		}
 		if !ok {
 			return nil, fmt.Errorf("engine: journal of task %s missing version %d", taskID, v)
 		}

@@ -182,7 +182,10 @@ func replay(id string, recs []JournalRecord) *replayState {
 // loadCheckpoint reads the latest coordination checkpoint for a task through
 // the engine's storage handle.
 func (e *Engine) loadCheckpoint(taskID string) (*coordination.CheckpointData, error) {
-	raw, _, found := e.store.Get(coordination.CheckpointKey(taskID), 0)
+	raw, _, found, err := e.store.Get(coordination.CheckpointKey(taskID), 0)
+	if err != nil {
+		return nil, fmt.Errorf("reading checkpoint: %w", err)
+	}
 	if !found {
 		return nil, fmt.Errorf("journaled checkpoint missing from store")
 	}

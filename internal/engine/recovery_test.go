@@ -2,29 +2,52 @@ package engine_test
 
 import (
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/store"
 	"repro/internal/workflow"
 )
 
-// TestCrashRecovery is the kill-and-restart acceptance scenario: a burst of
-// tasks is submitted to a single-worker engine with checkpointing on; the
-// first task is stopped mid-enactment (after its first checkpoint, inside
-// its second dispatch batch) and the storage service is snapshotted to disk
-// — the simulated crash. A brand-new environment loads the same store file,
-// replays the journal, resumes the interrupted task from its checkpoint, and
-// re-enqueues the never-started ones. Every task must end completed, no
-// journal entry may stay non-terminal, and no activity past the last
-// checkpoint may be enacted twice (counted via the post-process hook).
+// TestCrashRecovery is the kill-and-restart acceptance scenario, run once
+// per storage backend: a burst of tasks is submitted to a single-worker
+// engine with checkpointing on; the first task is stopped mid-enactment
+// (after its first checkpoint, inside its second dispatch batch) and the
+// crash state is captured — a JSON snapshot of the in-memory store, or the
+// fsynced on-disk prefix (CopyDurable) of the file and bolt backends, which
+// is exactly what a kill -9 leaves behind. A brand-new environment opens
+// that state, replays the journal, resumes the interrupted task from its
+// checkpoint, and re-enqueues the never-started ones. Every task must end
+// completed, no journal entry may stay non-terminal, and no activity past
+// the last checkpoint may be enacted twice (counted via the post-process
+// hook) — checkpoint-exact on every backend.
 func TestCrashRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full crash/recovery cycle in -short mode")
 	}
-	store := filepath.Join(t.TempDir(), "state.json")
+	for _, backend := range []string{"mem", "file", "bolt"} {
+		t.Run(backend, func(t *testing.T) { crashRecovery(t, backend) })
+	}
+}
+
+func crashRecovery(t *testing.T, backend string) {
+	dir := t.TempDir()
+	var dsn1, dsn2, memSnap string
+	switch backend {
+	case "mem":
+		dsn1, dsn2 = "mem:", "mem:"
+		memSnap = filepath.Join(dir, "state.json")
+	case "file":
+		dsn1 = "file:" + filepath.Join(dir, "live")
+		dsn2 = "file:" + filepath.Join(dir, "crash")
+	case "bolt":
+		dsn1 = "bolt:" + filepath.Join(dir, "live.db")
+		dsn2 = "bolt:" + filepath.Join(dir, "crash.db")
+	}
 	ids := []string{"T-run", "T-q1", "T-q2", "T-q3"}
 
 	// First life. The hook blocks at the second activity of the first task:
@@ -36,6 +59,7 @@ func TestCrashRecovery(t *testing.T) {
 	env1 := newEnv(t, func(opts *core.Options) {
 		opts.Workers = 1
 		opts.Checkpoint = true
+		opts.StoreDSN = dsn1
 		opts.PostProcess = func(*workflow.Activity, []*workflow.DataItem, int) {
 			if calls1.Add(1) == 2 {
 				close(midway)
@@ -53,24 +77,38 @@ func TestCrashRecovery(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("first task never reached its second activity")
 	}
-	// Snapshot the storage service mid-enactment — this file is the state a
-	// crash would leave behind — then let the doomed environment unwind.
-	if err := env1.Services.Storage.Save(store); err != nil {
-		t.Fatal(err)
+	// Capture the crash state mid-enactment, then let the doomed environment
+	// unwind. The in-memory backend needs an explicit snapshot; the durable
+	// backends clone their fsynced prefix — the bytes a crash preserves.
+	if backend == "mem" {
+		if err := env1.Services.Storage.Save(memSnap); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		dc, ok := env1.Store.(store.DurableCopier)
+		if !ok {
+			t.Fatalf("%T does not implement store.DurableCopier", env1.Store)
+		}
+		if err := dc.CopyDurable(strings.TrimPrefix(dsn2, backend+":")); err != nil {
+			t.Fatal(err)
+		}
 	}
 	close(crashed)
 	env1.Close()
 
-	// Second life: fresh platform, agents, coordinator, engine. Load the
+	// Second life: fresh platform, agents, coordinator, engine. Open the
 	// crashed state and replay the journal.
 	var calls2 atomic.Int64
 	env2 := newEnv(t, func(opts *core.Options) {
 		opts.Workers = 1
 		opts.Checkpoint = true
+		opts.StoreDSN = dsn2
 		opts.PostProcess = func(*workflow.Activity, []*workflow.DataItem, int) { calls2.Add(1) }
 	})
-	if err := env2.Services.Storage.Load(store); err != nil {
-		t.Fatal(err)
+	if backend == "mem" {
+		if err := env2.Services.Storage.Load(memSnap); err != nil {
+			t.Fatal(err)
+		}
 	}
 	report, err := env2.Engine.Recover()
 	if err != nil {

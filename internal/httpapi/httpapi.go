@@ -3,12 +3,13 @@
 // progress, browse the grid and the service offerings, fetch ontologies,
 // inspect telemetry, and run what-if simulations.
 //
-// The API is versioned under /api/v1; the unversioned /api/... paths remain
-// as deprecated aliases of the same handlers (responses carry a
-// "Deprecation: true" header and a Link header naming the /api/v1
-// successor route). One route table serves both prefixes.
+// The API is versioned under /api/v1. The unversioned /api/... paths were
+// deprecated aliases for one release and are now removed: every former
+// alias answers 410 gone (code "gone" in the error envelope) with a Link
+// header naming the /api/v1 successor route, so stale clients get a
+// machine-readable pointer instead of a silent 404.
 //
-// Endpoints (all under /api/v1, aliased under /api):
+// Endpoints (all under /api/v1):
 //
 //	GET  /api/v1/nodes                  grid nodes with live status (paginated)
 //	GET  /api/v1/nodes/{id}/health      monitoring's health record of one node
@@ -30,6 +31,8 @@
 //	GET  /api/v1/events                 live SSE stream of task spans and
 //	                                    node-health transitions (?task=, ?kind=)
 //	GET  /api/v1/stats                  grid-wide rollup: nodes, queue, rates
+//	GET  /api/v1/store                  storage backend snapshot: kind, journal
+//	                                    depth, group-commit and compaction counters
 //	POST /api/v1/simulate               run the simulation service
 //
 // Outside the versioned prefix the server answers the operational probes
@@ -108,8 +111,8 @@ func New(env *core.Environment) *Server {
 // --- routing ---------------------------------------------------------------
 
 // route is one row of the route table: a method, a path pattern relative to
-// the version prefix, and its handler. The same table is mounted under
-// /api/v1 and, deprecated, under /api.
+// the version prefix, and its handler. The table is mounted under /api/v1;
+// the same patterns are mounted under the removed /api prefix answering 410.
 type route struct {
 	method  string
 	path    string
@@ -138,13 +141,15 @@ func (s *Server) routes() []route {
 		{http.MethodGet, "/metrics", s.handleMetrics},
 		{http.MethodGet, "/events", s.handleEvents},
 		{http.MethodGet, "/stats", s.handleStats},
+		{http.MethodGet, "/store", s.handleStore},
 		{http.MethodPost, "/simulate", s.handleSimulate},
 	}
 }
 
-// Handler returns the HTTP handler: the route table mounted under /api/v1
-// and /api (deprecated aliases), behind the request-ID/logging/metrics
-// middleware, with JSON 404/405 fallbacks.
+// Handler returns the HTTP handler: the route table mounted under /api/v1,
+// the removed /api alias patterns answering 410 gone with the successor
+// Link, behind the request-ID/logging/metrics middleware, with JSON 404/405
+// fallbacks.
 func (s *Server) Handler() http.Handler {
 	byPath := map[string]map[string]http.HandlerFunc{}
 	for _, rt := range s.routes() {
@@ -155,8 +160,8 @@ func (s *Server) Handler() http.Handler {
 	}
 	mux := http.NewServeMux()
 	for path, methods := range byPath {
-		mux.Handle("/api/v1"+path, s.dispatch(methods, false))
-		mux.Handle("/api"+path, s.dispatch(methods, true))
+		mux.Handle("/api/v1"+path, s.dispatch(methods))
+		mux.Handle("/api"+path, s.gone())
 	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -174,27 +179,15 @@ func (s *Server) Handler() http.Handler {
 }
 
 // dispatch selects the handler by method, answering JSON 405 (with Allow)
-// otherwise. Deprecated mounts add the Deprecation header and a Link header
-// pointing at the /api/v1 successor route first.
-func (s *Server) dispatch(methods map[string]http.HandlerFunc, deprecated bool) http.Handler {
+// otherwise.
+func (s *Server) dispatch(methods map[string]http.HandlerFunc) http.Handler {
 	var allow []string
 	for m := range methods {
 		allow = append(allow, m)
 	}
 	sort.Strings(allow)
-	allowHeader := ""
-	for i, m := range allow {
-		if i > 0 {
-			allowHeader += ", "
-		}
-		allowHeader += m
-	}
+	allowHeader := strings.Join(allow, ", ")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if deprecated {
-			w.Header().Set("Deprecation", "true")
-			successor := "/api/v1" + strings.TrimPrefix(r.URL.Path, "/api")
-			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
-		}
 		h, ok := methods[r.Method]
 		if !ok {
 			w.Header().Set("Allow", allowHeader)
@@ -203,6 +196,18 @@ func (s *Server) dispatch(methods map[string]http.HandlerFunc, deprecated bool) 
 			return
 		}
 		h(w, r)
+	})
+}
+
+// gone answers a removed unversioned /api alias: 410 with the error code
+// "gone" and a Link header naming the /api/v1 successor route, regardless of
+// method — the route no longer exists, so method dispatch does not apply.
+func (s *Server) gone() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		successor := "/api/v1" + strings.TrimPrefix(r.URL.Path, "/api")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		s.writeError(w, r, http.StatusGone, "gone",
+			"the unversioned API was removed; use %s", successor)
 	})
 }
 

@@ -128,32 +128,36 @@ func TestGridViews(t *testing.T) {
 	}
 }
 
-// TestRouteTable drives every GET route through both the v1 surface and the
-// deprecated /api alias and checks version headers.
+// TestRouteTable drives every simple GET route through the v1 surface and
+// checks the former /api alias of each answers 410.
 func TestRouteTable(t *testing.T) {
 	_, ts := testServer(t)
-	paths := []string{"/nodes", "/containers", "/services", "/classes", "/tasks", "/plans", "/metrics"}
+	paths := []string{"/nodes", "/containers", "/services", "/classes", "/tasks", "/plans", "/metrics", "/store", "/stats"}
 	for _, p := range paths {
-		for _, prefix := range []string{"/api/v1", "/api"} {
-			resp, err := http.Get(ts.URL + prefix + p)
-			if err != nil {
-				t.Fatal(err)
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode != 200 {
-				t.Errorf("GET %s%s = %d", prefix, p, resp.StatusCode)
-			}
-			if rid := resp.Header.Get("X-Request-Id"); rid == "" {
-				t.Errorf("GET %s%s: no X-Request-Id", prefix, p)
-			}
-			dep := resp.Header.Get("Deprecation")
-			if prefix == "/api" && dep != "true" {
-				t.Errorf("GET %s%s: legacy alias not marked deprecated", prefix, p)
-			}
-			if prefix == "/api/v1" && dep != "" {
-				t.Errorf("GET %s%s: v1 wrongly marked deprecated", prefix, p)
-			}
+		resp, err := http.Get(ts.URL + "/api/v1" + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET /api/v1%s = %d", p, resp.StatusCode)
+		}
+		if rid := resp.Header.Get("X-Request-Id"); rid == "" {
+			t.Errorf("GET /api/v1%s: no X-Request-Id", p)
+		}
+		if dep := resp.Header.Get("Deprecation"); dep != "" {
+			t.Errorf("GET /api/v1%s: v1 wrongly marked deprecated", p)
+		}
+
+		resp, err = http.Get(ts.URL + "/api" + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGone {
+			t.Errorf("GET /api%s = %d, want 410", p, resp.StatusCode)
 		}
 	}
 }
@@ -189,7 +193,7 @@ func TestErrorEnvelope(t *testing.T) {
 		{"unknown api path", http.MethodGet, "/api/v1/nope", http.StatusNotFound, "not_found"},
 		{"bare version root", http.MethodGet, "/api/v1", http.StatusNotFound, "not_found"},
 		{"wrong method", http.MethodDelete, "/api/v1/tasks", http.StatusMethodNotAllowed, "method_not_allowed"},
-		{"wrong method legacy", http.MethodPut, "/api/nodes", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"removed alias", http.MethodPut, "/api/nodes", http.StatusGone, "gone"},
 		{"ghost task", http.MethodGet, "/api/v1/tasks/ghost", http.StatusNotFound, "not_found"},
 		{"ghost trace", http.MethodGet, "/api/v1/tasks/ghost/trace", http.StatusNotFound, "not_found"},
 		{"ghost plan", http.MethodGet, "/api/v1/plans/ghost", http.StatusNotFound, "not_found"},
@@ -353,9 +357,9 @@ END`,
 		t.Errorf("final data missing refined D12: %v", view.FinalData)
 	}
 
-	// The list view includes it (same shape on the legacy alias).
+	// The list view includes it.
 	var list tasksPage
-	getJSON(t, ts.URL+"/api/tasks", &list)
+	getJSON(t, ts.URL+"/api/v1/tasks", &list)
 	if list.Total != 1 || len(list.Items) != 1 || list.Items[0].ID != "T-http" {
 		t.Errorf("list = %+v", list)
 	}

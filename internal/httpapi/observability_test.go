@@ -3,6 +3,7 @@ package httpapi
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -325,24 +326,53 @@ func TestMetricsBadFormat(t *testing.T) {
 	}
 }
 
-// TestDeprecatedAliasHeaders asserts the unversioned /api mount answers with
-// both the Deprecation header and a Link to the /api/v1 successor, and the
-// versioned mount carries neither.
-func TestDeprecatedAliasHeaders(t *testing.T) {
-	_, ts := testServer(t)
-	resp, err := http.Get(ts.URL + "/api/nodes")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if got := resp.Header.Get("Deprecation"); got != "true" {
-		t.Errorf("alias Deprecation header %q, want true", got)
-	}
-	if got := resp.Header.Get("Link"); got != `</api/v1/nodes>; rel="successor-version"` {
-		t.Errorf("alias Link header %q", got)
+// TestRemovedAliasConformance walks the complete route table and asserts
+// every removed unversioned /api alias — each path pattern, with its real
+// method and with a wrong one — answers 410, carries the "gone" error code
+// in the envelope, and names its exact /api/v1 successor in the Link header.
+// The v1 mount itself must carry no Link or Deprecation headers.
+func TestRemovedAliasConformance(t *testing.T) {
+	s, ts := testServer(t)
+	fill := strings.NewReplacer("{id}", "x", "{name}", "x")
+	seen := map[string]bool{}
+	for _, rt := range s.routes() {
+		path := fill.Replace(rt.path)
+		for _, method := range []string{rt.method, http.MethodPatch} {
+			key := method + " " + path
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			req, err := http.NewRequest(method, ts.URL+"/api"+path, strings.NewReader(""))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var body errorBody
+			decodeErr := json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusGone {
+				t.Errorf("%s /api%s = %d, want 410", method, path, resp.StatusCode)
+				continue
+			}
+			if decodeErr != nil {
+				t.Errorf("%s /api%s: body is not the JSON envelope: %v", method, path, decodeErr)
+				continue
+			}
+			if body.Error.Code != "gone" {
+				t.Errorf("%s /api%s: code %q, want gone", method, path, body.Error.Code)
+			}
+			want := `</api/v1` + path + `>; rel="successor-version"`
+			if got := resp.Header.Get("Link"); got != want {
+				t.Errorf("%s /api%s: Link %q, want %q", method, path, got, want)
+			}
+		}
 	}
 
-	resp, err = http.Get(ts.URL + "/api/v1/nodes")
+	resp, err := http.Get(ts.URL + "/api/v1/nodes")
 	if err != nil {
 		t.Fatal(err)
 	}

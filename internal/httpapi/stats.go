@@ -9,8 +9,10 @@ package httpapi
 import (
 	"net/http"
 
+	"repro/internal/coordination"
 	"repro/internal/engine"
 	"repro/internal/services"
+	"repro/internal/store"
 )
 
 // StatsView is the GET /api/v1/stats response.
@@ -19,6 +21,7 @@ type StatsView struct {
 	Engine engine.Stats `json:"engine"`
 	Tasks  statsTasks   `json:"tasks"`
 	Events statsEvents  `json:"events"`
+	Store  StoreView    `json:"store"`
 }
 
 // statsNodes summarizes cluster health (monitoring's authoritative view).
@@ -45,6 +48,33 @@ type statsTasks struct {
 type statsEvents struct {
 	Published int64 `json:"published"`
 	Dropped   int64 `json:"dropped"`
+}
+
+// StoreView is the GET /api/v1/store response (also the "store" block of
+// /api/v1/stats): the backend's own snapshot — kind, key/record counts,
+// segment footprint, group-commit counters, compactions — plus the two
+// derived depths a dashboard wants without walking keys itself: how many
+// task journals and checkpoint histories the backend currently holds.
+type StoreView struct {
+	store.Stats
+	// JournalDepth is the number of task journals (journal/* keys) live in
+	// the backend; Checkpoints counts tasks with a checkpoint history.
+	JournalDepth int `json:"journalDepth"`
+	Checkpoints  int `json:"checkpoints"`
+}
+
+func (s *Server) storeView() StoreView {
+	backend := s.env.Store
+	return StoreView{
+		Stats:        backend.Stats(),
+		JournalDepth: len(backend.Keys(engine.JournalPrefix)),
+		Checkpoints:  len(backend.Keys(coordination.CheckpointKey(""))),
+	}
+}
+
+// handleStore serves the storage backend snapshot.
+func (s *Server) handleStore(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.storeView())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -86,6 +116,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Published: snap.Counters["telemetry.events.published"],
 			Dropped:   snap.Counters["telemetry.events.dropped"],
 		},
+		Store: s.storeView(),
 	}
 	if finished := out.Tasks.Completed + out.Tasks.Failed; finished > 0 {
 		out.Tasks.SuccessRate = float64(out.Tasks.Completed) / float64(finished)

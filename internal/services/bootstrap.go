@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/grid"
+	"repro/internal/store"
 )
 
 // Core bundles the concrete service instances registered by Bootstrap, for
@@ -24,15 +25,27 @@ type Core struct {
 
 // Bootstrap registers the standard core services plus one agent per grid
 // application container on the platform, and registers everything with the
-// information service.
+// information service. The storage service runs on a fresh in-memory
+// backend; use BootstrapWithStore to plug in a durable one.
 func Bootstrap(p *agent.Platform, g *grid.Grid) (*Core, error) {
+	return BootstrapWithStore(p, g, nil)
+}
+
+// BootstrapWithStore is Bootstrap with an explicit storage backend (opened
+// via store.Open); nil means a fresh in-memory store. The caller keeps
+// ownership of the backend's lifecycle.
+func BootstrapWithStore(p *agent.Platform, g *grid.Grid, backend store.Store) (*Core, error) {
+	storage := NewStorage()
+	if backend != nil {
+		storage = NewStorageWith(backend)
+	}
 	core := &Core{
 		Information: NewInformation(),
 		Brokerage:   NewBrokerage(g),
 		Matchmaking: &Matchmaking{Grid: g},
 		Monitoring:  &Monitoring{Grid: g},
 		Scheduling:  &Scheduling{Grid: g},
-		Storage:     NewStorage(),
+		Storage:     storage,
 		Auth:        NewAuthentication("bootstrap-signing-key"),
 		Simulation:  &Simulation{Grid: g},
 		Ontology:    NewOntologyService(),

@@ -38,6 +38,18 @@ type PerfStats struct {
 // PerfReply carries the stats.
 type PerfReply struct{ Stats PerfStats }
 
+// PerfBatchRequest asks for one service's statistics on several nodes in a
+// single round-trip (the coordinator queries every dispatch candidate at
+// once instead of paying one agent call per node).
+type PerfBatchRequest struct {
+	Service string
+	Nodes   []string
+}
+
+// PerfBatchReply carries the per-node stats, index-aligned with the request's
+// Nodes slice.
+type PerfBatchReply struct{ Stats []PerfStats }
+
 // ClassesRequest asks for the current resource equivalence classes.
 type ClassesRequest struct{}
 
@@ -52,7 +64,9 @@ type ExecutionReport struct{ Exec grid.Execution }
 type RefreshRequest struct{}
 
 // Brokerage is the brokerage service agent. It keeps a best-effort snapshot
-// of container offerings plus the performance history.
+// of container offerings plus the performance history, folded incrementally
+// into per-service and per-service-per-node aggregates so a PerfRequest is
+// O(1) regardless of how many executions were ever recorded.
 type Brokerage struct {
 	Grid *grid.Grid
 
@@ -61,9 +75,40 @@ type Brokerage struct {
 	Telemetry *telemetry.Registry
 
 	mu       sync.Mutex
-	snapshot map[string][]string // service -> container IDs (possibly stale)
-	history  []grid.Execution
+	snapshot map[string][]string   // service -> container IDs (possibly stale)
+	perf     map[string]*perfAccum // "service" and "service\x00node" aggregates
 }
+
+// perfAccum is one running performance aggregate.
+type perfAccum struct {
+	runs, ok  int
+	dur, cost float64
+}
+
+func (a *perfAccum) add(ex grid.Execution) {
+	a.runs++
+	a.dur += ex.Duration
+	a.cost += ex.Cost
+	if ex.OK {
+		a.ok++
+	}
+}
+
+func (a *perfAccum) stats() PerfStats {
+	if a == nil || a.runs == 0 {
+		return PerfStats{}
+	}
+	n := float64(a.runs)
+	return PerfStats{
+		Runs:         a.runs,
+		SuccessRate:  float64(a.ok) / n,
+		MeanDuration: a.dur / n,
+		MeanCost:     a.cost / n,
+	}
+}
+
+// perfKey joins service and node with a separator no service name contains.
+func perfKey(service, node string) string { return service + "\x00" + node }
 
 // NewBrokerage builds a brokerage with an immediate snapshot.
 func NewBrokerage(g *grid.Grid) *Brokerage {
@@ -93,39 +138,33 @@ func (b *Brokerage) Refresh() {
 	b.Telemetry.Counter("brokerage.refreshes").Inc()
 }
 
-// Record adds an execution to the history (also reachable by message).
+// Record folds an execution into the running aggregates (also reachable by
+// message).
 func (b *Brokerage) Record(ex grid.Execution) {
 	b.mu.Lock()
-	b.history = append(b.history, ex)
+	if b.perf == nil {
+		b.perf = make(map[string]*perfAccum)
+	}
+	for _, key := range []string{ex.Service, perfKey(ex.Service, ex.Node)} {
+		a := b.perf[key]
+		if a == nil {
+			a = &perfAccum{}
+			b.perf[key] = a
+		}
+		a.add(ex)
+	}
 	b.mu.Unlock()
 	b.Telemetry.Counter("brokerage.executions.recorded").Inc()
 }
 
 func (b *Brokerage) stats(service, node string) PerfStats {
+	key := service
+	if node != "" {
+		key = perfKey(service, node)
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	var s PerfStats
-	okCount := 0
-	for _, ex := range b.history {
-		if ex.Service != service {
-			continue
-		}
-		if node != "" && ex.Node != node {
-			continue
-		}
-		s.Runs++
-		s.MeanDuration += ex.Duration
-		s.MeanCost += ex.Cost
-		if ex.OK {
-			okCount++
-		}
-	}
-	if s.Runs > 0 {
-		s.MeanDuration /= float64(s.Runs)
-		s.MeanCost /= float64(s.Runs)
-		s.SuccessRate = float64(okCount) / float64(s.Runs)
-	}
-	return s
+	return b.perf[key].stats()
 }
 
 // HandleMessage implements agent.Handler.
@@ -139,6 +178,12 @@ func (b *Brokerage) HandleMessage(ctx *agent.Context, msg agent.Message) {
 		_ = ctx.Reply(msg, agent.Inform, ContainersReply{Containers: list})
 	case PerfRequest:
 		_ = ctx.Reply(msg, agent.Inform, PerfReply{Stats: b.stats(req.Service, req.Node)})
+	case PerfBatchRequest:
+		stats := make([]PerfStats, len(req.Nodes))
+		for i, node := range req.Nodes {
+			stats[i] = b.stats(req.Service, node)
+		}
+		_ = ctx.Reply(msg, agent.Inform, PerfBatchReply{Stats: stats})
 	case ClassesRequest:
 		_ = ctx.Reply(msg, agent.Inform, ClassesReply{Classes: b.Grid.EquivalenceClasses()})
 	case ExecutionReport:

@@ -1,14 +1,14 @@
 package services
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 )
 
-// storageDump is the on-disk form of the persistent store.
+// storageDump is the on-disk form of a full store export.
 type storageDump struct {
 	Keys []storageKey `json:"keys"`
 }
@@ -19,24 +19,32 @@ type storageKey struct {
 }
 
 // Save writes the whole store (all keys, all versions) to path atomically
-// (write to a temp file in the same directory, then rename). This is what
-// makes the storage service "persistent" across environment restarts.
+// (write to a temp file in the same directory, then rename). For the mem
+// backend this is the only durability; for file/bolt backends it doubles as
+// a portable export.
 func (s *Storage) Save(path string) error {
-	s.mu.Lock()
-	dump := storageDump{}
-	keys := make([]string, 0, len(s.data))
-	for k := range s.data {
-		keys = append(keys, k)
+	if err := s.Sync(); err != nil {
+		return fmt.Errorf("services: storage sync before save: %w", err)
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		versions := make([][]byte, len(s.data[k]))
-		for i, v := range s.data[k] {
-			versions[i] = append([]byte(nil), v...)
+	dump := storageDump{}
+	for _, k := range s.Keys("") { // sorted
+		_, latest, _, err := s.Get(k, 0)
+		if err != nil {
+			return fmt.Errorf("services: storage save: %w", err)
+		}
+		versions := make([][]byte, 0, latest)
+		for v := 1; v <= latest; v++ {
+			value, _, found, err := s.Get(k, v)
+			if err != nil {
+				return fmt.Errorf("services: storage save: %w", err)
+			}
+			if !found {
+				return fmt.Errorf("services: storage save: key %q lost version %d mid-dump", k, v)
+			}
+			versions = append(versions, value)
 		}
 		dump.Keys = append(dump.Keys, storageKey{Key: k, Versions: versions})
 	}
-	s.mu.Unlock()
 
 	data, err := json.Marshal(dump)
 	if err != nil {
@@ -60,29 +68,106 @@ func (s *Storage) Save(path string) error {
 	return os.Rename(tmpName, path)
 }
 
-// Load replaces the store's contents with the dump at path.
+// Load replaces the store's contents with the dump at path. The dump is
+// fully validated before anything is applied: a decode error, an empty key,
+// or a duplicate key record (the shape a corrupt or hand-edited dump takes —
+// previously the later record silently won) rejects the whole load, naming
+// the byte offset of the offending record, and the store keeps its previous
+// contents.
 func (s *Storage) Load(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	var dump storageDump
-	if err := json.Unmarshal(data, &dump); err != nil {
+	dump, err := decodeDump(data)
+	if err != nil {
 		return fmt.Errorf("services: storage load: %w", err)
 	}
-	fresh := make(map[string][][]byte, len(dump.Keys))
-	for _, k := range dump.Keys {
-		if k.Key == "" {
-			return fmt.Errorf("services: storage load: empty key in dump")
+	// Validated: replace the contents.
+	for _, k := range s.Keys("") {
+		if err := s.Delete(k); err != nil {
+			return fmt.Errorf("services: storage load: clearing %q: %w", k, err)
 		}
-		versions := make([][]byte, len(k.Versions))
-		for i, v := range k.Versions {
-			versions[i] = append([]byte(nil), v...)
-		}
-		fresh[k.Key] = versions
 	}
-	s.mu.Lock()
-	s.data = fresh
-	s.mu.Unlock()
+	for _, k := range dump.Keys {
+		for _, v := range k.Versions {
+			if _, err := s.Put(k.Key, v); err != nil {
+				return fmt.Errorf("services: storage load: writing %q: %w", k.Key, err)
+			}
+		}
+	}
 	return nil
+}
+
+// decodeDump parses and validates a dump, tracking each key record's byte
+// offset so validation errors point at the offending record.
+func decodeDump(data []byte) (*storageDump, error) {
+	// First pass: strict structural decode, so arbitrary corruption fails
+	// with the JSON error rather than a confusing validation message.
+	var dump storageDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return nil, err
+	}
+	// Second pass: walk the "keys" array with a token decoder to know where
+	// each record starts, and validate as we go.
+	dec := json.NewDecoder(bytes.NewReader(data))
+	found, err := seekKeysArray(dec)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return &dump, nil
+	}
+	seen := make(map[string]int64, len(dump.Keys))
+	for dec.More() {
+		offset := dec.InputOffset()
+		var k storageKey
+		if err := dec.Decode(&k); err != nil {
+			return nil, err
+		}
+		if k.Key == "" {
+			return nil, fmt.Errorf("empty key in record at offset %d", offset)
+		}
+		if prev, dup := seen[k.Key]; dup {
+			return nil, fmt.Errorf("duplicate key %q in record at offset %d (first defined at offset %d)", k.Key, offset, prev)
+		}
+		seen[k.Key] = offset
+	}
+	return &dump, nil
+}
+
+// seekKeysArray advances the decoder past `{"keys": [`; found is false when
+// the dump has no "keys" field (an empty export).
+func seekKeysArray(dec *json.Decoder) (found bool, err error) {
+	if _, err := dec.Token(); err != nil { // {
+		return false, err
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return false, err
+		}
+		if d, ok := tok.(json.Delim); ok && d == '}' {
+			return false, nil
+		}
+		name, ok := tok.(string)
+		if !ok {
+			return false, fmt.Errorf("malformed dump: unexpected token %v", tok)
+		}
+		if name == "keys" {
+			tok, err := dec.Token()
+			if err != nil {
+				return false, err
+			}
+			if tok == nil { // "keys": null
+				return false, nil
+			}
+			return true, nil
+		}
+		// Skip the value of an unknown field.
+		var skip json.RawMessage
+		if err := dec.Decode(&skip); err != nil {
+			return false, err
+		}
+	}
 }

@@ -20,28 +20,28 @@ func TestStorageSaveLoad(t *testing.T) {
 	path := filepath.Join(dir, "store.json")
 
 	s := NewStorage()
-	s.Put("plans/a", []byte("v1"))
-	s.Put("plans/a", []byte("v2"))
-	s.Put("checkpoint/T1", []byte(`{"x":1}`))
+	_, _ = s.Put("plans/a", []byte("v1"))
+	_, _ = s.Put("plans/a", []byte("v2"))
+	_, _ = s.Put("checkpoint/T1", []byte(`{"x":1}`))
 	if err := s.Save(path); err != nil {
 		t.Fatal(err)
 	}
 
 	fresh := NewStorage()
-	fresh.Put("garbage", []byte("to be replaced"))
+	_, _ = fresh.Put("garbage", []byte("to be replaced"))
 	if err := fresh.Load(path); err != nil {
 		t.Fatal(err)
 	}
 	if keys := fresh.Keys(""); len(keys) != 2 {
 		t.Fatalf("keys after load = %v", keys)
 	}
-	if v, ver, ok := fresh.Get("plans/a", 0); !ok || ver != 2 || string(v) != "v2" {
+	if v, ver, ok, _ := fresh.Get("plans/a", 0); !ok || ver != 2 || string(v) != "v2" {
 		t.Errorf("latest = %q v%d ok=%v", v, ver, ok)
 	}
-	if v, _, ok := fresh.Get("plans/a", 1); !ok || string(v) != "v1" {
+	if v, _, ok, _ := fresh.Get("plans/a", 1); !ok || string(v) != "v1" {
 		t.Errorf("v1 = %q", v)
 	}
-	if _, _, ok := fresh.Get("garbage", 0); ok {
+	if _, _, ok, _ := fresh.Get("garbage", 0); ok {
 		t.Error("Load did not replace contents")
 	}
 	// Round trip again is stable.
@@ -69,7 +69,7 @@ func TestStorageSaveLoadProperty(t *testing.T) {
 			key := fmt.Sprintf("%sk%d", prefixes[rng.Intn(len(prefixes))], rng.Intn(8))
 			value := make([]byte, rng.Intn(64))
 			rng.Read(value)
-			s.Put(key, value)
+			_, _ = s.Put(key, value)
 			want[key] = append(want[key], append([]byte(nil), value...))
 		}
 
@@ -78,7 +78,7 @@ func TestStorageSaveLoadProperty(t *testing.T) {
 			t.Fatal(err)
 		}
 		fresh := NewStorage()
-		fresh.Put("stale", []byte("gone after load"))
+		_, _ = fresh.Put("stale", []byte("gone after load"))
 		if err := fresh.Load(path); err != nil {
 			t.Fatal(err)
 		}
@@ -87,11 +87,11 @@ func TestStorageSaveLoadProperty(t *testing.T) {
 			t.Fatalf("trial %d: %d keys after load, want %d (%v)", trial, len(got), len(want), got)
 		}
 		for key, versions := range want {
-			if _, latest, ok := fresh.Get(key, 0); !ok || latest != len(versions) {
+			if _, latest, ok, _ := fresh.Get(key, 0); !ok || latest != len(versions) {
 				t.Fatalf("trial %d: key %q latest = v%d ok=%v, want v%d", trial, key, latest, ok, len(versions))
 			}
 			for i, value := range versions {
-				got, _, ok := fresh.Get(key, i+1)
+				got, _, ok, _ := fresh.Get(key, i+1)
 				if !ok || !bytes.Equal(got, value) {
 					t.Fatalf("trial %d: key %q v%d = %q ok=%v, want %q", trial, key, i+1, got, ok, value)
 				}
@@ -107,8 +107,8 @@ func TestStorageLoadTruncated(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "store.json")
 	s := NewStorage()
-	s.Put("plans/a", []byte("v1"))
-	s.Put("checkpoint/T1", []byte(`{"x":1}`))
+	_, _ = s.Put("plans/a", []byte("v1"))
+	_, _ = s.Put("checkpoint/T1", []byte(`{"x":1}`))
 	if err := s.Save(path); err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestStorageLoadTruncated(t *testing.T) {
 	}
 
 	target := NewStorage()
-	target.Put("survivor", []byte("intact"))
+	_, _ = target.Put("survivor", []byte("intact"))
 	loadErr := target.Load(truncated)
 	if loadErr == nil {
 		t.Fatal("truncated dump loaded without error")
@@ -133,10 +133,10 @@ func TestStorageLoadTruncated(t *testing.T) {
 	if errors.Unwrap(loadErr) == nil {
 		t.Errorf("error %q does not wrap the decode cause", loadErr)
 	}
-	if v, _, ok := target.Get("survivor", 0); !ok || string(v) != "intact" {
+	if v, _, ok, _ := target.Get("survivor", 0); !ok || string(v) != "intact" {
 		t.Errorf("failed load clobbered the store: %q ok=%v", v, ok)
 	}
-	if _, _, ok := target.Get("plans/a", 0); ok {
+	if _, _, ok, _ := target.Get("plans/a", 0); ok {
 		t.Error("failed load partially applied the dump")
 	}
 }
@@ -156,6 +156,68 @@ func TestStorageLoadErrors(t *testing.T) {
 	if err := s.Load(empty); err == nil {
 		t.Error("empty key accepted")
 	}
+}
+
+// TestStorageLoadDuplicateKey is the regression test for Load accepting a
+// dump that defines the same key twice: the later record used to silently
+// overwrite the earlier one. Load must reject the dump, name the offending
+// key, report the byte offsets of both records, and leave the target store
+// untouched.
+func TestStorageLoadDuplicateKey(t *testing.T) {
+	dup := filepath.Join(t.TempDir(), "dup.json")
+	dump := `{"keys":[` +
+		`{"key":"plans/a","versions":["djE="]},` +
+		`{"key":"plans/b","versions":["djE="]},` +
+		`{"key":"plans/a","versions":["djI="]}` +
+		`]}`
+	if err := os.WriteFile(dup, []byte(dump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	target := NewStorage()
+	_, _ = target.Put("survivor", []byte("intact"))
+	err := target.Load(dup)
+	if err == nil {
+		t.Fatal("dump with duplicate key loaded without error")
+	}
+	if !strings.Contains(err.Error(), `duplicate key "plans/a"`) {
+		t.Errorf("error %q does not name the duplicate key", err)
+	}
+	// The error points at both the duplicate and the first definition. The
+	// offsets must be real positions inside the dump — the duplicate record
+	// starts after the first two, the original within the array head.
+	first := strings.Index(dump, `{"key":"plans/a"`)
+	second := strings.LastIndex(dump, `{"key":"plans/a"`)
+	var dupOff, firstOff int
+	if _, scanErr := fmt.Sscanf(stripPrefixTo(err.Error(), "at offset "), "%d", &dupOff); scanErr != nil {
+		t.Fatalf("error %q has no duplicate offset: %v", err, scanErr)
+	}
+	if _, scanErr := fmt.Sscanf(stripPrefixTo(err.Error(), "first defined at offset "), "%d", &firstOff); scanErr != nil {
+		t.Fatalf("error %q has no first-definition offset: %v", err, scanErr)
+	}
+	if dupOff < second-1 || dupOff >= len(dump) {
+		t.Errorf("duplicate offset %d does not point at the third record (starts at %d)", dupOff, second)
+	}
+	if firstOff < first-1 || firstOff >= second {
+		t.Errorf("first-definition offset %d does not point at the first record (%d..%d)", firstOff, first, second)
+	}
+	if v, _, ok, _ := target.Get("survivor", 0); !ok || string(v) != "intact" {
+		t.Errorf("failed load clobbered the store: %q ok=%v", v, ok)
+	}
+	if _, _, ok, _ := target.Get("plans/a", 0); ok {
+		t.Error("failed load partially applied the dump")
+	}
+	if _, _, ok, _ := target.Get("plans/b", 0); ok {
+		t.Error("failed load partially applied the dump")
+	}
+}
+
+// stripPrefixTo returns the tail of s after the first occurrence of marker.
+func stripPrefixTo(s, marker string) string {
+	if i := strings.Index(s, marker); i >= 0 {
+		return s[i+len(marker):]
+	}
+	return ""
 }
 
 func TestMonitoringSubscriptions(t *testing.T) {

@@ -2,10 +2,9 @@ package services
 
 import (
 	"fmt"
-	"sort"
-	"sync"
 
 	"repro/internal/agent"
+	"repro/internal/store"
 )
 
 // PutRequest stores a value under a key; each put creates a new version.
@@ -40,78 +39,62 @@ type ListReply struct{ Keys []string }
 type DeleteRequest struct{ Key string }
 
 // Storage is the persistent storage service agent: a versioned key-value
-// store. It backs checkpointing of long-lasting tasks and the archive of
-// process descriptions (the system knowledge base).
+// store backing checkpoints of long-lasting tasks, the enactment engine's
+// write-ahead journal, and the archive of process descriptions. Since the
+// Store extraction it is a thin agent facade over a pluggable backend
+// (store.Open's mem:, file:, bolt: DSNs) — durability semantics, group
+// commit, and compaction all live in internal/store.
 type Storage struct {
-	mu   sync.Mutex
-	data map[string][][]byte
+	store.Store
 }
 
-// NewStorage returns an empty store.
+// NewStorage returns a storage service over a fresh in-memory backend.
 func NewStorage() *Storage {
-	return &Storage{data: make(map[string][][]byte)}
+	return NewStorageWith(store.NewMemory(store.Options{}))
 }
 
-// Put stores a new version and returns its number.
-func (s *Storage) Put(key string, value []byte) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cp := append([]byte(nil), value...)
-	s.data[key] = append(s.data[key], cp)
-	return len(s.data[key])
+// NewStorageWith wraps an opened backend. The caller keeps ownership of the
+// backend's lifecycle (core closes it when the environment shuts down).
+func NewStorageWith(backend store.Store) *Storage {
+	return &Storage{Store: backend}
 }
 
-// Get returns the given version (0 = latest).
-func (s *Storage) Get(key string, version int) (value []byte, ver int, found bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	versions := s.data[key]
-	if len(versions) == 0 {
-		return nil, 0, false
-	}
-	if version == 0 {
-		version = len(versions)
-	}
-	if version < 1 || version > len(versions) {
-		return nil, 0, false
-	}
-	return append([]byte(nil), versions[version-1]...), version, true
-}
-
-// Keys returns the keys with the prefix, sorted.
-func (s *Storage) Keys(prefix string) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var keys []string
-	for k := range s.data {
-		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-// Delete removes a key.
-func (s *Storage) Delete(key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.data, key)
-}
-
-// HandleMessage implements agent.Handler.
+// HandleMessage implements agent.Handler. Mutations (put, delete) are
+// answered from a goroutine: on durable backends they block until their
+// group-commit batch is fsynced, and parking that wait off the mailbox
+// goroutine lets concurrent writers coalesce into one batch instead of
+// serializing one fsync per message. Per-caller ordering is preserved
+// because writers use Call and wait for the reply.
 func (s *Storage) HandleMessage(ctx *agent.Context, msg agent.Message) {
 	switch req := msg.Content.(type) {
 	case PutRequest:
-		_ = ctx.Reply(msg, agent.Inform, PutReply{Version: s.Put(req.Key, req.Value)})
+		msg.DeferReply()
+		go func() {
+			ver, err := s.Put(req.Key, req.Value)
+			if err != nil {
+				_ = ctx.Reply(msg, agent.Failure, fmt.Sprintf("storage: put %s: %v", req.Key, err))
+				return
+			}
+			_ = ctx.Reply(msg, agent.Inform, PutReply{Version: ver})
+		}()
 	case GetRequest:
-		value, ver, found := s.Get(req.Key, req.Version)
+		value, ver, found, err := s.Get(req.Key, req.Version)
+		if err != nil {
+			_ = ctx.Reply(msg, agent.Failure, fmt.Sprintf("storage: get %s: %v", req.Key, err))
+			return
+		}
 		_ = ctx.Reply(msg, agent.Inform, GetReply{Found: found, Version: ver, Value: value})
 	case ListRequest:
 		_ = ctx.Reply(msg, agent.Inform, ListReply{Keys: s.Keys(req.Prefix)})
 	case DeleteRequest:
-		s.Delete(req.Key)
-		_ = ctx.Reply(msg, agent.Agree, nil)
+		msg.DeferReply()
+		go func() {
+			if err := s.Delete(req.Key); err != nil {
+				_ = ctx.Reply(msg, agent.Failure, fmt.Sprintf("storage: delete %s: %v", req.Key, err))
+				return
+			}
+			_ = ctx.Reply(msg, agent.Agree, nil)
+		}()
 	default:
 		_ = ctx.Reply(msg, agent.Refuse, fmt.Sprintf("storage: unsupported content %T", msg.Content))
 	}

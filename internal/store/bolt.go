@@ -1,0 +1,538 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Bolt is the embedded single-file KV backend. One log file holds binary
+// records; an in-memory index maps every live version of a key to its value's
+// offset, and Get reads values back with a pread — values never live in
+// memory, which is the point of this backend versus file (large checkpoints,
+// small heap). Writes go through the same group committer; the flusher
+// assigns offsets, appends the batch with one fsync, and only then publishes
+// the new index entries, so a reader can never be handed an offset that a
+// crash could invalidate.
+//
+// The record frame is
+//
+//	[u32 crc][u8 op][u16 klen][u32 vlen][key][value]
+//
+// with the CRC covering everything after itself. On open the log is replayed
+// front to back; the first record that fails its CRC (or runs past EOF) marks
+// the torn tail a kill left behind and the file is truncated there.
+//
+// When the log grows past SegmentMaxBytes×CompactAfterSegments with less
+// than half of it live, the flusher stops the world and rewrites the file
+// with only live records.
+type Bolt struct {
+	path  string
+	opts  Options
+	stats *counters
+	c     *committer
+
+	mu        sync.RWMutex
+	index     map[string][]valueRef // durable versions only
+	verNext   map[string]int        // version accounting, including pending puts
+	liveBytes int64                 // record bytes still referenced by the index
+	closed    bool
+
+	fileMu  sync.Mutex
+	f       *os.File
+	size    int64
+	durable int64
+
+	// bw is the flusher's buffered writer, reused across batches so group
+	// commit does not allocate a fresh 64 KiB buffer per fsync.
+	bw *bufio.Writer
+}
+
+// valueRef locates one durable version's value inside the log file.
+type valueRef struct {
+	off  int64 // value offset
+	size int64 // value length
+	rec  int64 // full record length, for live-bytes accounting
+}
+
+const (
+	boltOpPut byte = 1
+	boltOpDel byte = 2
+	boltOpRep byte = 3 // replace: drop all versions, write value as v1
+
+	boltHeader = 4 + 1 + 2 + 4 // crc + op + klen + vlen
+)
+
+// OpenBolt opens (or initializes) the single-file KV at path.
+func OpenBolt(path string, opts Options) (*Bolt, error) {
+	if opts.SegmentMaxBytes <= 0 {
+		opts.SegmentMaxBytes = DefaultSegmentMaxBytes
+	}
+	if opts.CompactAfterSegments <= 0 {
+		opts.CompactAfterSegments = DefaultCompactAfterSegments
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: bolt backend: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: bolt backend: %w", err)
+	}
+	b := &Bolt{
+		path:    path,
+		opts:    opts,
+		stats:   newCounters(opts.Telemetry),
+		index:   make(map[string][]valueRef),
+		verNext: make(map[string]int),
+		f:       f,
+	}
+	if err := b.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	b.c = newCommitter(opts.Flush, b.stats, b.flushBatch)
+	b.stats.gSegments.Set(1)
+	return b, nil
+}
+
+// load replays the log into the index, truncating the torn tail.
+func (b *Bolt) load() error {
+	r := bufio.NewReaderSize(io.NewSectionReader(b.f, 0, 1<<62), 1<<16)
+	var offset int64
+	hdr := make([]byte, boltHeader)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err == io.EOF {
+				break
+			}
+			// A partial header is a torn tail.
+			if err == io.ErrUnexpectedEOF {
+				break
+			}
+			return fmt.Errorf("store: reading %s at offset %d: %w", b.path, offset, err)
+		}
+		want := binary.LittleEndian.Uint32(hdr[0:])
+		op := hdr[4]
+		klen := int(binary.LittleEndian.Uint16(hdr[5:]))
+		vlen := int(binary.LittleEndian.Uint32(hdr[7:]))
+		body := make([]byte, klen+vlen)
+		if _, err := io.ReadFull(r, body); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // torn record body
+			}
+			return fmt.Errorf("store: reading %s at offset %d: %w", b.path, offset, err)
+		}
+		crc := crc32.ChecksumIEEE(hdr[4:])
+		crc = crc32.Update(crc, crc32.IEEETable, body)
+		if crc != want {
+			break // torn or corrupt tail: everything past it is unreachable
+		}
+		if op != boltOpPut && op != boltOpDel && op != boltOpRep {
+			break // unknown op code: treat as corrupt tail
+		}
+		rec := int64(boltHeader + klen + vlen)
+		key := string(body[:klen])
+		switch op {
+		case boltOpPut:
+			ref := valueRef{off: offset + boltHeader + int64(klen), size: int64(vlen), rec: rec}
+			b.index[key] = append(b.index[key], ref)
+			b.liveBytes += rec
+		case boltOpRep:
+			for _, old := range b.index[key] {
+				b.liveBytes -= old.rec
+			}
+			ref := valueRef{off: offset + boltHeader + int64(klen), size: int64(vlen), rec: rec}
+			b.index[key] = []valueRef{ref}
+			b.liveBytes += rec
+		case boltOpDel:
+			for _, old := range b.index[key] {
+				b.liveBytes -= old.rec
+			}
+			delete(b.index, key)
+		}
+		offset += rec
+	}
+	if err := b.f.Truncate(offset); err != nil {
+		return fmt.Errorf("store: truncating torn tail of %s: %w", b.path, err)
+	}
+	if _, err := b.f.Seek(offset, io.SeekStart); err != nil {
+		return err
+	}
+	b.size = offset
+	b.durable = offset
+	for k, refs := range b.index {
+		b.verNext[k] = len(refs)
+	}
+	return nil
+}
+
+// encodeRecord frames one mutation.
+func encodeRecord(op byte, key string, val []byte) ([]byte, error) {
+	if key == "" {
+		return nil, fmt.Errorf("store: empty key")
+	}
+	if len(key) > 1<<16-1 {
+		return nil, fmt.Errorf("store: key longer than 64KiB")
+	}
+	buf := make([]byte, boltHeader+len(key)+len(val))
+	buf[4] = op
+	binary.LittleEndian.PutUint16(buf[5:], uint16(len(key)))
+	binary.LittleEndian.PutUint32(buf[7:], uint32(len(val)))
+	copy(buf[boltHeader:], key)
+	copy(buf[boltHeader+len(key):], val)
+	binary.LittleEndian.PutUint32(buf[0:], crc32.ChecksumIEEE(buf[4:]))
+	return buf, nil
+}
+
+// Kind implements Store.
+func (b *Bolt) Kind() string { return "bolt" }
+
+// Put implements Store. The version is assigned at enqueue time under the
+// ordering mutex — batch order equals version order — and the call returns
+// once the record's batch is fsynced and indexed.
+func (b *Bolt) Put(key string, value []byte) (int, error) {
+	enc, err := encodeRecord(boltOpPut, key, value)
+	if err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0, errClosed
+	}
+	ver := b.verNext[key] + 1
+	b.verNext[key] = ver
+	bat, err := b.c.enqueue(enc)
+	b.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := b.c.wait(bat); err != nil {
+		return 0, err
+	}
+	b.stats.appends.Add(1)
+	b.stats.mAppends.Inc()
+	return ver, nil
+}
+
+// PutAsync implements Store: the version is assigned and the record joins
+// the log in call order, but the call returns without waiting for the fsync
+// (the index entry is still published only after the batch is durable).
+func (b *Bolt) PutAsync(key string, value []byte) (int, error) {
+	enc, err := encodeRecord(boltOpPut, key, value)
+	if err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0, errClosed
+	}
+	ver := b.verNext[key] + 1
+	b.verNext[key] = ver
+	_, err = b.c.enqueue(enc)
+	b.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	b.stats.appends.Add(1)
+	b.stats.mAppends.Inc()
+	return ver, nil
+}
+
+// Replace implements Store: one "rep" record discards the key's history and
+// writes value as version 1 — the discard and the write share a single fsync.
+func (b *Bolt) Replace(key string, value []byte) (int, error) {
+	enc, err := encodeRecord(boltOpRep, key, value)
+	if err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0, errClosed
+	}
+	b.verNext[key] = 1
+	bat, err := b.c.enqueue(enc)
+	b.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := b.c.wait(bat); err != nil {
+		return 0, err
+	}
+	b.stats.appends.Add(1)
+	b.stats.mAppends.Inc()
+	return 1, nil
+}
+
+// Get implements Store: resolve the version in the index, pread the value.
+func (b *Bolt) Get(key string, version int) ([]byte, int, bool, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	refs := b.index[key]
+	if len(refs) == 0 {
+		return nil, 0, false, nil
+	}
+	if version == 0 {
+		version = len(refs)
+	}
+	if version < 1 || version > len(refs) {
+		return nil, 0, false, nil
+	}
+	ref := refs[version-1]
+	val := make([]byte, ref.size)
+	if _, err := b.f.ReadAt(val, ref.off); err != nil && !(err == io.EOF && ref.size == 0) {
+		return nil, 0, false, fmt.Errorf("store: reading %s at offset %d: %w", b.path, ref.off, err)
+	}
+	return val, version, true, nil
+}
+
+// Keys implements Store.
+func (b *Bolt) Keys(prefix string) []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var keys []string
+	for k := range b.index {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Delete implements Store. Deleting an absent key writes nothing.
+func (b *Bolt) Delete(key string) error {
+	enc, err := encodeRecord(boltOpDel, key, nil)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return errClosed
+	}
+	if b.verNext[key] == 0 {
+		b.mu.Unlock()
+		return nil
+	}
+	delete(b.verNext, key)
+	bat, err := b.c.enqueue(enc)
+	b.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := b.c.wait(bat); err != nil {
+		return err
+	}
+	b.stats.appends.Add(1)
+	b.stats.mAppends.Inc()
+	return nil
+}
+
+// Sync implements Store.
+func (b *Bolt) Sync() error { return b.c.sync() }
+
+// Stats implements Store.
+func (b *Bolt) Stats() Stats {
+	b.mu.RLock()
+	records := 0
+	for _, refs := range b.index {
+		records += len(refs)
+	}
+	s := Stats{Backend: "bolt", Keys: len(b.index), Records: records, Segments: 1}
+	b.mu.RUnlock()
+	b.fileMu.Lock()
+	s.Bytes = b.size
+	b.fileMu.Unlock()
+	b.stats.fill(&s)
+	s.PendingFlush = b.c.pendingCount()
+	return s
+}
+
+// Close implements Store: drain the committer, then close the log file.
+func (b *Bolt) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	b.mu.Unlock()
+	err := b.c.close()
+	b.fileMu.Lock()
+	defer b.fileMu.Unlock()
+	if cerr := b.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// CopyDurable implements DurableCopier: dst receives the fsynced prefix of
+// the log — the exact image a kill -9 is guaranteed to leave behind.
+func (b *Bolt) CopyDurable(dst string) error {
+	if dir := filepath.Dir(dst); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	b.fileMu.Lock()
+	defer b.fileMu.Unlock()
+	return copyPrefix(b.path, dst, b.durable)
+}
+
+// --- flusher side -----------------------------------------------------------
+
+// flushBatch persists one group-commit batch, then publishes the batch's
+// index updates; runs on the committer goroutine only.
+func (b *Bolt) flushBatch(ops [][]byte) error {
+	b.fileMu.Lock()
+	defer b.fileMu.Unlock()
+	if b.bw == nil {
+		b.bw = bufio.NewWriterSize(b.f, 1<<16)
+	} else {
+		b.bw.Reset(b.f)
+	}
+	w := b.bw
+	offset := b.size
+	for _, rec := range ops {
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := b.f.Sync(); err != nil {
+		return err
+	}
+
+	// The bytes are durable: publish the index entries.
+	b.mu.Lock()
+	for _, rec := range ops {
+		op := rec[4]
+		klen := int(binary.LittleEndian.Uint16(rec[5:]))
+		vlen := int(binary.LittleEndian.Uint32(rec[7:]))
+		key := string(rec[boltHeader : boltHeader+klen])
+		switch op {
+		case boltOpPut:
+			ref := valueRef{off: offset + boltHeader + int64(klen), size: int64(vlen), rec: int64(len(rec))}
+			b.index[key] = append(b.index[key], ref)
+			b.liveBytes += ref.rec
+		case boltOpRep:
+			for _, old := range b.index[key] {
+				b.liveBytes -= old.rec
+			}
+			ref := valueRef{off: offset + boltHeader + int64(klen), size: int64(vlen), rec: int64(len(rec))}
+			b.index[key] = []valueRef{ref}
+			b.liveBytes += ref.rec
+		case boltOpDel:
+			for _, old := range b.index[key] {
+				b.liveBytes -= old.rec
+			}
+			delete(b.index, key)
+		}
+		offset += int64(len(rec))
+	}
+	live := b.liveBytes
+	b.mu.Unlock()
+	b.size = offset
+	b.durable = offset
+
+	limit := b.opts.SegmentMaxBytes * int64(b.opts.CompactAfterSegments)
+	if b.size >= limit && live*2 < b.size {
+		if err := b.compactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compactLocked rewrites the log with only live records. It holds both the
+// file mutex (caller) and the index mutex — stop-the-world — so no reader
+// can observe the offset swap mid-flight. The rename is the commit point.
+func (b *Bolt) compactLocked() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	tmp, err := os.CreateTemp(filepath.Dir(b.path), ".bolt-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	w := bufio.NewWriterSize(tmp, 1<<16)
+	keys := make([]string, 0, len(b.index))
+	for k := range b.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	newIndex := make(map[string][]valueRef, len(b.index))
+	var offset, live int64
+	for _, k := range keys {
+		for _, ref := range b.index[k] {
+			val := make([]byte, ref.size)
+			if _, err := b.f.ReadAt(val, ref.off); err != nil && !(err == io.EOF && ref.size == 0) {
+				return fail(fmt.Errorf("store: compaction reading %s: %w", b.path, err))
+			}
+			rec, err := encodeRecord(boltOpPut, k, val)
+			if err != nil {
+				return fail(err)
+			}
+			if _, err := w.Write(rec); err != nil {
+				return fail(err)
+			}
+			nref := valueRef{off: offset + boltHeader + int64(len(k)), size: ref.size, rec: int64(len(rec))}
+			newIndex[k] = append(newIndex[k], nref)
+			offset += int64(len(rec))
+			live += int64(len(rec))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, b.path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := syncDir(filepath.Dir(b.path)); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(b.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Seek(offset, io.SeekStart); err != nil {
+		nf.Close()
+		return err
+	}
+	b.f.Close()
+	b.f = nf
+	b.index = newIndex
+	b.liveBytes = live
+	b.size = offset
+	b.durable = offset
+	b.stats.noteCompaction()
+	return nil
+}

@@ -1,0 +1,714 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is the append-only segmented backend. Every mutation is one JSON line
+// appended to the active segment through the group committer; the live state
+// is kept in memory (reads never touch the disk), so the segments are purely
+// the durability log:
+//
+//	dir/seg-00000003.log    sealed segments (immutable, fully fsynced)
+//	dir/seg-00000004.log    the active segment (append + group fsync)
+//	dir/snap-00000002.log   at most one snapshot: the fold of every segment
+//	                        with index <= 2, written by compaction
+//
+// The active segment rotates once it outgrows SegmentMaxBytes; when enough
+// sealed segments accumulate, compaction folds them (and the previous
+// snapshot) into a fresh snapshot and deletes them. Compaction reads only
+// sealed files — never the live map — so it cannot observe a mutation whose
+// fsync is still in flight, and a crash at any point leaves either the old
+// or the new snapshot intact.
+//
+// On open, a torn final line in the active segment (the half-written batch a
+// kill left behind) is truncated away; corruption anywhere else is an error.
+type File struct {
+	dir   string
+	opts  Options
+	stats *counters
+	c     *committer
+
+	mu     sync.RWMutex // guards data and closed
+	data   map[string][][]byte
+	closed bool
+
+	fileMu  sync.Mutex // guards the segment metadata below
+	sealed  []segment  // sealed segments, ascending index
+	snap    *segment   // current snapshot, nil when none
+	active  *os.File
+	actIdx  int
+	actSize int64 // bytes written to the active segment
+	durable int64 // bytes of the active segment known fsynced
+
+	// bw is the flusher's buffered writer, reused across batches (reset to
+	// the active segment each flush) so group commit does not allocate a
+	// fresh 64 KiB buffer per fsync.
+	bw *bufio.Writer
+}
+
+// segment is one immutable on-disk file.
+type segment struct {
+	path string
+	idx  int
+	size int64
+}
+
+// fileOp is the JSON-line record format.
+type fileOp struct {
+	Op  string `json:"op"` // "put", "rep", or "del"
+	Key string `json:"key"`
+	Val []byte `json:"val,omitempty"`
+}
+
+// OpenFile opens (or initializes) a segmented file store rooted at dir.
+func OpenFile(dir string, opts Options) (*File, error) {
+	if opts.SegmentMaxBytes <= 0 {
+		opts.SegmentMaxBytes = DefaultSegmentMaxBytes
+	}
+	if opts.CompactAfterSegments <= 0 {
+		opts.CompactAfterSegments = DefaultCompactAfterSegments
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: file backend: %w", err)
+	}
+	f := &File{
+		dir:   dir,
+		opts:  opts,
+		stats: newCounters(opts.Telemetry),
+		data:  make(map[string][][]byte),
+	}
+	if err := f.load(); err != nil {
+		return nil, err
+	}
+	f.c = newCommitter(opts.Flush, f.stats, f.flushBatch)
+	f.stats.gSegments.Set(float64(f.segmentCount()))
+	return f, nil
+}
+
+// load scans dir, prunes files superseded by the newest snapshot, replays
+// the snapshot and the remaining segments into the live map, and opens the
+// active segment.
+func (f *File) load() error {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return fmt.Errorf("store: file backend: %w", err)
+	}
+	var segs []segment
+	var snaps []segment
+	for _, e := range entries {
+		name := e.Name()
+		var idx int
+		switch {
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".log"):
+			if _, err := fmt.Sscanf(name, "seg-%08d.log", &idx); err != nil {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				return err
+			}
+			segs = append(segs, segment{path: filepath.Join(f.dir, name), idx: idx, size: info.Size()})
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".log"):
+			if _, err := fmt.Sscanf(name, "snap-%08d.log", &idx); err != nil {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				return err
+			}
+			snaps = append(snaps, segment{path: filepath.Join(f.dir, name), idx: idx, size: info.Size()})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].idx < segs[j].idx })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].idx < snaps[j].idx })
+
+	// Keep only the newest snapshot; older snapshots and any segment it
+	// already folded are leftovers of a crash mid-compaction-cleanup.
+	if n := len(snaps); n > 0 {
+		f.snap = &snaps[n-1]
+		for _, s := range snaps[:n-1] {
+			if err := os.Remove(s.path); err != nil {
+				return err
+			}
+		}
+		kept := segs[:0]
+		for _, s := range segs {
+			if s.idx <= f.snap.idx {
+				if err := os.Remove(s.path); err != nil {
+					return err
+				}
+				continue
+			}
+			kept = append(kept, s)
+		}
+		segs = kept
+	}
+
+	if f.snap != nil {
+		if err := f.replayFile(f.snap.path, false, nil); err != nil {
+			return err
+		}
+	}
+	for i, s := range segs {
+		last := i == len(segs)-1
+		if err := f.replayFile(s.path, last, &segs[i].size); err != nil {
+			return err
+		}
+	}
+
+	// The highest segment becomes the active one; with none, start fresh
+	// after the snapshot.
+	if n := len(segs); n > 0 {
+		f.actIdx = segs[n-1].idx
+		f.actSize = segs[n-1].size
+		f.sealed = segs[:n-1]
+	} else {
+		f.actIdx = 1
+		if f.snap != nil {
+			f.actIdx = f.snap.idx + 1
+		}
+	}
+	active, err := os.OpenFile(f.segPath(f.actIdx), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	f.active = active
+	f.durable = f.actSize
+	return nil
+}
+
+// replayFile applies one segment's ops to the live map. When tolerateTail is
+// set (the active segment), a torn final record is truncated away and size
+// is updated; anywhere else corruption is an error naming the offset.
+func (f *File) replayFile(path string, tolerateTail bool, size *int64) error {
+	file, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	r := bufio.NewReaderSize(file, 1<<16)
+	var offset int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF && len(line) == 0 {
+			return nil
+		}
+		torn := err == io.EOF // unterminated final line
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("store: reading %s at offset %d: %w", path, offset, err)
+		}
+		var op fileOp
+		if uerr := json.Unmarshal(line, &op); uerr != nil || op.Key == "" {
+			if tolerateTail {
+				return f.truncateTail(path, offset, size)
+			}
+			return fmt.Errorf("store: corrupt record in %s at offset %d", path, offset)
+		}
+		if torn {
+			// A parseable but unterminated line: the newline is part of the
+			// record frame, so treat it as torn too.
+			if tolerateTail {
+				return f.truncateTail(path, offset, size)
+			}
+			return fmt.Errorf("store: torn record in %s at offset %d", path, offset)
+		}
+		f.apply(op)
+		offset += int64(len(line))
+	}
+}
+
+// truncateTail drops the torn batch tail a crash left in the active segment.
+func (f *File) truncateTail(path string, offset int64, size *int64) error {
+	if err := os.Truncate(path, offset); err != nil {
+		return fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+	}
+	if size != nil {
+		*size = offset
+	}
+	return nil
+}
+
+// apply folds one op into the live map (open/compaction replay only).
+func (f *File) apply(op fileOp) {
+	switch op.Op {
+	case "put":
+		f.data[op.Key] = append(f.data[op.Key], op.Val)
+	case "rep":
+		f.data[op.Key] = [][]byte{op.Val}
+	case "del":
+		delete(f.data, op.Key)
+	}
+}
+
+func (f *File) segPath(idx int) string {
+	return filepath.Join(f.dir, fmt.Sprintf("seg-%08d.log", idx))
+}
+
+func (f *File) snapPath(idx int) string {
+	return filepath.Join(f.dir, fmt.Sprintf("snap-%08d.log", idx))
+}
+
+// Kind implements Store.
+func (f *File) Kind() string { return "file" }
+
+// Put implements Store: apply to the live map, enqueue the record, and
+// return once its batch is fsynced.
+func (f *File) Put(key string, value []byte) (int, error) {
+	if key == "" {
+		return 0, fmt.Errorf("store: empty key")
+	}
+	cp := append([]byte(nil), value...)
+	enc, err := encodeOp(fileOp{Op: "put", Key: key, Val: cp})
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, errClosed
+	}
+	f.data[key] = append(f.data[key], cp)
+	ver := len(f.data[key])
+	b, err := f.c.enqueue(enc)
+	f.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := f.c.wait(b); err != nil {
+		return 0, err
+	}
+	f.stats.appends.Add(1)
+	f.stats.mAppends.Inc()
+	return ver, nil
+}
+
+// PutAsync implements Store: the record joins the log (and the live map) in
+// call order, but the call returns without waiting for the fsync.
+func (f *File) PutAsync(key string, value []byte) (int, error) {
+	if key == "" {
+		return 0, fmt.Errorf("store: empty key")
+	}
+	cp := append([]byte(nil), value...)
+	enc, err := encodeOp(fileOp{Op: "put", Key: key, Val: cp})
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, errClosed
+	}
+	f.data[key] = append(f.data[key], cp)
+	ver := len(f.data[key])
+	_, err = f.c.enqueue(enc)
+	f.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	f.stats.appends.Add(1)
+	f.stats.mAppends.Inc()
+	return ver, nil
+}
+
+// Replace implements Store: a single "rep" record both discards the key's
+// history and writes value as version 1, so the discard and the write share
+// one fsync and cannot be torn apart by a crash.
+func (f *File) Replace(key string, value []byte) (int, error) {
+	if key == "" {
+		return 0, fmt.Errorf("store: empty key")
+	}
+	cp := append([]byte(nil), value...)
+	enc, err := encodeOp(fileOp{Op: "rep", Key: key, Val: cp})
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, errClosed
+	}
+	f.data[key] = [][]byte{cp}
+	b, err := f.c.enqueue(enc)
+	f.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := f.c.wait(b); err != nil {
+		return 0, err
+	}
+	f.stats.appends.Add(1)
+	f.stats.mAppends.Inc()
+	return 1, nil
+}
+
+// Get implements Store; reads are served from the live map.
+func (f *File) Get(key string, version int) ([]byte, int, bool, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	versions := f.data[key]
+	if len(versions) == 0 {
+		return nil, 0, false, nil
+	}
+	if version == 0 {
+		version = len(versions)
+	}
+	if version < 1 || version > len(versions) {
+		return nil, 0, false, nil
+	}
+	return append([]byte(nil), versions[version-1]...), version, true, nil
+}
+
+// Keys implements Store.
+func (f *File) Keys(prefix string) []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var keys []string
+	for k := range f.data {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Delete implements Store. Deleting an absent key writes nothing.
+func (f *File) Delete(key string) error {
+	enc, err := encodeOp(fileOp{Op: "del", Key: key})
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return errClosed
+	}
+	if _, ok := f.data[key]; !ok {
+		f.mu.Unlock()
+		return nil
+	}
+	delete(f.data, key)
+	b, err := f.c.enqueue(enc)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := f.c.wait(b); err != nil {
+		return err
+	}
+	f.stats.appends.Add(1)
+	f.stats.mAppends.Inc()
+	return nil
+}
+
+// Sync implements Store.
+func (f *File) Sync() error { return f.c.sync() }
+
+// Stats implements Store.
+func (f *File) Stats() Stats {
+	f.mu.RLock()
+	records := 0
+	for _, vs := range f.data {
+		records += len(vs)
+	}
+	s := Stats{Backend: "file", Keys: len(f.data), Records: records}
+	f.mu.RUnlock()
+
+	f.fileMu.Lock()
+	s.Segments = f.segmentCountLocked()
+	s.Bytes = f.actSize
+	for _, seg := range f.sealed {
+		s.Bytes += seg.size
+	}
+	if f.snap != nil {
+		s.Bytes += f.snap.size
+	}
+	f.fileMu.Unlock()
+
+	f.stats.fill(&s)
+	s.PendingFlush = f.c.pendingCount()
+	return s
+}
+
+func (f *File) segmentCount() int {
+	f.fileMu.Lock()
+	defer f.fileMu.Unlock()
+	return f.segmentCountLocked()
+}
+
+func (f *File) segmentCountLocked() int {
+	n := len(f.sealed) + 1 // + active
+	if f.snap != nil {
+		n++
+	}
+	return n
+}
+
+// Close implements Store: drain the committer, then close the active file.
+func (f *File) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	err := f.c.close()
+	f.fileMu.Lock()
+	defer f.fileMu.Unlock()
+	if cerr := f.active.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// CopyDurable implements DurableCopier: dst receives the snapshot, every
+// sealed segment, and the fsynced prefix of the active segment — exactly the
+// state a kill -9 is guaranteed to leave behind.
+func (f *File) CopyDurable(dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	f.fileMu.Lock()
+	defer f.fileMu.Unlock()
+	type job struct {
+		src, dst string
+		bytes    int64
+	}
+	var jobs []job
+	if f.snap != nil {
+		jobs = append(jobs, job{f.snap.path, filepath.Join(dst, filepath.Base(f.snap.path)), f.snap.size})
+	}
+	for _, seg := range f.sealed {
+		jobs = append(jobs, job{seg.path, filepath.Join(dst, filepath.Base(seg.path)), seg.size})
+	}
+	jobs = append(jobs, job{f.segPath(f.actIdx), filepath.Join(dst, filepath.Base(f.segPath(f.actIdx))), f.durable})
+	for _, j := range jobs {
+		if err := copyPrefix(j.src, j.dst, j.bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copyPrefix copies the first n bytes of src to dst.
+func copyPrefix(src, dst string, n int64) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.CopyN(out, in, n); err != nil && err != io.EOF {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// --- flusher side -----------------------------------------------------------
+
+// flushBatch persists one group-commit batch: buffered write, one fsync,
+// then rotation and compaction bookkeeping. Runs on the committer goroutine.
+func (f *File) flushBatch(ops [][]byte) error {
+	f.fileMu.Lock()
+	defer f.fileMu.Unlock()
+	if f.bw == nil {
+		f.bw = bufio.NewWriterSize(f.active, 1<<16)
+	} else {
+		f.bw.Reset(f.active)
+	}
+	w := f.bw
+	var n int64
+	for _, op := range ops {
+		m, err := w.Write(op)
+		if err != nil {
+			return err
+		}
+		n += int64(m)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.active.Sync(); err != nil {
+		return err
+	}
+	f.actSize += n
+	f.durable = f.actSize
+
+	if f.actSize >= f.opts.SegmentMaxBytes {
+		if err := f.rotateLocked(); err != nil {
+			return err
+		}
+		if len(f.sealed) >= f.opts.CompactAfterSegments {
+			if err := f.compactLocked(); err != nil {
+				return err
+			}
+		}
+		f.stats.gSegments.Set(float64(f.segmentCountLocked()))
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment and opens the next one.
+func (f *File) rotateLocked() error {
+	if err := f.active.Close(); err != nil {
+		return err
+	}
+	f.sealed = append(f.sealed, segment{path: f.segPath(f.actIdx), idx: f.actIdx, size: f.actSize})
+	f.actIdx++
+	next, err := os.OpenFile(f.segPath(f.actIdx), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	f.active = next
+	f.actSize = 0
+	f.durable = 0
+	return nil
+}
+
+// compactLocked folds the snapshot and every sealed segment into a fresh
+// snapshot and deletes them. It reads only immutable, fully fsynced files,
+// so the fold can never include a mutation whose fsync is pending.
+func (f *File) compactLocked() error {
+	fold := make(map[string][][]byte)
+	applyInto := func(path string) error {
+		file, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		r := bufio.NewReaderSize(file, 1<<16)
+		for {
+			line, err := r.ReadBytes('\n')
+			if err == io.EOF && len(line) == 0 {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("store: compaction reading %s: %w", path, err)
+			}
+			var op fileOp
+			if err := json.Unmarshal(line, &op); err != nil {
+				return fmt.Errorf("store: compaction: corrupt record in %s: %w", path, err)
+			}
+			switch op.Op {
+			case "put":
+				fold[op.Key] = append(fold[op.Key], op.Val)
+			case "rep":
+				fold[op.Key] = [][]byte{op.Val}
+			case "del":
+				delete(fold, op.Key)
+			}
+		}
+	}
+	var folded []string
+	if f.snap != nil {
+		if err := applyInto(f.snap.path); err != nil {
+			return err
+		}
+		folded = append(folded, f.snap.path)
+	}
+	maxIdx := 0
+	for _, seg := range f.sealed {
+		if err := applyInto(seg.path); err != nil {
+			return err
+		}
+		folded = append(folded, seg.path)
+		if seg.idx > maxIdx {
+			maxIdx = seg.idx
+		}
+	}
+
+	tmp, err := os.CreateTemp(f.dir, ".snap-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	w := bufio.NewWriterSize(tmp, 1<<16)
+	var size int64
+	keys := make([]string, 0, len(fold))
+	for k := range fold {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, v := range fold[k] {
+			enc, err := encodeOp(fileOp{Op: "put", Key: k, Val: v})
+			if err != nil {
+				tmp.Close()
+				os.Remove(tmpName)
+				return err
+			}
+			m, err := w.Write(enc)
+			if err != nil {
+				tmp.Close()
+				os.Remove(tmpName)
+				return err
+			}
+			size += int64(m)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	snapPath := f.snapPath(maxIdx)
+	if err := os.Rename(tmpName, snapPath); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := syncDir(f.dir); err != nil {
+		return err
+	}
+	// The rename is the commit point; the folded files are now garbage.
+	for _, path := range folded {
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+	}
+	f.snap = &segment{path: snapPath, idx: maxIdx, size: size}
+	f.sealed = nil
+	f.stats.noteCompaction()
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and removals are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// encodeOp renders one JSON-line record.
+func encodeOp(op fileOp) ([]byte, error) {
+	enc, err := json.Marshal(op)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding record: %w", err)
+	}
+	return append(enc, '\n'), nil
+}

@@ -1,0 +1,675 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// openBackend builds a backend of the given kind rooted in dir.
+func openBackend(t *testing.T, kind, dir string, opts Options) Store {
+	t.Helper()
+	s, err := Open(dsnFor(kind, dir), opts)
+	if err != nil {
+		t.Fatalf("open %s: %v", kind, err)
+	}
+	return s
+}
+
+func dsnFor(kind, dir string) string {
+	switch kind {
+	case "mem":
+		return "mem:"
+	case "file":
+		return "file:" + filepath.Join(dir, "segs")
+	case "bolt":
+		return "bolt:" + filepath.Join(dir, "kv.db")
+	}
+	panic("unknown kind " + kind)
+}
+
+var backends = []string{"mem", "file", "bolt"}
+
+func TestRoundTrip(t *testing.T) {
+	for _, kind := range backends {
+		t.Run(kind, func(t *testing.T) {
+			s := openBackend(t, kind, t.TempDir(), Options{})
+			defer s.Close()
+			if s.Kind() != kind {
+				t.Fatalf("Kind() = %q, want %q", s.Kind(), kind)
+			}
+
+			v1, err := s.Put("a", []byte("one"))
+			if err != nil || v1 != 1 {
+				t.Fatalf("Put = (%d, %v), want (1, nil)", v1, err)
+			}
+			v2, err := s.Put("a", []byte("two"))
+			if err != nil || v2 != 2 {
+				t.Fatalf("Put = (%d, %v), want (2, nil)", v2, err)
+			}
+			if _, err := s.Put("b/x", []byte("bee")); err != nil {
+				t.Fatal(err)
+			}
+
+			val, ver, found, err := s.Get("a", 0)
+			if err != nil || !found || ver != 2 || string(val) != "two" {
+				t.Fatalf("Get latest = (%q, %d, %v, %v)", val, ver, found, err)
+			}
+			val, ver, found, err = s.Get("a", 1)
+			if err != nil || !found || ver != 1 || string(val) != "one" {
+				t.Fatalf("Get v1 = (%q, %d, %v, %v)", val, ver, found, err)
+			}
+			if _, _, found, _ := s.Get("a", 3); found {
+				t.Fatal("Get beyond last version reported found")
+			}
+			if _, _, found, _ := s.Get("nope", 0); found {
+				t.Fatal("Get of absent key reported found")
+			}
+
+			if keys := s.Keys(""); !reflect.DeepEqual(keys, []string{"a", "b/x"}) {
+				t.Fatalf("Keys(\"\") = %v", keys)
+			}
+			if keys := s.Keys("b/"); !reflect.DeepEqual(keys, []string{"b/x"}) {
+				t.Fatalf("Keys(\"b/\") = %v", keys)
+			}
+
+			if err := s.Delete("a"); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, found, _ := s.Get("a", 0); found {
+				t.Fatal("Get after Delete reported found")
+			}
+			// Versions restart at 1 after a delete.
+			if v, err := s.Put("a", []byte("again")); err != nil || v != 1 {
+				t.Fatalf("Put after Delete = (%d, %v), want (1, nil)", v, err)
+			}
+			// Deleting an absent key is a no-op, not an error.
+			if err := s.Delete("ghost"); err != nil {
+				t.Fatal(err)
+			}
+
+			st := s.Stats()
+			if st.Backend != kind {
+				t.Fatalf("Stats backend = %q", st.Backend)
+			}
+			if st.Keys != 2 || st.Records != 2 {
+				t.Fatalf("Stats keys/records = %d/%d, want 2/2", st.Keys, st.Records)
+			}
+		})
+	}
+}
+
+// TestReplace exercises the atomic discard-and-write: history collapses to a
+// single version 1 on every backend, including across a reopen of the
+// durable pair (the "rep" record must replay correctly).
+func TestReplace(t *testing.T) {
+	for _, kind := range backends {
+		t.Run(kind, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openBackend(t, kind, dir, Options{})
+			for i := 0; i < 5; i++ {
+				if _, err := s.Put("k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ver, err := s.Replace("k", []byte("snap"))
+			if err != nil || ver != 1 {
+				t.Fatalf("Replace = (%d, %v), want (1, nil)", ver, err)
+			}
+			// Replacing an absent key is a plain write of version 1.
+			if v, err := s.Replace("fresh", []byte("first")); err != nil || v != 1 {
+				t.Fatalf("Replace absent = (%d, %v), want (1, nil)", v, err)
+			}
+			check := func(s Store, when string) {
+				val, v, found, err := s.Get("k", 0)
+				if err != nil || !found || v != 1 || string(val) != "snap" {
+					t.Fatalf("%s: Get latest = (%q, %d, %v, %v), want (snap, 1, true, nil)", when, val, v, found, err)
+				}
+				if _, _, found, _ := s.Get("k", 2); found {
+					t.Fatalf("%s: pre-replace version survived", when)
+				}
+				// Appends continue from the collapsed history.
+				if v, err := s.Put("k", []byte("after")); err != nil || v != 2 {
+					t.Fatalf("%s: Put after Replace = (%d, %v), want (2, nil)", when, v, err)
+				}
+				if err := s.Delete("k"); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Replace("k", []byte("snap")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check(s, "live")
+			if kind == "mem" {
+				s.Close()
+				return
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s2 := openBackend(t, kind, dir, Options{})
+			defer s2.Close()
+			check(s2, "reopened")
+		})
+	}
+}
+
+// TestPutAsync pins the PutAsync contract on every backend: versions are
+// assigned in call order interleaved with synchronous mutations, the record
+// is durable once a later Sync (or Close) returns, and it survives reopen.
+// Read-your-writes timing deliberately stays unpinned — the file backend
+// updates its live map at enqueue while bolt publishes after the fsync — so
+// reads here only happen after a Sync barrier.
+func TestPutAsync(t *testing.T) {
+	for _, kind := range backends {
+		t.Run(kind, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openBackend(t, kind, dir, Options{})
+			if v, err := s.Put("k", []byte("v1")); err != nil || v != 1 {
+				t.Fatalf("Put = (%d, %v), want (1, nil)", v, err)
+			}
+			// Async appends claim the next versions in call order...
+			if v, err := s.PutAsync("k", []byte("v2")); err != nil || v != 2 {
+				t.Fatalf("PutAsync = (%d, %v), want (2, nil)", v, err)
+			}
+			if v, err := s.PutAsync("k", []byte("v3")); err != nil || v != 3 {
+				t.Fatalf("PutAsync = (%d, %v), want (3, nil)", v, err)
+			}
+			// ...and a later synchronous append lands after them.
+			if v, err := s.Put("k", []byte("v4")); err != nil || v != 4 {
+				t.Fatalf("Put after async = (%d, %v), want (4, nil)", v, err)
+			}
+			if err := s.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			for v := 1; v <= 4; v++ {
+				val, _, found, err := s.Get("k", v)
+				if err != nil || !found || string(val) != fmt.Sprintf("v%d", v) {
+					t.Fatalf("Get v%d = (%q, %v, %v)", v, val, found, err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if kind == "mem" {
+				return
+			}
+			s2 := openBackend(t, kind, dir, Options{})
+			defer s2.Close()
+			val, ver, found, err := s2.Get("k", 0)
+			if err != nil || !found || ver != 4 || string(val) != "v4" {
+				t.Fatalf("reopened Get latest = (%q, %d, %v, %v), want (v4, 4, true, nil)", val, ver, found, err)
+			}
+			if val, _, found, _ := s2.Get("k", 3); !found || string(val) != "v3" {
+				t.Fatalf("async append lost across reopen: (%q, %v)", val, found)
+			}
+		})
+	}
+}
+
+func TestDurableReopen(t *testing.T) {
+	for _, kind := range []string{"file", "bolt"} {
+		t.Run(kind, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openBackend(t, kind, dir, Options{})
+			for i := 0; i < 10; i++ {
+				if _, err := s.Put("k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := s.Put("other", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete("other"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := openBackend(t, kind, dir, Options{})
+			defer s2.Close()
+			val, ver, found, err := s2.Get("k", 0)
+			if err != nil || !found || ver != 10 || string(val) != "v9" {
+				t.Fatalf("after reopen Get = (%q, %d, %v, %v)", val, ver, found, err)
+			}
+			if _, _, found, _ := s2.Get("other", 0); found {
+				t.Fatal("deleted key survived reopen")
+			}
+			if _, _, found, _ := s2.Get("k", 3); !found {
+				t.Fatal("old version lost on reopen")
+			}
+		})
+	}
+}
+
+func TestFileRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentMaxBytes: 512, CompactAfterSegments: 2}
+	s, err := OpenFile(filepath.Join(dir, "segs"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough churn on one key to force several rotations and at least one
+	// compaction fold.
+	payload := bytes.Repeat([]byte("x"), 64)
+	for i := 0; i < 100; i++ {
+		if _, err := s.Put("hot", payload); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 9 && i < 90 {
+			if err := s.Delete("hot"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := s.Put("cold", []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction ran (segments=%d bytes=%d)", st.Segments, st.Bytes)
+	}
+	if st.LastCompaction.IsZero() {
+		t.Fatal("compaction ran but LastCompaction is zero")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFile(filepath.Join(dir, "segs"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	val, ver, found, err := s2.Get("hot", 0)
+	if err != nil || !found || ver != 10 || string(val) != string(payload) {
+		t.Fatalf("after compaction+reopen Get hot = (len %d, %d, %v, %v)", len(val), ver, found, err)
+	}
+	if _, _, found, _ := s2.Get("cold", 0); !found {
+		t.Fatal("cold key lost through compaction")
+	}
+}
+
+func TestBoltCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentMaxBytes: 256, CompactAfterSegments: 2}
+	s, err := OpenBolt(filepath.Join(dir, "kv.db"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("y"), 64)
+	for i := 0; i < 100; i++ {
+		if _, err := s.Put("hot", payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete("hot"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Put("keep", []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Compactions == 0 {
+		t.Fatal("no compaction ran")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenBolt(filepath.Join(dir, "kv.db"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	val, _, found, err := s2.Get("keep", 0)
+	if err != nil || !found || string(val) != "survivor" {
+		t.Fatalf("after compaction+reopen Get keep = (%q, %v, %v)", val, found, err)
+	}
+	if _, _, found, _ := s2.Get("hot", 0); found {
+		t.Fatal("deleted key resurrected by compaction")
+	}
+}
+
+func TestFileTornTailTruncated(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "segs")
+	s, err := OpenFile(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("a", []byte("whole")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: append half a record to the active segment.
+	seg := filepath.Join(dir, "seg-00000001.log")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"put","key":"torn","va`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenFile(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer s2.Close()
+	if _, _, found, _ := s2.Get("a", 0); !found {
+		t.Fatal("intact record lost with the torn tail")
+	}
+	if _, _, found, _ := s2.Get("torn", 0); found {
+		t.Fatal("torn record survived")
+	}
+	// The truncated store accepts writes again.
+	if _, err := s2.Put("b", []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoltTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.db")
+	s, err := OpenBolt(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("a", []byte("whole")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := encodeRecord(boltOpPut, "torn", []byte("partial-value"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(rec[:len(rec)-5]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenBolt(path, Options{})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer s2.Close()
+	if _, _, found, _ := s2.Get("a", 0); !found {
+		t.Fatal("intact record lost with the torn tail")
+	}
+	if _, _, found, _ := s2.Get("torn", 0); found {
+		t.Fatal("torn record survived")
+	}
+	if _, err := s2.Put("b", []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupCommitBatches(t *testing.T) {
+	// Many concurrent writers against the file backend must need far fewer
+	// fsyncs than writes: batches form while a flush is in flight.
+	s, err := OpenFile(filepath.Join(t.TempDir(), "segs"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const writers, per = 16, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := s.Put(fmt.Sprintf("w%d", w), []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Appends != writers*per {
+		t.Fatalf("appends = %d, want %d", st.Appends, writers*per)
+	}
+	if st.Flushes >= st.Appends {
+		t.Fatalf("group commit ineffective: %d flushes for %d appends", st.Flushes, st.Appends)
+	}
+	if st.Batched == 0 {
+		t.Fatal("no append ever shared a batch")
+	}
+	if st.PendingFlush != 0 {
+		t.Fatalf("pendingFlush = %d after all writes acked", st.PendingFlush)
+	}
+}
+
+func TestClosedStoreRejectsWrites(t *testing.T) {
+	for _, kind := range backends {
+		t.Run(kind, func(t *testing.T) {
+			s := openBackend(t, kind, t.TempDir(), Options{})
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Put("k", []byte("v")); err == nil {
+				t.Fatal("Put on closed store succeeded")
+			}
+			// Close is idempotent.
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestOpenDSN(t *testing.T) {
+	for _, bad := range []string{"", "mem", "mem:extra", "file:", "bolt:", "redis:host"} {
+		if s, err := Open(bad, Options{}); err == nil {
+			s.Close()
+			t.Fatalf("Open(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestBackendEquivalence drives all three backends through the same random
+// op sequence — including reopens of the durable pair — and requires
+// observationally identical results throughout, with Memory as the reference
+// semantics.
+func TestBackendEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	dirs := map[string]string{"file": t.TempDir(), "bolt": t.TempDir()}
+	ref := NewMemory(Options{})
+	defer ref.Close()
+	opts := Options{SegmentMaxBytes: 1024, CompactAfterSegments: 2}
+	stores := map[string]Store{
+		"file": openBackend(t, "file", dirs["file"], opts),
+		"bolt": openBackend(t, "bolt", dirs["bolt"], opts),
+	}
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+	reopen := func(kind string) {
+		if err := stores[kind].Close(); err != nil {
+			t.Fatalf("close %s: %v", kind, err)
+		}
+		stores[kind] = openBackend(t, kind, dirs[kind], opts)
+	}
+
+	keys := []string{"journal/T-1", "journal/T-2", "checkpoint/T-1", "meta", "x"}
+	for step := 0; step < 400; step++ {
+		key := keys[rng.Intn(len(keys))]
+		switch op := rng.Intn(11); {
+		case op < 5: // put
+			val := []byte(fmt.Sprintf("s%d-%d", step, rng.Int63()))
+			wantVer, err := ref.Put(key, val)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for kind, s := range stores {
+				ver, err := s.Put(key, val)
+				if err != nil || ver != wantVer {
+					t.Fatalf("step %d: %s Put(%q) = (%d, %v), want (%d, nil)", step, kind, key, ver, err, wantVer)
+				}
+			}
+		case op < 7: // get random version (0 = latest)
+			_, maxVer, _, _ := ref.Get(key, 0)
+			ver := 0
+			if maxVer > 0 && rng.Intn(2) == 0 {
+				ver = 1 + rng.Intn(maxVer)
+			}
+			wantVal, wantVer, wantFound, _ := ref.Get(key, ver)
+			for kind, s := range stores {
+				val, gv, found, err := s.Get(key, ver)
+				if err != nil {
+					t.Fatalf("step %d: %s Get: %v", step, kind, err)
+				}
+				if found != wantFound || gv != wantVer || !bytes.Equal(val, wantVal) {
+					t.Fatalf("step %d: %s Get(%q, %d) = (%q, %d, %v), want (%q, %d, %v)",
+						step, kind, key, ver, val, gv, found, wantVal, wantVer, wantFound)
+				}
+			}
+		case op < 8: // delete
+			if err := ref.Delete(key); err != nil {
+				t.Fatal(err)
+			}
+			for kind, s := range stores {
+				if err := s.Delete(key); err != nil {
+					t.Fatalf("step %d: %s Delete: %v", step, kind, err)
+				}
+			}
+		case op < 9: // replace: history collapses to a single version 1
+			val := []byte(fmt.Sprintf("r%d-%d", step, rng.Int63()))
+			wantVer, err := ref.Replace(key, val)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for kind, s := range stores {
+				ver, err := s.Replace(key, val)
+				if err != nil || ver != wantVer {
+					t.Fatalf("step %d: %s Replace(%q) = (%d, %v), want (%d, nil)", step, kind, key, ver, err, wantVer)
+				}
+			}
+		case op < 10: // list
+			want := ref.Keys("journal/")
+			for kind, s := range stores {
+				if got := s.Keys("journal/"); !reflect.DeepEqual(got, want) {
+					t.Fatalf("step %d: %s Keys = %v, want %v", step, kind, got, want)
+				}
+			}
+		default: // reopen a durable backend: state must survive
+			kind := []string{"file", "bolt"}[rng.Intn(2)]
+			reopen(kind)
+		}
+	}
+	// Final full-state comparison.
+	for _, key := range keys {
+		_, maxVer, _, _ := ref.Get(key, 0)
+		for v := 1; v <= maxVer; v++ {
+			wantVal, _, _, _ := ref.Get(key, v)
+			for kind, s := range stores {
+				val, _, found, err := s.Get(key, v)
+				if err != nil || !found || !bytes.Equal(val, wantVal) {
+					t.Fatalf("final: %s Get(%q, %d) = (%q, %v, %v), want %q", kind, key, v, val, found, err, wantVal)
+				}
+			}
+		}
+	}
+}
+
+// TestCopyDurableIsConsistent asserts the clone a mid-write CopyDurable
+// produces always opens cleanly and contains every acknowledged write.
+func TestCopyDurableIsConsistent(t *testing.T) {
+	for _, kind := range []string{"file", "bolt"} {
+		t.Run(kind, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openBackend(t, kind, dir, Options{SegmentMaxBytes: 512, CompactAfterSegments: 2})
+			defer s.Close()
+
+			var acked sync.Map
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						key := fmt.Sprintf("w%d-%d", w, i)
+						if _, err := s.Put(key, []byte("payload")); err != nil {
+							return
+						}
+						acked.Store(key, true)
+					}
+				}(w)
+			}
+
+			// Take crash images while writes are in flight.
+			clone := filepath.Join(t.TempDir(), "clone")
+			for i := 0; i < 5; i++ {
+				target := fmt.Sprintf("%s-%d", clone, i)
+				if err := s.(DurableCopier).CopyDurable(target); err != nil {
+					t.Errorf("CopyDurable: %v", err)
+				}
+			}
+			close(stop)
+			wg.Wait()
+
+			// The final image (taken after all writes are acked) must hold
+			// every acknowledged key.
+			final := clone + "-final"
+			if err := s.(DurableCopier).CopyDurable(final); err != nil {
+				t.Fatal(err)
+			}
+			var c Store
+			var err error
+			if kind == "file" {
+				c, err = OpenFile(final, Options{})
+			} else {
+				c, err = OpenBolt(final, Options{})
+			}
+			if err != nil {
+				t.Fatalf("open crash image: %v", err)
+			}
+			defer c.Close()
+			acked.Range(func(k, _ any) bool {
+				if _, _, found, _ := c.Get(k.(string), 0); !found {
+					t.Errorf("acked key %s missing from crash image", k)
+					return false
+				}
+				return true
+			})
+
+			// Mid-flight images must at least open and replay cleanly.
+			for i := 0; i < 5; i++ {
+				target := fmt.Sprintf("%s-%d", clone, i)
+				var mid Store
+				if kind == "file" {
+					mid, err = OpenFile(target, Options{})
+				} else {
+					mid, err = OpenBolt(target, Options{})
+				}
+				if err != nil {
+					t.Fatalf("open mid-flight image %d: %v", i, err)
+				}
+				mid.Close()
+			}
+		})
+	}
+}

@@ -35,6 +35,11 @@ type jsonProcess struct {
 // MarshalJSON implements json.Marshaler with a complete, deterministic
 // rendering of the process description.
 func (p *ProcessDescription) MarshalJSON() ([]byte, error) {
+	if p.encJSON != nil {
+		// Memoized rendering of the unchanged graph; hand out a copy so a
+		// caller scribbling on the result cannot poison the cache.
+		return append([]byte(nil), p.encJSON...), nil
+	}
 	out := jsonProcess{Name: p.Name}
 	for _, a := range p.Activities {
 		out.Activities = append(out.Activities, jsonActivity{
@@ -47,7 +52,12 @@ func (p *ProcessDescription) MarshalJSON() ([]byte, error) {
 			ID: t.ID, Source: t.Source, Dest: t.Dest, Condition: t.Condition,
 		})
 	}
-	return json.Marshal(out)
+	data, err := json.Marshal(out)
+	if err != nil {
+		return nil, err
+	}
+	p.encJSON = data
+	return append([]byte(nil), data...), nil
 }
 
 // UnmarshalJSON implements json.Unmarshaler.
@@ -60,6 +70,8 @@ func (p *ProcessDescription) UnmarshalJSON(data []byte) error {
 	p.Activities = nil
 	p.Transitions = nil
 	p.indexed = false
+	p.validated = false
+	p.encJSON = nil
 	for _, ja := range in.Activities {
 		kind, err := ParseKind(ja.Kind)
 		if err != nil {

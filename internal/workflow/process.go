@@ -62,6 +62,18 @@ type ProcessDescription struct {
 	out     map[string][]*Transition
 	in      map[string][]*Transition
 	indexed bool
+
+	// validated memoizes the last Validate result (validErr); Add and
+	// ConnectCond invalidate it alongside the index. A task's description
+	// is validated at admission, again by the coordinator, and once more by
+	// every enactment — on an unchanged graph those are the same answer.
+	validated bool
+	validErr  error
+
+	// encJSON memoizes the MarshalJSON rendering; invalidated with the
+	// index. Every admission re-serializes the process into its journal
+	// envelope, and the graph almost never changes between admissions.
+	encJSON []byte
 }
 
 // NewProcess returns an empty process description with the given name.
@@ -73,6 +85,8 @@ func NewProcess(name string) *ProcessDescription {
 func (p *ProcessDescription) Add(a *Activity) *Activity {
 	p.Activities = append(p.Activities, a)
 	p.indexed = false
+	p.validated = false
+	p.encJSON = nil
 	return a
 }
 
@@ -92,6 +106,8 @@ func (p *ProcessDescription) ConnectCond(src, dst, cond string) *Transition {
 	}
 	p.Transitions = append(p.Transitions, t)
 	p.indexed = false
+	p.validated = false
+	p.encJSON = nil
 	return t
 }
 
@@ -267,6 +283,9 @@ func (e *ValidationError) Error() string {
 //     activity;
 //   - every condition expression parses.
 func (p *ProcessDescription) Validate() error {
+	if p.validated {
+		return p.validErr
+	}
 	p.index()
 	var problems []string
 	addf := func(format string, args ...any) {
@@ -357,11 +376,13 @@ func (p *ProcessDescription) Validate() error {
 		}
 	}
 
+	p.validated = true
+	p.validErr = nil
 	if len(problems) > 0 {
 		sort.Strings(problems)
-		return &ValidationError{Process: p.Name, Problems: problems}
+		p.validErr = &ValidationError{Process: p.Name, Problems: problems}
 	}
-	return nil
+	return p.validErr
 }
 
 // reachableFrom returns the set of activity IDs reachable from start,
