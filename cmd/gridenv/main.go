@@ -86,6 +86,8 @@ func main() {
 		storeBat  = flag.Int("store-batch", 0, "group-commit batch bound for durable backends (0 = default)")
 		storeIntv = flag.Duration("store-interval", 0, "group-commit linger interval (0 = flush when the flusher is free)")
 		workers   = flag.Int("workers", 0, "enactment worker pool size (0 = GOMAXPROCS)")
+		planWkrs  = flag.Int("plan-workers", 0, "planning service worker pool size (0 = GOMAXPROCS)")
+		planCache = flag.Int("plan-cache", 0, "plan cache size in entries (0 = default 4096)")
 		tenants   = flag.String("tenants", "", "per-tenant fair-share weights as id:weight,... (empty = all weight 1)")
 		tMaxQ     = flag.Int("tenant-max-queued", 0, "default per-tenant queued-task quota (0 = unlimited)")
 		tMaxIF    = flag.Int("tenant-max-inflight", 0, "default per-tenant concurrent-enactment cap (0 = unlimited)")
@@ -107,7 +109,7 @@ func main() {
 		dsn:   *storeDSN,
 		flush: store.FlushConfig{MaxBatch: *storeBat, Interval: *storeIntv},
 	}
-	if err := run(*addr, *clusters, *smps, *supers, *seed, storeCfg, *workers, tenantCfg, *logLevel, *logFmt, *pprof); err != nil {
+	if err := run(*addr, *clusters, *smps, *supers, *seed, storeCfg, *workers, *planWkrs, *planCache, tenantCfg, *logLevel, *logFmt, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "gridenv:", err)
 		os.Exit(1)
 	}
@@ -157,7 +159,7 @@ func (t tenantOptions) resolve() (map[string]engine.TenantConfig, engine.TenantC
 	return out, t.defaults, nil
 }
 
-func run(addr string, clusters, smps, supers int, seed int64, storeCfg storeOptions, workers int, tenants tenantOptions, logLevel, logFmt string, pprof bool) error {
+func run(addr string, clusters, smps, supers int, seed int64, storeCfg storeOptions, workers, planWorkers, planCache int, tenants tenantOptions, logLevel, logFmt string, pprof bool) error {
 	gridCfg := grid.DefaultSyntheticConfig()
 	gridCfg.Clusters = clusters
 	gridCfg.SMPs = smps
@@ -184,6 +186,8 @@ func run(addr string, clusters, smps, supers int, seed int64, storeCfg storeOpti
 		StoreDSN:       dsn,
 		StoreFlush:     storeCfg.flush,
 		Workers:        workers,
+		PlanWorkers:    planWorkers,
+		PlanCacheSize:  planCache,
 		Tenants:        tenantMap,
 		TenantDefaults: tenantDefaults,
 		Logger:         logger,

@@ -8,10 +8,11 @@
 //
 //	gridplan [-runs 10] [-pop 200] [-gens 20] [-cx 0.7] [-mut 0.001]
 //	         [-smax 40] [-wv 0.2] [-wg 0.5] [-seed 1] [-selection tournament]
-//	         [-baselines] [-print-params] [-history] [-v]
+//	         [-workers 0] [-baselines] [-print-params] [-history] [-v]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -33,6 +34,7 @@ func main() {
 		wg          = flag.Float64("wg", 0.5, "goal fitness weight")
 		seed        = flag.Int64("seed", 1, "base random seed")
 		selection   = flag.String("selection", "tournament", "selection scheme: tournament or roulette")
+		workers     = flag.Int("workers", 0, "parallel fitness-evaluation workers per run (0 = all cores)")
 		baselines   = flag.Bool("baselines", false, "also run forward-search and random-search baselines")
 		printParams = flag.Bool("print-params", false, "print the Table 1 parameter block and exit")
 		history     = flag.Bool("history", false, "print per-generation best fitness of the first run")
@@ -50,6 +52,7 @@ func main() {
 	params.WG = *wg
 	params.WR = math.Round((1-*wv-*wg)*1e9) / 1e9
 	params.Seed = *seed
+	params.EvalWorkers = *workers
 	switch *selection {
 	case "tournament":
 		params.Selection = planner.SelectTournament
@@ -70,7 +73,7 @@ func main() {
 	}
 
 	problem := virolab.Problem()
-	results, err := planner.RunMany(problem, params, *runs)
+	results, err := planner.RunManyContext(context.Background(), problem, params, *runs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridplan:", err)
 		os.Exit(1)

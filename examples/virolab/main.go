@@ -71,7 +71,7 @@ func main() {
 	params := planner.DefaultParams()
 	params.PopulationSize = 120
 	params.Generations = 15
-	results, err := planner.RunMany(virolab.Problem(), params, 3)
+	results, err := planner.RunManyContext(context.Background(), virolab.Problem(), params, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

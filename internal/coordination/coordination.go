@@ -296,7 +296,7 @@ func (c *Coordinator) RunTaskContext(ctx context.Context, task *workflow.Task, p
 
 	pd := task.Process
 	if pd == nil {
-		newPD, err := c.requestPlan(ctx, report, state, goal, nil, false)
+		newPD, err := c.requestPlan(ctx, report, state, goal, nil, false, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -361,7 +361,10 @@ func (c *Coordinator) enactWithReplanning(ctx context.Context, p Policy, report 
 		// (the paper's "first method"). When no provider was found at all,
 		// the planning service verifies through brokerage and containers
 		// (Figure 3, the "second method").
-		newPD, perr := c.requestPlan(ctx, report, state, goal, exclude, ne.hadCandidates)
+		// The failed plan rides along so planning can re-plan incrementally:
+		// the new population starts in the failed plan's neighborhood
+		// instead of ramped-random from scratch.
+		newPD, perr := c.requestPlan(ctx, report, state, goal, exclude, ne.hadCandidates, pd)
 		if perr != nil {
 			return perr
 		}
@@ -393,7 +396,7 @@ func (c *Coordinator) quarantine(ctx context.Context, report *Report, ne *nonExe
 }
 
 // requestPlan performs the Figure 2 interaction with the planning service.
-func (c *Coordinator) requestPlan(ctx context.Context, report *Report, state *workflow.State, goal workflow.Goal, nonExecutable []string, trustCaller bool) (*workflow.ProcessDescription, error) {
+func (c *Coordinator) requestPlan(ctx context.Context, report *Report, state *workflow.State, goal workflow.Goal, nonExecutable []string, trustCaller bool, failed *workflow.ProcessDescription) (*workflow.ProcessDescription, error) {
 	report.trace("plan-request", "", fmt.Sprintf("non-executable: %v", nonExecutable))
 	reply, err := c.ctx.CallContext(ctx, services.PlanningName, services.OntPlanning, planning.PlanRequest{
 		TaskID:        report.TaskID,
@@ -401,6 +404,7 @@ func (c *Coordinator) requestPlan(ctx context.Context, report *Report, state *wo
 		Goal:          goal.Conditions,
 		NonExecutable: nonExecutable,
 		TrustCaller:   trustCaller,
+		Failed:        failed,
 	}, c.cfg.CallTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("coordination: planning request failed: %w", err)

@@ -46,6 +46,14 @@ type Options struct {
 	// planner.DefaultParams (the paper's Table 1).
 	Planner planner.Params
 
+	// PlanWorkers sizes the planning service's worker pool — the cap on
+	// concurrently computed plans. 0 means GOMAXPROCS.
+	PlanWorkers int
+
+	// PlanCacheSize bounds the plan cache (finished plans memoized by
+	// canonical case). 0 means the planner default (4096).
+	PlanCacheSize int
+
 	// PostProcess is the coordination steering hook (see coordination.Config).
 	PostProcess func(act *workflow.Activity, produced []*workflow.DataItem, visit int)
 
@@ -111,10 +119,13 @@ type Options struct {
 
 // Environment is a fully wired grid environment.
 type Environment struct {
-	Platform    *agent.Platform
-	Grid        *grid.Grid
-	Services    *services.Core
-	Planning    *planning.Service
+	Platform *agent.Platform
+	Grid     *grid.Grid
+	Services *services.Core
+	Planning *planning.Service
+	// Planner is the asynchronous planning backend (worker pool + plan
+	// cache) the planning agent and the /api/v1/plans resource share.
+	Planner     *planner.Service
 	Coordinator *coordination.Coordinator
 	// Engine is the durable enactment engine: bounded admission queue,
 	// coordinator worker pool, write-ahead task journal, crash recovery.
@@ -192,9 +203,23 @@ func NewEnvironment(opts Options) (*Environment, error) {
 	coreSvcs.Monitoring.Telemetry = tel
 	coreSvcs.Scheduling.Logger = telemetry.ComponentLogger(logger, "scheduling")
 	coreSvcs.Monitoring.Logger = telemetry.ComponentLogger(logger, "monitoring")
+	plannerSvc, err := planner.NewService(planner.ServiceConfig{
+		Catalog:   opts.Catalog,
+		Params:    params,
+		Workers:   opts.PlanWorkers,
+		CacheSize: opts.PlanCacheSize,
+		Telemetry: tel,
+	})
+	if err != nil {
+		platform.Shutdown()
+		backend.Close()
+		return nil, err
+	}
 	plansvc := planning.New(opts.Catalog, params)
 	plansvc.Telemetry = tel
+	plansvc.Planner = plannerSvc
 	if _, err := platform.Register(services.PlanningName, plansvc); err != nil {
+		plannerSvc.Close()
 		platform.Shutdown()
 		backend.Close()
 		return nil, err
@@ -239,6 +264,7 @@ func NewEnvironment(opts Options) (*Environment, error) {
 		Grid:        g,
 		Services:    coreSvcs,
 		Planning:    plansvc,
+		Planner:     plannerSvc,
 		Coordinator: coord,
 		Engine:      eng,
 		Store:       backend,
@@ -249,11 +275,15 @@ func NewEnvironment(opts Options) (*Environment, error) {
 	}, nil
 }
 
-// Close stops the enactment engine (cancelling in-flight work), shuts the
-// agent platform down, and closes the storage backend (flushing any pending
-// group-commit batch).
+// Close stops the enactment engine (cancelling in-flight work), stops the
+// planning service (cancelling in-flight plans), shuts the agent platform
+// down, and closes the storage backend (flushing any pending group-commit
+// batch).
 func (e *Environment) Close() {
 	e.Engine.Close()
+	if e.Planner != nil {
+		e.Planner.Close()
+	}
 	e.Platform.Shutdown()
 	if e.Store != nil {
 		_ = e.Store.Close()

@@ -1,0 +1,289 @@
+package httpapi
+
+// The async-resource conformance sweep: /api/v1/plans and /api/v1/tasks
+// promise one convention — POST answers 201/202 with a Location header,
+// GET polls a status drawn from the shared lifecycle enum, DELETE cancels,
+// and post-terminal DELETE conflicts with a resource-specific 409 code.
+// This test drives both resources through the same checklist so the two
+// surfaces cannot drift apart silently.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/virolab"
+)
+
+// lifecycleStatuses is the shared async-resource status enum.
+var lifecycleStatuses = map[string]bool{
+	"queued": true, "running": true, "succeeded": true, "failed": true, "cancelled": true,
+}
+
+func terminalStatus(s string) bool {
+	return s == "succeeded" || s == "failed" || s == "cancelled"
+}
+
+// doRequest issues a method/path/body and returns the response with its
+// decoded JSON body (as a generic map; nil out skips decoding).
+func doRequest(t *testing.T, method, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+// pollTerminal polls GET url until the status field is terminal, checking
+// every observed status stays inside the shared lifecycle enum.
+func pollTerminal(t *testing.T, url string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, body := doRequest(t, http.MethodGet, url, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d (%v)", url, resp.StatusCode, body)
+		}
+		status, _ := body["status"].(string)
+		if !lifecycleStatuses[status] {
+			t.Fatalf("GET %s: status %q outside the shared lifecycle enum", url, status)
+		}
+		if terminalStatus(status) {
+			return body
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GET %s: still %q after deadline", url, status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func virolabItems() []DataItemJSON {
+	var items []DataItemJSON
+	for _, d := range virolab.InitialData() {
+		items = append(items, DataItemJSON{Name: d.Name, Classification: d.Classification()})
+	}
+	return items
+}
+
+func TestAsyncResourceConformance(t *testing.T) {
+	_, ts := testServer(t)
+
+	type resource struct {
+		name         string
+		collection   string
+		submit       any
+		wantPostCode []int  // acceptable creation codes
+		notFoundCode string // GET {collection}/ghost error code
+		conflictCode string // DELETE after terminal error code
+	}
+	resources := []resource{
+		{
+			name:       "plans",
+			collection: "/api/v1/plans",
+			submit: PlanSubmission{
+				ID:          "conf-plan",
+				InitialData: virolabItems(),
+				Goal:        []string{virolab.GoalCondition},
+			},
+			wantPostCode: []int{http.StatusAccepted, http.StatusCreated},
+			notFoundCode: "plan_not_found",
+			conflictCode: "plan_finished",
+		},
+		{
+			name:       "tasks",
+			collection: "/api/v1/tasks",
+			submit: TaskSubmission{
+				ID:          "conf-task",
+				Name:        "conformance",
+				InitialData: virolabItems(),
+				Goal:        []string{virolab.GoalCondition},
+			},
+			wantPostCode: []int{http.StatusAccepted},
+			notFoundCode: "not_found",
+			conflictCode: "task_finished",
+		},
+	}
+
+	for _, rc := range resources {
+		t.Run(rc.name, func(t *testing.T) {
+			// POST creates asynchronously: 202 (or 201 when the result already
+			// exists) with a Location header naming the new resource.
+			resp, body := doRequest(t, http.MethodPost, ts.URL+rc.collection, rc.submit)
+			okCode := false
+			for _, c := range rc.wantPostCode {
+				okCode = okCode || resp.StatusCode == c
+			}
+			if !okCode {
+				t.Fatalf("POST %s = %d (%v), want one of %v", rc.collection, resp.StatusCode, body, rc.wantPostCode)
+			}
+			loc := resp.Header.Get("Location")
+			id, _ := body["id"].(string)
+			if loc == "" || !strings.HasPrefix(loc, rc.collection+"/") || id == "" || loc != rc.collection+"/"+id {
+				t.Fatalf("POST %s: Location %q / id %q do not agree", rc.collection, loc, id)
+			}
+			if status, _ := body["status"].(string); !lifecycleStatuses[status] {
+				t.Fatalf("POST %s: status %q outside the shared lifecycle enum", rc.collection, status)
+			}
+
+			// GET polls through the shared lifecycle to a terminal status.
+			final := pollTerminal(t, ts.URL+loc)
+			if status, _ := final["status"].(string); status != "succeeded" {
+				t.Fatalf("%s %s finished %q (%v), want succeeded", rc.name, id, status, final)
+			}
+
+			// DELETE after terminal conflicts with the resource's 409 code.
+			resp, errBody := doRequest(t, http.MethodDelete, ts.URL+loc, nil)
+			if resp.StatusCode != http.StatusConflict {
+				t.Fatalf("DELETE %s after terminal = %d, want 409", loc, resp.StatusCode)
+			}
+			if code := errCode(errBody); code != rc.conflictCode {
+				t.Errorf("DELETE %s: code %q, want %q", loc, code, rc.conflictCode)
+			}
+
+			// GET of an unknown resource answers 404 with the advertised code.
+			resp, errBody = doRequest(t, http.MethodGet, ts.URL+rc.collection+"/ghost", nil)
+			if resp.StatusCode != http.StatusNotFound || errCode(errBody) != rc.notFoundCode {
+				t.Errorf("GET %s/ghost = %d code %q, want 404 %q",
+					rc.collection, resp.StatusCode, errCode(errBody), rc.notFoundCode)
+			}
+		})
+	}
+}
+
+// errCode digs the code out of the shared error envelope.
+func errCode(body map[string]any) string {
+	e, _ := body["error"].(map[string]any)
+	code, _ := e["code"].(string)
+	return code
+}
+
+// TestPlanResourceLifecycle exercises the plan-specific parts of the
+// convention: validation errors, the synchronous cache hit (201 Created),
+// and cancellation of in-flight plans.
+func TestPlanResourceLifecycle(t *testing.T) {
+	_, ts := testServer(t)
+
+	// Missing goal is a 400 plan_invalid.
+	resp, body := doRequest(t, http.MethodPost, ts.URL+"/api/v1/plans", PlanSubmission{InitialData: virolabItems()})
+	if resp.StatusCode != http.StatusBadRequest || errCode(body) != "plan_invalid" {
+		t.Fatalf("goalless POST = %d code %q, want 400 plan_invalid", resp.StatusCode, errCode(body))
+	}
+
+	// A cold plan computes asynchronously.
+	sub := PlanSubmission{InitialData: virolabItems(), Goal: []string{virolab.GoalCondition}}
+	resp, body = doRequest(t, http.MethodPost, ts.URL+"/api/v1/plans", sub)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cold POST = %d (%v), want 202", resp.StatusCode, body)
+	}
+	first := pollTerminal(t, ts.URL+resp.Header.Get("Location"))
+	if status, _ := first["status"].(string); status != "succeeded" {
+		t.Fatalf("cold plan finished %q: %v", status, first)
+	}
+	pdl, _ := first["pdl"].(string)
+	if pdl == "" {
+		t.Fatal("succeeded plan carries no PDL")
+	}
+
+	// The identical case answers synchronously from the plan cache: 201
+	// Created, cacheHit set, same plan bytes.
+	resp, body = doRequest(t, http.MethodPost, ts.URL+"/api/v1/plans", sub)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("warm POST = %d (%v), want 201", resp.StatusCode, body)
+	}
+	if hit, _ := body["cacheHit"].(bool); !hit {
+		t.Errorf("warm POST not marked cacheHit: %v", body)
+	}
+	if got, _ := body["pdl"].(string); got != pdl {
+		t.Errorf("warm plan differs from cold plan:\n%s\nvs\n%s", got, pdl)
+	}
+
+	// Duplicate IDs conflict.
+	resp, body = doRequest(t, http.MethodPost, ts.URL+"/api/v1/plans",
+		PlanSubmission{ID: "dup", InitialData: virolabItems(), Goal: []string{virolab.GoalCondition}, NoCache: true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("dup POST = %d, want 202", resp.StatusCode)
+	}
+	resp, body = doRequest(t, http.MethodPost, ts.URL+"/api/v1/plans",
+		PlanSubmission{ID: "dup", InitialData: virolabItems(), Goal: []string{virolab.GoalCondition}, NoCache: true})
+	if resp.StatusCode != http.StatusConflict || errCode(body) != "duplicate_plan" {
+		t.Fatalf("duplicate POST = %d code %q, want 409 duplicate_plan", resp.StatusCode, errCode(body))
+	}
+
+	// Cancel a fresh plan: 200 when it was still queued, 202 while a running
+	// one unwinds; either way it settles as cancelled and a second DELETE
+	// answers 409 plan_cancelled.
+	resp, _ = doRequest(t, http.MethodPost, ts.URL+"/api/v1/plans",
+		PlanSubmission{ID: "doomed", InitialData: virolabItems(), Goal: []string{virolab.GoalCondition}, NoCache: true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("doomed POST = %d, want 202", resp.StatusCode)
+	}
+	resp, body = doRequest(t, http.MethodDelete, ts.URL+"/api/v1/plans/doomed", nil)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE doomed = %d (%v), want 200 or 202", resp.StatusCode, body)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, st := doRequest(t, http.MethodGet, ts.URL+"/api/v1/plans/doomed", nil)
+		if status, _ := st["status"].(string); status == "cancelled" {
+			break
+		} else if terminalStatus(status) {
+			t.Fatalf("doomed plan settled %q, want cancelled", status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("doomed plan never settled cancelled")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, body = doRequest(t, http.MethodDelete, ts.URL+"/api/v1/plans/doomed", nil)
+	if resp.StatusCode != http.StatusConflict || errCode(body) != "plan_cancelled" {
+		t.Fatalf("second DELETE = %d code %q, want 409 plan_cancelled", resp.StatusCode, errCode(body))
+	}
+
+	// The plan listing pages the handles in submission order.
+	var listing struct {
+		Items []PlanView `json:"items"`
+		Total int        `json:"total"`
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/plans", &listing); code != 200 {
+		t.Fatalf("plan list status %d", code)
+	}
+	if listing.Total < 3 || len(listing.Items) != listing.Total {
+		t.Fatalf("plan list = %+v", listing)
+	}
+
+	// The stats rollup carries the planner block.
+	var stats map[string]any
+	if code := getJSON(t, ts.URL+"/api/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	pl, ok := stats["planner"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing planner block: %v", stats)
+	}
+	if hits, _ := pl["cacheHits"].(float64); hits < 1 {
+		t.Errorf("planner stats cacheHits = %v, want >= 1 (%v)", pl["cacheHits"], pl)
+	}
+}

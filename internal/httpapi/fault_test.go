@@ -41,7 +41,7 @@ func forkSubmission(id string) TaskSubmission {
 // settled reports a terminal task status (a task now passes through "queued"
 // before "running", so polls wait for an actual outcome).
 func settled(s string) bool {
-	return s == "completed" || s == "failed" || s == "cancelled"
+	return s == "succeeded" || s == "failed" || s == "cancelled"
 }
 
 func pollStatus(t *testing.T, url string, done func(string) bool) TaskView {
@@ -143,7 +143,7 @@ func TestSubmitPolicyEcho(t *testing.T) {
 	}
 
 	view := pollStatus(t, ts.URL+"/api/v1/tasks/T-pol", settled)
-	if view.Status != "completed" {
+	if view.Status != "succeeded" {
 		t.Fatalf("task = %+v", view)
 	}
 	if view.Policy == nil || *view.Policy != accepted.Policy {
@@ -168,7 +168,7 @@ func TestSubmitWithFaultsReportsRetries(t *testing.T) {
 		t.Fatalf("submit status %d", code)
 	}
 	view := pollStatus(t, ts.URL+"/api/v1/tasks/T-faulty", settled)
-	if view.Status != "completed" {
+	if view.Status != "succeeded" {
 		t.Fatalf("task = %+v", view)
 	}
 	if spec := s.env.Grid.Faults(); spec == nil || spec.Nodes[0] != victim {

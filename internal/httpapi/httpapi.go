@@ -23,8 +23,13 @@
 //	DELETE /api/v1/tasks/{id}           cancel a queued or running task
 //	GET  /api/v1/tasks/{id}/trace       the task's telemetry span log
 //	GET  /api/v1/queue                  enactment engine queue / worker stats
-//	GET  /api/v1/plans                  archived plan names
-//	GET  /api/v1/plans/{name}           latest archived revision (PDL text)
+//	POST /api/v1/plans                  submit a planning case (202 + handle,
+//	                                    or 201 when the plan cache answers)
+//	GET  /api/v1/plans                  list plan handles (paginated)
+//	GET  /api/v1/plans/{id}             plan status / finished plan
+//	DELETE /api/v1/plans/{id}           cancel a queued or running plan
+//	GET  /api/v1/archive                archived plan names
+//	GET  /api/v1/archive/{name}         latest archived revision (PDL text)
 //	GET  /api/v1/ontology/{name}        knowledge base JSON
 //	GET  /api/v1/metrics                telemetry registry snapshot (JSON, or
 //	                                    Prometheus text with ?format=prometheus)
@@ -49,6 +54,14 @@
 // pool. A full queue answers 429 queue_full with a Retry-After header;
 // finished records eventually age out of retention and answer 404
 // task_evicted.
+//
+// /api/v1/tasks and /api/v1/plans share one asynchronous-resource
+// convention: POST answers 202 Accepted (or 201 Created when the result
+// already exists) with a Location header naming the resource, GET polls a
+// status from the shared lifecycle queued|running|succeeded|failed|
+// cancelled, and DELETE cancels (200 when already terminal work settled
+// synchronously, 202 while cancellation propagates, 409 when the resource
+// finished or was already cancelled).
 //
 // Every response carries an X-Request-Id header. Errors share one envelope:
 // {"error": {"code": "...", "message": "..."}, "requestId": "..."} — also
@@ -135,8 +148,12 @@ func (s *Server) routes() []route {
 		{http.MethodGet, "/queue", s.handleQueue},
 		{http.MethodGet, "/tenants", s.handleTenants},
 		{http.MethodGet, "/tenants/{id}", s.handleTenantGet},
-		{http.MethodGet, "/plans", s.handlePlans},
-		{http.MethodGet, "/plans/{name}", s.handlePlanGet},
+		{http.MethodPost, "/plans", s.handlePlanSubmit},
+		{http.MethodGet, "/plans", s.handlePlanList},
+		{http.MethodGet, "/plans/{id}", s.handlePlanStatus},
+		{http.MethodDelete, "/plans/{id}", s.handlePlanCancel},
+		{http.MethodGet, "/archive", s.handleArchive},
+		{http.MethodGet, "/archive/{name}", s.handleArchiveGet},
 		{http.MethodGet, "/ontology/{name}", s.handleOntology},
 		{http.MethodGet, "/metrics", s.handleMetrics},
 		{http.MethodGet, "/events", s.handleEvents},
@@ -632,13 +649,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "invalid_task", "%v", err)
 		return
 	}
+	w.Header().Set("Location", "/api/v1/tasks/"+sub.ID)
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":            sub.ID,
-		"status":        status.Status,
+		"status":        lifecycle(status.Status),
 		"queuePosition": status.QueuePosition,
 		"priority":      status.Priority.String(),
 		"policy":        viewPolicy(status.Policy),
 	})
+}
+
+// lifecycle maps the engine's internal status spelling onto the uniform
+// async-resource lifecycle (queued|running|succeeded|failed|cancelled)
+// shared by /api/v1/tasks and /api/v1/plans. The engine keeps "completed"
+// internally — persisted journal records replay against it — so the
+// translation lives at the API boundary only.
+func lifecycle(status string) string {
+	if status == engine.StatusCompleted {
+		return "succeeded"
+	}
+	return status
 }
 
 // handleTaskCancel stops a task through the engine. Queued tasks are
@@ -666,7 +696,7 @@ func (s *Server) handleTaskCancel(w http.ResponseWriter, r *http.Request) {
 	if result == engine.StatusCancelled {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, map[string]string{"id": id, "status": result})
+	writeJSON(w, code, map[string]string{"id": id, "status": lifecycle(result)})
 }
 
 // handleQueue serves the enactment engine's queue and worker-pool snapshot.
@@ -705,7 +735,7 @@ type TaskView struct {
 
 func viewTask(rec engine.TaskStatus) TaskView {
 	v := TaskView{
-		ID: rec.ID, Status: rec.Status, Submitted: rec.Submitted,
+		ID: rec.ID, Status: lifecycle(rec.Status), Submitted: rec.Submitted,
 		QueuePosition: rec.QueuePosition, Attempt: rec.Attempt,
 		Priority: rec.Priority.String(), Tenant: rec.Tenant, Error: rec.Error,
 	}
@@ -821,13 +851,16 @@ func (s *Server) handleTaskTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, traceView{TaskID: id, Spans: spans, Dropped: tr.Dropped()})
 }
 
-// --- plans and ontology ------------------------------------------------------
+// --- plan archive and ontology ----------------------------------------------
 
-func (s *Server) handlePlans(w http.ResponseWriter, _ *http.Request) {
+// handleArchive lists the archived (named, versioned) plans. The live
+// asynchronous plan resource lives at /api/v1/plans; the archive is the
+// knowledge-base shelf Plan() writes finished named plans to.
+func (s *Server) handleArchive(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.env.Archive.Names(""))
 }
 
-func (s *Server) handlePlanGet(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleArchiveGet(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	_, entry, err := s.env.Archive.Get(name, 0)
 	if err != nil {

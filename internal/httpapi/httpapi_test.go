@@ -132,7 +132,7 @@ func TestGridViews(t *testing.T) {
 // checks the former /api alias of each answers 410.
 func TestRouteTable(t *testing.T) {
 	_, ts := testServer(t)
-	paths := []string{"/nodes", "/containers", "/services", "/classes", "/tasks", "/plans", "/metrics", "/store", "/stats"}
+	paths := []string{"/nodes", "/containers", "/services", "/classes", "/tasks", "/plans", "/archive", "/metrics", "/store", "/stats"}
 	for _, p := range paths {
 		resp, err := http.Get(ts.URL + "/api/v1" + p)
 		if err != nil {
@@ -196,7 +196,8 @@ func TestErrorEnvelope(t *testing.T) {
 		{"removed alias", http.MethodPut, "/api/nodes", http.StatusGone, "gone"},
 		{"ghost task", http.MethodGet, "/api/v1/tasks/ghost", http.StatusNotFound, "not_found"},
 		{"ghost trace", http.MethodGet, "/api/v1/tasks/ghost/trace", http.StatusNotFound, "not_found"},
-		{"ghost plan", http.MethodGet, "/api/v1/plans/ghost", http.StatusNotFound, "not_found"},
+		{"ghost plan", http.MethodGet, "/api/v1/plans/ghost", http.StatusNotFound, "plan_not_found"},
+		{"ghost archive", http.MethodGet, "/api/v1/archive/ghost", http.StatusNotFound, "not_found"},
 		{"bad limit", http.MethodGet, "/api/v1/nodes?limit=x", http.StatusBadRequest, "bad_request"},
 		{"negative offset", http.MethodGet, "/api/v1/tasks?offset=-1", http.StatusBadRequest, "bad_request"},
 	}
@@ -338,7 +339,7 @@ END`,
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if view.Status != "completed" || !view.Completed {
+	if view.Status != "succeeded" || !view.Completed {
 		t.Fatalf("task view = %+v", view)
 	}
 	if view.Executed != 17 {
@@ -449,7 +450,7 @@ func TestQueueBackpressure(t *testing.T) {
 
 	open()
 	for _, id := range []string{"T-blk", "T-q1", "T-q2"} {
-		if view := pollStatus(t, ts.URL+"/api/v1/tasks/"+id, settled); view.Status != "completed" {
+		if view := pollStatus(t, ts.URL+"/api/v1/tasks/"+id, settled); view.Status != "succeeded" {
 			t.Errorf("task %s = %+v", id, view)
 		}
 	}
@@ -474,7 +475,7 @@ func TestRetentionEvictedOverHTTP(t *testing.T) {
 	}
 	// Single worker, admission order: T-new finishing means T-old finished
 	// earlier and was evicted by the K=1 retention bound.
-	if view := pollStatus(t, ts.URL+"/api/v1/tasks/T-new", settled); view.Status != "completed" {
+	if view := pollStatus(t, ts.URL+"/api/v1/tasks/T-new", settled); view.Status != "succeeded" {
 		t.Fatalf("T-new = %+v", view)
 	}
 	var body errorBody
@@ -515,7 +516,7 @@ END`,
 	for {
 		var view TaskView
 		getJSON(t, ts.URL+"/api/v1/tasks/T-obs", &view)
-		if view.Status == "completed" {
+		if view.Status == "succeeded" {
 			break
 		}
 		if view.Status == "failed" || time.Now().After(deadline) {
@@ -602,25 +603,25 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
-func TestPlansEndpoint(t *testing.T) {
+func TestArchiveEndpoint(t *testing.T) {
 	s, ts := testServer(t)
-	// Plan through the environment, then fetch over HTTP.
+	// Plan through the environment, then fetch the archived plan over HTTP.
 	if _, _, err := s.env.Plan("http-plan", virolab.Problem()); err != nil {
 		t.Fatal(err)
 	}
 	var names []string
-	if code := getJSON(t, ts.URL+"/api/v1/plans", &names); code != 200 || len(names) != 1 {
-		t.Fatalf("plans status %d names %v", code, names)
+	if code := getJSON(t, ts.URL+"/api/v1/archive", &names); code != 200 || len(names) != 1 {
+		t.Fatalf("archive status %d names %v", code, names)
 	}
 	var plan map[string]any
-	if code := getJSON(t, ts.URL+"/api/v1/plans/http-plan", &plan); code != 200 {
-		t.Fatalf("plan status %d", code)
+	if code := getJSON(t, ts.URL+"/api/v1/archive/http-plan", &plan); code != 200 {
+		t.Fatalf("archived plan status %d", code)
 	}
 	if !strings.Contains(plan["pdl"].(string), "BEGIN") {
-		t.Errorf("plan body = %v", plan)
+		t.Errorf("archived plan body = %v", plan)
 	}
-	if code := getJSON(t, ts.URL+"/api/v1/plans/ghost", nil); code != http.StatusNotFound {
-		t.Errorf("ghost plan status %d", code)
+	if code := getJSON(t, ts.URL+"/api/v1/archive/ghost", nil); code != http.StatusNotFound {
+		t.Errorf("ghost archived plan status %d", code)
 	}
 }
 

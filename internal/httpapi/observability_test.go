@@ -179,7 +179,7 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 	for {
 		var view TaskView
 		getJSON(t, ts.URL+"/api/v1/tasks/T-prom", &view)
-		if view.Status == "completed" || view.Status == "failed" {
+		if view.Status == "succeeded" || view.Status == "failed" {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -393,7 +393,7 @@ func TestStatsEndpoint(t *testing.T) {
 	for {
 		var view TaskView
 		getJSON(t, ts.URL+"/api/v1/tasks/T-stats", &view)
-		if view.Status == "completed" {
+		if view.Status == "succeeded" {
 			break
 		}
 		if view.Status == "failed" || time.Now().After(deadline) {

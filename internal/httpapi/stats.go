@@ -11,17 +11,19 @@ import (
 
 	"repro/internal/coordination"
 	"repro/internal/engine"
+	"repro/internal/planner"
 	"repro/internal/services"
 	"repro/internal/store"
 )
 
 // StatsView is the GET /api/v1/stats response.
 type StatsView struct {
-	Nodes  statsNodes   `json:"nodes"`
-	Engine engine.Stats `json:"engine"`
-	Tasks  statsTasks   `json:"tasks"`
-	Events statsEvents  `json:"events"`
-	Store  StoreView    `json:"store"`
+	Nodes   statsNodes           `json:"nodes"`
+	Engine  engine.Stats         `json:"engine"`
+	Planner planner.ServiceStats `json:"planner"`
+	Tasks   statsTasks           `json:"tasks"`
+	Events  statsEvents          `json:"events"`
+	Store   StoreView            `json:"store"`
 }
 
 // statsNodes summarizes cluster health (monitoring's authoritative view).
@@ -104,7 +106,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Degraded:    ch.Degraded,
 			Quarantined: ch.Quarantined,
 		},
-		Engine: s.env.Engine.Stats(),
+		Engine:  s.env.Engine.Stats(),
+		Planner: s.env.Planner.Stats(),
 		Tasks: statsTasks{
 			Completed: snap.Counters["engine.tasks.completed"],
 			Failed:    snap.Counters["engine.tasks.failed"],

@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/plantree"
@@ -68,7 +69,7 @@ func TestEvaluateAllCacheTrimKeepsWorkingSet(t *testing.T) {
 		return out
 	}
 
-	gp.evaluateAll(pop(1, 10))
+	gp.evaluateAll(context.Background(), pop(1, 10))
 	if gp.eval.Evaluations != 10 {
 		t.Fatalf("Evaluations = %d after first generation, want 10", gp.eval.Evaluations)
 	}
@@ -76,7 +77,7 @@ func TestEvaluateAllCacheTrimKeepsWorkingSet(t *testing.T) {
 	// The second generation pushes the cache past the limit (20 distinct
 	// trees against a limit of 16), forcing a trim mid-batch.
 	second := pop(11, 20)
-	gp.evaluateAll(second)
+	gp.evaluateAll(context.Background(), second)
 	if gp.eval.Evaluations != 20 {
 		t.Fatalf("Evaluations = %d after second generation, want 20", gp.eval.Evaluations)
 	}
@@ -86,7 +87,7 @@ func TestEvaluateAllCacheTrimKeepsWorkingSet(t *testing.T) {
 
 	// Re-scoring the identical population: every tree was added after the
 	// trim, so the repeat must be all cache hits.
-	gp.evaluateAll(second)
+	gp.evaluateAll(context.Background(), second)
 	if gp.eval.Evaluations != 20 {
 		t.Errorf("repeat evaluateAll recomputed trees: Evaluations = %d, want 20", gp.eval.Evaluations)
 	}

@@ -1,12 +1,15 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/plantree"
 	"repro/internal/telemetry"
@@ -34,9 +37,13 @@ type Result struct {
 	Best        Individual
 	History     []GenStats
 	Evaluations int // fitness evaluations actually computed (cache misses)
+
+	// Stopped is set when StopOnPerfect ended the run before the full
+	// generation budget; History then ends at the stopping generation.
+	Stopped bool
 }
 
-// GP is the genetic planner. Create with New, run with Run.
+// GP is the genetic planner. Create with New, run with RunContext.
 type GP struct {
 	problem  *workflow.Problem
 	params   Params
@@ -45,12 +52,18 @@ type GP struct {
 	services []string
 	seeds    []*plantree.Node
 	tel      *telemetry.Registry
+	trace    *telemetry.TaskTrace
 }
 
 // SetTelemetry wires a metrics registry: Run then counts generations,
 // evaluations, and size-limit rejections, and gauges the latest best/mean
 // fitness (see OBSERVABILITY.md). Call before Run; nil is a no-op.
 func (gp *GP) SetTelemetry(r *telemetry.Registry) { gp.tel = r }
+
+// SetTrace attaches a per-plan span trace: RunContext then records one
+// "gp-generation" span per generation with the best/mean fitness and the
+// evaluation count so far. Call before Run; nil is a no-op.
+func (gp *GP) SetTrace(t *telemetry.TaskTrace) { gp.trace = t }
 
 // Seed injects existing plan trees into the initial population (plan reuse:
 // re-planning "adapts an existing process description to new conditions").
@@ -80,10 +93,21 @@ func New(problem *workflow.Problem, params Params) (*GP, error) {
 	}, nil
 }
 
-// Run executes the procedure of Section 3.4.6: initialize, then for each
-// generation evaluate, select, cross over, and mutate; finally return the
-// highest-fitness plan seen in the final population.
-func (gp *GP) Run() (*Result, error) {
+// Run executes the full GP procedure without cancellation support.
+//
+// Deprecated: use RunContext. Run survives as a thin wrapper for the
+// experiment harness and older call sites.
+func (gp *GP) Run() (*Result, error) { return gp.RunContext(context.Background()) }
+
+// RunContext executes the procedure of Section 3.4.6: initialize, then for
+// each generation evaluate, select, cross over, and mutate; finally return
+// the highest-fitness plan seen in the last evaluated population. The
+// context is checked between generations (and inside the evaluation
+// fan-out), so a cancelled plan stops within one generation's work.
+func (gp *GP) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pop := make([]Individual, gp.params.PopulationSize)
 	for i := range pop {
 		if i < len(gp.seeds) {
@@ -95,7 +119,14 @@ func (gp *GP) Run() (*Result, error) {
 
 	res := &Result{}
 	for gen := 0; gen <= gp.params.Generations; gen++ {
-		gp.evaluateAll(pop)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		genStart := time.Now()
+		gp.evaluateAll(ctx, pop)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		stats := summarize(gen, pop)
 		res.History = append(res.History, stats)
 		if tel := gp.tel; tel != nil {
@@ -104,6 +135,16 @@ func (gp *GP) Run() (*Result, error) {
 			tel.Gauge("planner.last.mean_fitness").Set(stats.MeanFitness)
 			tel.Histogram("planner.generation.best_fitness",
 				[]float64{0.2, 0.4, 0.6, 0.8, 0.9, 1}).Observe(stats.BestFitness)
+		}
+		if gp.trace != nil {
+			gp.trace.Span("gp-generation", fmt.Sprintf("gen-%d", gen),
+				fmt.Sprintf("best=%.4f mean=%.4f size=%d evals=%d in %s",
+					stats.BestFitness, stats.MeanFitness, stats.BestSize,
+					gp.eval.Evaluations, time.Since(genStart).Round(time.Microsecond)))
+		}
+		if gp.params.StopOnPerfect && stats.BestFV >= 1 && stats.BestFG >= 1 {
+			res.Stopped = gen < gp.params.Generations
+			break
 		}
 		if gen == gp.params.Generations {
 			break
@@ -158,7 +199,7 @@ func (gp *GP) takeElites(pop []Individual) []Individual {
 	return elites
 }
 
-func (gp *GP) evaluateAll(pop []Individual) {
+func (gp *GP) evaluateAll(ctx context.Context, pop []Individual) {
 	keys := make([]string, len(pop))
 	misses := make(map[string]*plantree.Node)
 	var missKeys []string
@@ -175,10 +216,7 @@ func (gp *GP) evaluateAll(pop []Individual) {
 	}
 
 	results := make([]Evaluation, len(missKeys))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(missKeys) {
-		workers = len(missKeys)
-	}
+	workers := gp.evalWorkers(len(missKeys))
 	if workers > 1 {
 		var next atomic.Int64
 		var wg sync.WaitGroup
@@ -186,7 +224,7 @@ func (gp *GP) evaluateAll(pop []Individual) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					i := int(next.Add(1)) - 1
 					if i >= len(missKeys) {
 						return
@@ -198,8 +236,16 @@ func (gp *GP) evaluateAll(pop []Individual) {
 		wg.Wait()
 	} else {
 		for i, k := range missKeys {
+			if ctx.Err() != nil {
+				break
+			}
 			results[i] = gp.eval.evaluateOnly(misses[k])
 		}
+	}
+	if ctx.Err() != nil {
+		// Cancelled mid-generation: results are partial; the caller returns
+		// ctx.Err() before reading them, so skip the cache fill entirely.
+		return
 	}
 	gp.eval.Evaluations += len(missKeys)
 	for i, k := range missKeys {
@@ -213,6 +259,19 @@ func (gp *GP) evaluateAll(pop []Individual) {
 		}
 		pop[i].Eval = e
 	}
+}
+
+// evalWorkers sizes the evaluation pool: the explicit Params.EvalWorkers
+// if set, otherwise GOMAXPROCS, clamped to the number of cache misses.
+func (gp *GP) evalWorkers(n int) int {
+	w := gp.params.EvalWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return max(w, 1)
 }
 
 func summarize(gen int, pop []Individual) GenStats {
@@ -346,25 +405,146 @@ func Mutate(rng *rand.Rand, tree *plantree.Node, services []string, rate float64
 	return applied
 }
 
+// serviceSignature renders a service's pre/postconditions order-invariantly
+// so drop-in replacements (same contract, different provider) compare equal.
+func serviceSignature(s *workflow.Service) string {
+	ins := make([]string, len(s.Inputs))
+	for i := range s.Inputs {
+		ins[i] = s.Inputs[i].Name + ":" + s.Inputs[i].Condition
+	}
+	sort.Strings(ins)
+	outs := make([]string, len(s.Outputs))
+	for i, out := range s.Outputs {
+		props := make([]string, 0, len(out.Props))
+		for k, v := range out.Props {
+			props = append(props, k+"="+v.Str())
+		}
+		sort.Strings(props)
+		outs[i] = out.Name + "{" + strings.Join(props, ",") + "}"
+	}
+	sort.Strings(outs)
+	return strings.Join(ins, ";") + "|" + strings.Join(outs, ";")
+}
+
+// Neighborhood derives population seeds from a failed plan for incremental
+// re-planning (Figure 3): the failed tree with excluded leaves rewritten —
+// preferring a drop-in replacement with the same pre/postconditions (the
+// paper's "adapt an existing process description to new conditions"),
+// falling back to a random usable service — plus mutated variants of the
+// adapted tree, up to k seeds. The catalog is the full service set; the
+// excluded services' signatures are looked up there. The returned trees all
+// validate against smax; nil when no usable adaptation exists.
+func Neighborhood(rng *rand.Rand, failed *plantree.Node, excluded map[string]bool, catalog *workflow.Catalog, k, smax int) []*plantree.Node {
+	if failed == nil || catalog == nil || k < 1 {
+		return nil
+	}
+	var usable []string
+	for _, name := range catalog.Names() {
+		if !excluded[name] {
+			usable = append(usable, name)
+		}
+	}
+	if len(usable) == 0 {
+		return nil
+	}
+	// One replacement per excluded service, so every leaf that ran it is
+	// rewritten coherently.
+	replacement := map[string]string{}
+	replaceFor := func(name string) string {
+		if r, ok := replacement[name]; ok {
+			return r
+		}
+		r := ""
+		if dead := catalog.Get(name); dead != nil {
+			want := serviceSignature(dead)
+			for _, cand := range usable {
+				if svc := catalog.Get(cand); svc != nil && serviceSignature(svc) == want {
+					r = cand
+					break
+				}
+			}
+		}
+		if r == "" {
+			r = usable[rng.Intn(len(usable))]
+		}
+		replacement[name] = r
+		return r
+	}
+	base := failed.Clone()
+	for _, leaf := range base.Leaves() {
+		if excluded[leaf.Service] {
+			leaf.Service = replaceFor(leaf.Service)
+			leaf.Name = ""
+		}
+	}
+	if base.Validate(smax) != nil {
+		return nil
+	}
+	seeds := []*plantree.Node{base}
+	// The variants explore around the adapted plan at a heavier mutation
+	// rate than evolution uses, so the seeded population is diverse enough
+	// to escape a locally-broken structure.
+	const neighborRate = 0.15
+	for len(seeds) < k {
+		m := base.Clone()
+		Mutate(rng, m, usable, neighborRate, smax)
+		seeds = append(seeds, m)
+	}
+	return seeds
+}
+
 // RunMany performs n independent GP runs with seeds seed, seed+1, ... and
 // returns the per-run results, reproducing the paper's 10-run protocol.
+//
+// Deprecated: use RunManyContext, which runs the same protocol through the
+// planning service (parallel across runs) and supports cancellation.
 func RunMany(problem *workflow.Problem, params Params, n int) ([]*Result, error) {
+	return RunManyContext(context.Background(), problem, params, n)
+}
+
+// RunManyContext performs n independent GP runs with seeds seed, seed+1,
+// ... through an ephemeral planning service, so independent runs execute
+// across the service worker pool, and returns the per-run results in run
+// order. Plan caching is disabled: every run is a cold plan.
+func RunManyContext(ctx context.Context, problem *workflow.Problem, params Params, n int) ([]*Result, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("planner: RunMany with n=%d", n)
 	}
-	results := make([]*Result, n)
-	for i := 0; i < n; i++ {
+	if err := problem.Validate(); err != nil {
+		return nil, err
+	}
+	svc, err := NewService(ServiceConfig{Catalog: problem.Catalog, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	ids := make([]string, n)
+	for i := range ids {
 		p := params
 		p.Seed = params.Seed + int64(i)
-		gp, err := New(problem, p)
+		st, err := svc.Submit(ctx, PlanSpec{
+			ID:       fmt.Sprintf("run-%d", i),
+			Initial:  problem.Initial.Items(),
+			Goal:     problem.Goal.Conditions,
+			Params:   &p,
+			NoCache:  true,
+			TreeOnly: true,
+		})
 		if err != nil {
 			return nil, err
 		}
-		r, err := gp.Run()
+		ids[i] = st.ID
+	}
+	results := make([]*Result, n)
+	for i, id := range ids {
+		st, err := svc.Wait(ctx, id)
 		if err != nil {
 			return nil, err
 		}
-		results[i] = r
+		if st.Status != StatusSucceeded || st.Result == nil {
+			return nil, fmt.Errorf("planner: run %d %s: %s", i, st.Status, st.Error)
+		}
+		results[i] = st.Result
 	}
 	return results, nil
 }

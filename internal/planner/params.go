@@ -64,6 +64,20 @@ type Params struct {
 	StrictConcurrency bool
 
 	Seed int64
+
+	// EvalWorkers caps the fitness-evaluation worker pool used per
+	// generation (population members are independent, so they score in
+	// parallel). 0 sizes the pool from GOMAXPROCS — or from the planning
+	// service's fair share of it when the run goes through planner.Service.
+	// Execution-only: the planned result is bit-identical at any worker
+	// count, so EvalWorkers is excluded from the plan-cache key.
+	EvalWorkers int
+
+	// StopOnPerfect ends a run as soon as the generation's best individual
+	// reaches perfect validity and goal fitness (fv = fg = 1) — there is
+	// nothing left for later generations to improve except resource cost.
+	// Incremental re-planning budgets rely on it.
+	StopOnPerfect bool
 }
 
 // DefaultParams returns the settings of Table 1: population 200, 20
@@ -86,6 +100,22 @@ func DefaultParams() Params {
 		StrictConcurrency: true,
 		Seed:              1,
 	}
+}
+
+// Incremental derives the reduced re-planning budget from p: a quarter of
+// the population (floor 16) for a quarter of the generations (floor 3),
+// at least one elite slot so the adapted failed plan survives selection,
+// and early stop on the first perfect plan. Re-plans seeded from the
+// failed plan's neighborhood start close to a solution, so they converge
+// in a fraction of the cold-plan budget (the <10%-of-cold target).
+func (p Params) Incremental() Params {
+	p.PopulationSize = max(16, p.PopulationSize/4)
+	p.Generations = max(3, p.Generations/4)
+	if p.Elites < 1 || p.Elites >= p.PopulationSize {
+		p.Elites = 1
+	}
+	p.StopOnPerfect = true
+	return p
 }
 
 // Validate checks the parameters are usable.
@@ -119,6 +149,9 @@ func (p Params) Validate() error {
 	}
 	if p.MaxFlows < 1 {
 		return fmt.Errorf("planner: max flows %d < 1", p.MaxFlows)
+	}
+	if p.EvalWorkers < 0 {
+		return fmt.Errorf("planner: eval workers %d < 0", p.EvalWorkers)
 	}
 	return nil
 }

@@ -1,0 +1,179 @@
+package planner
+
+// The plan cache generalizes the per-run fitness cache one level up: where
+// the Evaluator memoizes tree → fitness within a run, the PlanCache
+// memoizes case → finished plan across runs. A "case" is canonicalized so
+// that requests differing only in the order of their goal conditions,
+// initial data items, or constraints share one entry, while any change to
+// the constraint set — or to a result-affecting GP parameter — keys a
+// fresh plan.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/workflow"
+)
+
+// defaultPlanCacheLimit bounds the plan cache; past it the oldest half is
+// dropped (same policy as the fitness cache). Plans are small (a PDL string
+// and an evaluation), so the default is generous.
+const defaultPlanCacheLimit = 4096
+
+// CanonicalKey derives the plan-cache key from a case description: the
+// sorted goal set, sorted initial data items (rendered with sorted
+// properties), sorted constraints, sorted excluded services, and the
+// result-affecting GP parameters. Population seeds and the failed plan of
+// an incremental re-plan are deliberately excluded — they are hints that
+// change how fast a plan is found, and a cached plan for the same case is
+// exactly the answer a re-plan wants when it is still executable.
+// EvalWorkers is also excluded: the planned result is bit-identical at any
+// worker count.
+func CanonicalKey(initial []*workflow.DataItem, goal, constraints, excluded []string, p Params) string {
+	h := sha256.New()
+	section := func(name string, vals []string) {
+		sorted := append([]string(nil), vals...)
+		sort.Strings(sorted)
+		fmt.Fprintf(h, "%s/%d\n", name, len(sorted))
+		for _, v := range sorted {
+			fmt.Fprintf(h, "%q\n", v)
+		}
+	}
+	items := make([]string, 0, len(initial))
+	for _, it := range initial {
+		if it != nil {
+			items = append(items, it.String())
+		}
+	}
+	section("initial", items)
+	section("goal", goal)
+	section("constraints", constraints)
+	section("excluded", excluded)
+	fmt.Fprintf(h, "params/%d/%d/%g/%g/%d/%g/%g/%g/%d/%s/%d/%d/%d/%t/%t/%d\n",
+		p.PopulationSize, p.Generations, p.CrossoverRate, p.MutationRate,
+		p.Smax, p.WV, p.WG, p.WR, p.TournamentSize, p.Selection, p.Elites,
+		p.MaxLoopUnroll, p.MaxFlows, p.StrictConcurrency, p.StopOnPerfect,
+		p.Seed)
+	return "case:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// PlanResult is a finished plan as the cache stores it: the formatted PDL,
+// the canonical tree rendering, its evaluation, and the services the plan
+// uses (the invalidation index).
+type PlanResult struct {
+	PDL      string
+	Tree     string
+	Eval     Evaluation
+	Services []string
+}
+
+// PlanCache is a bounded, invalidatable case → plan memo shared by all
+// workers of a planning service. All methods are goroutine-safe.
+type PlanCache struct {
+	mu      sync.Mutex
+	limit   int
+	entries map[string]PlanResult
+	order   []string // insertion order for oldest-half trims
+
+	hits          int64
+	misses        int64
+	invalidations int64
+}
+
+// NewPlanCache builds a cache bounded to limit entries (0 means the
+// default).
+func NewPlanCache(limit int) *PlanCache {
+	if limit <= 0 {
+		limit = defaultPlanCacheLimit
+	}
+	return &PlanCache{limit: limit, entries: make(map[string]PlanResult)}
+}
+
+// Get looks the key up, counting the hit or miss.
+func (c *PlanCache) Get(key string) (PlanResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r, ok
+}
+
+// Put stores a finished plan, trimming the oldest half when full.
+func (c *PlanCache) Put(key string, r PlanResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = r
+	if len(c.entries) <= c.limit {
+		return
+	}
+	keep := c.order[len(c.order)/2:]
+	for _, k := range c.order[:len(c.order)/2] {
+		delete(c.entries, k)
+	}
+	c.order = append([]string(nil), keep...)
+}
+
+// InvalidateService drops every cached plan that uses the named service
+// and returns how many were dropped — the hook the planning agent calls
+// when brokerage verifies a service is non-executable (Figure 3), so stale
+// plans never short-circuit a re-plan onto a dead service.
+func (c *PlanCache) InvalidateService(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for key, r := range c.entries {
+		for _, svc := range r.Services {
+			if svc == name {
+				delete(c.entries, key)
+				dropped++
+				break
+			}
+		}
+	}
+	if dropped > 0 {
+		c.invalidations += int64(dropped)
+		keep := c.order[:0]
+		for _, k := range c.order {
+			if _, ok := c.entries[k]; ok {
+				keep = append(keep, k)
+			}
+		}
+		c.order = keep
+	}
+	return dropped
+}
+
+// InvalidateAll empties the cache and returns how many entries it held.
+func (c *PlanCache) InvalidateAll() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.entries = make(map[string]PlanResult)
+	c.order = nil
+	c.invalidations += int64(n)
+	return n
+}
+
+// Len reports the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Counters reports lifetime hits, misses, and invalidated entries.
+func (c *PlanCache) Counters() (hits, misses, invalidations int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.invalidations
+}

@@ -7,24 +7,20 @@
 package planning
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/agent"
-	"repro/internal/pdl"
 	"repro/internal/planner"
 	"repro/internal/plantree"
 	"repro/internal/services"
 	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
-
-// formatPDL renders a process description as PDL text.
-func formatPDL(p *workflow.ProcessDescription) (string, error) {
-	return pdl.FormatProcess(p)
-}
 
 // PlanRequest asks the planning service for a process description
 // (Figure 2: "planning task specification").
@@ -44,6 +40,12 @@ type PlanRequest struct {
 	// acquiring the knowledge directly from the coordination service).
 	NonExecutable []string
 	TrustCaller   bool
+
+	// Failed, when set on a re-plan, is the process description whose
+	// enactment failed. Planning then runs incrementally: the new
+	// population is seeded from the failed plan's neighborhood under the
+	// reduced Incremental() budget instead of ramped-random from scratch.
+	Failed *workflow.ProcessDescription
 }
 
 // PlanReply returns the new plan.
@@ -71,6 +73,12 @@ type Service struct {
 	// random population). By default the service seeds each run with its
 	// most recent successful plans, adapted to the current exclusions.
 	DisableReuse bool
+
+	// Planner is the planning backend every request runs through — the
+	// worker pool and plan cache live there. core.NewEnvironment wires the
+	// environment-wide instance; when unset, one is created lazily on the
+	// first request.
+	Planner *planner.Service
 
 	mu      sync.Mutex
 	history []*plantree.Node // most recent first, bounded
@@ -129,6 +137,25 @@ func (s *Service) trace(format string, args ...any) {
 	}
 }
 
+// planner returns the planning backend, creating a private one on first
+// use when core did not wire a shared instance.
+func (s *Service) planner() (*planner.Service, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Planner == nil {
+		ps, err := planner.NewService(planner.ServiceConfig{
+			Catalog:   s.Catalog,
+			Params:    s.Params,
+			Telemetry: s.Telemetry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Planner = ps
+	}
+	return s.Planner, nil
+}
+
 // HandleMessage implements agent.Handler.
 func (s *Service) HandleMessage(ctx *agent.Context, msg agent.Message) {
 	req, ok := msg.Content.(PlanRequest)
@@ -167,63 +194,70 @@ func (s *Service) Plan(ctx *agent.Context, req PlanRequest) (PlanReply, error) {
 		}
 	}
 
-	catalog := workflow.NewCatalog()
-	for _, svc := range s.Catalog.Services() {
-		if !excluded[svc.Name] {
-			catalog.Add(svc)
+	exList := make([]string, 0, len(excluded))
+	usable := make([]string, 0, s.Catalog.Len())
+	for _, name := range s.Catalog.Names() {
+		if excluded[name] {
+			exList = append(exList, name)
+		} else {
+			usable = append(usable, name)
 		}
 	}
-	if catalog.Len() == 0 {
+	sort.Strings(exList)
+	if len(usable) == 0 {
 		return PlanReply{}, fmt.Errorf("planning: no executable services remain")
 	}
 
-	problem := &workflow.Problem{
-		Name:    "planning-request",
-		Initial: workflow.NewState(req.Initial...),
-		Goal:    workflow.NewGoal(req.Goal...),
-		Catalog: catalog,
+	ps, err := s.planner()
+	if err != nil {
+		return PlanReply{}, err
 	}
+	// A verified-dead service invalidates every cached plan that uses it:
+	// a stale cache hit would send enactment straight back to the fault.
+	for _, name := range exList {
+		ps.InvalidateService(name)
+	}
+
 	params := s.Params
-	seeds := s.seeds(excluded, catalog.Names(), params.Seed)
-	if len(seeds) > 0 && params.Elites == 0 {
+	var failedTree *plantree.Node
+	if req.Failed != nil {
+		if t, convErr := plantree.FromProcess(req.Failed); convErr == nil {
+			failedTree = t
+			params = params.Incremental()
+		}
+	}
+	seeds := s.seeds(excluded, usable, params.Seed)
+	if (len(seeds) > 0 || failedTree != nil) && params.Elites == 0 {
 		// A reused plan is only useful if evolution cannot destroy the last
 		// copy of it; reserve one elite slot when seeding.
 		params.Elites = 1
 	}
-	gp, err := planner.New(problem, params)
+
+	st, err := ps.Submit(context.Background(), planner.PlanSpec{
+		Initial:  req.Initial,
+		Goal:     req.Goal,
+		Excluded: exList,
+		Seeds:    seeds,
+		Failed:   failedTree,
+		Params:   &params,
+		TaskID:   req.TaskID,
+	})
 	if err != nil {
-		return PlanReply{}, err
+		return PlanReply{}, fmt.Errorf("planning: %w", err)
 	}
-	gp.SetTelemetry(s.Telemetry)
-	gp.Seed(seeds...)
-	res, err := gp.Run()
+	st, err = ps.Wait(context.Background(), st.ID)
 	if err != nil {
-		return PlanReply{}, err
+		return PlanReply{}, fmt.Errorf("planning: %w", err)
 	}
-	if req.TaskID != "" {
-		tt := s.Telemetry.TaskTrace(req.TaskID)
-		for _, g := range res.History {
-			tt.Span("gp-generation", fmt.Sprintf("gen-%d", g.Generation),
-				fmt.Sprintf("best %.3f mean %.3f size %d", g.BestFitness, g.MeanFitness, g.BestSize))
+	if st.Status != planner.StatusSucceeded {
+		return PlanReply{}, fmt.Errorf("planning: plan %s %s: %s", st.ID, st.Status, st.Error)
+	}
+	if st.Result != nil {
+		if e := st.Result.Best.Eval; e.FV >= 1 && e.FG >= 1 {
+			s.remember(st.Result.Best.Tree.Normalize())
 		}
 	}
-	tree := res.Best.Tree.Normalize()
-	pd, err := plantree.ToProcess("planned", tree)
-	if err != nil {
-		return PlanReply{}, fmt.Errorf("planning: best tree does not convert: %w", err)
-	}
-	text, err := formatPDL(pd)
-	if err != nil {
-		return PlanReply{}, err
-	}
-	var exList []string
-	for name := range excluded {
-		exList = append(exList, name)
-	}
-	if res.Best.Eval.FV >= 1 && res.Best.Eval.FG >= 1 {
-		s.remember(tree)
-	}
-	return PlanReply{PDL: text, Tree: tree.String(), Eval: res.Best.Eval, Excluded: exList}, nil
+	return PlanReply{PDL: st.PDL, Tree: st.Tree, Eval: st.Eval, Excluded: exList}, nil
 }
 
 // verifyExecutable performs the Figure 3 interaction: find a brokerage via
