@@ -6,9 +6,10 @@
 //
 //	gridenv [-addr :8080] [-clusters 6] [-smps 3] [-supers 1] [-seed 1]
 //	        [-store mem:|file:DIR|bolt:PATH.db] [-store-batch N]
-//	        [-store-interval D] [-workers N]
+//	        [-store-interval D] [-workers N] [-enact-delay D]
 //	        [-tenants alpha:3,beta:1] [-tenant-max-queued N]
 //	        [-tenant-max-inflight N] [-tenant-rate R] [-tenant-burst N]
+//	        [-node-id a -peers a=http://h1:8080,b=http://h2:8080]
 //	        [-log-level info] [-log-format text] [-pprof]
 //
 // -store selects the storage backend by DSN: "mem:" (volatile, the default),
@@ -23,7 +24,8 @@
 // checkpoint, and finished tasks stay queryable. A bare path (no scheme) is
 // the legacy mode: an in-memory store loaded from that JSON dump at startup
 // and saved back on SIGINT/SIGTERM. -workers sizes the engine's coordinator
-// worker pool (default: GOMAXPROCS).
+// worker pool (default: GOMAXPROCS); -enact-delay sleeps that long per
+// enacted activity, emulating remote service latency for load experiments.
 //
 // -tenants assigns fair-share weights (id:weight,...) to named tenants; the
 // -tenant-* flags set the default admission quotas — max queued tasks, max
@@ -31,6 +33,14 @@
 // every tenant without an explicit entry. Quota rejections answer HTTP 429
 // tenant_queue_full / tenant_rate_limited with Retry-After and X-RateLimit-*
 // headers; per-tenant accounting is served at /api/v1/tenants.
+//
+// -peers joins this process to a multi-node cluster: the value is the full
+// static membership (id=addr or id=addr=weight, comma-separated, including
+// this node, whose entry -node-id selects). Task and plan ownership is
+// partitioned across members by consistent hashing; requests landing on a
+// non-owner are forwarded to the owner transparently, /api/v1/cluster
+// serves membership and health, and ?scope=cluster on /api/v1/stats and
+// /api/v1/tenants aggregates across the cluster. See README "Clustering".
 //
 // Try it:
 //
@@ -63,7 +73,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/grid"
@@ -73,6 +85,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/virolab"
+	"repro/internal/workflow"
 )
 
 func main() {
@@ -86,6 +99,7 @@ func main() {
 		storeBat  = flag.Int("store-batch", 0, "group-commit batch bound for durable backends (0 = default)")
 		storeIntv = flag.Duration("store-interval", 0, "group-commit linger interval (0 = flush when the flusher is free)")
 		workers   = flag.Int("workers", 0, "enactment worker pool size (0 = GOMAXPROCS)")
+		enactDel  = flag.Duration("enact-delay", 0, "emulated per-activity service latency (load experiments; 0 = none)")
 		planWkrs  = flag.Int("plan-workers", 0, "planning service worker pool size (0 = GOMAXPROCS)")
 		planCache = flag.Int("plan-cache", 0, "plan cache size in entries (0 = default 4096)")
 		tenants   = flag.String("tenants", "", "per-tenant fair-share weights as id:weight,... (empty = all weight 1)")
@@ -93,11 +107,15 @@ func main() {
 		tMaxIF    = flag.Int("tenant-max-inflight", 0, "default per-tenant concurrent-enactment cap (0 = unlimited)")
 		tRate     = flag.Float64("tenant-rate", 0, "default per-tenant submit rate per second (0 = unlimited)")
 		tBurst    = flag.Int("tenant-burst", 0, "default per-tenant submit burst (0 = max(1, ceil(rate)))")
+		nodeID    = flag.String("node-id", "", "this node's cluster identity (required with -peers)")
+		peers     = flag.String("peers", "", "cluster membership as id=addr[,id=addr=weight,...] including this node (empty = single-node)")
+		heartbeat = flag.Duration("heartbeat", 0, "cluster heartbeat probe interval (0 = 500ms)")
 		logLevel  = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error")
 		logFmt    = flag.String("log-format", "text", "structured log encoding: text or json")
 		pprof     = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
+	clusterCfg := clusterOptions{nodeID: *nodeID, peers: *peers, heartbeat: *heartbeat}
 	tenantCfg := tenantOptions{
 		weights: *tenants,
 		defaults: engine.TenantConfig{
@@ -109,7 +127,7 @@ func main() {
 		dsn:   *storeDSN,
 		flush: store.FlushConfig{MaxBatch: *storeBat, Interval: *storeIntv},
 	}
-	if err := run(*addr, *clusters, *smps, *supers, *seed, storeCfg, *workers, *planWkrs, *planCache, tenantCfg, *logLevel, *logFmt, *pprof); err != nil {
+	if err := run(*addr, *clusters, *smps, *supers, *seed, storeCfg, *workers, *enactDel, *planWkrs, *planCache, tenantCfg, clusterCfg, *logLevel, *logFmt, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "gridenv:", err)
 		os.Exit(1)
 	}
@@ -132,6 +150,39 @@ func (s storeOptions) split() (dsn, legacyDump string) {
 		return s.dsn, ""
 	}
 	return "", s.dsn
+}
+
+// clusterOptions carries the clustering flags into run.
+type clusterOptions struct {
+	nodeID    string
+	peers     string
+	heartbeat time.Duration
+}
+
+// node builds and starts the cluster node, or returns nil when -peers is
+// unset (single-node deployment).
+func (c clusterOptions) node(env *core.Environment) (*cluster.Node, error) {
+	if c.peers == "" {
+		if c.nodeID != "" {
+			return nil, fmt.Errorf("-node-id given without -peers")
+		}
+		return nil, nil
+	}
+	if c.nodeID == "" {
+		return nil, fmt.Errorf("-peers requires -node-id")
+	}
+	list, err := cluster.ParsePeers(c.peers)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(cluster.Config{
+		NodeID:            c.nodeID,
+		Peers:             list,
+		Engine:            env.Engine,
+		Telemetry:         env.Telemetry,
+		Logger:            env.Logger,
+		HeartbeatInterval: c.heartbeat,
+	})
 }
 
 // tenantOptions carries the tenancy flags into run.
@@ -159,7 +210,7 @@ func (t tenantOptions) resolve() (map[string]engine.TenantConfig, engine.TenantC
 	return out, t.defaults, nil
 }
 
-func run(addr string, clusters, smps, supers int, seed int64, storeCfg storeOptions, workers, planWorkers, planCache int, tenants tenantOptions, logLevel, logFmt string, pprof bool) error {
+func run(addr string, clusters, smps, supers int, seed int64, storeCfg storeOptions, workers int, enactDelay time.Duration, planWorkers, planCache int, tenants tenantOptions, clusterCfg clusterOptions, logLevel, logFmt string, pprof bool) error {
 	gridCfg := grid.DefaultSyntheticConfig()
 	gridCfg.Clusters = clusters
 	gridCfg.SMPs = smps
@@ -176,12 +227,24 @@ func run(addr string, clusters, smps, supers int, seed int64, storeCfg storeOpti
 		return err
 	}
 
+	// -enact-delay emulates per-activity service latency (network + remote
+	// compute) so load experiments exercise worker-pool capacity rather than
+	// raw single-process CPU; it composes with the resolution hook.
+	post := virolab.ResolutionHook(nil)
+	if enactDelay > 0 {
+		inner := post
+		post = func(a *workflow.Activity, items []*workflow.DataItem, iter int) {
+			time.Sleep(enactDelay)
+			inner(a, items, iter)
+		}
+	}
+
 	dsn, legacyDump := storeCfg.split()
 	env, err := core.NewEnvironment(core.Options{
 		GridConfig:     &gridCfg,
 		Catalog:        virolab.Catalog(),
 		Planner:        params,
-		PostProcess:    virolab.ResolutionHook(nil),
+		PostProcess:    post,
 		Checkpoint:     true,
 		StoreDSN:       dsn,
 		StoreFlush:     storeCfg.flush,
@@ -197,6 +260,14 @@ func run(addr string, clusters, smps, supers int, seed int64, storeCfg storeOpti
 	}
 	defer env.Close()
 
+	node, err := clusterCfg.node(env)
+	if err != nil {
+		return err
+	}
+	if node != nil {
+		env.AttachCluster(node)
+	}
+
 	replay := dsn != "" && env.Store.Kind() != "mem"
 	if legacyDump != "" {
 		if err := env.Services.Storage.Load(legacyDump); err == nil {
@@ -207,7 +278,16 @@ func run(addr string, clusters, smps, supers int, seed int64, storeCfg storeOpti
 		}
 	}
 	if replay {
-		report, err := env.Engine.Recover()
+		// Clustered nodes sharing a replicated store replay only their own
+		// ring partition, so a restart does not steal live peers' tasks.
+		var own func(tenant, taskID string) bool
+		if node != nil {
+			own = func(tenant, taskID string) bool {
+				_, mine := node.Owner(tenant, taskID)
+				return mine
+			}
+		}
+		report, err := env.Engine.RecoverOwned(own)
 		if err != nil {
 			return fmt.Errorf("replaying task journal: %w", err)
 		}
@@ -225,6 +305,13 @@ func run(addr string, clusters, smps, supers int, seed int64, storeCfg storeOpti
 	server := &http.Server{Addr: addr, Handler: ui.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
+	if node != nil {
+		// Heartbeats start once the HTTP server is accepting, since peers
+		// probe this node's /healthz right back.
+		node.Start()
+		fmt.Printf("cluster node %s up: %d peers, ring %s\n",
+			node.Self().ID, len(node.Ring().Members())-1, node.Ring().Version())
+	}
 	fmt.Printf("grid environment up: %d nodes, %d containers; serving on %s\n",
 		len(env.Grid.Nodes()), len(env.Grid.Containers()), addr)
 

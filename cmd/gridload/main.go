@@ -8,7 +8,13 @@
 //	gridload [-mode sim|live] [-pattern closed|open] [-seed 1]
 //	         [-tenants alpha:3,beta:1,gamma:1] [-n 1000]
 //	         [-rate 100] [-outstanding 8] [-workers 4] [-capacity 0]
-//	         [-service-mean 0.05] [-indent]
+//	         [-service-mean 0.05] [-endpoints URL,URL,...] [-indent]
+//
+// -endpoints (live mode) drives already-running gridenv processes over
+// their HTTP API instead of building an in-process engine, round-robining
+// submissions across the listed base URLs — point it at the members of a
+// gridenv -peers cluster to measure whole-cluster goodput at 1, 2, or 4
+// nodes, forwarding overhead included.
 //
 // The default sim mode replays the workload against the engine's actual
 // fair-queue scheduling code under a virtual clock: the same seed and flags
@@ -29,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -60,6 +67,7 @@ func run(args []string, out *os.File) error {
 		workers     = fs.Int("workers", 4, "simulated workers (sim) / engine worker pool (live)")
 		capacity    = fs.Int("capacity", 0, "admission queue capacity (0 = sized automatically)")
 		serviceMean = fs.Float64("service-mean", 0.05, "simulated mean service seconds (sim only)")
+		endpoints   = fs.String("endpoints", "", "comma-separated gridenv base URLs to drive over HTTP (live mode; empty = in-process engine)")
 		indent      = fs.Bool("indent", false, "pretty-print the JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -84,9 +92,16 @@ func run(args []string, out *os.File) error {
 	var report *load.Report
 	switch *mode {
 	case "sim":
+		if *endpoints != "" {
+			return fmt.Errorf("-endpoints needs -mode live")
+		}
 		report, err = load.RunSim(spec)
 	case "live":
-		report, err = runLive(spec)
+		if *endpoints != "" {
+			report, err = runHTTP(spec, strings.Split(*endpoints, ","))
+		} else {
+			report, err = runLive(spec)
+		}
 	default:
 		return fmt.Errorf("unknown mode %q (want sim or live)", *mode)
 	}
@@ -131,6 +146,67 @@ func runLive(spec load.Spec) (*load.Report, error) {
 		Priority: engine.PriorityNormal,
 	}
 	return runner.Run(spec)
+}
+
+// runHTTP drives already-running gridenv nodes over their HTTP API,
+// round-robining submissions across the endpoints — on a multi-node
+// cluster (gridenv -peers) this measures whole-cluster goodput including
+// the request-forwarding path. Endpoints are base URLs without trailing
+// slash; whitespace around commas is tolerated.
+func runHTTP(spec load.Spec, endpoints []string) (*load.Report, error) {
+	cleaned := make([]string, 0, len(endpoints))
+	for _, e := range endpoints {
+		e = strings.TrimSuffix(strings.TrimSpace(e), "/")
+		if e != "" {
+			cleaned = append(cleaned, e)
+		}
+	}
+	runner := &load.HTTPRunner{Endpoints: cleaned, NewBody: liveBody}
+	return runner.Run(spec)
+}
+
+// liveBody builds the POST /api/v1/tasks JSON for the n-th task of a
+// tenant — the same workload liveTask feeds the in-process engine.
+func liveBody(tenant string, n int) (string, []byte, error) {
+	id := fmt.Sprintf("%s-%d", tenant, n)
+	type dataItem struct {
+		Name           string             `json:"name"`
+		Classification string             `json:"classification"`
+		Props          map[string]float64 `json:"props,omitempty"`
+		TextProps      map[string]string  `json:"textProps,omitempty"`
+	}
+	var items []dataItem
+	for _, d := range virolab.InitialData() {
+		it := dataItem{Name: d.Name}
+		for k, v := range d.Props {
+			switch {
+			case k == workflow.PropClassification:
+				it.Classification = v.Str()
+			default:
+				if num, ok := v.Num(); ok {
+					if it.Props == nil {
+						it.Props = map[string]float64{}
+					}
+					it.Props[k] = num
+				} else {
+					if it.TextProps == nil {
+						it.TextProps = map[string]string{}
+					}
+					it.TextProps[k] = v.Str()
+				}
+			}
+		}
+		items = append(items, it)
+	}
+	body, err := json.Marshal(map[string]any{
+		"id":          id,
+		"name":        "gridload " + id,
+		"pdl":         livePDL,
+		"initialData": items,
+		"goal":        []string{`G.Classification = "Density Map"`},
+		"tenant":      tenant,
+	})
+	return id, body, err
 }
 
 const livePDL = `BEGIN, POD(D1, D7 -> D8), END`

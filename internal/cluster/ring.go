@@ -1,0 +1,171 @@
+// Package cluster turns N gridenv processes into one logical grid
+// environment — the decentralized-enactment end of Yu & Buyya's design
+// space, and the peer-engine topology of Costan et al.'s workflow-platform
+// model. Each process runs a cluster.Node over a static peer list:
+//
+//   - task and plan ownership is partitioned by consistent-hashing
+//     tenant+ID over a weighted hash ring (ring.go), so every node computes
+//     the same owner for the same resource without coordination;
+//   - requests that arrive at a non-owner are transparently forwarded to
+//     the owning peer over the existing /api/v1 HTTP surface (the
+//     forwarding itself lives in internal/httpapi, which consults Node);
+//   - peer liveness comes from a lightweight heartbeat loop probing each
+//     peer's /healthz; a peer that misses MissThreshold consecutive probes
+//     is declared dead and its ring partition fails over to the next alive
+//     successor;
+//   - failover replays the dead peer's task journals from the shared (or
+//     replicated) store onto the surviving new owner — the checkpoint-exact
+//     crash-recovery machinery of the enactment engine does the hard part
+//     (engine.RecoverOwned with an ownership filter).
+//
+// The ring is static (configured membership); liveness is an overlay. A
+// dead peer that comes back is probed alive again and resumes ownership of
+// its partition for new work; work that already failed over stays where it
+// ran (records are never migrated back).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Member is one weighted ring member.
+type Member struct {
+	// ID is the node identity (gridenv -node-id).
+	ID string
+	// Weight scales the member's share of the key space; non-positive
+	// means 1. A node with weight 2 owns roughly twice the keys of a
+	// weight-1 node.
+	Weight int
+}
+
+// vnodesPerWeight is how many virtual points one weight unit contributes.
+// 64 keeps the per-member share within a few percent of its weight share
+// for small clusters while the ring stays tiny (4 nodes × weight 1 = 256
+// points).
+const vnodesPerWeight = 64
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	id   string
+}
+
+// Ring is a weighted consistent-hash ring. It is immutable after New; all
+// methods are safe for concurrent use.
+type Ring struct {
+	points  []point
+	ids     []string // distinct member IDs, sorted
+	version string
+}
+
+// NewRing builds the ring. Every node of a cluster must build it from the
+// same member list (order-insensitive) to compute identical ownership.
+func NewRing(members []Member) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, m := range members {
+		if m.ID == "" {
+			return nil, fmt.Errorf("cluster: ring member with empty ID")
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("cluster: duplicate ring member %q", m.ID)
+		}
+		seen[m.ID] = true
+		r.ids = append(r.ids, m.ID)
+		w := m.Weight
+		if w <= 0 {
+			w = 1
+		}
+		for v := 0; v < w*vnodesPerWeight; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", m.ID, v)), id: m.ID})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id
+	})
+	sort.Strings(r.ids)
+	// The version fingerprints the membership (IDs and weights via the
+	// point multiset); nodes expose it so operators can spot ring drift.
+	h := fnv.New64a()
+	for _, p := range r.points {
+		fmt.Fprintf(h, "%016x:%s;", p.hash, p.id)
+	}
+	r.version = fmt.Sprintf("%016x", h.Sum64())
+	return r, nil
+}
+
+// Members returns the distinct member IDs, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.ids...) }
+
+// Version is the membership fingerprint; equal rings have equal versions.
+func (r *Ring) Version() string { return r.version }
+
+// Owner returns the key's primary owner: the member whose virtual point is
+// the first at or after the key's hash, wrapping around.
+func (r *Ring) Owner(key string) string {
+	return r.points[r.successor(key)].id
+}
+
+// Successors returns the distinct members in ring order starting at the
+// key's primary owner. The first entry is Owner(key); the rest are the
+// failover order of the key's partition.
+func (r *Ring) Successors(key string) []string {
+	out := make([]string, 0, len(r.ids))
+	seen := map[string]bool{}
+	start := r.successor(key)
+	for i := 0; i < len(r.points) && len(out) < len(r.ids); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.id] {
+			seen[p.id] = true
+			out = append(out, p.id)
+		}
+	}
+	return out
+}
+
+// successor finds the index of the first point at or after the key's hash.
+func (r *Ring) successor(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// hash64 is the ring's hash: FNV-1a with a 64-bit avalanche finalizer,
+// stable across processes and platforms. Raw FNV-1a is not enough here:
+// keys differing only in a trailing counter ("t/task-1", "t/task-2", ...)
+// leave the top bits almost unchanged — the final xor-multiply moves them
+// by small multiples of the prime (~2^40) — so sequential IDs would pile
+// onto one arc of the ring. The finalizer (murmur3's fmix64) spreads every
+// input bit across the whole word.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Key builds the ownership key of a resource: tenant+ID, with the empty
+// tenant canonicalized so that routing agrees with the engine's accounting
+// (engine.DefaultTenant). Both tasks and plans are keyed this way.
+func Key(tenant, id string) string {
+	if tenant == "" {
+		tenant = "default"
+	}
+	return tenant + "/" + id
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringOf(t *testing.T, members ...Member) *Ring {
+	t.Helper()
+	r, err := NewRing(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := NewRing([]Member{{ID: ""}}); err == nil {
+		t.Error("empty member ID accepted")
+	}
+	if _, err := NewRing([]Member{{ID: "a"}, {ID: "a"}}); err == nil {
+		t.Error("duplicate member ID accepted")
+	}
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	r1 := ringOf(t, Member{ID: "a"}, Member{ID: "b"}, Member{ID: "c"})
+	// Same membership in a different order builds the same ring.
+	r2 := ringOf(t, Member{ID: "c"}, Member{ID: "a"}, Member{ID: "b"})
+	if r1.Version() != r2.Version() {
+		t.Fatalf("ring version depends on member order: %s vs %s", r1.Version(), r2.Version())
+	}
+	for i := 0; i < 200; i++ {
+		key := Key("tenant", fmt.Sprintf("task-%d", i))
+		if o1, o2 := r1.Owner(key), r2.Owner(key); o1 != o2 {
+			t.Fatalf("owner of %s differs between equal rings: %s vs %s", key, o1, o2)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := ringOf(t, Member{ID: "a"}, Member{ID: "b"}, Member{ID: "c"})
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(Key("", fmt.Sprintf("task-%d", i)))]++
+	}
+	for id, c := range counts {
+		// Even split would be n/3; accept a generous band — the point is
+		// that no member is starved or hot-spotted.
+		if c < n/6 || c > n/2 {
+			t.Errorf("member %s owns %d of %d keys, outside [%d, %d]", id, c, n, n/6, n/2)
+		}
+	}
+}
+
+func TestRingWeights(t *testing.T) {
+	r := ringOf(t, Member{ID: "heavy", Weight: 3}, Member{ID: "light", Weight: 1})
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(Key("", fmt.Sprintf("task-%d", i)))]++
+	}
+	if counts["heavy"] <= counts["light"] {
+		t.Errorf("weight ignored: heavy owns %d, light owns %d", counts["heavy"], counts["light"])
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	r := ringOf(t, Member{ID: "a"}, Member{ID: "b"}, Member{ID: "c"})
+	succ := r.Successors(Key("t", "x"))
+	if len(succ) != 3 {
+		t.Fatalf("Successors returned %d members, want 3", len(succ))
+	}
+	seen := map[string]bool{}
+	for _, id := range succ {
+		if seen[id] {
+			t.Fatalf("Successors repeats member %s: %v", id, succ)
+		}
+		seen[id] = true
+	}
+	if succ[0] != r.Owner(Key("t", "x")) {
+		t.Errorf("Successors[0] = %s, Owner = %s", succ[0], r.Owner(Key("t", "x")))
+	}
+}
+
+func TestRingVersionTracksMembership(t *testing.T) {
+	r1 := ringOf(t, Member{ID: "a"}, Member{ID: "b"})
+	r2 := ringOf(t, Member{ID: "a"}, Member{ID: "b"}, Member{ID: "c"})
+	r3 := ringOf(t, Member{ID: "a"}, Member{ID: "b", Weight: 2})
+	if r1.Version() == r2.Version() {
+		t.Error("adding a member kept the ring version")
+	}
+	if r1.Version() == r3.Version() {
+		t.Error("changing a weight kept the ring version")
+	}
+}
+
+func TestKeyCanonicalizesTenant(t *testing.T) {
+	// The empty tenant and the engine's explicit default must route the
+	// same, or a task submitted without a tenant and polled with the
+	// default one would land on different nodes.
+	if Key("", "t1") != Key("default", "t1") {
+		t.Errorf("Key(%q) != Key(%q)", Key("", "t1"), Key("default", "t1"))
+	}
+	if Key("alpha", "t1") == Key("beta", "t1") {
+		t.Error("tenant does not separate the key space")
+	}
+}

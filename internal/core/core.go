@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/cluster"
 	"repro/internal/coordination"
 	"repro/internal/engine"
 	"repro/internal/grid"
@@ -132,7 +133,13 @@ type Environment struct {
 	Engine *engine.Engine
 	// Store is the storage backend behind Services.Storage and the engine's
 	// journal (selected by Options.StoreDSN); the environment closes it.
-	Store   store.Store
+	Store store.Store
+	// Cluster is this process's view of the multi-node cluster, attached
+	// after construction (the node needs the engine, which needs the
+	// environment). Nil for single-node deployments; when set, the HTTP
+	// layer forwards non-owned requests to the owning peer and Close stops
+	// the heartbeat loop.
+	Cluster *cluster.Node
 	Archive *kb.Archive
 	Catalog *workflow.Catalog
 	// Telemetry is the monitoring registry every layer records into; nil
@@ -275,11 +282,19 @@ func NewEnvironment(opts Options) (*Environment, error) {
 	}, nil
 }
 
-// Close stops the enactment engine (cancelling in-flight work), stops the
-// planning service (cancelling in-flight plans), shuts the agent platform
-// down, and closes the storage backend (flushing any pending group-commit
-// batch).
+// AttachCluster installs the node and makes the environment part of a
+// multi-node cluster: httpapi starts forwarding non-owned requests, and
+// Close stops the node's heartbeat loop before tearing the engine down.
+func (e *Environment) AttachCluster(n *cluster.Node) { e.Cluster = n }
+
+// Close stops the cluster heartbeat loop (if any), the enactment engine
+// (cancelling in-flight work), the planning service (cancelling in-flight
+// plans), shuts the agent platform down, and closes the storage backend
+// (flushing any pending group-commit batch).
 func (e *Environment) Close() {
+	if e.Cluster != nil {
+		e.Cluster.Stop()
+	}
 	e.Engine.Close()
 	if e.Planner != nil {
 		e.Planner.Close()

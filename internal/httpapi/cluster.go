@@ -1,0 +1,342 @@
+package httpapi
+
+// The HTTP face of the multi-node cluster (internal/cluster). When the
+// environment carries a cluster.Node, this server is one member of a
+// logical environment spanning N gridenv processes:
+//
+//   - task and plan requests whose consistent-hash owner is another node
+//     are transparently forwarded there over the same /api/v1 surface —
+//     the client sees one environment regardless of which node it talks
+//     to. Request IDs, tenant headers, and the error envelope ride along
+//     unchanged; the response gains an X-Gridenv-Owner header naming the
+//     node that actually handled it.
+//   - GET /api/v1/cluster exposes membership, ring version, per-node
+//     health, and this node's forwarding counters.
+//   - GET /api/v1/stats?scope=cluster and /api/v1/tenants?scope=cluster
+//     scatter-gather across alive peers with a per-peer timeout and mark
+//     the result partial when a peer leg fails.
+//
+// Forwarding is one hop at most: a forwarded request carries
+// X-Gridenv-Forwarded and is always handled locally by the receiver, so
+// transiently divergent liveness views degrade to answering from the
+// wrong node instead of ping-ponging.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+)
+
+const (
+	// tenantHeader carries the requester's tenant on reads (GET/DELETE
+	// have no body); cluster routing keys on it, so a client that submits
+	// with a tenant must poll with the same X-Tenant header.
+	tenantHeader = "X-Tenant"
+	// forwardedHeader marks a request as already forwarded once (the value
+	// is the forwarding node's ID); receivers always handle it locally.
+	forwardedHeader = "X-Gridenv-Forwarded"
+	// ownerHeader names the node that actually handled the request.
+	ownerHeader = "X-Gridenv-Owner"
+)
+
+// forwardedResponseHeaders are copied from the owner's response onto the
+// forwarded one, so envelopes (Location, Retry-After, the X-RateLimit-*
+// trio) are identical no matter which node the client talked to.
+var forwardedResponseHeaders = []string{
+	"Content-Type", "Location", "Retry-After", "Link", "Allow",
+	"X-RateLimit-Limit", "X-RateLimit-Remaining", "X-RateLimit-Reset",
+}
+
+// requestTenant reads the tenant a read-path request acts for.
+func requestTenant(r *http.Request) string { return r.Header.Get(tenantHeader) }
+
+// maybeForward forwards the request to the owning peer when this node does
+// not own tenant+id; it reports true when the request was fully handled
+// (response written). body is the already-read request body (nil for
+// bodyless methods).
+func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, tenant, id string, body []byte) bool {
+	n := s.env.Cluster
+	if n == nil || id == "" || r.Header.Get(forwardedHeader) != "" {
+		return false
+	}
+	peer, self := n.Owner(tenant, id)
+	if self {
+		return false
+	}
+	s.forwardToPeer(w, r, peer, body)
+	return true
+}
+
+// forwardToPeer relays the request to the peer and copies the response —
+// status, envelope headers, body — back verbatim. The X-Request-Id this
+// node already stamped is forwarded, and the peer's middleware adopts it,
+// so the envelope's requestId matches the header the client sees here.
+func (s *Server) forwardToPeer(w http.ResponseWriter, r *http.Request, peer cluster.Peer, body []byte) {
+	n := s.env.Cluster
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		peer.Addr+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		n.NoteForward(err)
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "building forward request: %v", err)
+		return
+	}
+	req.Header.Set(forwardedHeader, n.Self().ID)
+	req.Header.Set(requestIDHeader, w.Header().Get(requestIDHeader))
+	for _, h := range []string{"Content-Type", "Accept", tenantHeader} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	resp, err := n.ForwardClient().Do(req)
+	n.NoteForward(err)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadGateway, "peer_unreachable",
+			"forwarding to owner %s: %v", peer.ID, err)
+		return
+	}
+	defer resp.Body.Close()
+	h := w.Header()
+	for _, name := range forwardedResponseHeaders {
+		if v := resp.Header.Get(name); v != "" {
+			h.Set(name, v)
+		}
+	}
+	h.Set(ownerHeader, peer.ID)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// clusterView is the GET /api/v1/cluster body.
+type clusterView struct {
+	Enabled bool `json:"enabled"`
+	cluster.Status
+}
+
+// handleCluster serves this node's cluster view; single-node deployments
+// answer {"enabled": false} so probes need no special-casing.
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	n := s.env.Cluster
+	if n == nil {
+		writeJSON(w, http.StatusOK, clusterView{Enabled: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterView{Enabled: true, Status: n.Status()})
+}
+
+// --- scatter-gather aggregation ---------------------------------------------
+
+// clusterScope reports whether the request asks for the cluster-wide view
+// (?scope=cluster) on an environment that is actually clustered.
+func (s *Server) clusterScope(r *http.Request) bool {
+	return s.env.Cluster != nil && r.URL.Query().Get("scope") == "cluster"
+}
+
+// peerLeg is one peer's slot in a scatter-gather response: ok with its
+// payload, or failed with the error that makes the aggregate partial.
+type peerLeg struct {
+	Node  string `json:"node"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// gather fans a GET out to every alive peer with the per-peer timeout and
+// decodes each body into the value build(node) returns. The self leg is
+// not fetched — callers fold their local view in directly.
+func (s *Server) gather(path string, decode func(node string, body []byte) error) []peerLeg {
+	n := s.env.Cluster
+	peers := n.AlivePeers()
+	legs := make([]peerLeg, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p cluster.Peer) {
+			defer wg.Done()
+			legs[i] = peerLeg{Node: p.ID}
+			ctx, cancel := context.WithTimeout(context.Background(), n.PeerTimeout())
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.Addr+path, nil)
+			if err != nil {
+				legs[i].Error = err.Error()
+				return
+			}
+			req.Header.Set(forwardedHeader, n.Self().ID)
+			resp, err := n.ForwardClient().Do(req)
+			if err != nil {
+				legs[i].Error = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				legs[i].Error = fmt.Sprintf("peer answered %d", resp.StatusCode)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			if err == nil {
+				err = decode(p.ID, body)
+			}
+			if err != nil {
+				legs[i].Error = err.Error()
+				return
+			}
+			legs[i].OK = true
+		}(i, p)
+	}
+	wg.Wait()
+	return legs
+}
+
+// partial reports whether any leg failed.
+func partial(legs []peerLeg) bool {
+	for _, l := range legs {
+		if !l.OK {
+			return true
+		}
+	}
+	return false
+}
+
+// ClusterStatsView is GET /api/v1/stats?scope=cluster: per-node stats plus
+// cluster-wide totals. Partial marks an aggregate missing at least one
+// peer's numbers (that peer's leg carries the error).
+type ClusterStatsView struct {
+	Scope   string               `json:"scope"`
+	Partial bool                 `json:"partial"`
+	Peers   []peerLeg            `json:"peers"`
+	Nodes   map[string]StatsView `json:"nodes"`
+	Totals  ClusterTotals        `json:"totals"`
+}
+
+// ClusterTotals sums the numeric core of every reachable node's stats.
+type ClusterTotals struct {
+	GridNodes  statsNodes `json:"gridNodes"`
+	QueueDepth int        `json:"queueDepth"`
+	Running    int        `json:"running"`
+	Workers    int        `json:"workers"`
+	Accepted   int64      `json:"accepted"`
+	Rejected   int64      `json:"rejected"`
+	Tasks      statsTasks `json:"tasks"`
+}
+
+// handleStatsCluster scatter-gathers /api/v1/stats across the cluster.
+func (s *Server) handleStatsCluster(w http.ResponseWriter, r *http.Request) {
+	local, err := s.buildStats()
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	var mu sync.Mutex
+	byNode := map[string]StatsView{s.env.Cluster.Self().ID: local}
+	legs := s.gather("/api/v1/stats", func(node string, body []byte) error {
+		var sv StatsView
+		if err := json.Unmarshal(body, &sv); err != nil {
+			return err
+		}
+		mu.Lock()
+		byNode[node] = sv
+		mu.Unlock()
+		return nil
+	})
+	out := ClusterStatsView{Scope: "cluster", Partial: partial(legs), Peers: legs, Nodes: byNode}
+	for _, sv := range byNode {
+		out.Totals.GridNodes.Total += sv.Nodes.Total
+		out.Totals.GridNodes.Up += sv.Nodes.Up
+		out.Totals.GridNodes.Down += sv.Nodes.Down
+		out.Totals.GridNodes.Degraded += sv.Nodes.Degraded
+		out.Totals.GridNodes.Quarantined += sv.Nodes.Quarantined
+		out.Totals.QueueDepth += sv.Engine.Depth
+		out.Totals.Running += sv.Engine.Running
+		out.Totals.Workers += sv.Engine.Workers
+		out.Totals.Accepted += sv.Engine.Accepted
+		out.Totals.Rejected += sv.Engine.Rejected
+		out.Totals.Tasks.Completed += sv.Tasks.Completed
+		out.Totals.Tasks.Failed += sv.Tasks.Failed
+		out.Totals.Tasks.Cancelled += sv.Tasks.Cancelled
+		out.Totals.Tasks.Retries += sv.Tasks.Retries
+		out.Totals.Tasks.Replans += sv.Tasks.Replans
+	}
+	if finished := out.Totals.Tasks.Completed + out.Totals.Tasks.Failed; finished > 0 {
+		out.Totals.Tasks.SuccessRate = float64(out.Totals.Tasks.Completed) / float64(finished)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ClusterTenantsView is GET /api/v1/tenants?scope=cluster: every tenant's
+// accounting summed across reachable nodes (a tenant's tasks live on
+// whichever nodes own them, so only the cluster-wide sum is meaningful).
+type ClusterTenantsView struct {
+	Scope   string                `json:"scope"`
+	Partial bool                  `json:"partial"`
+	Peers   []peerLeg             `json:"peers"`
+	Items   []engine.TenantStatus `json:"items"`
+	Total   int                   `json:"total"`
+}
+
+// handleTenantsCluster scatter-gathers /api/v1/tenants across the cluster,
+// merging per-tenant rows by summing counters and depths. Config fields
+// (weight, quotas) come from whichever node lists the tenant first — they
+// are deployment-wide settings, identical across nodes in a well-formed
+// cluster. Mean latencies are averaged weighted by each node's sample
+// share of the merged accepted count.
+func (s *Server) handleTenantsCluster(w http.ResponseWriter, r *http.Request) {
+	merged := map[string]*engine.TenantStatus{}
+	weights := map[string]int64{} // accepted-weighted latency accumulators
+	waitSum := map[string]float64{}
+	runSum := map[string]float64{}
+	var mu sync.Mutex
+	fold := func(rows []engine.TenantStatus) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, row := range rows {
+			t := merged[row.Tenant]
+			if t == nil {
+				c := row
+				merged[row.Tenant] = &c
+				weights[row.Tenant] = row.Accepted
+				waitSum[row.Tenant] = row.MeanWaitSec * float64(row.Accepted)
+				runSum[row.Tenant] = row.MeanRunSec * float64(row.Accepted)
+				continue
+			}
+			t.Queued += row.Queued
+			t.Running += row.Running
+			t.Accepted += row.Accepted
+			t.RejectedQueueFull += row.RejectedQueueFull
+			t.RejectedRateLimited += row.RejectedRateLimited
+			t.Completed += row.Completed
+			t.Failed += row.Failed
+			t.Cancelled += row.Cancelled
+			weights[row.Tenant] += row.Accepted
+			waitSum[row.Tenant] += row.MeanWaitSec * float64(row.Accepted)
+			runSum[row.Tenant] += row.MeanRunSec * float64(row.Accepted)
+		}
+	}
+	fold(s.env.Engine.Tenants())
+	legs := s.gather("/api/v1/tenants", func(node string, body []byte) error {
+		var pg struct {
+			Items []engine.TenantStatus `json:"items"`
+		}
+		if err := json.Unmarshal(body, &pg); err != nil {
+			return err
+		}
+		fold(pg.Items)
+		return nil
+	})
+	out := ClusterTenantsView{Scope: "cluster", Partial: partial(legs), Peers: legs}
+	for name, t := range merged {
+		if n := weights[name]; n > 0 {
+			t.MeanWaitSec = waitSum[name] / float64(n)
+			t.MeanRunSec = runSum[name] / float64(n)
+		}
+		out.Items = append(out.Items, *t)
+	}
+	sort.Slice(out.Items, func(i, j int) bool { return out.Items[i].Tenant < out.Items[j].Tenant })
+	out.Total = len(out.Items)
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,415 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/virolab"
+	"repro/internal/workflow"
+)
+
+// clusterTestNode is one member of an in-process test cluster.
+type clusterTestNode struct {
+	id  string
+	srv *Server
+	ts  *httptest.Server
+}
+
+func (n *clusterTestNode) node() *cluster.Node { return n.srv.env.Cluster }
+
+// newTestCluster builds n independent environments, serves each, and wires
+// them into one cluster (heartbeats not started — liveness stays the
+// optimistic default, which is what forwarding tests want).
+func newTestCluster(t *testing.T, n int, mod func(*core.Options)) []*clusterTestNode {
+	t.Helper()
+	nodes := make([]*clusterTestNode, n)
+	for i := range nodes {
+		srv, ts := testServerWith(t, mod)
+		srv.Logger = nil
+		nodes[i] = &clusterTestNode{id: fmt.Sprintf("n%d", i), srv: srv, ts: ts}
+	}
+	peers := make([]cluster.Peer, n)
+	for i, tn := range nodes {
+		peers[i] = cluster.Peer{ID: tn.id, Addr: tn.ts.URL}
+	}
+	for _, tn := range nodes {
+		node, err := cluster.New(cluster.Config{
+			NodeID:    tn.id,
+			Peers:     peers,
+			Engine:    tn.srv.env.Engine,
+			Telemetry: tn.srv.env.Telemetry,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.srv.env.AttachCluster(node)
+	}
+	return nodes
+}
+
+// idOwnedElsewhere generates task IDs until one is owned by a peer of n —
+// submitting it through n exercises the forwarding path.
+func idOwnedElsewhere(t *testing.T, n *cluster.Node, tenant, prefix string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		id := fmt.Sprintf("%s-%d", prefix, i)
+		if _, self := n.Owner(tenant, id); !self {
+			return id
+		}
+	}
+	t.Fatal("no peer-owned ID found; ring is degenerate")
+	return ""
+}
+
+// virolabItemsFull serializes the virolab initial data with every property,
+// so explicit-PDL submissions (which skip planning) run to completion.
+func virolabItemsFull() []DataItemJSON {
+	var items []DataItemJSON
+	for _, d := range virolab.InitialData() {
+		it := DataItemJSON{Name: d.Name, Classification: d.Classification()}
+		for k, v := range d.Props {
+			if k == workflow.PropClassification {
+				continue
+			}
+			if num, ok := v.Num(); ok {
+				if it.Props == nil {
+					it.Props = map[string]float64{}
+				}
+				it.Props[k] = num
+			} else {
+				if it.TextProps == nil {
+					it.TextProps = map[string]string{}
+				}
+				it.TextProps[k] = v.Str()
+			}
+		}
+		items = append(items, it)
+	}
+	return items
+}
+
+// podSubmission is a fast explicit-PDL task (no planning involved).
+func podSubmission(id string) TaskSubmission {
+	return TaskSubmission{
+		ID:          id,
+		Name:        "cluster " + id,
+		PDL:         `BEGIN, POD(D1, D7 -> D8), END`,
+		InitialData: virolabItemsFull(),
+		Goal:        []string{`G.Classification = "Density Map"`},
+	}
+}
+
+func TestClusterEndpointStandalone(t *testing.T) {
+	_, ts := testServer(t)
+	var out struct {
+		Enabled bool `json:"enabled"`
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/cluster", &out); code != http.StatusOK {
+		t.Fatalf("GET /api/v1/cluster = %d, want 200", code)
+	}
+	if out.Enabled {
+		t.Error("standalone server claims to be clustered")
+	}
+}
+
+func TestClusterEndpointMembership(t *testing.T) {
+	nodes := newTestCluster(t, 2, nil)
+	var out struct {
+		Enabled     bool   `json:"enabled"`
+		NodeID      string `json:"nodeId"`
+		RingVersion string `json:"ringVersion"`
+		Members     []struct {
+			ID    string `json:"id"`
+			Alive bool   `json:"alive"`
+			Self  bool   `json:"self"`
+		} `json:"members"`
+	}
+	if code := getJSON(t, nodes[0].ts.URL+"/api/v1/cluster", &out); code != http.StatusOK {
+		t.Fatalf("GET /api/v1/cluster = %d, want 200", code)
+	}
+	if !out.Enabled || out.NodeID != "n0" || out.RingVersion == "" {
+		t.Fatalf("bad cluster view: %+v", out)
+	}
+	if len(out.Members) != 2 {
+		t.Fatalf("got %d members, want 2", len(out.Members))
+	}
+	for _, m := range out.Members {
+		if !m.Alive {
+			t.Errorf("member %s not alive in a fresh cluster", m.ID)
+		}
+		if m.Self != (m.ID == "n0") {
+			t.Errorf("member %s self flag wrong", m.ID)
+		}
+	}
+	// Ring versions agree across nodes — the operator's drift check.
+	var other struct {
+		RingVersion string `json:"ringVersion"`
+	}
+	getJSON(t, nodes[1].ts.URL+"/api/v1/cluster", &other)
+	if other.RingVersion != out.RingVersion {
+		t.Errorf("ring version differs: %s vs %s", out.RingVersion, other.RingVersion)
+	}
+}
+
+// TestClusterForwardsTaskLifecycle drives a task whose owner is the OTHER
+// node entirely through one node: submit, poll, trace, and post-terminal
+// cancel all forward transparently, and the response names the owner.
+func TestClusterForwardsTaskLifecycle(t *testing.T) {
+	nodes := newTestCluster(t, 2, nil)
+	entry := nodes[0]
+	id := idOwnedElsewhere(t, entry.node(), "", "fwd")
+
+	resp, body := doRequest(t, http.MethodPost, entry.ts.URL+"/api/v1/tasks", podSubmission(id))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("forwarded POST = %d (%v), want 202", resp.StatusCode, body)
+	}
+	if owner := resp.Header.Get("X-Gridenv-Owner"); owner != "n1" {
+		t.Errorf("X-Gridenv-Owner = %q, want n1", owner)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/api/v1/tasks/"+id {
+		t.Errorf("forwarded Location = %q", loc)
+	}
+
+	// The task lives on the owner's engine, not the entry node's.
+	if _, err := nodes[1].srv.env.Engine.Task(id); err != nil {
+		t.Errorf("owner does not track forwarded task: %v", err)
+	}
+	if _, err := entry.srv.env.Engine.Task(id); err == nil {
+		t.Error("entry node tracks a task it forwarded away")
+	}
+
+	final := pollTerminal(t, entry.ts.URL+"/api/v1/tasks/"+id)
+	if status, _ := final["status"].(string); status != "succeeded" {
+		t.Fatalf("forwarded task finished %q (%v)", status, final)
+	}
+
+	// Post-terminal DELETE forwards too and keeps the envelope code.
+	resp, errBody := doRequest(t, http.MethodDelete, entry.ts.URL+"/api/v1/tasks/"+id, nil)
+	if resp.StatusCode != http.StatusConflict || errCode(errBody) != "task_finished" {
+		t.Errorf("forwarded post-terminal DELETE = %d code %q, want 409 task_finished",
+			resp.StatusCode, errCode(errBody))
+	}
+	if owner := resp.Header.Get("X-Gridenv-Owner"); owner != "n1" {
+		t.Errorf("DELETE X-Gridenv-Owner = %q, want n1", owner)
+	}
+}
+
+// TestClusterForwardPreservesRequestID checks one logical request keeps
+// one ID across nodes: a client-supplied X-Request-Id survives forwarding
+// into both the response header and the error envelope.
+func TestClusterForwardPreservesRequestID(t *testing.T) {
+	nodes := newTestCluster(t, 2, nil)
+	entry := nodes[0]
+	id := idOwnedElsewhere(t, entry.node(), "", "rid")
+
+	req, err := http.NewRequest(http.MethodGet, entry.ts.URL+"/api/v1/tasks/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "rid-threaded-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown forwarded task = %d, want 404", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "rid-threaded-42" {
+		t.Errorf("X-Request-Id = %q, want the client's rid-threaded-42", got)
+	}
+	var envl struct {
+		RequestID string `json:"requestId"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envl); err != nil {
+		t.Fatal(err)
+	}
+	if envl.RequestID != "rid-threaded-42" {
+		t.Errorf("envelope requestId = %q, want rid-threaded-42", envl.RequestID)
+	}
+}
+
+// TestClusterForwardsRateLimitHeaders rejects a forwarded submission on
+// the owner's tenant quota and checks the X-RateLimit-* trio and
+// Retry-After survive the hop back.
+func TestClusterForwardsRateLimitHeaders(t *testing.T) {
+	nodes := newTestCluster(t, 2, func(o *core.Options) {
+		o.TenantDefaults.RatePerSec = 0.0001
+		o.TenantDefaults.Burst = 1
+	})
+	entry := nodes[0]
+	const tenant = "limited"
+	first := idOwnedElsewhere(t, entry.node(), tenant, "rl-a")
+	sub := podSubmission(first)
+	sub.Tenant = tenant
+	resp, body := doRequest(t, http.MethodPost, entry.ts.URL+"/api/v1/tasks", sub)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d (%v), want 202", resp.StatusCode, body)
+	}
+
+	second := idOwnedElsewhere(t, entry.node(), tenant, "rl-b")
+	sub = podSubmission(second)
+	sub.Tenant = tenant
+	resp, body = doRequest(t, http.MethodPost, entry.ts.URL+"/api/v1/tasks", sub)
+	if resp.StatusCode != http.StatusTooManyRequests || errCode(body) != "tenant_rate_limited" {
+		t.Fatalf("second submit = %d code %q, want 429 tenant_rate_limited", resp.StatusCode, errCode(body))
+	}
+	for _, h := range []string{"X-RateLimit-Limit", "X-RateLimit-Remaining", "X-RateLimit-Reset", "Retry-After"} {
+		if resp.Header.Get(h) == "" {
+			t.Errorf("forwarded 429 is missing %s", h)
+		}
+	}
+	if owner := resp.Header.Get("X-Gridenv-Owner"); owner == "" {
+		t.Error("forwarded 429 does not name the owner")
+	}
+}
+
+// TestClusterScatterGatherStats exercises /api/v1/stats?scope=cluster:
+// per-node blocks for every member, summed totals, and partial marking
+// when a peer is unreachable.
+func TestClusterScatterGatherStats(t *testing.T) {
+	nodes := newTestCluster(t, 2, nil)
+	var out ClusterStatsView
+	if code := getJSON(t, nodes[0].ts.URL+"/api/v1/stats?scope=cluster", &out); code != http.StatusOK {
+		t.Fatalf("scope=cluster stats = %d, want 200", code)
+	}
+	if out.Scope != "cluster" || out.Partial {
+		t.Fatalf("bad aggregate header: %+v", out)
+	}
+	if len(out.Nodes) != 2 {
+		t.Fatalf("aggregate covers %d nodes, want 2", len(out.Nodes))
+	}
+	wantWorkers := 0
+	for _, sv := range out.Nodes {
+		wantWorkers += sv.Engine.Workers
+	}
+	if out.Totals.Workers != wantWorkers || out.Totals.Workers == 0 {
+		t.Errorf("totals.workers = %d, want %d (>0)", out.Totals.Workers, wantWorkers)
+	}
+
+	// Kill the peer's server: its leg fails and the aggregate says so.
+	nodes[1].ts.Close()
+	var degraded ClusterStatsView
+	if code := getJSON(t, nodes[0].ts.URL+"/api/v1/stats?scope=cluster", &degraded); code != http.StatusOK {
+		t.Fatalf("degraded scope=cluster stats = %d, want 200", code)
+	}
+	if !degraded.Partial {
+		t.Error("aggregate with a dead peer not marked partial")
+	}
+	if len(degraded.Nodes) != 1 {
+		t.Errorf("degraded aggregate covers %d nodes, want 1", len(degraded.Nodes))
+	}
+	failed := 0
+	for _, leg := range degraded.Peers {
+		if !leg.OK && leg.Error != "" {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Errorf("%d failed peer legs, want 1", failed)
+	}
+}
+
+// TestClusterScatterGatherTenants checks the cluster-wide tenant merge:
+// one tenant's tasks land on both nodes, and the merged row sums them.
+func TestClusterScatterGatherTenants(t *testing.T) {
+	nodes := newTestCluster(t, 2, nil)
+	entry := nodes[0]
+	const tenant = "alpha"
+	// One task per node: an ID this node owns and one a peer owns.
+	var local string
+	for i := 0; ; i++ {
+		local = fmt.Sprintf("sg-local-%d", i)
+		if _, self := entry.node().Owner(tenant, local); self {
+			break
+		}
+	}
+	remote := idOwnedElsewhere(t, entry.node(), tenant, "sg-remote")
+	for _, id := range []string{local, remote} {
+		sub := podSubmission(id)
+		sub.Tenant = tenant
+		if resp, body := doRequest(t, http.MethodPost, entry.ts.URL+"/api/v1/tasks", sub); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s = %d (%v)", id, resp.StatusCode, body)
+		}
+	}
+	var out ClusterTenantsView
+	if code := getJSON(t, entry.ts.URL+"/api/v1/tenants?scope=cluster", &out); code != http.StatusOK {
+		t.Fatalf("scope=cluster tenants = %d, want 200", code)
+	}
+	if out.Partial {
+		t.Fatal("healthy cluster marked partial")
+	}
+	for _, row := range out.Items {
+		if row.Tenant != tenant {
+			continue
+		}
+		if row.Accepted != 2 {
+			t.Errorf("merged accepted = %d, want 2 (one per node)", row.Accepted)
+		}
+		return
+	}
+	t.Fatalf("tenant %s missing from the merged view: %+v", tenant, out.Items)
+}
+
+// TestClusterForwardsPlans checks the plan resource rides the same
+// forwarding: a plan whose ID hashes to the peer is created there, and a
+// service-assigned ID is synthesized node-uniquely before routing.
+func TestClusterForwardsPlans(t *testing.T) {
+	nodes := newTestCluster(t, 2, nil)
+	entry := nodes[0]
+	id := idOwnedElsewhere(t, entry.node(), "", "plan")
+	sub := PlanSubmission{ID: id, InitialData: virolabItems(), Goal: []string{virolab.GoalCondition}}
+	resp, body := doRequest(t, http.MethodPost, entry.ts.URL+"/api/v1/plans", sub)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusCreated {
+		t.Fatalf("forwarded plan POST = %d (%v)", resp.StatusCode, body)
+	}
+	if owner := resp.Header.Get("X-Gridenv-Owner"); owner != "n1" {
+		t.Errorf("plan X-Gridenv-Owner = %q, want n1", owner)
+	}
+	if _, err := nodes[1].srv.env.Planner.Get(id); err != nil {
+		t.Errorf("owner does not hold the forwarded plan: %v", err)
+	}
+	final := pollTerminal(t, entry.ts.URL+"/api/v1/plans/"+id)
+	if status, _ := final["status"].(string); status != "succeeded" {
+		t.Fatalf("forwarded plan finished %q", status)
+	}
+
+	// Empty ID: the entry node assigns a cluster-unique name first.
+	resp, body = doRequest(t, http.MethodPost, entry.ts.URL+"/api/v1/plans",
+		PlanSubmission{InitialData: virolabItems(), Goal: []string{virolab.GoalCondition}, NoCache: true})
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusCreated {
+		t.Fatalf("anonymous plan POST = %d (%v)", resp.StatusCode, body)
+	}
+	assigned, _ := body["id"].(string)
+	if !strings.HasPrefix(assigned, "p-n0-") {
+		t.Errorf("assigned plan ID %q does not carry the entry node's name", assigned)
+	}
+}
+
+// TestReadyzClusterRebalancing: a node replaying a failed-over partition
+// answers 503 cluster_rebalancing so load balancers hold traffic.
+func TestReadyzClusterRebalancing(t *testing.T) {
+	nodes := newTestCluster(t, 1, nil)
+	ts := nodes[0].ts
+	var out map[string]string
+	if code := getJSON(t, ts.URL+"/readyz", &out); code != http.StatusOK {
+		t.Fatalf("readyz = %d before rebalance, want 200", code)
+	}
+	leave := nodes[0].node().EnterRebalance()
+	if code := getJSON(t, ts.URL+"/readyz", &out); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d during rebalance, want 503", code)
+	}
+	if out["reason"] != "cluster_rebalancing" {
+		t.Errorf("readyz reason = %q, want cluster_rebalancing", out["reason"])
+	}
+	leave()
+	if code := getJSON(t, ts.URL+"/readyz", &out); code != http.StatusOK {
+		t.Fatalf("readyz = %d after rebalance, want 200", code)
+	}
+}

@@ -36,9 +36,18 @@
 //	GET  /api/v1/events                 live SSE stream of task spans and
 //	                                    node-health transitions (?task=, ?kind=)
 //	GET  /api/v1/stats                  grid-wide rollup: nodes, queue, rates
+//	                                    (?scope=cluster aggregates every node)
+//	GET  /api/v1/cluster                cluster membership, ring version, and
+//	                                    per-node health (enabled=false standalone)
 //	GET  /api/v1/store                  storage backend snapshot: kind, journal
 //	                                    depth, group-commit and compaction counters
 //	POST /api/v1/simulate               run the simulation service
+//
+// When the environment carries a cluster node (gridenv -peers), task and
+// plan requests whose consistent-hash owner is another node are forwarded
+// there transparently; see internal/httpapi/cluster.go for the protocol
+// (X-Tenant routing on reads, X-Gridenv-Forwarded one-hop guard,
+// X-Gridenv-Owner on forwarded responses).
 //
 // Outside the versioned prefix the server answers the operational probes
 // GET /healthz (process liveness) and GET /readyz (enactment engine
@@ -73,6 +82,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -110,7 +120,8 @@ type Server struct {
 	// endpoints expose internals and cost CPU, so they are opt-in.
 	EnablePprof bool
 
-	reqSeq atomic.Int64 // request ID counter
+	reqSeq  atomic.Int64 // request ID counter
+	planSeq atomic.Int64 // cluster-unique service-assigned plan names
 
 	mu     sync.Mutex
 	client *agent.Context // the UI's own agent, registered lazily
@@ -158,6 +169,7 @@ func (s *Server) routes() []route {
 		{http.MethodGet, "/metrics", s.handleMetrics},
 		{http.MethodGet, "/events", s.handleEvents},
 		{http.MethodGet, "/stats", s.handleStats},
+		{http.MethodGet, "/cluster", s.handleCluster},
 		{http.MethodGet, "/store", s.handleStore},
 		{http.MethodPost, "/simulate", s.handleSimulate},
 	}
@@ -240,7 +252,14 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 	latency := tel.Histogram("http.request.seconds",
 		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		rid := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		// An inbound X-Request-Id (a request forwarded by a cluster peer, or
+		// a client threading its own correlation ID) is adopted; otherwise
+		// one is generated — so one logical request keeps one ID across
+		// every node that touches it.
+		rid := r.Header.Get(requestIDHeader)
+		if rid == "" {
+			rid = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		}
 		w.Header().Set(requestIDHeader, rid)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
@@ -572,13 +591,27 @@ type DataItemJSON struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_request", "reading submission: %v", err)
+		return
+	}
 	var sub TaskSubmission
-	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+	if err := json.Unmarshal(body, &sub); err != nil {
 		s.writeError(w, r, http.StatusBadRequest, "bad_request", "bad submission: %v", err)
 		return
 	}
 	if sub.ID == "" || len(sub.Goal) == 0 {
 		s.writeError(w, r, http.StatusBadRequest, "bad_request", "id and goal are required")
+		return
+	}
+	if sub.Tenant == "" {
+		// Tenant may also ride the X-Tenant header (the read-path spelling);
+		// adopting it here keeps the routing key and the engine's accounting
+		// on the same tenant.
+		sub.Tenant = requestTenant(r)
+	}
+	if s.maybeForward(w, r, sub.Tenant, sub.ID, body) {
 		return
 	}
 	caseDesc := workflow.NewCase(sub.ID, sub.Name)
@@ -677,6 +710,9 @@ func lifecycle(status string) string {
 // Finished tasks answer 409.
 func (s *Server) handleTaskCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.maybeForward(w, r, requestTenant(r), id, nil) {
+		return
+	}
 	result, err := s.env.Engine.Cancel(id)
 	switch {
 	case errors.Is(err, engine.ErrEvicted):
@@ -781,6 +817,9 @@ func (s *Server) handleTaskList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTaskGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.maybeForward(w, r, requestTenant(r), id, nil) {
+		return
+	}
 	rec, err := s.env.Engine.Task(id)
 	switch {
 	case errors.Is(err, engine.ErrEvicted):
@@ -817,10 +856,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz is the readiness probe: 200 only while the enactment engine
 // is started and accepting work, 503 otherwise (so load balancers drain the
-// instance during startup and shutdown).
+// instance during startup and shutdown). A clustered node replaying a
+// failed-over partition also answers 503, with reason cluster_rebalancing,
+// until the replay settles and its partition is consistent.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.env == nil || s.env.Engine == nil || !s.env.Engine.Ready() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unready"})
+		return
+	}
+	if s.env.Cluster != nil && s.env.Cluster.Rebalancing() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "unready", "reason": "cluster_rebalancing",
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -835,6 +882,9 @@ type traceView struct {
 
 func (s *Server) handleTaskTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.maybeForward(w, r, requestTenant(r), id, nil) {
+		return
+	}
 	if _, err := s.env.Engine.Task(id); err != nil {
 		if errors.Is(err, engine.ErrEvicted) {
 			s.writeError(w, r, http.StatusNotFound, "task_evicted", "task %q finished and its record was evicted", id)

@@ -7,6 +7,7 @@ package httpapi
 // /metrics together client-side.
 
 import (
+	"fmt"
 	"net/http"
 
 	"repro/internal/coordination"
@@ -79,22 +80,35 @@ func (s *Server) handleStore(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.storeView())
 }
 
+// handleStats serves this node's rollup, or — with ?scope=cluster on a
+// clustered environment — the scatter-gathered cluster-wide view.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	client, err := s.clientContext()
+	if s.clusterScope(r) {
+		s.handleStatsCluster(w, r)
+		return
+	}
+	out, err := s.buildStats()
 	if err != nil {
 		s.writeError(w, r, http.StatusInternalServerError, "internal", "%v", err)
 		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// buildStats assembles this node's own StatsView.
+func (s *Server) buildStats() (StatsView, error) {
+	client, err := s.clientContext()
+	if err != nil {
+		return StatsView{}, err
 	}
 	reply, err := client.Call(services.MonitoringName, services.OntMonitoring,
 		services.ClusterHealthRequest{}, services.CallTimeout)
 	if err != nil {
-		s.writeError(w, r, http.StatusInternalServerError, "internal", "%v", err)
-		return
+		return StatsView{}, err
 	}
 	ch, ok := reply.Content.(services.ClusterHealthReply)
 	if !ok {
-		s.writeError(w, r, http.StatusInternalServerError, "internal", "unexpected monitoring reply %T", reply.Content)
-		return
+		return StatsView{}, fmt.Errorf("unexpected monitoring reply %T", reply.Content)
 	}
 
 	snap := s.telemetry().Snapshot()
@@ -124,5 +138,5 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if finished := out.Tasks.Completed + out.Tasks.Failed; finished > 0 {
 		out.Tasks.SuccessRate = float64(out.Tasks.Completed) / float64(finished)
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out, nil
 }

@@ -1,0 +1,229 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// BodyFactory builds the n-th synthetic POST /api/v1/tasks body for a
+// tenant, returning the task ID it named inside. IDs must be unique across
+// the run; the runner passes a monotonically increasing n per tenant.
+type BodyFactory func(tenant string, n int) (id string, body []byte, err error)
+
+// HTTPRunner drives one or more gridenv nodes over their HTTP API with the
+// spec's arrival pattern and measures wall-clock goodput and latency —
+// the cluster-scale counterpart of EngineRunner. Submissions round-robin
+// across Endpoints, so on a multi-node cluster a share of them lands on a
+// non-owner and rides the forwarding path; the report therefore reflects
+// whole-cluster goodput including forwarding overhead. Each task is polled
+// on the endpoint that accepted it.
+type HTTPRunner struct {
+	// Endpoints are the nodes' base URLs (no trailing slash); required.
+	Endpoints []string
+	// NewBody builds the submitted task bodies; required.
+	NewBody BodyFactory
+	// Client is the HTTP client; nil means a 10s-timeout default.
+	Client *http.Client
+	// Poll is the completion-poll interval; 0 means 2ms.
+	Poll time.Duration
+	// Timeout aborts a stuck run; 0 means 120s.
+	Timeout time.Duration
+}
+
+// httpTask tracks one outstanding submission.
+type httpTask struct {
+	tenant   int // index into spec.Tenants
+	endpoint string
+	tenantID string
+}
+
+// Run executes the spec; the modes mirror EngineRunner.Run.
+func (r *HTTPRunner) Run(spec Spec) (*Report, error) {
+	spec = spec.Defaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(r.Endpoints) == 0 || r.NewBody == nil {
+		return nil, fmt.Errorf("load: HTTPRunner needs Endpoints and NewBody")
+	}
+	client := r.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	poll := r.Poll
+	if poll <= 0 {
+		poll = 2 * time.Millisecond
+	}
+	timeout := r.Timeout
+	if timeout <= 0 {
+		timeout = 120 * time.Second
+	}
+
+	report := &Report{Spec: spec, Tenants: make([]TenantReport, len(spec.Tenants))}
+	latencies := make([][]float64, len(spec.Tenants))
+	counters := make([]int, len(spec.Tenants))
+	outstanding := map[string]httpTask{} // task ID → tracking
+	submitted := map[string]time.Time{}  // task ID → accept time
+	rr := 0                              // round-robin endpoint cursor
+	for i, t := range spec.Tenants {
+		report.Tenants[i] = TenantReport{ID: t.ID, Weight: t.Weight}
+	}
+
+	submit := func(ti int) error {
+		counters[ti]++
+		tenant := spec.Tenants[ti].ID
+		id, body, err := r.NewBody(tenant, counters[ti])
+		if err != nil {
+			return err
+		}
+		endpoint := r.Endpoints[rr%len(r.Endpoints)]
+		rr++
+		tr := &report.Tenants[ti]
+		tr.Submitted++
+		report.Submitted++
+		req, err := http.NewRequest(http.MethodPost, endpoint+"/api/v1/tasks", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("load: submit for tenant %s: %w", tenant, err)
+		}
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			tr.Accepted++
+			report.Accepted++
+			outstanding[id] = httpTask{tenant: ti, endpoint: endpoint, tenantID: tenant}
+			submitted[id] = time.Now()
+		case resp.StatusCode == http.StatusTooManyRequests:
+			tr.Rejected++
+			report.Rejected++
+		default:
+			return fmt.Errorf("load: submit for tenant %s: unexpected status %d", tenant, resp.StatusCode)
+		}
+		return nil
+	}
+
+	// reap polls every outstanding task where it was accepted; returns how
+	// many reached a terminal state.
+	reap := func() (int, error) {
+		done := 0
+		for id, ht := range outstanding {
+			req, err := http.NewRequest(http.MethodGet, ht.endpoint+"/api/v1/tasks/"+id, nil)
+			if err != nil {
+				return done, err
+			}
+			req.Header.Set("X-Tenant", ht.tenantID)
+			resp, err := client.Do(req)
+			if err != nil {
+				return done, fmt.Errorf("load: poll %s: %w", id, err)
+			}
+			if resp.StatusCode == http.StatusNotFound {
+				// Retention evicted the record before we polled it; count the
+				// completion but lose the latency sample.
+				resp.Body.Close()
+				delete(outstanding, id)
+				delete(submitted, id)
+				report.Tenants[ht.tenant].Completed++
+				report.Completed++
+				done++
+				continue
+			}
+			var view struct {
+				Status string `json:"status"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&view)
+			resp.Body.Close()
+			if err != nil {
+				return done, fmt.Errorf("load: poll %s: %w", id, err)
+			}
+			switch view.Status {
+			case "succeeded", "failed", "cancelled":
+				delete(outstanding, id)
+				done++
+				if view.Status == "succeeded" {
+					report.Tenants[ht.tenant].Completed++
+					report.Completed++
+					latencies[ht.tenant] = append(latencies[ht.tenant],
+						time.Since(submitted[id]).Seconds())
+				}
+				delete(submitted, id)
+			}
+		}
+		return done, nil
+	}
+
+	start := time.Now()
+	deadline := start.Add(timeout)
+	switch spec.Mode {
+	case "closed":
+		for ti := range spec.Tenants {
+			for k := 0; k < spec.Outstanding; k++ {
+				if err := submit(ti); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for report.Completed < spec.Arrivals {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("load: closed-loop run timed out at %d/%d completions", report.Completed, spec.Arrivals)
+			}
+			if _, err := reap(); err != nil {
+				return nil, err
+			}
+			for ti := range spec.Tenants {
+				have := 0
+				for _, ht := range outstanding {
+					if ht.tenant == ti {
+						have++
+					}
+				}
+				for ; have < spec.Outstanding && report.Completed < spec.Arrivals; have++ {
+					if err := submit(ti); err != nil {
+						return nil, err
+					}
+				}
+			}
+			time.Sleep(poll)
+		}
+	case "open":
+		rng := rand.New(rand.NewSource(spec.Seed))
+		for i := 0; i < spec.Arrivals; i++ {
+			u := rng.Float64()
+			for u == 0 {
+				u = rng.Float64()
+			}
+			time.Sleep(time.Duration(-math.Log(u) / spec.RatePerSec * float64(time.Second)))
+			if err := submit(i % len(spec.Tenants)); err != nil {
+				return nil, err
+			}
+			if _, err := reap(); err != nil {
+				return nil, err
+			}
+		}
+		for len(outstanding) > 0 {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("load: open-loop drain timed out with %d tasks outstanding", len(outstanding))
+			}
+			if _, err := reap(); err != nil {
+				return nil, err
+			}
+			time.Sleep(poll)
+		}
+	}
+
+	report.DurationSec = time.Since(start).Seconds()
+	for i := range report.Tenants {
+		report.Tenants[i].Latency = latencyStats(latencies[i])
+	}
+	report.finalize()
+	return report, nil
+}
