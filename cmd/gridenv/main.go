@@ -113,6 +113,8 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error")
 		logFmt    = flag.String("log-format", "text", "structured log encoding: text or json")
 		pprof     = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+		trSpans   = flag.Int("trace-spans", 0, "spans retained per task trace (0 = default 2048)")
+		trTasks   = flag.Int("trace-tasks", 0, "task traces retained before the oldest is evicted (0 = default 1024)")
 	)
 	flag.Parse()
 	clusterCfg := clusterOptions{nodeID: *nodeID, peers: *peers, heartbeat: *heartbeat}
@@ -127,7 +129,7 @@ func main() {
 		dsn:   *storeDSN,
 		flush: store.FlushConfig{MaxBatch: *storeBat, Interval: *storeIntv},
 	}
-	if err := run(*addr, *clusters, *smps, *supers, *seed, storeCfg, *workers, *enactDel, *planWkrs, *planCache, tenantCfg, clusterCfg, *logLevel, *logFmt, *pprof); err != nil {
+	if err := run(*addr, *clusters, *smps, *supers, *seed, storeCfg, *workers, *enactDel, *planWkrs, *planCache, tenantCfg, clusterCfg, traceOptions{spanCap: *trSpans, maxTasks: *trTasks}, *logLevel, *logFmt, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "gridenv:", err)
 		os.Exit(1)
 	}
@@ -210,7 +212,13 @@ func (t tenantOptions) resolve() (map[string]engine.TenantConfig, engine.TenantC
 	return out, t.defaults, nil
 }
 
-func run(addr string, clusters, smps, supers int, seed int64, storeCfg storeOptions, workers int, enactDelay time.Duration, planWorkers, planCache int, tenants tenantOptions, clusterCfg clusterOptions, logLevel, logFmt string, pprof bool) error {
+// traceOptions carries the trace-retention flags into run.
+type traceOptions struct {
+	spanCap  int // spans per task trace; 0 = telemetry default
+	maxTasks int // retained task traces; 0 = telemetry default
+}
+
+func run(addr string, clusters, smps, supers int, seed int64, storeCfg storeOptions, workers int, enactDelay time.Duration, planWorkers, planCache int, tenants tenantOptions, clusterCfg clusterOptions, traceCfg traceOptions, logLevel, logFmt string, pprof bool) error {
 	gridCfg := grid.DefaultSyntheticConfig()
 	gridCfg.Clusters = clusters
 	gridCfg.SMPs = smps
@@ -253,6 +261,8 @@ func run(addr string, clusters, smps, supers int, seed int64, storeCfg storeOpti
 		PlanCacheSize:  planCache,
 		Tenants:        tenantMap,
 		TenantDefaults: tenantDefaults,
+		TraceSpanCap:   traceCfg.spanCap,
+		TraceMaxTasks:  traceCfg.maxTasks,
 		Logger:         logger,
 	})
 	if err != nil {

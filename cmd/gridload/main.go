@@ -68,6 +68,7 @@ func run(args []string, out *os.File) error {
 		capacity    = fs.Int("capacity", 0, "admission queue capacity (0 = sized automatically)")
 		serviceMean = fs.Float64("service-mean", 0.05, "simulated mean service seconds (sim only)")
 		endpoints   = fs.String("endpoints", "", "comma-separated gridenv base URLs to drive over HTTP (live mode; empty = in-process engine)")
+		traceparent = fs.Bool("traceparent", false, "send a fresh W3C traceparent header per submission so server traces join client-originated trace IDs (HTTP live mode)")
 		indent      = fs.Bool("indent", false, "pretty-print the JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -98,7 +99,7 @@ func run(args []string, out *os.File) error {
 		report, err = load.RunSim(spec)
 	case "live":
 		if *endpoints != "" {
-			report, err = runHTTP(spec, strings.Split(*endpoints, ","))
+			report, err = runHTTP(spec, strings.Split(*endpoints, ","), *traceparent)
 		} else {
 			report, err = runLive(spec)
 		}
@@ -153,7 +154,7 @@ func runLive(spec load.Spec) (*load.Report, error) {
 // cluster (gridenv -peers) this measures whole-cluster goodput including
 // the request-forwarding path. Endpoints are base URLs without trailing
 // slash; whitespace around commas is tolerated.
-func runHTTP(spec load.Spec, endpoints []string) (*load.Report, error) {
+func runHTTP(spec load.Spec, endpoints []string, traceparent bool) (*load.Report, error) {
 	cleaned := make([]string, 0, len(endpoints))
 	for _, e := range endpoints {
 		e = strings.TrimSuffix(strings.TrimSpace(e), "/")
@@ -161,7 +162,7 @@ func runHTTP(spec load.Spec, endpoints []string) (*load.Report, error) {
 			cleaned = append(cleaned, e)
 		}
 	}
-	runner := &load.HTTPRunner{Endpoints: cleaned, NewBody: liveBody}
+	runner := &load.HTTPRunner{Endpoints: cleaned, NewBody: liveBody, Traceparent: traceparent}
 	return runner.Run(spec)
 }
 

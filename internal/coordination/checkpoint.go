@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/services"
+	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
 
@@ -208,6 +209,7 @@ func (c *Coordinator) resume(ctx context.Context, snap *CheckpointData, pol *Pol
 		TotalCost:     snap.Cost,
 		Policy:        p,
 		spans:         c.cfg.Telemetry.TaskTrace(snap.TaskID),
+		span:          telemetry.SpanFromContext(ctx),
 	}
 	report.trace("resume", "", fmt.Sprintf("from checkpoint after %d executions", snap.Executed))
 	es := &enactState{

@@ -112,6 +112,9 @@ type Report struct {
 	// spans mirrors Trace into the telemetry task trace when telemetry is
 	// wired; nil otherwise (TaskTrace methods are nil-safe).
 	spans *telemetry.TaskTrace
+	// span is the enclosing enact span extracted from the run context; child
+	// duration spans (scheduling consults, plan requests) parent under it.
+	span telemetry.SpanContext
 }
 
 // Coordinator enacts tasks. Register its agent with Register, or call
@@ -130,7 +133,7 @@ type Coordinator struct {
 	mRetries, mFaults, mFaultReplans        *telemetry.Counter
 	mCancelled                              *telemetry.Counter
 	hBatchWall, hEnactReal, hCkptBytes      *telemetry.Histogram
-	hBackoff                                *telemetry.Histogram
+	hBackoff, hStageSchedule                *telemetry.Histogram
 
 	// perfMu guards perfCache, the short-TTL memo of brokerage
 	// past-performance replies used by history-aware dispatch. The brokerage
@@ -200,6 +203,7 @@ func New(cfg Config) (*Coordinator, error) {
 		c.hBatchWall = tel.Histogram("coordination.batch.simulated.seconds", []float64{1, 10, 60, 300, 1800, 3600, 10800})
 		c.hEnactReal = tel.Histogram("coordination.enact.real.seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60})
 		c.hCkptBytes = tel.Histogram("coordination.checkpoint.bytes", []float64{1024, 4096, 16384, 65536, 262144})
+		c.hStageSchedule = tel.Histogram("trace.stage.schedule.seconds", []float64{0.0001, 0.001, 0.01, 0.1, 1, 10})
 	}
 	ctx, err := cfg.Platform.Register(services.CoordinationName, agent.HandlerFunc(c.handle))
 	if err != nil {
@@ -270,7 +274,11 @@ func (c *Coordinator) RunTaskContext(ctx context.Context, task *workflow.Task, p
 		ctx, cancel = context.WithTimeout(ctx, p.Deadline)
 		defer cancel()
 	}
-	report := &Report{TaskID: task.ID, Policy: p, spans: c.cfg.Telemetry.TaskTrace(task.ID)}
+	report := &Report{
+		TaskID: task.ID, Policy: p,
+		spans: c.cfg.Telemetry.TaskTrace(task.ID),
+		span:  telemetry.SpanFromContext(ctx),
+	}
 	start := time.Now()
 	defer func() {
 		c.hEnactReal.Observe(time.Since(start).Seconds())
@@ -405,6 +413,7 @@ func (c *Coordinator) requestPlan(ctx context.Context, report *Report, state *wo
 		NonExecutable: nonExecutable,
 		TrustCaller:   trustCaller,
 		Failed:        failed,
+		Traceparent:   report.span.Traceparent(),
 	}, c.cfg.CallTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("coordination: planning request failed: %w", err)

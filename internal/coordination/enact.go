@@ -619,15 +619,18 @@ func (c *Coordinator) consultScheduling(ctx context.Context, report *Report, bat
 		return
 	}
 	report.trace("invoke", "", services.SchedulingName)
+	_, endSched := report.spans.Begin(report.span, "schedule", services.SchedulingName)
 	reply, err := c.ctx.CallContext(ctx, services.SchedulingName, services.OntScheduling,
 		services.ScheduleRequest{Tasks: specs}, c.cfg.CallTimeout)
 	if err != nil {
-		report.trace("schedule", "", "scheduling service unavailable: "+err.Error())
+		c.hStageSchedule.ObserveExemplar(endSched("scheduling service unavailable: "+err.Error()), report.span.TraceID)
 		return
 	}
+	detail := fmt.Sprintf("min-min over %d ready activities", len(specs))
 	if sr, ok := reply.Content.(services.ScheduleReply); ok {
-		report.trace("schedule", "", fmt.Sprintf("min-min over %d ready activities: makespan %.0fs", len(specs), sr.Makespan))
+		detail = fmt.Sprintf("min-min over %d ready activities: makespan %.0fs", len(specs), sr.Makespan)
 	}
+	c.hStageSchedule.ObserveExemplar(endSched(detail), report.span.TraceID)
 }
 
 // pendingExec is one batch member.

@@ -116,6 +116,12 @@ type Options struct {
 	// NoTelemetry disables instrumentation entirely — the hot paths then pay
 	// only a nil check per record site. Used by overhead benchmarks.
 	NoTelemetry bool
+
+	// TraceSpanCap and TraceMaxTasks bound trace retention: spans kept per
+	// task and distinct task traces kept before the oldest is evicted.
+	// Zero means the telemetry defaults.
+	TraceSpanCap  int
+	TraceMaxTasks int
 }
 
 // Environment is a fully wired grid environment.
@@ -176,6 +182,7 @@ func NewEnvironment(opts Options) (*Environment, error) {
 	if tel == nil && !opts.NoTelemetry {
 		tel = telemetry.New()
 	}
+	tel.SetTraceCapacity(opts.TraceSpanCap, opts.TraceMaxTasks)
 	logger := opts.Logger
 	if logger == nil {
 		logger = telemetry.NopLogger()

@@ -177,6 +177,14 @@ type Submission struct {
 	// queueing, quota enforcement, and accounting. Empty means
 	// DefaultTenant.
 	Tenant string
+	// Traceparent is an inbound W3C trace context (a forwarded submit, a
+	// parent task). When valid, the task's root span joins that trace
+	// instead of starting a fresh one.
+	Traceparent string
+	// RequestID is the HTTP request ID that carried the submission; it is
+	// stamped on the root span and admission logs so traces, logs, and
+	// responses correlate on one ID.
+	RequestID string
 }
 
 // TaskStatus is a point-in-time public view of one task record.
@@ -248,6 +256,14 @@ type record struct {
 	// runCtx/cancel scope the running enactment; nil unless running.
 	runCtx context.Context
 	cancel context.CancelFunc
+	// Trace state: the task's trace, its root span context, and the pending
+	// end funcs for the root and queue_wait duration spans. All are set
+	// before the record becomes poppable (Submit before fq.Push, or
+	// enqueueRecovered) and are nil-safe no-ops when telemetry is off.
+	trace    *telemetry.TaskTrace
+	rootCtx  telemetry.SpanContext
+	endRoot  func(string) float64
+	endQueue func(string) float64
 }
 
 // Engine is the durable enactment engine. Create with New, then Start the
@@ -286,6 +302,8 @@ type Engine struct {
 	mJournalRecords, mJournalCompactions *telemetry.Counter
 	gDepth, gBusy                        *telemetry.Gauge
 	hWait, hRun                          *telemetry.Histogram
+	hStageWait, hStageEnact              *telemetry.Histogram
+	hStageJournal                        *telemetry.Histogram
 }
 
 // New builds an engine over a coordinator and the persistent storage
@@ -337,6 +355,12 @@ func New(cfg Config) (*Engine, error) {
 	e.gBusy = tel.Gauge("engine.workers.busy")
 	e.hWait = tel.Histogram("engine.queue.wait.seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60, 300})
 	e.hRun = tel.Histogram("engine.run.seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60, 300})
+	// Stage latency histograms are derived from span durations, so metrics
+	// and trace trees attribute the same lifecycle stages (exemplars carry
+	// the trace ID of the latest observation).
+	e.hStageWait = tel.Histogram("trace.stage.queue_wait.seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60, 300})
+	e.hStageEnact = tel.Histogram("trace.stage.enact.seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60, 300})
+	e.hStageJournal = tel.Histogram("trace.stage.journal_commit.seconds", []float64{0.0001, 0.001, 0.01, 0.1, 1, 10})
 	return e, nil
 }
 
@@ -480,13 +504,29 @@ func (e *Engine) Submit(sub Submission) (TaskStatus, error) {
 	ts.queued++
 	e.mu.Unlock()
 
+	// Open the distributed trace: the root span covers admission through the
+	// terminal transition, joining an inbound traceparent (forwarded submit,
+	// parent task) when one was carried in.
+	tr := e.tel.TaskTrace(id)
+	var rootAttrs map[string]string
+	if sub.RequestID != "" {
+		rootAttrs = map[string]string{"request.id": sub.RequestID}
+	}
+	rec.trace = tr
+	rec.rootCtx, rec.endRoot = tr.StartRoot("task", id, sub.Traceparent, rootAttrs)
+
 	// Write-ahead: the accepted record is durable before the task is
 	// visible in the queue, so a crash between here and the first worker
 	// pickup still re-enqueues it on recovery.
+	_, endJournal := tr.Begin(rec.rootCtx, "journal_commit", "accepted")
 	_, jerr := e.journalAppend(JournalRecord{
 		Event: EventAccepted, TaskID: id, Seq: rec.seq,
 		Priority: int(rec.priority), Tenant: rec.tenant, Task: env,
 	})
+	e.hStageJournal.ObserveExemplar(endJournal("write-ahead accepted record"), rec.rootCtx.TraceID)
+	// The queue_wait span opens here — before the record becomes poppable —
+	// and ends when a worker dequeues it in run().
+	_, rec.endQueue = tr.Begin(rec.rootCtx, "queue_wait", "")
 
 	e.mu.Lock()
 	rec.admitting = false
@@ -502,6 +542,7 @@ func (e *Engine) Submit(sub Submission) (TaskStatus, error) {
 		ts.gQueued.Set(float64(ts.queued))
 		e.mu.Unlock()
 		e.mRejected.Inc()
+		rec.endRoot("journal append failed: " + jerr.Error())
 		e.log.Error("task rejected: journal append failed",
 			slog.String("task", id), slog.String("error", jerr.Error()))
 		return TaskStatus{}, jerr
@@ -540,10 +581,18 @@ func (e *Engine) Submit(sub Submission) (TaskStatus, error) {
 
 	e.mAccepted.Inc()
 	e.gDepth.Set(float64(depth))
-	e.tel.TaskTrace(id).Span("queue", "", fmt.Sprintf("admitted at position %d (%s priority)", pos, rec.priority))
-	e.log.Info("task admitted",
+	tr.Span("queue", "", fmt.Sprintf("admitted at position %d (%s priority)", pos, rec.priority))
+	logAttrs := []any{
 		slog.String("task", id), slog.String("priority", rec.priority.String()),
-		slog.Int("position", pos), slog.Int("depth", depth))
+		slog.Int("position", pos), slog.Int("depth", depth),
+	}
+	if sub.RequestID != "" {
+		logAttrs = append(logAttrs, slog.String("requestId", sub.RequestID))
+	}
+	if rec.rootCtx.Valid() {
+		logAttrs = append(logAttrs, slog.String("traceId", rec.rootCtx.TraceID))
+	}
+	e.log.Info("task admitted", logAttrs...)
 	return status, nil
 }
 
@@ -551,6 +600,13 @@ func (e *Engine) Submit(sub Submission) (TaskStatus, error) {
 // it was accepted in a previous life, so the admission promise stands even
 // if the queue is momentarily over capacity.
 func (e *Engine) enqueueRecovered(rec *record) {
+	// Trace state did not survive the crash, so a recovered task gets a
+	// fresh local root (marked as recovered) rather than rejoining the
+	// original distributed trace.
+	tr := e.tel.TaskTrace(rec.id)
+	rec.trace = tr
+	rec.rootCtx, rec.endRoot = tr.StartRoot("task", rec.id, "", map[string]string{"recovered": "true"})
+	_, rec.endQueue = tr.Begin(rec.rootCtx, "queue_wait", "")
 	e.mu.Lock()
 	rec.status = StatusQueued
 	rec.tenant = canonicalTenant(rec.tenant)
@@ -642,12 +698,20 @@ func (e *Engine) run(rec *record) {
 			slog.String("task", rec.id), slog.String("error", err.Error()))
 	}
 	e.hWait.Observe(rec.queueWait)
-	e.tel.TaskTrace(rec.id).Span("attempt", "", fmt.Sprintf("attempt %d after %.3fs queued", rec.attempt, rec.queueWait))
+	if rec.endQueue != nil {
+		wait := rec.endQueue(fmt.Sprintf("dequeued for attempt %d", rec.attempt))
+		e.hStageWait.ObserveExemplar(wait, rec.rootCtx.TraceID)
+		rec.endQueue = nil
+	}
+	rec.trace.Span("attempt", "", fmt.Sprintf("attempt %d after %.3fs queued", rec.attempt, rec.queueWait))
 	e.log.Info("enactment attempt started",
 		slog.String("task", rec.id), slog.Int("attempt", rec.attempt),
 		slog.Float64("queueWaitSec", rec.queueWait))
 
-	ctx := rec.runCtx
+	// The enact span scopes the whole coordinator run; its context rides
+	// rec.runCtx so scheduling and planning spans nest under it.
+	enactCtx, endEnact := rec.trace.Begin(rec.rootCtx, "enact", "")
+	ctx := telemetry.ContextWithSpan(rec.runCtx, enactCtx)
 	var report *coordination.Report
 	var err error
 	if rec.resume != nil {
@@ -662,6 +726,7 @@ func (e *Engine) run(rec *record) {
 		}
 	}
 	e.hRun.Observe(time.Since(rec.started).Seconds())
+	e.hStageEnact.ObserveExemplar(endEnact(fmt.Sprintf("attempt %d", rec.attempt)), rec.rootCtx.TraceID)
 
 	status := StatusCompleted
 	switch {
@@ -683,6 +748,7 @@ func (e *Engine) run(rec *record) {
 // to it costs a single durable wait where a terminal append followed by a
 // Delete+Put compaction used to cost three.
 func (e *Engine) finish(rec *record, status string, report *coordination.Report, errText string) {
+	_, endCompact := rec.trace.Begin(rec.rootCtx, "journal_commit", "terminal")
 	if err := e.compact(JournalRecord{
 		TaskID: rec.id, Seq: rec.seq, Attempt: rec.attempt,
 		Priority: int(rec.priority), Tenant: rec.tenant,
@@ -690,6 +756,11 @@ func (e *Engine) finish(rec *record, status string, report *coordination.Report,
 	}); err != nil {
 		e.log.Error("journal compaction failed",
 			slog.String("task", rec.id), slog.String("error", err.Error()))
+	}
+	e.hStageJournal.ObserveExemplar(endCompact("terminal snapshot"), rec.rootCtx.TraceID)
+	if rec.endRoot != nil {
+		rec.endRoot(status)
+		rec.endRoot = nil
 	}
 
 	e.mu.Lock()

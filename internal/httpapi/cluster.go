@@ -71,7 +71,7 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, tenant, id
 	if self {
 		return false
 	}
-	s.forwardToPeer(w, r, peer, body)
+	s.forwardToPeer(w, r, peer, id, body)
 	return true
 }
 
@@ -79,7 +79,12 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, tenant, id
 // status, envelope headers, body — back verbatim. The X-Request-Id this
 // node already stamped is forwarded, and the peer's middleware adopts it,
 // so the envelope's requestId matches the header the client sees here.
-func (s *Server) forwardToPeer(w http.ResponseWriter, r *http.Request, peer cluster.Peer, body []byte) {
+//
+// A forwarded submit (POST with a task ID) additionally opens a "forward"
+// span on this node's trace segment for the task and injects its W3C
+// traceparent into the forwarded request: the owner's root span parents
+// under it, making the two-node trace joinable by trace ID.
+func (s *Server) forwardToPeer(w http.ResponseWriter, r *http.Request, peer cluster.Peer, id string, body []byte) {
 	n := s.env.Cluster
 	req, err := http.NewRequestWithContext(r.Context(), r.Method,
 		peer.Addr+r.URL.RequestURI(), bytes.NewReader(body))
@@ -90,18 +95,33 @@ func (s *Server) forwardToPeer(w http.ResponseWriter, r *http.Request, peer clus
 	}
 	req.Header.Set(forwardedHeader, n.Self().ID)
 	req.Header.Set(requestIDHeader, w.Header().Get(requestIDHeader))
-	for _, h := range []string{"Content-Type", "Accept", tenantHeader} {
+	for _, h := range []string{"Content-Type", "Accept", tenantHeader, traceparentHeader} {
 		if v := r.Header.Get(h); v != "" {
 			req.Header.Set(h, v)
 		}
 	}
+	endForward := nopForwardEnd
+	if r.Method == http.MethodPost && id != "" {
+		// Only submits get a span: polling forwards would spam the trace.
+		var attrs map[string]string
+		if rid := w.Header().Get(requestIDHeader); rid != "" {
+			attrs = map[string]string{"request.id": rid}
+		}
+		sc, end := s.telemetry().TaskTrace(id).StartRoot("forward", peer.ID, r.Header.Get(traceparentHeader), attrs)
+		if sc.Valid() {
+			req.Header.Set(traceparentHeader, sc.Traceparent())
+		}
+		endForward = end
+	}
 	resp, err := n.ForwardClient().Do(req)
 	n.NoteForward(err)
 	if err != nil {
+		endForward("peer unreachable: " + err.Error())
 		s.writeError(w, r, http.StatusBadGateway, "peer_unreachable",
 			"forwarding to owner %s: %v", peer.ID, err)
 		return
 	}
+	endForward(fmt.Sprintf("owner %s answered %d", peer.ID, resp.StatusCode))
 	defer resp.Body.Close()
 	h := w.Header()
 	for _, name := range forwardedResponseHeaders {
@@ -150,7 +170,7 @@ type peerLeg struct {
 // gather fans a GET out to every alive peer with the per-peer timeout and
 // decodes each body into the value build(node) returns. The self leg is
 // not fetched — callers fold their local view in directly.
-func (s *Server) gather(path string, decode func(node string, body []byte) error) []peerLeg {
+func (s *Server) gather(path string, decode func(node string, status int, body []byte) error) []peerLeg {
 	n := s.env.Cluster
 	peers := n.AlivePeers()
 	legs := make([]peerLeg, len(peers))
@@ -174,13 +194,9 @@ func (s *Server) gather(path string, decode func(node string, body []byte) error
 				return
 			}
 			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				legs[i].Error = fmt.Sprintf("peer answered %d", resp.StatusCode)
-				return
-			}
 			body, err := io.ReadAll(resp.Body)
 			if err == nil {
-				err = decode(p.ID, body)
+				err = decode(p.ID, resp.StatusCode, body)
 			}
 			if err != nil {
 				legs[i].Error = err.Error()
@@ -234,7 +250,10 @@ func (s *Server) handleStatsCluster(w http.ResponseWriter, r *http.Request) {
 	}
 	var mu sync.Mutex
 	byNode := map[string]StatsView{s.env.Cluster.Self().ID: local}
-	legs := s.gather("/api/v1/stats", func(node string, body []byte) error {
+	legs := s.gather("/api/v1/stats", func(node string, status int, body []byte) error {
+		if status != http.StatusOK {
+			return fmt.Errorf("peer answered %d", status)
+		}
 		var sv StatsView
 		if err := json.Unmarshal(body, &sv); err != nil {
 			return err
@@ -318,7 +337,10 @@ func (s *Server) handleTenantsCluster(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	fold(s.env.Engine.Tenants())
-	legs := s.gather("/api/v1/tenants", func(node string, body []byte) error {
+	legs := s.gather("/api/v1/tenants", func(node string, status int, body []byte) error {
+		if status != http.StatusOK {
+			return fmt.Errorf("peer answered %d", status)
+		}
 		var pg struct {
 			Items []engine.TenantStatus `json:"items"`
 		}

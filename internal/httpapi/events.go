@@ -8,13 +8,27 @@ package httpapi
 // the connection open. The subscription is bounded — a client that stops
 // reading loses events rather than stalling enactments (see the bus contract
 // in internal/telemetry).
+//
+// Resume: each event's SSE id is its bus sequence number. A reconnecting
+// client sends Last-Event-ID (the standard EventSource behavior) and the
+// stream replays the retained events it missed before going live. The
+// replay ring is bounded (telemetry.DefaultReplayCap); events that aged
+// out of it are gone, and the stream says so with one "gap" event carrying
+// the count of permanently missed events, so consumers know their view has
+// a hole instead of silently losing it. Events published before the bus
+// ever had a subscriber carry no sequence number and are outside the
+// resume space entirely — a resuming client necessarily subscribed before
+// anything it could have seen was published.
 
 import (
 	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // keepaliveInterval is how often an idle event stream emits an SSE comment.
@@ -38,6 +52,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		kindFilter[k] = true
 	}
 
+	resume := false
+	after := uint64(0)
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		parsed, err := strconv.ParseUint(lei, 10, 64)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, "bad_request", "Last-Event-ID must be a sequence number: %v", err)
+			return
+		}
+		resume, after = true, parsed
+	}
+
 	sub := tel.Subscribe(0)
 	defer sub.Close()
 
@@ -51,6 +76,38 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// caused by anything the client does next are never missed.
 	fmt.Fprint(w, ": stream opened\n\n")
 	flusher.Flush()
+
+	emit := func(ev telemetry.Event) bool {
+		if taskFilter != "" && ev.Task != taskFilter {
+			return false
+		}
+		if len(kindFilter) > 0 && !kindFilter[ev.Kind] {
+			return false
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data)
+		return true
+	}
+
+	// Replay the gap since the client's Last-Event-ID (subscription first,
+	// replay second: anything published in between arrives on the live
+	// channel and is deduplicated by sequence number below).
+	lastSeq := uint64(0)
+	if resume {
+		missed, missedCount := tel.EventsSince(after)
+		if missedCount > 0 {
+			fmt.Fprintf(w, "event: gap\ndata: {\"missed\": %d, \"after\": %d}\n\n", missedCount, after)
+		}
+		lastSeq = after
+		for _, ev := range missed {
+			emit(ev)
+			lastSeq = ev.Seq
+		}
+		flusher.Flush()
+	}
 
 	keepalive := time.NewTicker(keepaliveInterval)
 	defer keepalive.Stop()
@@ -67,19 +124,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprint(w, ": keepalive\n\n")
 			flusher.Flush()
 		case ev := <-sub.Events():
-			if taskFilter != "" && ev.Task != taskFilter {
-				continue
+			if ev.Seq <= lastSeq {
+				continue // already delivered during replay
 			}
-			if len(kindFilter) > 0 && !kindFilter[ev.Kind] {
-				continue
+			lastSeq = ev.Seq
+			if emit(ev) {
+				flusher.Flush()
+				sent++
 			}
-			data, err := json.Marshal(ev)
-			if err != nil {
-				continue
-			}
-			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data)
-			flusher.Flush()
-			sent++
 		}
 	}
 }

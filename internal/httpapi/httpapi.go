@@ -661,6 +661,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	status, err := s.env.Engine.Submit(engine.Submission{
 		Task: task, Policy: pol, Priority: prio, Tenant: sub.Tenant,
+		Traceparent: r.Header.Get(traceparentHeader),
+		RequestID:   w.Header().Get(requestIDHeader),
 	})
 	switch {
 	case errors.Is(err, engine.ErrQueueFull):
@@ -871,34 +873,6 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
-}
-
-// traceView is the GET /api/v1/tasks/{id}/trace response.
-type traceView struct {
-	TaskID  string           `json:"taskId"`
-	Spans   []telemetry.Span `json:"spans"`
-	Dropped uint64           `json:"dropped"`
-}
-
-func (s *Server) handleTaskTrace(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if s.maybeForward(w, r, requestTenant(r), id, nil) {
-		return
-	}
-	if _, err := s.env.Engine.Task(id); err != nil {
-		if errors.Is(err, engine.ErrEvicted) {
-			s.writeError(w, r, http.StatusNotFound, "task_evicted", "task %q finished and its record was evicted", id)
-			return
-		}
-		s.writeError(w, r, http.StatusNotFound, "not_found", "no task %q", id)
-		return
-	}
-	tr := s.telemetry().LookupTrace(id)
-	spans := tr.Spans()
-	if spans == nil {
-		spans = []telemetry.Span{}
-	}
-	writeJSON(w, http.StatusOK, traceView{TaskID: id, Spans: spans, Dropped: tr.Dropped()})
 }
 
 // --- plan archive and ontology ----------------------------------------------

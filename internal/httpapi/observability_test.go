@@ -129,15 +129,25 @@ var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 
 // promSample is one parsed exposition sample line.
 type promSample struct {
-	name   string
-	labels map[string]string
-	value  float64
+	name     string
+	labels   map[string]string
+	value    float64
+	exemplar string // OpenMetrics exemplar suffix, if any
 }
 
-// parsePromLine splits `name{k="v",...} value` (labels optional).
+var promExemplarRe = regexp.MustCompile(`^\{trace_id="[0-9a-f]{32}"\} [0-9.eE+-]+$`)
+
+// parsePromLine splits `name{k="v",...} value [# {exemplar} value]`
+// (labels and exemplar optional).
 func parsePromLine(t *testing.T, line string) promSample {
 	t.Helper()
 	s := promSample{labels: map[string]string{}}
+	if body, ex, ok := strings.Cut(line, " # "); ok {
+		if !promExemplarRe.MatchString(ex) {
+			t.Fatalf("malformed exemplar %q on %q", ex, line)
+		}
+		line, s.exemplar = body, ex
+	}
 	rest := line
 	if i := strings.IndexByte(line, '{'); i >= 0 {
 		s.name = line[:i]

@@ -1,0 +1,370 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestTaskTraceHierarchy submits a task carrying a client traceparent and an
+// X-Request-Id and checks the single-node trace is a proper tree: the task
+// root joins the client's trace, every stage span (queue_wait, enact,
+// journal_commit) hangs off the root with a measured duration, and point
+// events are parented rather than floating.
+func TestTaskTraceHierarchy(t *testing.T) {
+	_, ts := testServer(t)
+	client := telemetry.SpanContext{TraceID: telemetry.NewTraceID(), SpanID: telemetry.NewSpanID()}
+
+	sub := podSubmission("T-hier")
+	body, err := json.Marshal(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/tasks", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", client.Traceparent())
+	req.Header.Set("X-Request-Id", "req-hier-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	pollTerminal(t, ts.URL+"/api/v1/tasks/T-hier")
+
+	var view traceView
+	if code := getJSON(t, ts.URL+"/api/v1/tasks/T-hier/trace", &view); code != 200 {
+		t.Fatalf("trace status %d", code)
+	}
+	if view.TraceID != client.TraceID {
+		t.Fatalf("trace ID %q, want the client's %q", view.TraceID, client.TraceID)
+	}
+
+	var root *telemetry.Span
+	durations := map[string]int{}
+	ids := map[string]bool{}
+	for i := range view.Spans {
+		s := &view.Spans[i]
+		if s.SpanID != "" {
+			ids[s.SpanID] = true
+			durations[s.Kind]++
+			if s.DurationSec < 0 {
+				t.Errorf("%s span has negative duration %v", s.Kind, s.DurationSec)
+			}
+		}
+		if s.Kind == "task" {
+			root = s
+		}
+		if s.TraceID != client.TraceID {
+			t.Errorf("%s span trace %q, want %q", s.Kind, s.TraceID, client.TraceID)
+		}
+	}
+	if root == nil {
+		t.Fatal("no task root span recorded")
+	}
+	if root.ParentID != client.SpanID {
+		t.Errorf("root ParentID %q, want the client span %q", root.ParentID, client.SpanID)
+	}
+	if root.Attrs["request.id"] != "req-hier-1" {
+		t.Errorf("root request.id attr = %q, want req-hier-1", root.Attrs["request.id"])
+	}
+	if root.DurationSec <= 0 {
+		t.Errorf("root DurationSec = %v, want > 0", root.DurationSec)
+	}
+	for _, kind := range []string{"queue_wait", "enact", "journal_commit"} {
+		if durations[kind] == 0 {
+			t.Errorf("no %s duration span; kinds = %v", kind, durations)
+		}
+	}
+	// Every span is linked: parents resolve within the trace (the root's
+	// parent is the client's remote span, by construction).
+	for _, s := range view.Spans {
+		if s.SpanID == root.SpanID {
+			continue
+		}
+		if s.ParentID == "" || !(ids[s.ParentID] || s.ParentID == client.SpanID) {
+			t.Errorf("span kind=%s name=%s has unresolvable parent %q", s.Kind, s.Name, s.ParentID)
+		}
+	}
+
+	// The OTLP rendering carries the same spans under one resource.
+	var otlp struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID string `json:"traceId"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/tasks/T-hier/trace?format=otlp", &otlp); code != 200 {
+		t.Fatalf("otlp trace status %d", code)
+	}
+	if len(otlp.ResourceSpans) != 1 || len(otlp.ResourceSpans[0].ScopeSpans) != 1 {
+		t.Fatalf("otlp shape = %+v", otlp)
+	}
+	for _, s := range otlp.ResourceSpans[0].ScopeSpans[0].Spans {
+		if s.TraceID != client.TraceID {
+			t.Fatalf("otlp span trace %q, want %q", s.TraceID, client.TraceID)
+		}
+	}
+}
+
+// TestClusterTwoNodeJoinableTrace forwards a submission and checks the two
+// nodes' segments join into one trace: the forwarding node's "forward" span
+// and the owner's "task" root share a trace ID, and the root's parent IS the
+// forward span — the cross-process link a trace viewer follows.
+func TestClusterTwoNodeJoinableTrace(t *testing.T) {
+	nodes := newTestCluster(t, 2, nil)
+	entry := nodes[0]
+	id := idOwnedElsewhere(t, entry.node(), "", "trace-join")
+
+	resp, body := doRequest(t, http.MethodPost, entry.ts.URL+"/api/v1/tasks", podSubmission(id))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("forwarded POST = %d (%v)", resp.StatusCode, body)
+	}
+	pollTerminal(t, entry.ts.URL+"/api/v1/tasks/"+id)
+
+	var view clusterTraceView
+	if code := getJSON(t, entry.ts.URL+"/api/v1/tasks/"+id+"/trace?scope=cluster", &view); code != 200 {
+		t.Fatalf("cluster trace status %d", code)
+	}
+	var forward, root *clusterSpan
+	for i := range view.Spans {
+		s := &view.Spans[i]
+		switch s.Kind {
+		case "forward":
+			forward = s
+		case "task":
+			root = s
+		}
+	}
+	if forward == nil || root == nil {
+		t.Fatalf("missing forward or task span in %d spans", len(view.Spans))
+	}
+	if forward.Node != "n0" {
+		t.Errorf("forward span recorded on %q, want the entry node n0", forward.Node)
+	}
+	if root.Node != "n1" {
+		t.Errorf("task root recorded on %q, want the owner n1", root.Node)
+	}
+	if root.TraceID != forward.TraceID {
+		t.Errorf("trace IDs diverge: root %q, forward %q", root.TraceID, forward.TraceID)
+	}
+	if root.ParentID != forward.SpanID {
+		t.Errorf("root ParentID %q, want the forward span %q", root.ParentID, forward.SpanID)
+	}
+	if view.TraceID != forward.TraceID {
+		t.Errorf("view trace ID %q, want %q", view.TraceID, forward.TraceID)
+	}
+}
+
+// TestClusterTraceAssembly is the acceptance scenario: on a 3-node cluster a
+// forwarded task yields ONE assembled trace tree under ?scope=cluster —
+// rooted at the forward span, spanning two processes — whose stage-span
+// durations agree with the owner's latency histograms, and which exports as
+// multi-resource OTLP.
+func TestClusterTraceAssembly(t *testing.T) {
+	nodes := newTestCluster(t, 3, nil)
+	entry := nodes[0]
+	id := idOwnedElsewhere(t, entry.node(), "", "trace-asm")
+
+	resp, body := doRequest(t, http.MethodPost, entry.ts.URL+"/api/v1/tasks", podSubmission(id))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("forwarded POST = %d (%v)", resp.StatusCode, body)
+	}
+	pollTerminal(t, entry.ts.URL+"/api/v1/tasks/"+id)
+
+	// Any node can assemble the cluster view, including one that neither
+	// accepted nor owns the task.
+	var view clusterTraceView
+	if code := getJSON(t, nodes[2].ts.URL+"/api/v1/tasks/"+id+"/trace?scope=cluster", &view); code != 200 {
+		t.Fatalf("cluster trace status %d", code)
+	}
+	if view.Scope != "cluster" || view.Partial {
+		t.Fatalf("scope=%q partial=%v, want a complete cluster view", view.Scope, view.Partial)
+	}
+	byNode := map[string]int{}
+	for _, s := range view.Spans {
+		byNode[s.Node]++
+		if s.TraceID != view.TraceID {
+			t.Errorf("span %s on %s has trace %q, want %q", s.Kind, s.Node, s.TraceID, view.TraceID)
+		}
+	}
+	if len(byNode) < 2 {
+		t.Fatalf("spans from %v, want at least forwarder + owner", byNode)
+	}
+	if len(view.Tree) != 1 {
+		t.Fatalf("assembled %d trees, want exactly 1 (roots: %+v)", len(view.Tree), view.Tree)
+	}
+	if view.Tree[0].Span.Kind != "forward" {
+		t.Errorf("tree root kind %q, want the forward span", view.Tree[0].Span.Kind)
+	}
+
+	// The stage durations in the tree agree with the owner node's stage
+	// histograms: for each stage, the histogram observed at least this
+	// task's spans and its sum is no smaller than any single span duration.
+	stageSpans := map[string][]float64{}
+	var walk func(n *traceTreeNode)
+	walk = func(n *traceTreeNode) {
+		if n.Span.SpanID != "" {
+			stageSpans[n.Span.Kind] = append(stageSpans[n.Span.Kind], n.Span.DurationSec)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, root := range view.Tree {
+		walk(root)
+	}
+	owner := nodes[1]
+	if byNode["n1"] == 0 { // the ring picked n2 as owner instead
+		owner = nodes[2]
+	}
+	snap := owner.srv.env.Telemetry.Snapshot()
+	for stage, hist := range map[string]string{
+		"queue_wait":     "trace.stage.queue_wait.seconds",
+		"enact":          "trace.stage.enact.seconds",
+		"journal_commit": "trace.stage.journal_commit.seconds",
+	} {
+		durs := stageSpans[stage]
+		if len(durs) == 0 {
+			t.Errorf("assembled tree has no %s span", stage)
+			continue
+		}
+		h := snap.Histograms[hist]
+		if h.Count < int64(len(durs)) {
+			t.Errorf("%s: histogram count %d < %d spans in the trace", hist, h.Count, len(durs))
+		}
+		for _, d := range durs {
+			if d > h.Sum+1e-9 {
+				t.Errorf("%s: span duration %v exceeds histogram sum %v", hist, d, h.Sum)
+			}
+		}
+	}
+
+	// Cluster OTLP export: one resource per contributing node.
+	var otlp struct {
+		ResourceSpans []json.RawMessage `json:"resourceSpans"`
+	}
+	if code := getJSON(t, nodes[2].ts.URL+"/api/v1/tasks/"+id+"/trace?scope=cluster&format=otlp", &otlp); code != 200 {
+		t.Fatalf("cluster otlp status %d", code)
+	}
+	if len(otlp.ResourceSpans) != len(byNode) {
+		t.Errorf("otlp has %d resources, want %d contributing nodes", len(otlp.ResourceSpans), len(byNode))
+	}
+}
+
+// TestEventsSSEResume reconnects with Last-Event-ID and checks the handler
+// replays the retained events published while the client was away, without
+// duplicating what it already saw.
+func TestEventsSSEResume(t *testing.T) {
+	_, ts := testServer(t)
+
+	// First connection: latches the replay ring and reads a few events.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/api/v1/events?task=T-resume", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitObserved(t, ts.URL, "T-resume")
+	lastID := ""
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		if id, ok := strings.CutPrefix(scanner.Text(), "id: "); ok {
+			lastID = id
+			break // disconnect after the first event
+		}
+	}
+	cancel()
+	resp.Body.Close()
+	if lastID == "" {
+		t.Fatal("no event id arrived on the first connection")
+	}
+
+	// Let the task finish while nobody is connected, then resume.
+	pollTerminal(t, ts.URL+"/api/v1/tasks/T-resume")
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel2()
+	req2, err := http.NewRequestWithContext(ctx2, http.MethodGet, ts.URL+"/api/v1/events?task=T-resume", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("Last-Event-ID", lastID)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resume status %d", resp2.StatusCode)
+	}
+
+	// The task already completed: its complete event must arrive from the
+	// replay ring, with a strictly increasing id and no duplicates.
+	prev := mustUint(t, lastID)
+	sawComplete := false
+	scanner2 := bufio.NewScanner(resp2.Body)
+	for scanner2.Scan() {
+		line := scanner2.Text()
+		if id, ok := strings.CutPrefix(line, "id: "); ok {
+			seq := mustUint(t, id)
+			if seq <= prev {
+				t.Fatalf("replayed id %d not after %d", seq, prev)
+			}
+			prev = seq
+		}
+		if kind, ok := strings.CutPrefix(line, "event: "); ok && kind == "complete" {
+			sawComplete = true
+			break
+		}
+	}
+	if !sawComplete {
+		t.Fatalf("resumed stream never replayed the complete event (scan err %v)", scanner2.Err())
+	}
+}
+
+// TestEventsSSEBadLastEventID rejects a non-numeric cursor up front.
+func TestEventsSSEBadLastEventID(t *testing.T) {
+	_, ts := testServer(t)
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "not-a-number")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func mustUint(t *testing.T, s string) uint64 {
+	t.Helper()
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("bad uint %q: %v", s, err)
+	}
+	return v
+}

@@ -8,6 +8,8 @@ import (
 	"math/rand"
 	"net/http"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // BodyFactory builds the n-th synthetic POST /api/v1/tasks body for a
@@ -33,6 +35,10 @@ type HTTPRunner struct {
 	Poll time.Duration
 	// Timeout aborts a stuck run; 0 means 120s.
 	Timeout time.Duration
+	// Traceparent makes every submission carry a fresh W3C traceparent
+	// header, so the server's task root span joins a client-originated
+	// trace (visible in GET /tasks/{id}/trace as the root's parentId).
+	Traceparent bool
 }
 
 // httpTask tracks one outstanding submission.
@@ -92,6 +98,10 @@ func (r *HTTPRunner) Run(spec Spec) (*Report, error) {
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("X-Tenant", tenant)
+		if r.Traceparent {
+			sc := telemetry.SpanContext{TraceID: telemetry.NewTraceID(), SpanID: telemetry.NewSpanID()}
+			req.Header.Set("traceparent", sc.Traceparent())
+		}
 		resp, err := client.Do(req)
 		if err != nil {
 			return fmt.Errorf("load: submit for tenant %s: %w", tenant, err)

@@ -53,6 +53,7 @@ type GP struct {
 	seeds    []*plantree.Node
 	tel      *telemetry.Registry
 	trace    *telemetry.TaskTrace
+	traceCtx telemetry.SpanContext
 }
 
 // SetTelemetry wires a metrics registry: Run then counts generations,
@@ -64,6 +65,11 @@ func (gp *GP) SetTelemetry(r *telemetry.Registry) { gp.tel = r }
 // "gp-generation" span per generation with the best/mean fitness and the
 // evaluation count so far. Call before Run; nil is a no-op.
 func (gp *GP) SetTrace(t *telemetry.TaskTrace) { gp.trace = t }
+
+// SetTraceContext parents the gp-generation spans under the given span
+// (typically the planner service's "plan" span), so GP progress nests
+// correctly in the task's distributed trace. Call before Run.
+func (gp *GP) SetTraceContext(sc telemetry.SpanContext) { gp.traceCtx = sc }
 
 // Seed injects existing plan trees into the initial population (plan reuse:
 // re-planning "adapts an existing process description to new conditions").
@@ -137,7 +143,7 @@ func (gp *GP) RunContext(ctx context.Context) (*Result, error) {
 				[]float64{0.2, 0.4, 0.6, 0.8, 0.9, 1}).Observe(stats.BestFitness)
 		}
 		if gp.trace != nil {
-			gp.trace.Span("gp-generation", fmt.Sprintf("gen-%d", gen),
+			gp.trace.SpanUnder(gp.traceCtx, "gp-generation", fmt.Sprintf("gen-%d", gen),
 				fmt.Sprintf("best=%.4f mean=%.4f size=%d evals=%d in %s",
 					stats.BestFitness, stats.MeanFitness, stats.BestSize,
 					gp.eval.Evaluations, time.Since(genStart).Round(time.Microsecond)))

@@ -86,6 +86,10 @@ type PlanSpec struct {
 	// TaskID, when set, routes the per-generation GP spans to that task's
 	// telemetry trace instead of the plan's own.
 	TaskID string
+	// Traceparent carries the submitting task's W3C trace context; the plan
+	// span then joins that trace as a child of the caller's span (plan→task
+	// causality survives the agent-message hop).
+	Traceparent string
 }
 
 // PlanStatus is the observable state of a plan.
@@ -642,7 +646,16 @@ func (s *Service) compute(ctx context.Context, j *planJob) (*Result, string, *pl
 	if traceID == "" {
 		traceID = j.status.ID
 	}
-	gp.SetTrace(s.tel.TaskTrace(traceID))
+	tr := s.tel.TaskTrace(traceID)
+	gp.SetTrace(tr)
+	// The plan span joins the caller's trace (via the propagated traceparent)
+	// or the task trace's root; GP generation events nest under it.
+	var planParent telemetry.SpanContext
+	if sc, ok := telemetry.ParseTraceparent(j.spec.Traceparent); ok {
+		planParent = sc
+	}
+	planSpan, endPlan := tr.Begin(planParent, "plan", j.status.ID)
+	gp.SetTraceContext(planSpan)
 	if j.spec.Failed != nil {
 		// The neighborhood rng is derived from (not equal to) the run seed
 		// so seeding does not replay the same stream the evolution uses.
@@ -653,8 +666,10 @@ func (s *Service) compute(ctx context.Context, j *planJob) (*Result, string, *pl
 	gp.Seed(j.spec.Seeds...)
 	res, err := gp.RunContext(ctx)
 	if err != nil {
+		endPlan("failed: " + err.Error())
 		return nil, "", nil, err
 	}
+	endPlan(fmt.Sprintf("%d evaluations over %d generations", res.Evaluations, len(res.History)))
 	tree := res.Best.Tree.Normalize()
 	if j.spec.TreeOnly {
 		return res, "", tree, nil

@@ -46,6 +46,11 @@ type PlanRequest struct {
 	// population is seeded from the failed plan's neighborhood under the
 	// reduced Incremental() budget instead of ramped-random from scratch.
 	Failed *workflow.ProcessDescription
+
+	// Traceparent carries the caller's W3C trace context (the task's enact
+	// span) so the plan span and its GP generations join the task's
+	// distributed trace.
+	Traceparent string
 }
 
 // PlanReply returns the new plan.
@@ -234,13 +239,14 @@ func (s *Service) Plan(ctx *agent.Context, req PlanRequest) (PlanReply, error) {
 	}
 
 	st, err := ps.Submit(context.Background(), planner.PlanSpec{
-		Initial:  req.Initial,
-		Goal:     req.Goal,
-		Excluded: exList,
-		Seeds:    seeds,
-		Failed:   failedTree,
-		Params:   &params,
-		TaskID:   req.TaskID,
+		Initial:     req.Initial,
+		Goal:        req.Goal,
+		Excluded:    exList,
+		Seeds:       seeds,
+		Failed:      failedTree,
+		Params:      &params,
+		TaskID:      req.TaskID,
+		Traceparent: req.Traceparent,
 	})
 	if err != nil {
 		return PlanReply{}, fmt.Errorf("planning: %w", err)

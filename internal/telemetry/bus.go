@@ -33,6 +33,12 @@ const EventKindNodeHealth = "node-health"
 // Subscribe is called with a non-positive buffer size.
 const DefaultSubscribeBuffer = 256
 
+// DefaultReplayCap is how many recent events the registry retains for
+// Last-Event-ID resume. Events published before the first-ever subscriber
+// are never retained (the idle bus stays free), and events older than the
+// ring are reported as missed rather than replayed.
+const DefaultReplayCap = 1024
+
 // Subscription is one bounded listener on the registry's event bus. Receive
 // from Events; Close unregisters. A subscription that stops draining loses
 // events (Dropped counts them) but never blocks publishers.
@@ -52,6 +58,10 @@ func (r *Registry) Subscribe(buffer int) *Subscription {
 		buffer = DefaultSubscribeBuffer
 	}
 	sub := &Subscription{reg: r, ch: make(chan Event, buffer)}
+	// The first subscriber ever latches the replay ring on for the rest of
+	// the process lifetime, so later reconnects can resume across the gap
+	// where they had no live subscription.
+	r.replayOn.Store(true)
 	r.subMu.Lock()
 	r.subs = append(r.subs, sub)
 	r.nsubs.Store(int32(len(r.subs)))
@@ -105,13 +115,24 @@ func (r *Registry) PublishEvent(ev Event) {
 		return
 	}
 	r.mEventsPublished.Inc()
-	if r.nsubs.Load() == 0 {
+	if r.nsubs.Load() == 0 && !r.replayOn.Load() {
 		return
 	}
 	ev.Seq = r.eventSeq.Add(1)
 	if ev.Time.IsZero() {
 		ev.Time = time.Now()
 	}
+	r.replayMu.Lock()
+	if r.replayBuf == nil {
+		r.replayBuf = make([]Event, DefaultReplayCap)
+	}
+	r.replayBuf[(r.replayStart+r.replayN)%len(r.replayBuf)] = ev
+	if r.replayN < len(r.replayBuf) {
+		r.replayN++
+	} else {
+		r.replayStart = (r.replayStart + 1) % len(r.replayBuf)
+	}
+	r.replayMu.Unlock()
 	r.subMu.RLock()
 	for _, sub := range r.subs {
 		select {
@@ -122,4 +143,34 @@ func (r *Registry) PublishEvent(ev Event) {
 		}
 	}
 	r.subMu.RUnlock()
+}
+
+// EventsSince returns the retained events with Seq > after, oldest first,
+// plus how many matching events were published but have already been
+// overwritten by the replay ring (the unrecoverable gap). An `after` of 0
+// replays the whole ring. Safe on a nil registry.
+func (r *Registry) EventsSince(after uint64) (events []Event, missed uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.replayMu.Lock()
+	defer r.replayMu.Unlock()
+	if r.replayN == 0 {
+		// Nothing retained: everything past `after` (if anything) is missed.
+		if latest := r.eventSeq.Load(); latest > after {
+			return nil, latest - after
+		}
+		return nil, 0
+	}
+	oldest := r.replayBuf[r.replayStart].Seq
+	if oldest > after+1 {
+		missed = oldest - after - 1
+	}
+	for i := 0; i < r.replayN; i++ {
+		ev := r.replayBuf[(r.replayStart+i)%len(r.replayBuf)]
+		if ev.Seq > after {
+			events = append(events, ev)
+		}
+	}
+	return events, missed
 }

@@ -156,3 +156,71 @@ func TestBusNilSafety(t *testing.T) {
 		t.Fatal("nil subscription should be inert")
 	}
 }
+
+// TestEventsSinceReplay pins the SSE resume contract: before any subscriber
+// ever existed the ring is off (everything counts as missed), afterwards
+// EventsSince replays exactly the events past the cursor, and once the ring
+// wraps the overwritten prefix is reported as missed rather than silently
+// skipped.
+func TestEventsSinceReplay(t *testing.T) {
+	r := New()
+
+	// Before the first-ever subscriber the ring is off and events carry no
+	// sequence number at all: they are outside the resume space (a resuming
+	// client by definition had a prior subscription, which latched the ring
+	// before anything it could have seen was published).
+	r.PublishEvent(Event{Kind: "early"})
+	if evs, missed := r.EventsSince(0); len(evs) != 0 || missed != 0 {
+		t.Fatalf("pre-subscriber EventsSince = %d events, %d missed; want 0, 0", len(evs), missed)
+	}
+
+	sub := r.Subscribe(4)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		r.PublishEvent(Event{Kind: "spanned", Name: fmt.Sprintf("e%d", i)})
+	}
+
+	evs, missed := r.EventsSince(0)
+	if missed != 0 {
+		t.Fatalf("missed = %d, want 0 (ring holds everything since)", missed)
+	}
+	if len(evs) != 10 {
+		t.Fatalf("replayed %d events, want 10", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(i + 1); ev.Seq != want {
+			t.Fatalf("replayed event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+
+	// A cursor in the middle replays only the suffix.
+	if evs, _ := r.EventsSince(6); len(evs) != 4 {
+		t.Fatalf("mid-cursor replayed %d events, want 4", len(evs))
+	}
+	// A cursor at the head replays nothing.
+	if evs, missed := r.EventsSince(10); len(evs) != 0 || missed != 0 {
+		t.Fatalf("head cursor = %d events, %d missed; want 0, 0", len(evs), missed)
+	}
+}
+
+// TestEventsSinceRingWrap publishes past the replay capacity and checks the
+// overwritten gap is counted, not skipped.
+func TestEventsSinceRingWrap(t *testing.T) {
+	r := New()
+	sub := r.Subscribe(1)
+	defer sub.Close()
+	total := DefaultReplayCap + 100
+	for i := 0; i < total; i++ {
+		r.PublishEvent(Event{Kind: "wrap"})
+	}
+	evs, missed := r.EventsSince(0)
+	if len(evs) != DefaultReplayCap {
+		t.Fatalf("replayed %d events, want the full ring %d", len(evs), DefaultReplayCap)
+	}
+	if missed != 100 {
+		t.Fatalf("missed = %d, want the 100 overwritten events", missed)
+	}
+	if evs[0].Seq != 101 || evs[len(evs)-1].Seq != uint64(total) {
+		t.Fatalf("replay window [%d, %d], want [101, %d]", evs[0].Seq, evs[len(evs)-1].Seq, total)
+	}
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -62,6 +63,74 @@ func TestEvictionAtDefaultMaxTraces(t *testing.T) {
 	for _, i := range []int{2, DefaultMaxTraces - 1, DefaultMaxTraces, DefaultMaxTraces + 1} {
 		if r.LookupTrace(id(i)) == nil {
 			t.Fatalf("trace %s evicted too early", id(i))
+		}
+	}
+}
+
+// TestEvictionNeverOrphansLiveLinks drives registry-level trace eviction
+// concurrently with span recording on live trace handles and asserts the
+// hierarchy invariant: every child span a live handle records keeps a
+// resolvable parent link (the latched root) no matter how much churn evicts
+// and re-creates registry entries around it. Run under -race this also pins
+// the locking of the eviction and record paths against each other.
+func TestEvictionNeverOrphansLiveLinks(t *testing.T) {
+	r := New()
+	r.SetTraceCapacity(256, 2) // tiny trace cap: every new task evicts
+
+	const workers = 4
+	const tasksPerWorker = 50
+	var wg sync.WaitGroup
+	type result struct {
+		root  SpanContext
+		spans []Span
+	}
+	results := make([][]result, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < tasksPerWorker; i++ {
+				// Each TaskTrace call races with the others' evictions: at
+				// cap 2, most of these evict a trace another goroutine is
+				// actively recording into.
+				tr := r.TaskTrace(fmt.Sprintf("T-%d-%d", w, i))
+				root, endRoot := tr.StartRoot("task", "t", "", nil)
+				_, endQ := tr.Begin(root, "queue_wait", "t")
+				endQ("dequeued")
+				tr.Span("dispatch", "svc", "")
+				_, endE := tr.Begin(root, "enact", "t")
+				endE("done")
+				endRoot("succeeded")
+				results[w] = append(results[w], result{root: root, spans: tr.Spans()})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for w, rs := range results {
+		for i, res := range rs {
+			ids := map[string]bool{res.root.SpanID: true}
+			for _, s := range res.spans {
+				if s.SpanID != "" {
+					ids[s.SpanID] = true
+				}
+			}
+			if len(res.spans) != 4 {
+				t.Fatalf("worker %d task %d: %d spans, want 4", w, i, len(res.spans))
+			}
+			for _, s := range res.spans {
+				if s.TraceID != res.root.TraceID {
+					t.Fatalf("worker %d task %d: span %s trace %q, want %q",
+						w, i, s.Kind, s.TraceID, res.root.TraceID)
+				}
+				if s.Kind == "task" {
+					continue // the root has no parent
+				}
+				if !ids[s.ParentID] {
+					t.Fatalf("worker %d task %d: span %s orphaned parent %q",
+						w, i, s.Kind, s.ParentID)
+				}
+			}
 		}
 	}
 }

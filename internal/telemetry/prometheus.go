@@ -67,15 +67,27 @@ func writeHistogram(w io.Writer, name, orig string, h HistogramSnapshot) error {
 		return err
 	}
 	// Snapshot buckets are per-bucket counts; Prometheus buckets are
-	// cumulative ("observations at or below le").
+	// cumulative ("observations at or below le"). When the histogram carries
+	// an exemplar, its trace ID is appended (OpenMetrics style) to the first
+	// bucket whose bound covers the exemplar value; without exemplars the
+	// output is byte-identical to plain 0.0.4 exposition.
 	var cum int64
 	sawInf := false
+	exDone := false
 	for _, b := range h.Buckets {
 		cum += b.Count
 		if b.Le == "+Inf" {
 			sawInf = true
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, b.Le, cum); err != nil {
+		suffix := ""
+		if ex := h.Exemplar; ex != nil && !exDone {
+			bound, perr := strconv.ParseFloat(b.Le, 64)
+			if b.Le == "+Inf" || (perr == nil && ex.Value <= bound) {
+				suffix = fmt.Sprintf(" # {trace_id=%q} %s", ex.TraceID, formatFloat(ex.Value))
+				exDone = true
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, b.Le, cum, suffix); err != nil {
 			return err
 		}
 	}

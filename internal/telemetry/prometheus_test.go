@@ -65,3 +65,51 @@ func TestWritePrometheusEncoding(t *testing.T) {
 		t.Error("encoding is not deterministic")
 	}
 }
+
+// TestWritePrometheusExemplar pins the exemplar exposition: the latest
+// traced observation is appended — OpenMetrics style — to exactly the first
+// bucket that covers its value, and a histogram without exemplars encodes
+// byte-identically to the pre-exemplar format.
+func TestWritePrometheusExemplar(t *testing.T) {
+	r := New()
+	h := r.Histogram("trace.stage.enact.seconds", []float64{0.1, 1})
+	h.ObserveExemplar(0.5, "0123456789abcdef0123456789abcdef")
+	h.Observe(0.05)
+
+	plain := r.Histogram("engine.run.seconds", []float64{0.1, 1})
+	plain.Observe(0.5)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	// 0.5 falls in the le="1" bucket: the exemplar rides that line only.
+	want := "trace_stage_enact_seconds_bucket{le=\"1\"} 2 # {trace_id=\"0123456789abcdef0123456789abcdef\"} 0.5\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("output missing exemplar line %q\n%s", want, out)
+	}
+	for _, clean := range []string{
+		"trace_stage_enact_seconds_bucket{le=\"0.1\"} 1\n",
+		"trace_stage_enact_seconds_bucket{le=\"+Inf\"} 2\n",
+		"engine_run_seconds_bucket{le=\"1\"} 1\n",
+	} {
+		if !strings.Contains(out, clean) {
+			t.Errorf("output missing clean bucket line %q\n%s", clean, out)
+		}
+	}
+	if n := strings.Count(out, "# {trace_id="); n != 1 {
+		t.Errorf("%d exemplar suffixes, want exactly 1\n%s", n, out)
+	}
+
+	// The snapshot carries the exemplar for the JSON surface too.
+	snap := r.Snapshot()
+	hs := snap.Histograms["trace.stage.enact.seconds"]
+	if hs.Exemplar == nil || hs.Exemplar.TraceID != "0123456789abcdef0123456789abcdef" || hs.Exemplar.Value != 0.5 {
+		t.Errorf("snapshot exemplar = %+v", hs.Exemplar)
+	}
+	if snap.Histograms["engine.run.seconds"].Exemplar != nil {
+		t.Error("untraced histogram grew an exemplar")
+	}
+}

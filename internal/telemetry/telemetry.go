@@ -39,6 +39,15 @@ type Registry struct {
 	nsubs    atomic.Int32
 	eventSeq atomic.Uint64
 
+	// SSE resume ring (see bus.go): retains recent events so a reconnecting
+	// subscriber can replay from its Last-Event-ID. replayOn latches true on
+	// the first-ever Subscribe; until then publishes skip the ring entirely.
+	replayOn    atomic.Bool
+	replayMu    sync.Mutex
+	replayBuf   []Event
+	replayStart int
+	replayN     int
+
 	mEventsPublished *Counter
 	mEventsDropped   *Counter
 }
@@ -64,6 +73,24 @@ func New() *Registry {
 	r.mEventsPublished = r.Counter("telemetry.events.published")
 	r.mEventsDropped = r.Counter("telemetry.events.dropped")
 	return r
+}
+
+// SetTraceCapacity overrides the trace retention limits: spanCap spans kept
+// per task and maxTraces distinct task traces before the oldest is evicted.
+// Non-positive arguments keep the current value. Call before traffic;
+// already-created traces keep their original span capacity.
+func (r *Registry) SetTraceCapacity(spanCap, maxTraces int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if spanCap > 0 {
+		r.spanCap = spanCap
+	}
+	if maxTraces > 0 {
+		r.maxTraces = maxTraces
+	}
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -180,7 +207,16 @@ type Histogram struct {
 	bounds  []float64 // sorted upper bounds; len(counts) == len(bounds)+1
 	counts  []atomic.Int64
 	count   atomic.Int64
-	sumBits atomic.Uint64 // float64 bits, updated by CAS
+	sumBits atomic.Uint64            // float64 bits, updated by CAS
+	ex      atomic.Pointer[Exemplar] // most recent traced observation
+}
+
+// Exemplar ties one histogram observation back to the trace that produced
+// it, in the OpenMetrics sense: a scraped latency bucket can be drilled into
+// the task trace via the trace ID.
+type Exemplar struct {
+	TraceID string  `json:"traceId"`
+	Value   float64 `json:"value"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -203,6 +239,26 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one sample and, when traceID is non-empty,
+// remembers it as the histogram's latest exemplar.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID != "" {
+		h.ex.Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// Exemplar returns the latest traced observation, or nil if none exists.
+func (h *Histogram) Exemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	return h.ex.Load()
 }
 
 // Count returns the number of observations.
@@ -237,9 +293,10 @@ type Snapshot struct {
 // HistogramSnapshot is one histogram's state. Buckets are non-cumulative;
 // the final bucket has Le "+Inf".
 type HistogramSnapshot struct {
-	Count   int64    `json:"count"`
-	Sum     float64  `json:"sum"`
-	Buckets []Bucket `json:"buckets"`
+	Count    int64     `json:"count"`
+	Sum      float64   `json:"sum"`
+	Buckets  []Bucket  `json:"buckets"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Bucket is one histogram bucket: the count of samples at or below Le and
@@ -269,7 +326,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.histograms {
-		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Exemplar: h.Exemplar()}
 		for i := range h.counts {
 			le := "+Inf"
 			if i < len(h.bounds) {

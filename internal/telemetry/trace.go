@@ -6,17 +6,32 @@ import (
 	"time"
 )
 
-// Span is one structured event in a task's trace: an activity dispatched or
-// completed, a core service invoked, a token moved, a checkpoint written, a
-// re-plan triggered, a GP generation evaluated (the kinds are listed in
-// OBSERVABILITY.md). Seq orders spans within a task; the ring buffer keeps
-// the most recent DefaultSpanCap spans.
+// Span is one node in a task's trace tree. Two shapes share the type:
+//
+//   - Duration spans (SpanID set, DurationSec > 0 or explicitly recorded):
+//     a stage with a start time and a measured length — the task root,
+//     queue_wait, schedule, enact, journal_commit, plan, forward. Created
+//     with StartRoot/Begin and recorded when the returned end func runs;
+//     Time is the start instant.
+//   - Point events (SpanID empty): the flat events the trace always carried
+//     (dispatch, complete, retry, gp-generation, ...). They attach to a
+//     parent duration span via ParentID and carry no duration.
+//
+// TraceID groups every span of one distributed trace across nodes; ParentID
+// links children to parents (a root span's ParentID names the remote span
+// that caused it, e.g. the forwarding node's forward span). Seq orders spans
+// within a task; the ring buffer keeps the most recent DefaultSpanCap spans.
 type Span struct {
-	Seq    uint64    `json:"seq"`
-	Time   time.Time `json:"time"`
-	Kind   string    `json:"kind"`
-	Name   string    `json:"name,omitempty"`
-	Detail string    `json:"detail,omitempty"`
+	Seq         uint64            `json:"seq"`
+	Time        time.Time         `json:"time"`
+	Kind        string            `json:"kind"`
+	Name        string            `json:"name,omitempty"`
+	Detail      string            `json:"detail,omitempty"`
+	TraceID     string            `json:"traceId,omitempty"`
+	SpanID      string            `json:"spanId,omitempty"`
+	ParentID    string            `json:"parentId,omitempty"`
+	DurationSec float64           `json:"durationSec,omitempty"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
 }
 
 // TaskTrace is a bounded, concurrency-safe span log for one task. Obtain
@@ -28,11 +43,15 @@ type TaskTrace struct {
 	seq atomic.Uint64
 
 	mu    sync.Mutex
-	buf   []Span // ring buffer of capacity cap
+	root  SpanContext // latched by the first StartRoot; orients point events
+	buf   []Span      // ring buffer of capacity cap
 	cap   int
 	start int // index of the oldest span
 	n     int // spans currently held
 }
+
+// nopEnd is the end func returned for nil traces, so callers never branch.
+var nopEnd = func(string) float64 { return 0 }
 
 // TaskTrace returns the trace for the task, creating it on first use. When
 // the registry already tracks its maximum number of tasks, the oldest trace
@@ -73,19 +92,108 @@ func (r *Registry) LookupTrace(taskID string) *TaskTrace {
 	return r.traces[taskID]
 }
 
-// Span appends one event to the trace.
+// StartRoot opens the task's root duration span. When traceparent carries a
+// valid W3C context (a forwarded submit, a parent task), the trace ID is
+// inherited and the remote span becomes the root's parent, joining this
+// node's segment to the distributed trace; otherwise a fresh trace ID is
+// minted. The first root latches the trace context that orients point
+// events. The returned end func records the span with the given detail and
+// returns the duration in seconds.
+func (t *TaskTrace) StartRoot(kind, name, traceparent string, attrs map[string]string) (SpanContext, func(detail string) float64) {
+	if t == nil {
+		return SpanContext{}, nopEnd
+	}
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	parentID := ""
+	if remote, ok := ParseTraceparent(traceparent); ok {
+		sc.TraceID = remote.TraceID
+		parentID = remote.SpanID
+	}
+	t.mu.Lock()
+	if !t.root.Valid() {
+		t.root = sc
+	}
+	t.mu.Unlock()
+	start := time.Now()
+	return sc, func(detail string) float64 {
+		d := time.Since(start).Seconds()
+		t.record(Span{
+			Time: start, Kind: kind, Name: name, Detail: detail,
+			TraceID: sc.TraceID, SpanID: sc.SpanID, ParentID: parentID,
+			DurationSec: d, Attrs: attrs,
+		})
+		return d
+	}
+}
+
+// Begin opens a child duration span under parent (or under the latched root
+// when parent is the zero SpanContext). The returned end func records the
+// span and returns the duration in seconds.
+func (t *TaskTrace) Begin(parent SpanContext, kind, name string) (SpanContext, func(detail string) float64) {
+	if t == nil {
+		return SpanContext{}, nopEnd
+	}
+	if !parent.Valid() {
+		t.mu.Lock()
+		parent = t.root
+		t.mu.Unlock()
+	}
+	// No trace ID is minted for a parentless span: record() orients it under
+	// the latched root, and a span with no root to join stays unlabelled
+	// rather than starting a one-span trace of its own.
+	sc := SpanContext{TraceID: parent.TraceID, SpanID: NewSpanID()}
+	start := time.Now()
+	return sc, func(detail string) float64 {
+		d := time.Since(start).Seconds()
+		t.record(Span{
+			Time: start, Kind: kind, Name: name, Detail: detail,
+			TraceID: sc.TraceID, SpanID: sc.SpanID, ParentID: parent.SpanID,
+			DurationSec: d,
+		})
+		return d
+	}
+}
+
+// Context returns the trace context latched by the first StartRoot, or the
+// zero SpanContext when no root span has been opened.
+func (t *TaskTrace) Context() SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root
+}
+
+// Span appends one point event to the trace, parented under the root span.
 func (t *TaskTrace) Span(kind, name, detail string) {
 	if t == nil {
 		return
 	}
-	s := Span{
-		Seq:    t.seq.Add(1),
-		Time:   time.Now(),
-		Kind:   kind,
-		Name:   name,
-		Detail: detail,
+	t.record(Span{Time: time.Now(), Kind: kind, Name: name, Detail: detail})
+}
+
+// SpanUnder appends one point event parented under an explicit duration
+// span (e.g. gp-generation events under their plan span).
+func (t *TaskTrace) SpanUnder(parent SpanContext, kind, name, detail string) {
+	if t == nil {
+		return
 	}
+	t.record(Span{
+		Time: time.Now(), Kind: kind, Name: name, Detail: detail,
+		TraceID: parent.TraceID, ParentID: parent.SpanID,
+	})
+}
+
+// record assigns the sequence number, attaches orphan point events to the
+// root span, appends to the ring, and mirrors onto the event bus.
+func (t *TaskTrace) record(s Span) {
+	s.Seq = t.seq.Add(1)
 	t.mu.Lock()
+	if s.TraceID == "" && t.root.Valid() {
+		s.TraceID = t.root.TraceID
+		s.ParentID = t.root.SpanID
+	}
 	// The buffer grows geometrically up to cap, so short traces (the common
 	// case) never pay for the full ring.
 	if t.n == len(t.buf) && len(t.buf) < t.cap {
@@ -112,7 +220,7 @@ func (t *TaskTrace) Span(kind, name, detail string) {
 	t.mu.Unlock()
 	// Mirror onto the event bus outside the ring lock: a publish never holds
 	// up a concurrent Spans() reader.
-	t.reg.PublishEvent(Event{Task: t.task, Time: s.Time, Kind: kind, Name: name, Detail: detail})
+	t.reg.PublishEvent(Event{Task: t.task, Time: s.Time, Kind: s.Kind, Name: s.Name, Detail: s.Detail})
 }
 
 // Spans returns the retained spans in seq order (oldest first).
