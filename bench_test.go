@@ -1160,5 +1160,58 @@ func BenchmarkClusterForwardOverhead(b *testing.B) {
 	b.Run("forwarded", func(b *testing.B) { get(b, fwdID, "n1") })
 }
 
+// BenchmarkCostAwareScheduling measures the cost-aware candidate scorer on a
+// 64-node heterogeneous fleet — the per-dispatch overhead a budget- or
+// deadline-constrained case adds to the coordinator's scheduling path
+// (unconstrained cases skip it entirely). Metrics report the fraction of
+// feasible candidates and the chosen head's cost so ranking changes show up
+// next to the timing data.
+func BenchmarkCostAwareScheduling(b *testing.B) {
+	rng := newRand(11)
+	const fleetSize = 64
+	fleet := make([]services.Candidate, fleetSize)
+	for i := range fleet {
+		fleet[i] = services.Candidate{
+			Container:     fmt.Sprintf("bc-%03d", i),
+			Node:          fmt.Sprintf("bn-%03d", i),
+			Domain:        fmt.Sprintf("bd-%d", i%6),
+			Speed:         0.25 + rng.Float64()*4,
+			Cost:          0.5 + rng.Float64()*9,
+			BandwidthMbps: 100 + rng.Float64()*1900,
+			LatencyUs:     rng.Float64() * 2000,
+		}
+	}
+	perf := make(map[string]services.PerfStats, fleetSize)
+	for i, c := range fleet {
+		if i%3 == 0 {
+			perf[c.Node] = services.PerfStats{
+				Runs: 5, SuccessRate: 0.5 + rng.Float64()*0.5,
+				MeanDuration: rng.Float64() * 6, MeanCost: rng.Float64() * 30,
+			}
+		}
+	}
+	inputs := []services.DataRef{
+		{SizeMB: 120, Location: "bn-007"},
+		{SizeMB: 40, Location: "elsewhere"},
+		{SizeMB: 300}, // unknown location: free
+	}
+
+	var feasible int
+	var headCost float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scored := services.ScoreCandidates(fleet, 2.5, inputs, perf, 4.0)
+		ranked := services.RankCostAware(scored, i%2 == 1)
+		for _, sc := range ranked {
+			if sc.Feasible {
+				feasible++
+			}
+		}
+		headCost += ranked[0].EstCost
+	}
+	b.ReportMetric(float64(feasible)/float64(b.N)/fleetSize, "feasible-frac")
+	b.ReportMetric(headCost/float64(b.N), "head-cost")
+}
+
 // newRand returns a deterministic random stream for the operator benches.
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -34,6 +34,13 @@
 // tenant_queue_full / tenant_rate_limited with Retry-After and X-RateLimit-*
 // headers; per-tenant accounting is served at /api/v1/tenants.
 //
+// Submissions may carry cost/deadline constraints ("budget", plus "deadline"
+// with "hardDeadline":true): the scheduler then picks the cheapest candidate
+// node that still meets the deadline, per-case spend is surfaced in the task
+// view (spent/budget, deadlineSlackSec) and per-tenant spend as spentCost in
+// /api/v1/tenants, and a blown constraint terminates the task with reason
+// budget_exceeded or deadline_missed. See README "Cost-aware scheduling".
+//
 // -peers joins this process to a multi-node cluster: the value is the full
 // static membership (id=addr or id=addr=weight, comma-separated, including
 // this node, whose entry -node-id selects). Task and plan ownership is
@@ -47,6 +54,7 @@
 //	curl localhost:8080/api/v1/nodes
 //	curl localhost:8080/api/v1/services
 //	curl -X POST localhost:8080/api/v1/tasks -d '{"id":"T1","goal":["G.Classification = \"Resolution File\""],"initialData":[...]}'
+//	curl -X POST localhost:8080/api/v1/tasks -d '{"id":"T2","budget":50,"deadline":30,"hardDeadline":true,"goal":[...],"initialData":[...]}'
 //	curl localhost:8080/api/v1/tasks/T1/trace
 //	curl localhost:8080/api/v1/metrics
 //	curl localhost:8080/api/v1/metrics?format=prometheus

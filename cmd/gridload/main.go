@@ -9,6 +9,15 @@
 //	         [-tenants alpha:3,beta:1,gamma:1] [-n 1000]
 //	         [-rate 100] [-outstanding 8] [-workers 4] [-capacity 0]
 //	         [-service-mean 0.05] [-endpoints URL,URL,...] [-indent]
+//	         [-scenario fairness|costmix] [-nodes 16]
+//
+// -scenario costmix runs the cost-aware scheduling mix instead of the
+// fairness workload: a cheap/patient "batch" tenant and an expensive/urgent
+// "rush" tenant dispatch -n tasks each over a -nodes fleet (half cheap-slow,
+// half fast-expensive) through the production candidate scorer, and the
+// report carries one SLO verdict per tenant (batch inside budget, rush
+// meeting deadlines). Always a seeded virtual clock — byte-identical at a
+// fixed seed.
 //
 // -endpoints (live mode) drives already-running gridenv processes over
 // their HTTP API instead of building an in-process engine, round-robining
@@ -70,9 +79,29 @@ func run(args []string, out *os.File) error {
 		endpoints   = fs.String("endpoints", "", "comma-separated gridenv base URLs to drive over HTTP (live mode; empty = in-process engine)")
 		traceparent = fs.Bool("traceparent", false, "send a fresh W3C traceparent header per submission so server traces join client-originated trace IDs (HTTP live mode)")
 		indent      = fs.Bool("indent", false, "pretty-print the JSON report")
+		scenario    = fs.String("scenario", "fairness", "fairness (tenant goodput mix) or costmix (cost-aware scheduling SLOs)")
+		nodes       = fs.Int("nodes", 16, "costmix fleet size (half cheap-slow, half fast-expensive)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scenario == "costmix" {
+		cmSpec := load.CostMixSpec{Seed: *seed, Tasks: *n, Nodes: *nodes}
+		if *n == 1000 {
+			cmSpec.Tasks = 0 // fall back to the costmix default (200/tenant)
+		}
+		cmReport, err := load.RunCostMix(cmSpec)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(out)
+		if *indent {
+			enc.SetIndent("", "  ")
+		}
+		return enc.Encode(cmReport)
+	}
+	if *scenario != "fairness" {
+		return fmt.Errorf("unknown scenario %q (want fairness or costmix)", *scenario)
 	}
 	mix, err := load.ParseTenants(*tenants)
 	if err != nil {

@@ -31,9 +31,14 @@ type CheckpointData struct {
 	Process  json.RawMessage  `json:"process"`
 	Goal     []string         `json:"goal,omitempty"`
 	Deadline float64          `json:"deadline,omitempty"`
-	Time     float64          `json:"simulatedTime"`
-	Wall     float64          `json:"wallClockTime"`
-	Cost     float64          `json:"totalCost"`
+	// Budget and HardDeadline carry the case's scheduling constraints so a
+	// resumed enactment keeps enforcing them; Cost below already holds the
+	// accumulated spend, so resume never re-charges pre-crash executions.
+	Budget       float64 `json:"budget,omitempty"`
+	HardDeadline bool    `json:"hardDeadline,omitempty"`
+	Time         float64 `json:"simulatedTime"`
+	Wall         float64 `json:"wallClockTime"`
+	Cost         float64 `json:"totalCost"`
 }
 
 // CheckpointItem is one serialized data item.
@@ -65,12 +70,14 @@ func (c *Coordinator) checkpoint(ctx context.Context, report *Report, task *work
 			Arrived: copyCounts(es.Arrived),
 			Visits:  copyCounts(es.Visits),
 		},
-		Process:  pdJSON,
-		Goal:     goal.Conditions,
-		Deadline: task.Case.Deadline,
-		Time:     report.SimulatedTime,
-		Wall:     report.WallClockTime,
-		Cost:     report.TotalCost,
+		Process:      pdJSON,
+		Goal:         goal.Conditions,
+		Deadline:     task.Case.Deadline,
+		Budget:       task.Case.Budget,
+		HardDeadline: task.Case.HardDeadline,
+		Time:         report.SimulatedTime,
+		Wall:         report.WallClockTime,
+		Cost:         report.TotalCost,
 	}
 	for _, item := range state.Items() {
 		snap.Items = append(snap.Items, CheckpointItem{Name: item.Name, Props: item.Props})
@@ -223,9 +230,13 @@ func (c *Coordinator) resume(ctx context.Context, snap *CheckpointData, pol *Pol
 		Process: pd,
 		Case: &workflow.CaseDescription{
 			ID: snap.TaskID, Name: snap.TaskName, Goal: goal, Deadline: snap.Deadline,
+			Budget: snap.Budget, HardDeadline: snap.HardDeadline,
 		},
 	}
-	if err := c.enactWithReplanning(ctx, p, report, task, pd, state, goal, es); err != nil {
+	// The ledger seeds from the restored report, so checkpointed spend and
+	// wall clock are not charged a second time after a crash.
+	cc := newCaseConstraints(task.Case, report)
+	if err := c.enactWithReplanning(ctx, p, report, task, pd, state, goal, es, cc); err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			report.Cancelled = true
 			report.trace("cancel", "", err.Error())

@@ -132,6 +132,9 @@ type Coordinator struct {
 	mCheckpoints, mCNRounds, mCNBids        *telemetry.Counter
 	mRetries, mFaults, mFaultReplans        *telemetry.Counter
 	mCancelled                              *telemetry.Counter
+	mCostSchedules, mCostPreempts           *telemetry.Counter
+	mBudgetExceeded, mDeadlinePreempts      *telemetry.Counter
+	mDeadlineMissed                         *telemetry.Counter
 	hBatchWall, hEnactReal, hCkptBytes      *telemetry.Histogram
 	hBackoff, hStageSchedule                *telemetry.Histogram
 
@@ -199,6 +202,11 @@ func New(cfg Config) (*Coordinator, error) {
 		c.mFaults = tel.Counter("coordination.dispatch.faults")
 		c.mFaultReplans = tel.Counter("coordination.replans.fault")
 		c.mCancelled = tel.Counter("coordination.tasks.cancelled")
+		c.mCostSchedules = tel.Counter("scheduler.cost.schedules")
+		c.mCostPreempts = tel.Counter("scheduler.cost.preemptions")
+		c.mBudgetExceeded = tel.Counter("scheduler.cost.budget_exceeded")
+		c.mDeadlinePreempts = tel.Counter("scheduler.deadline.preemptions")
+		c.mDeadlineMissed = tel.Counter("scheduler.deadline.missed")
 		c.hBackoff = tel.Histogram("coordination.backoff.simulated.seconds", []float64{1, 5, 30, 120, 300, 600})
 		c.hBatchWall = tel.Histogram("coordination.batch.simulated.seconds", []float64{1, 10, 60, 300, 1800, 3600, 10800})
 		c.hEnactReal = tel.Histogram("coordination.enact.real.seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60})
@@ -301,17 +309,18 @@ func (c *Coordinator) RunTaskContext(ctx context.Context, task *workflow.Task, p
 	}()
 	state := task.Case.InitialState()
 	goal := task.Case.Goal
+	cc := newCaseConstraints(task.Case, report)
 
 	pd := task.Process
 	if pd == nil {
-		newPD, err := c.requestPlan(ctx, report, state, goal, nil, false, nil)
+		newPD, err := c.requestPlan(ctx, report, state, goal, nil, false, nil, cc)
 		if err != nil {
 			return nil, err
 		}
 		pd = newPD
 	}
 
-	if err := c.enactWithReplanning(ctx, p, report, task, pd, state, goal, newEnactState(pd)); err != nil {
+	if err := c.enactWithReplanning(ctx, p, report, task, pd, state, goal, newEnactState(pd), cc); err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			report.Cancelled = true
 			report.trace("cancel", "", err.Error())
@@ -331,12 +340,12 @@ func (c *Coordinator) RunTaskContext(ctx context.Context, task *workflow.Task, p
 // service that failed so far; when the failure was fault-driven (retries
 // exhausted on known nodes) those nodes are quarantined first so the new
 // plan routes around them.
-func (c *Coordinator) enactWithReplanning(ctx context.Context, p Policy, report *Report, task *workflow.Task, pd *workflow.ProcessDescription, state *workflow.State, goal workflow.Goal, es *enactState) error {
+func (c *Coordinator) enactWithReplanning(ctx context.Context, p Policy, report *Report, task *workflow.Task, pd *workflow.ProcessDescription, state *workflow.State, goal workflow.Goal, es *enactState, cc *caseConstraints) error {
 	// failedServices accumulates every service declared non-executable so
 	// later re-planning rounds exclude all of them, not just the latest.
 	failedServices := map[string]bool{}
 	for {
-		err := c.enact(ctx, p, report, task, pd, state, goal, es)
+		err := c.enact(ctx, p, report, task, pd, state, goal, es, cc)
 		if err == nil {
 			return nil
 		}
@@ -372,7 +381,7 @@ func (c *Coordinator) enactWithReplanning(ctx context.Context, p Policy, report 
 		// The failed plan rides along so planning can re-plan incrementally:
 		// the new population starts in the failed plan's neighborhood
 		// instead of ramped-random from scratch.
-		newPD, perr := c.requestPlan(ctx, report, state, goal, exclude, ne.hadCandidates, pd)
+		newPD, perr := c.requestPlan(ctx, report, state, goal, exclude, ne.hadCandidates, pd, cc)
 		if perr != nil {
 			return perr
 		}
@@ -404,9 +413,11 @@ func (c *Coordinator) quarantine(ctx context.Context, report *Report, ne *nonExe
 }
 
 // requestPlan performs the Figure 2 interaction with the planning service.
-func (c *Coordinator) requestPlan(ctx context.Context, report *Report, state *workflow.State, goal workflow.Goal, nonExecutable []string, trustCaller bool, failed *workflow.ProcessDescription) (*workflow.ProcessDescription, error) {
+// For constrained cases the remaining budget and deadline ride along so the
+// Figure-3 re-plan folds them into the plan fitness (cheap/short plans win).
+func (c *Coordinator) requestPlan(ctx context.Context, report *Report, state *workflow.State, goal workflow.Goal, nonExecutable []string, trustCaller bool, failed *workflow.ProcessDescription, cc *caseConstraints) (*workflow.ProcessDescription, error) {
 	report.trace("plan-request", "", fmt.Sprintf("non-executable: %v", nonExecutable))
-	reply, err := c.ctx.CallContext(ctx, services.PlanningName, services.OntPlanning, planning.PlanRequest{
+	req := planning.PlanRequest{
 		TaskID:        report.TaskID,
 		Initial:       state.Items(),
 		Goal:          goal.Conditions,
@@ -414,7 +425,14 @@ func (c *Coordinator) requestPlan(ctx context.Context, report *Report, state *wo
 		TrustCaller:   trustCaller,
 		Failed:        failed,
 		Traceparent:   report.span.Traceparent(),
-	}, c.cfg.CallTimeout)
+	}
+	if cc != nil {
+		if cc.budget > 0 {
+			req.MaxCost = cc.budget - cc.spent
+		}
+		req.MaxTime = cc.remainingDeadline()
+	}
+	reply, err := c.ctx.CallContext(ctx, services.PlanningName, services.OntPlanning, req, c.cfg.CallTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("coordination: planning request failed: %w", err)
 	}

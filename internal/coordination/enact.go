@@ -2,6 +2,7 @@ package coordination
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -39,7 +40,7 @@ func newEnactState(pd *workflow.ProcessDescription) *enactState {
 // the wall clock by the slowest member only. It returns nil on reaching
 // End, a *nonExecutableError when re-planning is needed, ctx's error on
 // cancellation, or another error on a malformed enactment.
-func (c *Coordinator) enact(ctx context.Context, p Policy, report *Report, task *workflow.Task, pd *workflow.ProcessDescription, state *workflow.State, goal workflow.Goal, es *enactState) error {
+func (c *Coordinator) enact(ctx context.Context, p Policy, report *Report, task *workflow.Task, pd *workflow.ProcessDescription, state *workflow.State, goal workflow.Goal, es *enactState, cc *caseConstraints) error {
 	if err := pd.Validate(); err != nil {
 		return err
 	}
@@ -98,12 +99,40 @@ func (c *Coordinator) enact(ctx context.Context, p Policy, report *Report, task 
 		if len(batch) == 0 {
 			break
 		}
-		if err := c.runBatch(ctx, p, report, batch, state); err != nil {
+		if err := c.runBatch(ctx, p, report, batch, state, cc); err != nil {
+			if verr := (*ConstraintError)(nil); errors.As(err, &verr) {
+				if verr.Reason == ReasonBudgetExceeded {
+					c.mBudgetExceeded.Inc()
+				}
+				report.trace("constraint", "", verr.Detail)
+			}
 			return err
 		}
 		if dl := task.Case.Deadline; dl > 0 && report.WallClockTime > dl && !report.DeadlineMissed {
 			report.DeadlineMissed = true
 			report.trace("deadline", "", fmt.Sprintf("soft deadline %.0fs overrun at %.0fs", dl, report.WallClockTime))
+		}
+		if cc != nil {
+			costP, timeP := cc.observe(report)
+			if costP {
+				c.mCostPreempts.Inc()
+				report.trace("preempt", "", fmt.Sprintf("budget pressure: spent %.2f of %.2f, switching to cheapest candidates", cc.spent, cc.budget))
+			}
+			if timeP {
+				c.mDeadlinePreempts.Inc()
+				report.trace("preempt", "", fmt.Sprintf("deadline pressure: %.0fs of %.0fs elapsed, switching to fastest candidates", cc.elapsed, cc.deadline))
+			}
+			if verr := cc.violation(); verr != nil {
+				switch verr.Reason {
+				case ReasonBudgetExceeded:
+					c.mBudgetExceeded.Inc()
+				case ReasonDeadlineMissed:
+					c.mDeadlineMissed.Inc()
+					report.DeadlineMissed = true
+				}
+				report.trace("constraint", "", verr.Detail)
+				return verr
+			}
 		}
 		for _, b := range batch {
 			es.Ready = append(es.Ready, pd.Out(b.token)[0].Dest)
@@ -200,10 +229,13 @@ type execResult struct {
 // containers, and tries them best-first with retry-on-alternate-candidate —
 // attempt n goes to candidate (n-1) mod len(candidates), so retries rotate
 // through the ranking before coming back around — bounded by the policy's
-// MaxRetries, backing off (in simulated time) between attempts. It does NOT
-// mutate the state; apply() does that afterwards. Safe to call from
-// multiple goroutines over the same state.
-func (c *Coordinator) dispatch(ctx context.Context, p Policy, act *workflow.Activity, state *workflow.State, visit int) execResult {
+// MaxRetries, backing off (in simulated time) between attempts. For a
+// constrained case (cc non-nil) the ranking is cost-aware — cheapest
+// candidate that still meets the deadline first — and an activity no
+// remaining budget can afford aborts before the first attempt, consuming no
+// retry. It does NOT mutate the state; apply() does that afterwards. Safe to
+// call from multiple goroutines over the same state.
+func (c *Coordinator) dispatch(ctx context.Context, p Policy, act *workflow.Activity, state *workflow.State, visit int, cc *caseConstraints) execResult {
 	res := execResult{act: act, visit: visit}
 	svc := c.cfg.Catalog.Get(act.Service)
 	if svc == nil {
@@ -250,6 +282,17 @@ func (c *Coordinator) dispatch(ctx context.Context, p Policy, act *workflow.Acti
 		return res
 	}
 	candidates := c.reorderByHistory(ctx, act.Service, ranked)
+	if cc != nil {
+		var minCost float64
+		candidates, minCost = c.costRank(ctx, act, svc, state, candidates, cc)
+		if cc.budget > 0 && cc.spent+minCost > cc.budget {
+			res.events = append(res.events, TraceEvent{Kind: "constraint", Activity: act.Name,
+				Detail: fmt.Sprintf("cheapest candidate costs ~%.2f but only %.2f of budget %.2f remains", minCost, cc.budget-cc.spent, cc.budget)})
+			res.err = &ConstraintError{Reason: ReasonBudgetExceeded,
+				Detail: fmt.Sprintf("activity %s: cheapest estimate %.2f exceeds remaining budget %.2f", act.Name, minCost, cc.budget-cc.spent)}
+			return res
+		}
+	}
 
 	var rng *rand.Rand // lazily seeded: most dispatches never retry
 	failedNodes := map[string]bool{}
@@ -292,6 +335,9 @@ func (c *Coordinator) dispatch(ctx context.Context, p Policy, act *workflow.Acti
 		// snapshot that may still rank a node that went down mid-dispatch.
 		if fresh, ferr := c.matchCandidates(ctx, act.Service); ferr == nil && len(fresh) > 0 {
 			candidates = c.reorderByHistory(ctx, act.Service, fresh)
+			if cc != nil {
+				candidates, _ = c.costRank(ctx, act, svc, state, candidates, cc)
+			}
 		}
 		res.retries++
 		next := candidates[attempt%len(candidates)]
@@ -383,7 +429,7 @@ func (c *Coordinator) contractNet(ctx context.Context, res *execResult, act *wor
 	})
 	out := make([]services.Candidate, len(bids))
 	for i, b := range bids {
-		out[i] = services.Candidate{Container: b.Container, Node: b.Node, Cost: b.CostPerSec}
+		out[i] = services.Candidate{Container: b.Container, Node: b.Node, Cost: b.CostPerSec, PredictedTime: b.PredictedTime}
 	}
 	return out, nil
 }
@@ -555,10 +601,10 @@ func (c *Coordinator) apply(report *Report, res execResult, state *workflow.Stat
 // counting its backoff waits (compute time still accumulates every
 // execution). Returns the first error, preferring hard errors over
 // re-planning signals.
-func (c *Coordinator) runBatch(ctx context.Context, p Policy, report *Report, batch []pendingExec, state *workflow.State) error {
+func (c *Coordinator) runBatch(ctx context.Context, p Policy, report *Report, batch []pendingExec, state *workflow.State, cc *caseConstraints) error {
 	results := make([]execResult, len(batch))
 	if len(batch) == 1 {
-		results[0] = c.dispatch(ctx, p, batch[0].act, state, batch[0].visit)
+		results[0] = c.dispatch(ctx, p, batch[0].act, state, batch[0].visit, cc)
 	} else {
 		c.consultScheduling(ctx, report, batch)
 		var wg sync.WaitGroup
@@ -566,7 +612,7 @@ func (c *Coordinator) runBatch(ctx context.Context, p Policy, report *Report, ba
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				results[i] = c.dispatch(ctx, p, batch[i].act, state, batch[i].visit)
+				results[i] = c.dispatch(ctx, p, batch[i].act, state, batch[i].visit, cc)
 			}(i)
 		}
 		wg.Wait()

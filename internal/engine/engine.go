@@ -204,8 +204,17 @@ type TaskStatus struct {
 	// when it starts running).
 	QueueWait float64
 	Error     string
-	Report    *coordination.Report
-	Policy    coordination.Policy
+	// Reason refines a terminal status with the constraint that ended the
+	// task ("budget_exceeded", "deadline_missed"); empty otherwise.
+	Reason string
+	// Budget, Deadline, and HardDeadline echo the case's scheduling
+	// constraints (from the durable envelope, so they are visible from
+	// admission on, not only once a report exists).
+	Budget       float64
+	Deadline     float64
+	HardDeadline bool
+	Report       *coordination.Report
+	Policy       coordination.Policy
 }
 
 // Stats is the queue/worker snapshot behind GET /api/v1/queue.
@@ -236,6 +245,7 @@ type record struct {
 	finished  time.Time
 	queueWait float64
 	err       string
+	reason    string
 	report    *coordination.Report
 	policy    coordination.Policy
 	env       *TaskEnvelope
@@ -739,7 +749,7 @@ func (e *Engine) run(rec *record) {
 	if err != nil {
 		errText = err.Error()
 	}
-	e.finish(rec, status, report, errText)
+	e.finishReason(rec, status, coordination.ConstraintReason(err), report, errText)
 }
 
 // finish records a terminal transition: record update, retention eviction,
@@ -748,11 +758,17 @@ func (e *Engine) run(rec *record) {
 // to it costs a single durable wait where a terminal append followed by a
 // Delete+Put compaction used to cost three.
 func (e *Engine) finish(rec *record, status string, report *coordination.Report, errText string) {
+	e.finishReason(rec, status, "", report, errText)
+}
+
+// finishReason is finish with a terminal constraint reason (budget_exceeded,
+// deadline_missed) riding along into the snapshot and the public view.
+func (e *Engine) finishReason(rec *record, status, reason string, report *coordination.Report, errText string) {
 	_, endCompact := rec.trace.Begin(rec.rootCtx, "journal_commit", "terminal")
 	if err := e.compact(JournalRecord{
 		TaskID: rec.id, Seq: rec.seq, Attempt: rec.attempt,
 		Priority: int(rec.priority), Tenant: rec.tenant,
-		Status: status, Error: errText,
+		Status: status, Error: errText, Reason: reason,
 	}); err != nil {
 		e.log.Error("journal compaction failed",
 			slog.String("task", rec.id), slog.String("error", err.Error()))
@@ -775,10 +791,18 @@ func (e *Engine) finish(rec *record, status string, report *coordination.Report,
 	}
 	rec.status = status
 	rec.err = errText
+	rec.reason = reason
 	rec.report = report
 	rec.finished = time.Now()
 	rec.cancel = nil
 	rec.runCtx = nil
+	if report != nil && report.TotalCost > 0 {
+		// Per-tenant spend accrues at the terminal transition, so a crash
+		// never double-charges: replayed work re-derives its cost from the
+		// resumed report, which already starts from the checkpointed spend.
+		ts.spent += report.TotalCost
+		ts.gSpent.Set(ts.spent)
+	}
 	switch status {
 	case StatusCompleted:
 		ts.completed++
@@ -990,8 +1014,14 @@ func (e *Engine) statusLocked(rec *record) TaskStatus {
 		Finished:  rec.finished,
 		QueueWait: rec.queueWait,
 		Error:     rec.err,
+		Reason:    rec.reason,
 		Report:    rec.report,
 		Policy:    rec.policy,
+	}
+	if rec.env != nil {
+		s.Budget = rec.env.Budget
+		s.Deadline = rec.env.Deadline
+		s.HardDeadline = rec.env.HardDeadline
 	}
 	if rec.status == StatusQueued && !rec.admitting {
 		s.QueuePosition = e.positionLocked(rec)

@@ -55,6 +55,9 @@ type JournalRecord struct {
 	Task *TaskEnvelope `json:"task,omitempty"`
 	// Status is the effective task status (on snapshot records only).
 	Status string `json:"status,omitempty"`
+	// Reason refines a terminal status (budget_exceeded, deadline_missed);
+	// empty on ordinary outcomes, so pre-existing journals replay unchanged.
+	Reason string `json:"reason,omitempty"`
 }
 
 // TaskEnvelope is the durable, self-contained form of a submission: enough
@@ -69,6 +72,8 @@ type TaskEnvelope struct {
 	ResultSet    []string             `json:"resultSet,omitempty"`
 	Constraints  map[string]string    `json:"constraints,omitempty"`
 	Deadline     float64              `json:"deadline,omitempty"`
+	Budget       float64              `json:"budget,omitempty"`
+	HardDeadline bool                 `json:"hardDeadline,omitempty"`
 	Policy       *coordination.Policy `json:"policy,omitempty"`
 }
 
@@ -97,6 +102,8 @@ func envelope(task *workflow.Task, pol *coordination.Policy) (*TaskEnvelope, err
 		env.Goal = append([]string(nil), c.Goal.Conditions...)
 		env.ResultSet = append([]string(nil), c.ResultSet...)
 		env.Deadline = c.Deadline
+		env.Budget = c.Budget
+		env.HardDeadline = c.HardDeadline
 		if len(c.Constraints) > 0 {
 			env.Constraints = make(map[string]string, len(c.Constraints))
 			for k, v := range c.Constraints {
@@ -116,6 +123,8 @@ func (te *TaskEnvelope) task() (*workflow.Task, error) {
 	c.Goal = workflow.NewGoal(te.Goal...)
 	c.ResultSet = append([]string(nil), te.ResultSet...)
 	c.Deadline = te.Deadline
+	c.Budget = te.Budget
+	c.HardDeadline = te.HardDeadline
 	for k, v := range te.Constraints {
 		c.SetConstraint(k, v)
 	}

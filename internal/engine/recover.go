@@ -39,6 +39,7 @@ type replayState struct {
 	tenant       string
 	status       string
 	err          string
+	reason       string
 	envelope     *TaskEnvelope
 	checkpointed bool
 }
@@ -99,6 +100,7 @@ func (e *Engine) RecoverOwned(own func(tenant, taskID string) bool) (RecoveryRep
 			attempt:  st.attempt,
 			status:   st.status,
 			err:      st.err,
+			reason:   st.reason,
 			env:      st.envelope,
 		}
 		if terminal(st.status) {
@@ -186,6 +188,7 @@ func replay(id string, recs []JournalRecord) *replayState {
 			st.priority = Priority(r.Priority)
 			st.tenant = r.Tenant
 			st.err = r.Error
+			st.reason = r.Reason
 			st.envelope = r.Task
 			st.checkpointed = r.CheckpointVersion > 0
 		}

@@ -59,12 +59,16 @@ type tenantState struct {
 	failed        int64
 	cancelled     int64
 
+	// spent is the tenant's accumulated simulated spend (sum of terminal
+	// reports' TotalCost) — the per-tenant ledger behind budget accounting.
+	spent float64
+
 	waitSum, runSum     float64
 	waitCount, runCount int64
 
 	mAccepted, mRejectedQueue, mRejectedRate *telemetry.Counter
 	mCompleted, mFailed, mCancelled          *telemetry.Counter
-	gQueued, gRunning                        *telemetry.Gauge
+	gQueued, gRunning, gSpent                *telemetry.Gauge
 	hWait, hRun                              *telemetry.Histogram
 }
 
@@ -92,6 +96,7 @@ func (e *Engine) tenantLocked(name string) *tenantState {
 	ts.mCancelled = tel.Counter(telemetry.TenantMetric(name, "cancelled"))
 	ts.gQueued = tel.Gauge(telemetry.TenantMetric(name, "queued"))
 	ts.gRunning = tel.Gauge(telemetry.TenantMetric(name, "running"))
+	ts.gSpent = tel.Gauge(telemetry.TenantMetric(name, "spent"))
 	ts.hWait = tel.Histogram(telemetry.TenantMetric(name, "wait.seconds"), []float64{0.001, 0.01, 0.1, 1, 10, 60, 300})
 	ts.hRun = tel.Histogram(telemetry.TenantMetric(name, "run.seconds"), []float64{0.001, 0.01, 0.1, 1, 10, 60, 300})
 	e.tenants[name] = ts
@@ -137,6 +142,10 @@ type TenantStatus struct {
 	Failed              int64 `json:"failed"`
 	Cancelled           int64 `json:"cancelled"`
 
+	// SpentCost is the tenant's accumulated simulated spend across all
+	// terminal tasks (currency units).
+	SpentCost float64 `json:"spentCost"`
+
 	MeanWaitSec float64 `json:"meanWaitSec"`
 	MeanRunSec  float64 `json:"meanRunSec"`
 }
@@ -157,6 +166,7 @@ func (ts *tenantState) status(weight int) TenantStatus {
 		Completed:           ts.completed,
 		Failed:              ts.failed,
 		Cancelled:           ts.cancelled,
+		SpentCost:           ts.spent,
 	}
 	if ts.cfg.RatePerSec > 0 && ts.bucket != nil {
 		s.Burst = ts.bucket.Limit()

@@ -331,6 +331,7 @@ func (s *Server) handleTenantsCluster(w http.ResponseWriter, r *http.Request) {
 			t.Completed += row.Completed
 			t.Failed += row.Failed
 			t.Cancelled += row.Cancelled
+			t.SpentCost += row.SpentCost
 			weights[row.Tenant] += row.Accepted
 			waitSum[row.Tenant] += row.MeanWaitSec * float64(row.Accepted)
 			runSum[row.Tenant] += row.MeanRunSec * float64(row.Accepted)

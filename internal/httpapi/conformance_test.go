@@ -171,6 +171,100 @@ func TestAsyncResourceConformance(t *testing.T) {
 			}
 		})
 	}
+
+	// Constraint validation rides the same conventions: malformed budget/
+	// deadline constraints answer 400 with the bad_constraints envelope (the
+	// client's X-Request-Id threaded through header and body), and accepted
+	// constraints are echoed in the task view from admission to terminal.
+	t.Run("task-constraints", func(t *testing.T) {
+		badSubs := []TaskSubmission{
+			{ID: "conf-neg-budget", InitialData: virolabItems(),
+				Goal: []string{virolab.GoalCondition}, Budget: -5},
+			{ID: "conf-neg-deadline", InitialData: virolabItems(),
+				Goal: []string{virolab.GoalCondition}, Deadline: -1},
+			{ID: "conf-hard-no-deadline", InitialData: virolabItems(),
+				Goal: []string{virolab.GoalCondition}, HardDeadline: true},
+		}
+		for _, sub := range badSubs {
+			data, err := json.Marshal(sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/tasks", bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const rid = "conf-constraints-rid"
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Request-Id", rid)
+			raw, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var body map[string]any
+			_ = json.NewDecoder(raw.Body).Decode(&body)
+			raw.Body.Close()
+			if raw.StatusCode != http.StatusBadRequest || errCode(body) != "bad_constraints" {
+				t.Fatalf("POST %s = %d code %q, want 400 bad_constraints (%v)",
+					sub.ID, raw.StatusCode, errCode(body), body)
+			}
+			env, _ := body["error"].(map[string]any)
+			if msg, _ := env["message"].(string); msg == "" {
+				t.Errorf("POST %s: bad_constraints envelope has no message", sub.ID)
+			}
+			if got := raw.Header.Get("X-Request-Id"); got != rid {
+				t.Errorf("POST %s: X-Request-Id header %q, want %q", sub.ID, got, rid)
+			}
+			if got, _ := body["requestId"].(string); got != rid {
+				t.Errorf("POST %s: envelope requestId %q, want %q", sub.ID, got, rid)
+			}
+		}
+
+		// A well-constrained task is accepted, echoes its constraints while
+		// queued/running, and reports spend + deadline slack once terminal.
+		sub := TaskSubmission{
+			ID: "conf-constrained", Name: "conformance constrained",
+			InitialData: virolabItems(), Goal: []string{virolab.GoalCondition},
+			Budget: 10000, Deadline: 50000, HardDeadline: true,
+		}
+		resp, body := doRequest(t, http.MethodPost, ts.URL+"/api/v1/tasks", sub)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("constrained POST = %d (%v), want 202", resp.StatusCode, body)
+		}
+		_, view := doRequest(t, http.MethodGet, ts.URL+"/api/v1/tasks/conf-constrained", nil)
+		if got, _ := view["budget"].(float64); got != sub.Budget {
+			t.Errorf("task view budget = %v, want %v", view["budget"], sub.Budget)
+		}
+		if got, _ := view["deadlineSec"].(float64); got != sub.Deadline {
+			t.Errorf("task view deadlineSec = %v, want %v", view["deadlineSec"], sub.Deadline)
+		}
+		if hard, _ := view["hardDeadline"].(bool); !hard {
+			t.Errorf("task view hardDeadline = %v, want true", view["hardDeadline"])
+		}
+		final := pollTerminal(t, ts.URL+"/api/v1/tasks/conf-constrained")
+		if status, _ := final["status"].(string); status != "succeeded" {
+			t.Fatalf("constrained task finished %q (%v), want succeeded", status, final)
+		}
+		if got, _ := final["budget"].(float64); got != sub.Budget {
+			t.Errorf("terminal view budget = %v, want %v", final["budget"], sub.Budget)
+		}
+		spent, ok := final["spent"].(float64)
+		if !ok || spent <= 0 {
+			t.Errorf("terminal view spent = %v, want > 0", final["spent"])
+		}
+		if cost, _ := final["totalCost"].(float64); cost != spent {
+			t.Errorf("spent %v disagrees with totalCost %v", spent, final["totalCost"])
+		}
+		slack, ok := final["deadlineSlackSec"].(float64)
+		if !ok {
+			t.Errorf("terminal view has no deadlineSlackSec: %v", final)
+		} else if slack <= 0 {
+			t.Errorf("deadlineSlackSec = %v, want > 0 for a met deadline", slack)
+		}
+		if reason, present := final["reason"]; present {
+			t.Errorf("succeeded task carries terminal reason %v", reason)
+		}
+	})
 }
 
 // TestForwardedRequestConformance re-runs the async-resource checklist

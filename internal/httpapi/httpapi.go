@@ -511,6 +511,15 @@ type TaskSubmission struct {
 	Goal []string `json:"goal"`
 	// Deadline is a soft wall-clock deadline in simulated seconds (0 = none).
 	Deadline float64 `json:"deadline,omitempty"`
+	// Budget caps the case's accumulated simulated spend in currency units
+	// (0 = unlimited). Validated as 400 bad_constraints when negative or
+	// non-finite.
+	Budget float64 `json:"budget,omitempty"`
+	// HardDeadline upgrades Deadline from advisory (report-only) to an
+	// enforced constraint: the scheduler prefers nodes that keep the case
+	// inside the deadline and the case terminates deadline_missed when it is
+	// blown. Requires Deadline > 0.
+	HardDeadline bool `json:"hardDeadline,omitempty"`
 	// Priority is the admission class: "high", "normal" (default), or "low".
 	Priority string `json:"priority,omitempty"`
 	// Tenant attributes the task to a submitting principal (accounting).
@@ -627,6 +636,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	caseDesc.Goal = workflow.NewGoal(sub.Goal...)
 	caseDesc.Deadline = sub.Deadline
+	caseDesc.Budget = sub.Budget
+	caseDesc.HardDeadline = sub.HardDeadline
+	if err := caseDesc.ValidateConstraints(); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "bad_constraints", "bad constraints: %v", err)
+		return
+	}
 	task := &workflow.Task{ID: sub.ID, Name: sub.Name, Case: caseDesc}
 	if sub.PDL == "" {
 		task.NeedPlanning = true
@@ -767,6 +782,19 @@ type TaskView struct {
 	Time        float64  `json:"simulatedTime,omitempty"`
 	Cost        float64  `json:"totalCost,omitempty"`
 	FinalData   []string `json:"finalData,omitempty"`
+	// Reason refines a terminal status (budget_exceeded, deadline_missed).
+	Reason string `json:"reason,omitempty"`
+	// Budget echoes the submitted spend cap; Spent is the case's accumulated
+	// simulated cost against it (same as totalCost, surfaced here so budget
+	// accounting reads as a pair).
+	Budget float64 `json:"budget,omitempty"`
+	Spent  float64 `json:"spent,omitempty"`
+	// DeadlineSec echoes the submitted deadline; HardDeadline says whether it
+	// is enforced; DeadlineSlackSec is deadline minus simulated time so far
+	// (negative once blown).
+	DeadlineSec      float64  `json:"deadlineSec,omitempty"`
+	HardDeadline     bool     `json:"hardDeadline,omitempty"`
+	DeadlineSlackSec *float64 `json:"deadlineSlackSec,omitempty"`
 	// Policy echoes the resolved fault-tolerance policy, when known.
 	Policy *policyView `json:"policy,omitempty"`
 }
@@ -776,6 +804,8 @@ func viewTask(rec engine.TaskStatus) TaskView {
 		ID: rec.ID, Status: lifecycle(rec.Status), Submitted: rec.Submitted,
 		QueuePosition: rec.QueuePosition, Attempt: rec.Attempt,
 		Priority: rec.Priority.String(), Tenant: rec.Tenant, Error: rec.Error,
+		Reason: rec.Reason, Budget: rec.Budget,
+		DeadlineSec: rec.Deadline, HardDeadline: rec.HardDeadline,
 	}
 	pv := viewPolicy(rec.Policy)
 	v.Policy = &pv
@@ -792,6 +822,11 @@ func viewTask(rec engine.TaskStatus) TaskView {
 		v.Wall = r.WallClockTime
 		v.Time = r.SimulatedTime
 		v.Cost = r.TotalCost
+		v.Spent = r.TotalCost
+		if rec.Deadline > 0 {
+			slack := rec.Deadline - r.SimulatedTime
+			v.DeadlineSlackSec = &slack
+		}
 		if r.FinalState != nil {
 			for _, item := range r.FinalState.Items() {
 				v.FinalData = append(v.FinalData, item.String())

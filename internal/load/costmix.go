@@ -1,0 +1,204 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/services"
+)
+
+// Cost-mix scenario: two tenant profiles with opposite constraints share one
+// heterogeneous fleet and every dispatch decision goes through the real
+// cost-aware scorer (services.ScoreCandidates + services.RankCostAware — the
+// same code the coordinator runs). The "batch" tenant is cheap and patient:
+// generous deadlines, a tight budget, non-urgent ranking (cheapest feasible
+// node wins). The "rush" tenant is expensive and urgent: tight deadlines, a
+// generous budget, urgent ranking (fastest feasible node wins). The report is
+// a pure function of the spec — same seed, byte-identical JSON — and carries
+// one SLO verdict per tenant: the batch tenant must finish inside its budget,
+// the rush tenant must meet (nearly) all of its deadlines.
+
+// CostMixSpec describes one cost-mix run. The zero value is not runnable;
+// use Defaults.
+type CostMixSpec struct {
+	// Seed drives every draw: fleet hardware, task base times, input data
+	// sizes and locations.
+	Seed int64 `json:"seed"`
+	// Tasks is the number of tasks each tenant dispatches.
+	Tasks int `json:"tasks"`
+	// Nodes is the fleet size; half cheap/slow, half fast/expensive.
+	Nodes int `json:"nodes"`
+}
+
+// Defaults fills a runnable baseline: 200 tasks per tenant over a 16-node
+// fleet.
+func (s CostMixSpec) Defaults() CostMixSpec {
+	if s.Tasks <= 0 {
+		s.Tasks = 200
+	}
+	if s.Nodes <= 0 {
+		s.Nodes = 16
+	}
+	return s
+}
+
+// Validate rejects specs the driver cannot run.
+func (s CostMixSpec) Validate() error {
+	if s.Tasks <= 0 {
+		return fmt.Errorf("load: costmix tasks must be positive")
+	}
+	if s.Nodes < 2 {
+		return fmt.Errorf("load: costmix needs at least 2 nodes")
+	}
+	return nil
+}
+
+// CostMixReport is the cost-mix outcome.
+type CostMixReport struct {
+	Spec        CostMixSpec           `json:"spec"`
+	DurationSec float64               `json:"durationSec"` // max tenant virtual time
+	Tenants     []CostMixTenantReport `json:"tenants"`
+	// AllSLOsMet is the run verdict: every tenant's SLO held.
+	AllSLOsMet bool `json:"allSLOsMet"`
+}
+
+// CostMixTenantReport is one tenant profile's slice of the outcome.
+type CostMixTenantReport struct {
+	ID     string `json:"id"`
+	Urgent bool   `json:"urgent"`
+	Tasks  int    `json:"tasks"`
+
+	// Budget is the tenant's total spend cap; Spent is what the chosen
+	// candidates cost (sum of EstCost).
+	Budget float64 `json:"budget"`
+	Spent  float64 `json:"spent"`
+
+	// DeadlineMet counts tasks whose chosen candidate's ETA fit the
+	// per-task deadline; DeadlineMetRate is the fraction.
+	DeadlineMet     int     `json:"deadlineMet"`
+	DeadlineMetRate float64 `json:"deadlineMetRate"`
+
+	MeanCost float64 `json:"meanCost"`
+	MeanETA  float64 `json:"meanETASec"`
+
+	// SLO is the tenant's service-level objective spelled out; SLOMet says
+	// whether it held.
+	SLO    string `json:"slo"`
+	SLOMet bool   `json:"sloMet"`
+}
+
+// costMixFleet draws the heterogeneous fleet: the first half is cheap and
+// slow (low speed, low cost-per-second, modest bandwidth), the second half
+// fast and expensive.
+func costMixFleet(rng *rand.Rand, n int) []services.Candidate {
+	fleet := make([]services.Candidate, n)
+	for i := range fleet {
+		node := fmt.Sprintf("cm-node-%02d", i)
+		c := services.Candidate{
+			Container: fmt.Sprintf("cm-cont-%02d", i),
+			Node:      node,
+			Domain:    fmt.Sprintf("dom-%d", i%4),
+			LatencyUs: 100 + rng.Float64()*900,
+		}
+		if i < n/2 {
+			c.Speed = 0.5 + rng.Float64()*0.7 // slow
+			c.Cost = 0.5 + rng.Float64()      // cheap
+			c.BandwidthMbps = 200 + rng.Float64()*300
+		} else {
+			c.Speed = 2 + rng.Float64()*2 // fast
+			c.Cost = 4 + rng.Float64()*6  // expensive
+			c.BandwidthMbps = 800 + rng.Float64()*1200
+		}
+		fleet[i] = c
+	}
+	return fleet
+}
+
+// RunCostMix replays the cost-mix workload. Every dispatch is scored by the
+// production scorer; the tenant's virtual clock advances by the chosen
+// candidate's ETA, so the report is fully deterministic under the seed.
+func RunCostMix(spec CostMixSpec) (*CostMixReport, error) {
+	spec = spec.Defaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	fleet := costMixFleet(rng, spec.Nodes)
+	locations := make([]string, 0, len(fleet)+1)
+	locations = append(locations, "") // unknown location: treated as local
+	for _, c := range fleet {
+		locations = append(locations, c.Node)
+	}
+
+	type profile struct {
+		id          string
+		urgent      bool
+		deadlineMul float64 // per-task deadline as a multiple of baseTime
+		budgetPer   float64 // budget allowance per task (currency units)
+		slo         string
+	}
+	profiles := []profile{
+		// Patient but poor: deadlines 8× nominal, budget 2.5 units/task —
+		// enough for cheap-slow nodes, blown if fast-expensive ones are
+		// picked (so the SLO actually checks cheapest-feasible ranking).
+		{"batch", false, 8, 2.5, "spent <= budget"},
+		// Rich but rushed: deadlines 1× nominal. Slow nodes (speed < 1)
+		// cannot ever fit, so only the fast-expensive half is feasible;
+		// budget 60 units/task absorbs their rates.
+		{"rush", true, 1, 60, "deadlineMetRate >= 0.95"},
+	}
+
+	report := &CostMixReport{Spec: spec}
+	for _, p := range profiles {
+		tr := CostMixTenantReport{
+			ID:     p.id,
+			Urgent: p.urgent,
+			Tasks:  spec.Tasks,
+			Budget: p.budgetPer * float64(spec.Tasks),
+			SLO:    p.slo,
+		}
+		clock := 0.0
+		for i := 0; i < spec.Tasks; i++ {
+			baseTime := 0.5 + rng.Float64()*2.5
+			// Fuzz the bound-condition data refs: 0-2 inputs, sizes up to
+			// 48 MB, locations drawn from the fleet (or unknown).
+			inputs := make([]services.DataRef, rng.Intn(3))
+			for j := range inputs {
+				inputs[j] = services.DataRef{
+					SizeMB:   rng.Float64() * 48,
+					Location: locations[rng.Intn(len(locations))],
+				}
+			}
+			deadline := baseTime * p.deadlineMul
+			scored := services.ScoreCandidates(fleet, baseTime, inputs, nil, deadline)
+			ranked := services.RankCostAware(scored, p.urgent)
+			pick := ranked[0]
+			tr.Spent += pick.EstCost
+			tr.MeanCost += pick.EstCost
+			tr.MeanETA += pick.ETA
+			clock += pick.ETA
+			if pick.ETA <= deadline {
+				tr.DeadlineMet++
+			}
+		}
+		tr.MeanCost /= float64(spec.Tasks)
+		tr.MeanETA /= float64(spec.Tasks)
+		tr.DeadlineMetRate = float64(tr.DeadlineMet) / float64(spec.Tasks)
+		if p.urgent {
+			tr.SLOMet = tr.DeadlineMetRate >= 0.95
+		} else {
+			tr.SLOMet = tr.Spent <= tr.Budget
+		}
+		if clock > report.DurationSec {
+			report.DurationSec = clock
+		}
+		report.Tenants = append(report.Tenants, tr)
+	}
+	report.AllSLOsMet = true
+	for _, tr := range report.Tenants {
+		if !tr.SLOMet {
+			report.AllSLOsMet = false
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,95 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestCostMixSLOs is the cost-mix acceptance test: under the seeded virtual
+// clock, the cheap/patient tenant finishes inside its budget and the
+// expensive/urgent tenant meets (at least 95% of) its deadlines — both SLOs
+// from one run of the production scorer. Runs under -race in CI like every
+// test in this package.
+func TestCostMixSLOs(t *testing.T) {
+	report, err := RunCostMix(CostMixSpec{Seed: 42})
+	if err != nil {
+		t.Fatalf("RunCostMix: %v", err)
+	}
+	if len(report.Tenants) != 2 {
+		t.Fatalf("want 2 tenant profiles, got %d", len(report.Tenants))
+	}
+	byID := map[string]CostMixTenantReport{}
+	for _, tr := range report.Tenants {
+		byID[tr.ID] = tr
+	}
+	batch, rush := byID["batch"], byID["rush"]
+
+	if batch.Urgent {
+		t.Error("batch tenant must not be urgent")
+	}
+	if !batch.SLOMet || batch.Spent > batch.Budget {
+		t.Errorf("batch SLO blown: spent %.2f of budget %.2f (sloMet=%v)",
+			batch.Spent, batch.Budget, batch.SLOMet)
+	}
+	if !rush.Urgent {
+		t.Error("rush tenant must be urgent")
+	}
+	if !rush.SLOMet || rush.DeadlineMetRate < 0.95 {
+		t.Errorf("rush SLO blown: deadline-met rate %.3f (sloMet=%v)",
+			rush.DeadlineMetRate, rush.SLOMet)
+	}
+	if !report.AllSLOsMet {
+		t.Error("AllSLOsMet should be true when both tenant SLOs hold")
+	}
+
+	// The rush tenant pays for speed: its mean per-task spend must exceed
+	// the batch tenant's, or the urgent ranking did nothing.
+	if rush.MeanCost <= batch.MeanCost {
+		t.Errorf("rush mean cost %.3f should exceed batch mean cost %.3f",
+			rush.MeanCost, batch.MeanCost)
+	}
+}
+
+// TestCostMixDeterminism asserts the report is a pure function of the spec:
+// same seed, byte-identical JSON.
+func TestCostMixDeterminism(t *testing.T) {
+	spec := CostMixSpec{Seed: 7, Tasks: 64, Nodes: 12}
+	var serialized [][]byte
+	for i := 0; i < 3; i++ {
+		report, err := RunCostMix(spec)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		raw, err := json.Marshal(report)
+		if err != nil {
+			t.Fatalf("marshal %d: %v", i, err)
+		}
+		serialized = append(serialized, raw)
+	}
+	for i := 1; i < len(serialized); i++ {
+		if !bytes.Equal(serialized[0], serialized[i]) {
+			t.Fatalf("run %d JSON differs from run 0:\n%s\nvs\n%s",
+				i, serialized[i], serialized[0])
+		}
+	}
+	// A different seed must actually change the outcome (the rng is wired).
+	other, err := RunCostMix(CostMixSpec{Seed: 8, Tasks: 64, Nodes: 12})
+	if err != nil {
+		t.Fatalf("other seed: %v", err)
+	}
+	raw, _ := json.Marshal(other)
+	if bytes.Equal(serialized[0], raw) {
+		t.Error("different seeds produced identical reports")
+	}
+}
+
+// TestCostMixValidate covers the spec guardrails.
+func TestCostMixValidate(t *testing.T) {
+	if err := (CostMixSpec{Tasks: -1, Nodes: 4}).Validate(); err == nil {
+		t.Error("negative task count should fail validation")
+	}
+	if _, err := RunCostMix(CostMixSpec{Tasks: 10, Nodes: 1}); err == nil {
+		t.Error("single-node fleet should fail validation")
+	}
+}

@@ -14,6 +14,12 @@ type Evaluation struct {
 	FR      float64 // fr = 1 - size/Smax             (Equation 3)
 	Size    int
 	Flows   int // number of execution flows enumerated
+
+	// Cost and Time are the flow-averaged nominal resource cost and run
+	// time of the plan's valid activities, the quantities the MaxCost /
+	// MaxTime constraint caps compare against.
+	Cost float64
+	Time float64
 }
 
 // defaultCacheLimit bounds the evaluation cache across long sweeps; past it,
@@ -139,7 +145,7 @@ func (ev *Evaluator) evaluateOnly(tree *plantree.Node) Evaluation {
 	decisions := make(map[*plantree.Node]int, len(points))
 	odometer := make([]int, len(points))
 	totalValid, totalExecuted := 0, 0
-	goalSum := 0.0
+	goalSum, costSum, timeSum := 0.0, 0.0, 0.0
 	flows := 0
 	initial := workflow.ItemList(ev.problem.Initial.Items())
 	for {
@@ -151,6 +157,8 @@ func (ev *Evaluator) evaluateOnly(tree *plantree.Node) Evaluation {
 		totalValid += sim.valid
 		totalExecuted += sim.executed
 		goalSum += ev.goalFitness(items)
+		costSum += sim.cost
+		timeSum += sim.time
 		flows++
 		if flows >= ev.params.MaxFlows || !advance(odometer, points) {
 			break
@@ -162,8 +170,22 @@ func (ev *Evaluator) evaluateOnly(tree *plantree.Node) Evaluation {
 		fv = float64(totalValid) / float64(totalExecuted)
 	}
 	fg := goalSum / float64(flows)
-	f := ev.params.WV*fv + ev.params.WG*fg + ev.params.WR*fr
-	return Evaluation{Fitness: f, FV: fv, FG: fg, FR: fr, Size: size, Flows: flows}
+	cost := costSum / float64(flows)
+	nomTime := timeSum / float64(flows)
+	// Budget/deadline constraints scale only the resource-preference slice
+	// (wr*fr) of the fitness: over-cap plans lose preference proportionally
+	// to how far they overshoot, but the validity and goal terms are never
+	// discounted — a constraint must steer the search among enactable plans,
+	// not make an invalid plan outrank a valid one.
+	penalty := 1.0
+	if ev.params.MaxCost > 0 && cost > ev.params.MaxCost {
+		penalty *= ev.params.MaxCost / cost
+	}
+	if ev.params.MaxTime > 0 && nomTime > ev.params.MaxTime {
+		penalty *= ev.params.MaxTime / nomTime
+	}
+	f := ev.params.WV*fv + ev.params.WG*fg + ev.params.WR*fr*penalty
+	return Evaluation{Fitness: f, FV: fv, FG: fg, FR: fr, Size: size, Flows: flows, Cost: cost, Time: nomTime}
 }
 
 // advance increments the odometer; it reports false on wrap-around.
@@ -211,6 +233,8 @@ type flowSim struct {
 	valid     int
 	executed  int
 	seq       int
+	cost      float64 // nominal resource cost of valid activities
+	time      float64 // nominal run time of valid activities
 }
 
 func (fs *flowSim) run(n *plantree.Node, items workflow.ItemList) workflow.ItemList {
@@ -226,6 +250,8 @@ func (fs *flowSim) run(n *plantree.Node, items workflow.ItemList) workflow.ItemL
 		}
 		fs.valid++
 		fs.seq++
+		fs.cost += svc.Cost
+		fs.time += svc.BaseTime
 		return append(items, svc.Produce(nil, fs.seq)...)
 
 	case plantree.KindSequential:

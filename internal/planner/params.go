@@ -36,6 +36,15 @@ type Params struct {
 	Smax           int     // plan-tree size limit
 	WV, WG, WR     float64 // fitness weights (wv + wg + wr = 1)
 
+	// MaxCost and MaxTime fold enactment constraints into the plan fitness
+	// (budget- and deadline-constrained re-planning): a plan whose nominal
+	// resource cost (sum of service Cost over valid activities) or nominal
+	// run time (sum of BaseTime) exceeds the cap has its fitness scaled by
+	// cap/actual, so cheaper/shorter plans dominate the population. 0 means
+	// unconstrained.
+	MaxCost float64
+	MaxTime float64
+
 	// TournamentSize is the number of individuals compared per selection
 	// (the paper uses 2).
 	TournamentSize int
@@ -152,6 +161,9 @@ func (p Params) Validate() error {
 	}
 	if p.EvalWorkers < 0 {
 		return fmt.Errorf("planner: eval workers %d < 0", p.EvalWorkers)
+	}
+	if p.MaxCost < 0 || p.MaxTime < 0 {
+		return fmt.Errorf("planner: negative constraint caps (maxCost %g, maxTime %g)", p.MaxCost, p.MaxTime)
 	}
 	return nil
 }

@@ -52,11 +52,11 @@ func CanonicalKey(initial []*workflow.DataItem, goal, constraints, excluded []st
 	section("goal", goal)
 	section("constraints", constraints)
 	section("excluded", excluded)
-	fmt.Fprintf(h, "params/%d/%d/%g/%g/%d/%g/%g/%g/%d/%s/%d/%d/%d/%t/%t/%d\n",
+	fmt.Fprintf(h, "params/%d/%d/%g/%g/%d/%g/%g/%g/%d/%s/%d/%d/%d/%t/%t/%d/%g/%g\n",
 		p.PopulationSize, p.Generations, p.CrossoverRate, p.MutationRate,
 		p.Smax, p.WV, p.WG, p.WR, p.TournamentSize, p.Selection, p.Elites,
 		p.MaxLoopUnroll, p.MaxFlows, p.StrictConcurrency, p.StopOnPerfect,
-		p.Seed)
+		p.Seed, p.MaxCost, p.MaxTime)
 	return "case:" + hex.EncodeToString(h.Sum(nil))
 }
 

@@ -47,6 +47,12 @@ type PlanRequest struct {
 	// reduced Incremental() budget instead of ramped-random from scratch.
 	Failed *workflow.ProcessDescription
 
+	// MaxCost and MaxTime carry the case's remaining budget and deadline
+	// into the plan fitness (Figure 3 re-planning with the constraint
+	// folded in); 0 means unconstrained. See planner.Params.MaxCost.
+	MaxCost float64
+	MaxTime float64
+
 	// Traceparent carries the caller's W3C trace context (the task's enact
 	// span) so the plan span and its GP generations join the task's
 	// distributed trace.
@@ -224,6 +230,12 @@ func (s *Service) Plan(ctx *agent.Context, req PlanRequest) (PlanReply, error) {
 	}
 
 	params := s.Params
+	if req.MaxCost > 0 {
+		params.MaxCost = req.MaxCost
+	}
+	if req.MaxTime > 0 {
+		params.MaxTime = req.MaxTime
+	}
 	var failedTree *plantree.Node
 	if req.Failed != nil {
 		if t, convErr := plantree.FromProcess(req.Failed); convErr == nil {

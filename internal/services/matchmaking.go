@@ -29,6 +29,18 @@ type Candidate struct {
 	Speed     float64
 	Cost      float64
 	Score     float64
+
+	// Domain, BandwidthMbps, and LatencyUs describe the hosting node so
+	// cost-aware scoring can estimate data-transfer time without another
+	// grid lookup.
+	Domain        string
+	BandwidthMbps float64
+	LatencyUs     float64
+
+	// PredictedTime, when > 0, is an authoritative run-time estimate for
+	// this candidate (contract-net bids carry one); the cost scorer uses it
+	// instead of deriving an ETA from hardware speed.
+	PredictedTime float64
 }
 
 // MatchReply lists candidates best-first.
@@ -95,11 +107,14 @@ func (s *Matchmaking) Match(req MatchRequest) []Candidate {
 		}
 		score := hw.Speed * (1 - n.FailureRate) / cost
 		out = append(out, Candidate{
-			Container: c.ID,
-			Node:      n.ID,
-			Speed:     hw.Speed,
-			Cost:      n.CostPerSec,
-			Score:     score,
+			Container:     c.ID,
+			Node:          n.ID,
+			Speed:         hw.Speed,
+			Cost:          n.CostPerSec,
+			Score:         score,
+			Domain:        n.Domain,
+			BandwidthMbps: hw.BandwidthMbps,
+			LatencyUs:     hw.LatencyUs,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -2,6 +2,7 @@ package workflow
 
 import (
 	"fmt"
+	"math"
 )
 
 // CaseDescription provides the information for one particular instance of a
@@ -30,8 +31,19 @@ type CaseDescription struct {
 	// Deadline is a soft deadline on the enactment's wall-clock time in
 	// simulated seconds (Section 1: "sometimes tasks may have soft
 	// deadlines"); 0 means none. The coordinator flags — but does not abort
-	// — enactments that overrun it.
+	// — enactments that overrun it, unless HardDeadline is set.
 	Deadline float64
+
+	// Budget caps the total simulated spend (currency units) of the
+	// enactment; 0 means unlimited. The scheduler prefers cheaper candidates
+	// as spend approaches the budget and the coordinator aborts with a
+	// budget_exceeded terminal reason once it would be blown.
+	Budget float64
+
+	// HardDeadline upgrades Deadline from a flag-only soft deadline to a
+	// scheduling constraint: candidates are scored by ETA against the time
+	// remaining and overrunning aborts with a deadline_missed reason.
+	HardDeadline bool
 }
 
 // NewCase builds an empty case description.
@@ -63,10 +75,34 @@ func (c *CaseDescription) InitialState() *State {
 	return NewState(items...)
 }
 
+// ValidateConstraints checks the budget/deadline constraint fields alone so
+// API layers can map violations to a dedicated error code.
+func (c *CaseDescription) ValidateConstraints() error {
+	if c.Budget < 0 || math.IsNaN(c.Budget) || math.IsInf(c.Budget, 0) {
+		return fmt.Errorf("workflow: case %s has invalid budget %v", c.ID, c.Budget)
+	}
+	if c.Deadline < 0 || math.IsNaN(c.Deadline) || math.IsInf(c.Deadline, 0) {
+		return fmt.Errorf("workflow: case %s has invalid deadline %v", c.ID, c.Deadline)
+	}
+	if c.HardDeadline && c.Deadline <= 0 {
+		return fmt.Errorf("workflow: case %s has a hard deadline but no deadline value", c.ID)
+	}
+	return nil
+}
+
+// Constrained reports whether the case carries any enforced scheduling
+// constraint (a budget, or a deadline marked hard).
+func (c *CaseDescription) Constrained() bool {
+	return c.Budget > 0 || (c.HardDeadline && c.Deadline > 0)
+}
+
 // Validate checks internal consistency.
 func (c *CaseDescription) Validate() error {
 	if c.ID == "" {
 		return fmt.Errorf("workflow: case with empty ID")
+	}
+	if err := c.ValidateConstraints(); err != nil {
+		return err
 	}
 	seen := make(map[string]bool, len(c.InitialData))
 	for _, d := range c.InitialData {
